@@ -1,0 +1,91 @@
+// §3.1 analytical cost model, evaluated on the paper's own worked example
+// (the Age dataset, §3.1.4) and cross-checked against the paper's numbers:
+// histogram size per node ~906 MB, horizontal memory ~56.6 GB, horizontal
+// communication ~900 GB per tree, vertical memory ~7.08 GB, vertical
+// communication ~366 MB per tree.
+
+#include <cstdio>
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+
+namespace vero {
+namespace bench {
+namespace {
+
+struct AnatomyInputs {
+  double n, d, q, c, layers, workers;
+};
+
+double SizeHistBytes(const AnatomyInputs& in) {
+  // Sizehist = 2 x D x q x C x 8 bytes (§3.1.1).
+  return 2.0 * in.d * in.q * in.c * 8.0;
+}
+
+void Main() {
+  PrintHeader(
+      "Anatomy model: §3.1 closed-form costs on the Age worked example",
+      "Fu et al., VLDB'19, §3.1.4 (48M instances, 330K features, 9 "
+      "classes, W=8, L=8, q=20)",
+      "matches the paper's arithmetic: ~906 MB/node histograms, ~56.6 GB "
+      "horizontal memory, ~900 GB horizontal comm/tree, ~7 GB vertical "
+      "memory, ~366 MB vertical comm/tree");
+
+  const AnatomyInputs age{48e6, 330e3, 20, 9, 8, 8};
+  const double size_hist = SizeHistBytes(age);
+
+  // §3.1.2: horizontal memory = Sizehist x 2^(L-2); vertical divides by W.
+  const double mem_horizontal = size_hist * std::pow(2.0, age.layers - 2);
+  const double mem_vertical = mem_horizontal / age.workers;
+
+  // §3.1.3: horizontal comm >= Sizehist x W x (2^(L-1) - 1) per tree;
+  // vertical comm = ceil(N/8) x W x L per tree.
+  const double comm_horizontal =
+      size_hist * age.workers * (std::pow(2.0, age.layers - 1) - 1);
+  const double comm_vertical =
+      std::ceil(age.n / 8.0) * age.workers * age.layers;
+
+  std::printf("\n%-34s %14s %14s\n", "quantity", "model", "paper");
+  std::printf("%-34s %14s %14s\n", "Sizehist per node",
+              FormatBytes(size_hist).c_str(), "906 MB");
+  std::printf("%-34s %14s %14s\n", "horizontal histogram memory",
+              FormatBytes(mem_horizontal).c_str(), "56.6 GB");
+  std::printf("%-34s %14s %14s\n", "horizontal comm per tree",
+              FormatBytes(comm_horizontal).c_str(), "900 GB");
+  std::printf("%-34s %14s %14s\n", "vertical histogram memory/worker",
+              FormatBytes(mem_vertical).c_str(), "7.08 GB");
+  std::printf("%-34s %14s %14s\n", "vertical comm per tree",
+              FormatBytes(comm_vertical).c_str(), "366 MB");
+
+  // Cross-check the model against the measured simulator on a small
+  // workload: predicted vs counted bytes for QD4's placement broadcasts.
+  const uint32_t n = ScaledN(20000);
+  const Dataset data = MakeWorkload(n, 500, 2, 0.1, 5001);
+  GbdtParams params = PaperParams(8);
+  params.num_trees = 2;
+  Cluster cluster(8);
+  DistTrainOptions options;
+  options.params = params;
+  const DistResult result =
+      TrainDistributed(cluster, data, Quadrant::kQD4, options);
+  // Model: per layer the owners broadcast ceil(N/8) bitmap bytes to W-1
+  // peers; L-1 split layers per tree (plus small split exchanges).
+  const double predicted = std::ceil(n / 8.0) * (8 - 1) *
+                           (params.num_layers - 1) * params.num_trees;
+  std::printf("\nsimulator cross-check (N=%u, W=8, %u trees):\n", n,
+              params.num_trees);
+  std::printf("  predicted bitmap bytes  : %s\n",
+              FormatBytes(predicted).c_str());
+  std::printf("  measured training bytes : %s (includes split exchange)\n",
+              FormatBytes(static_cast<double>(result.train_bytes_sent))
+                  .c_str());
+  std::printf("  ratio measured/predicted: %.2f (expected slightly > 1)\n",
+              result.train_bytes_sent / predicted);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vero
+
+int main() { vero::bench::Main(); }

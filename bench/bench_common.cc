@@ -1,0 +1,99 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vero {
+namespace bench {
+
+double Scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("VERO_SCALE");
+    if (env != nullptr) {
+      const double v = std::atof(env);
+      if (v > 0) return v;
+    }
+    return 1.0;
+  }();
+  return scale;
+}
+
+uint32_t ScaledN(uint32_t n) {
+  const double scaled = n * Scale();
+  return static_cast<uint32_t>(std::max(200.0, std::llround(scaled) * 1.0));
+}
+
+uint32_t BenchTrees() {
+  static const uint32_t trees = [] {
+    const char* env = std::getenv("VERO_BENCH_TREES");
+    if (env != nullptr) {
+      const int v = std::atoi(env);
+      if (v > 0) return static_cast<uint32_t>(v);
+    }
+    return 5u;
+  }();
+  return trees;
+}
+
+void PrintHeader(const std::string& experiment, const std::string& paper_ref,
+                 const std::string& expectation) {
+  std::printf("=============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("expected shape: %s\n", expectation.c_str());
+  std::printf("scale=%.3g, trees/run=%u (simulated cluster; comm time from\n"
+              "the byte-exact network cost model, comp time = max worker\n"
+              "thread-CPU seconds)\n",
+              Scale(), BenchTrees());
+  std::printf("=============================================================\n");
+}
+
+Dataset MakeWorkload(uint32_t n, uint32_t d, uint32_t c, double density,
+                     uint64_t seed) {
+  SyntheticConfig config;
+  config.num_instances = n;
+  config.num_features = d;
+  config.num_classes = c;
+  config.density = density;
+  config.informative_ratio = std::min(1.0, std::max(0.2, density));
+  config.seed = seed;
+  return GenerateSynthetic(config);
+}
+
+GbdtParams PaperParams(uint32_t num_layers) {
+  GbdtParams params;
+  params.num_trees = BenchTrees();
+  params.num_layers = num_layers;
+  params.num_candidate_splits = 20;
+  params.learning_rate = 0.1;
+  return params;
+}
+
+DistResult RunQuadrant(const Dataset& train, Quadrant quadrant, int workers,
+                       const GbdtParams& params, const NetworkModel& network,
+                       const Dataset* valid, Qd3IndexPolicy qd3_policy,
+                       TransformEncoding encoding) {
+  Cluster cluster(workers, network);
+  DistTrainOptions options;
+  options.params = params;
+  options.transform.encoding = encoding;
+  return TrainDistributed(cluster, train, quadrant, options, valid,
+                          qd3_policy);
+}
+
+std::string FormatBytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", bytes / 1e9);
+  } else if (bytes >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", bytes / 1e6);
+  } else if (bytes >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", bytes / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace vero

@@ -1,0 +1,56 @@
+#ifndef VERO_BENCH_BENCH_COMMON_H_
+#define VERO_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cluster/communicator.h"
+#include "data/synthetic.h"
+#include "quadrants/train_distributed.h"
+
+namespace vero {
+namespace bench {
+
+/// Global instance-count multiplier, read from VERO_SCALE (default 1.0).
+/// Benches are sized for a single-core CI box at scale 1; raise the scale on
+/// bigger machines to stress absolute numbers (shapes hold at any scale).
+double Scale();
+
+/// Round(n * Scale()), minimum 200.
+uint32_t ScaledN(uint32_t n);
+
+/// Number of boosting rounds used to estimate per-tree costs, from
+/// VERO_BENCH_TREES (default 5).
+uint32_t BenchTrees();
+
+/// Prints the standard bench header with workload and environment notes.
+void PrintHeader(const std::string& experiment, const std::string& paper_ref,
+                 const std::string& expectation);
+
+/// One synthetic workload matching the paper's §5.2 generator.
+Dataset MakeWorkload(uint32_t n, uint32_t d, uint32_t c, double density,
+                     uint64_t seed);
+
+/// Runs `trees` rounds of a quadrant on a fresh W-worker cluster and
+/// returns the result (convergence curve omitted unless `valid`).
+DistResult RunQuadrant(const Dataset& train, Quadrant quadrant, int workers,
+                       const GbdtParams& params,
+                       const NetworkModel& network = NetworkModel::Lab1Gbps(),
+                       const Dataset* valid = nullptr,
+                       Qd3IndexPolicy qd3_policy = Qd3IndexPolicy::kMixed,
+                       TransformEncoding encoding =
+                           TransformEncoding::kBlockified);
+
+/// Default paper hyper-parameters (§5.1): L=8, q=20; T from BenchTrees().
+GbdtParams PaperParams(uint32_t num_layers = 8);
+
+/// "12.34 MB" / "1.23 GB" formatting.
+std::string FormatBytes(double bytes);
+
+}  // namespace bench
+}  // namespace vero
+
+#endif  // VERO_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,254 @@
+// Micro-benchmarks (google-benchmark) for the kernels the paper's analysis
+// is built on: histogram construction under each store/index combination,
+// histogram subtraction, bitmap encoding vs 4-byte ids, quantile sketch
+// throughput, two-phase index lookups, and the collectives.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "cluster/communicator.h"
+#include "common/bitmap.h"
+#include "common/random.h"
+#include "core/binned.h"
+#include "core/histogram.h"
+#include "core/node_indexer.h"
+#include "data/synthetic.h"
+#include "partition/column_group.h"
+#include "sketch/quantile_summary.h"
+
+namespace vero {
+namespace {
+
+Dataset BenchData(uint32_t n, uint32_t d, double density) {
+  SyntheticConfig config;
+  config.num_instances = n;
+  config.num_features = d;
+  config.num_classes = 2;
+  config.density = density;
+  config.seed = 7001;
+  return GenerateSynthetic(config);
+}
+
+const Dataset& SharedData() {
+  static const Dataset* data = new Dataset(BenchData(20000, 500, 0.1));
+  return *data;
+}
+
+const CandidateSplits& SharedSplits() {
+  static const CandidateSplits* splits =
+      new CandidateSplits(ProposeCandidateSplits(SharedData(), 20));
+  return *splits;
+}
+
+GradientBuffer MakeGrads(uint32_t n) {
+  GradientBuffer grads(n, 1);
+  Rng rng(11);
+  for (uint32_t i = 0; i < n; ++i) {
+    grads.at(i, 0) = GradPair{rng.NextGaussian(), rng.NextDouble()};
+  }
+  return grads;
+}
+
+// Row-store histogram build with the node-to-instance index (QD2/QD4 hot
+// loop).
+void BM_HistogramBuildRowStore(benchmark::State& state) {
+  const Dataset& data = SharedData();
+  const BinnedRowStore store =
+      BinnedRowStore::FromCsr(data.matrix(), SharedSplits());
+  const GradientBuffer grads = MakeGrads(data.num_instances());
+  Histogram hist(data.num_features(), 20, 1);
+  for (auto _ : state) {
+    hist.Clear();
+    for (InstanceId i = 0; i < data.num_instances(); ++i) {
+      auto features = store.RowFeatures(i);
+      auto bins = store.RowBins(i);
+      const GradPair* g = grads.row(i);
+      for (size_t k = 0; k < features.size(); ++k) {
+        hist.Add(features[k], bins[k], g);
+      }
+    }
+    benchmark::DoNotOptimize(hist.raw_data());
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_nonzeros());
+}
+BENCHMARK(BM_HistogramBuildRowStore);
+
+// Column-store histogram build with the instance-to-node index (QD1 loop).
+void BM_HistogramBuildColumnStore(benchmark::State& state) {
+  const Dataset& data = SharedData();
+  const BinnedColumnStore store =
+      BinnedColumnStore::FromCsr(data.matrix(), SharedSplits());
+  const GradientBuffer grads = MakeGrads(data.num_instances());
+  InstanceToNode node_of;
+  node_of.Init(data.num_instances());
+  Histogram hist(data.num_features(), 20, 1);
+  for (auto _ : state) {
+    hist.Clear();
+    for (FeatureId f = 0; f < data.num_features(); ++f) {
+      auto rows = store.ColumnRows(f);
+      auto bins = store.ColumnBins(f);
+      for (size_t k = 0; k < rows.size(); ++k) {
+        benchmark::DoNotOptimize(node_of.Get(rows[k]));
+        hist.Add(f, bins[k], grads.row(rows[k]));
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_nonzeros());
+}
+BENCHMARK(BM_HistogramBuildColumnStore);
+
+// Column-store histogram build with per-instance binary search (the
+// node-to-instance-on-columns combination §3.2.3 warns about).
+void BM_HistogramBuildColumnBinarySearch(benchmark::State& state) {
+  const Dataset& data = SharedData();
+  const BinnedColumnStore store =
+      BinnedColumnStore::FromCsr(data.matrix(), SharedSplits());
+  const GradientBuffer grads = MakeGrads(data.num_instances());
+  Histogram hist(data.num_features(), 20, 1);
+  for (auto _ : state) {
+    hist.Clear();
+    for (FeatureId f = 0; f < data.num_features(); ++f) {
+      for (InstanceId i = 0; i < data.num_instances(); ++i) {
+        const auto bin = store.FindBin(f, i);
+        if (bin.has_value()) hist.Add(f, *bin, grads.row(i));
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_instances() *
+                          data.num_features());
+}
+BENCHMARK(BM_HistogramBuildColumnBinarySearch);
+
+void BM_HistogramSubtraction(benchmark::State& state) {
+  const uint32_t d = static_cast<uint32_t>(state.range(0));
+  Histogram parent(d, 20, 1), child(d, 20, 1), sibling(d, 20, 1);
+  for (auto _ : state) {
+    sibling.SetToDifference(parent, child);
+    benchmark::DoNotOptimize(sibling.raw_data());
+  }
+  state.SetBytesProcessed(state.iterations() * parent.MemoryBytes());
+}
+BENCHMARK(BM_HistogramSubtraction)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_BitmapEncodePlacement(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  Bitmap bitmap(n);
+  for (size_t i = 0; i < n; ++i) bitmap.Assign(i, rng.Bernoulli(0.5));
+  for (auto _ : state) {
+    std::vector<uint8_t> bytes;
+    bitmap.SerializeTo(&bytes);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetBytesProcessed(state.iterations() * bitmap.SerializedBytes());
+}
+BENCHMARK(BM_BitmapEncodePlacement)->Arg(100000)->Arg(1000000);
+
+// The 4-byte-per-instance alternative the bitmap replaces (32x larger).
+void BM_Int32EncodePlacement(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<uint32_t> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = static_cast<uint32_t>(rng.Next());
+  for (auto _ : state) {
+    std::vector<uint8_t> bytes(ids.size() * sizeof(uint32_t));
+    std::memcpy(bytes.data(), ids.data(), bytes.size());
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * sizeof(uint32_t));
+}
+BENCHMARK(BM_Int32EncodePlacement)->Arg(100000)->Arg(1000000);
+
+void BM_QuantileSketchAdd(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<float> values(100000);
+  for (auto& v : values) v = static_cast<float>(rng.NextGaussian());
+  for (auto _ : state) {
+    QuantileSketch sketch(256);
+    for (float v : values) sketch.Add(v);
+    benchmark::DoNotOptimize(sketch.Finalize().num_entries());
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_QuantileSketchAdd);
+
+void BM_QuantileSummaryMerge(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<float> a(10000), b(10000);
+  for (auto& v : a) v = static_cast<float>(rng.NextGaussian());
+  for (auto& v : b) v = static_cast<float>(rng.NextGaussian());
+  const QuantileSummary sa = QuantileSummary::FromValues(a).Prune(256);
+  const QuantileSummary sb = QuantileSummary::FromValues(b).Prune(256);
+  for (auto _ : state) {
+    QuantileSummary merged = sa.Merge(sb).Prune(256);
+    benchmark::DoNotOptimize(merged.num_entries());
+  }
+}
+BENCHMARK(BM_QuantileSummaryMerge);
+
+void BM_TwoPhaseIndexLookup(benchmark::State& state) {
+  // Build a 5-block column group and measure random row lookups.
+  const Dataset& data = SharedData();
+  const BinnedRowStore store =
+      BinnedRowStore::FromCsr(data.matrix(), SharedSplits());
+  ColumnGroup group;
+  const uint32_t n = data.num_instances();
+  InstanceId offset = 0;
+  for (int b = 0; b < 5; ++b) {
+    const InstanceId end = n * (b + 1) / 5;
+    ColumnGroupBlock block;
+    block.row_offset = offset;
+    for (InstanceId i = offset; i < end; ++i) {
+      auto features = store.RowFeatures(i);
+      auto bins = store.RowBins(i);
+      for (size_t k = 0; k < features.size(); ++k) {
+        block.features.push_back(features[k]);
+        block.bins.push_back(bins[k]);
+      }
+      block.row_ptr.push_back(static_cast<uint32_t>(block.features.size()));
+    }
+    group.AppendBlock(std::move(block));
+    offset = end;
+  }
+  Rng rng(13);
+  for (auto _ : state) {
+    const InstanceId i = static_cast<InstanceId>(rng.Uniform(n));
+    benchmark::DoNotOptimize(group.RowFeatures(i).size());
+  }
+}
+BENCHMARK(BM_TwoPhaseIndexLookup);
+
+void BM_RowPartitionSplit(benchmark::State& state) {
+  const uint32_t n = 100000;
+  Rng rng(17);
+  Bitmap go_left(n);
+  for (uint32_t i = 0; i < n; ++i) go_left.Assign(i, rng.Bernoulli(0.5));
+  for (auto _ : state) {
+    RowPartition partition;
+    partition.Init(n, 3);
+    partition.Split(0, go_left);
+    benchmark::DoNotOptimize(partition.Count(1));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RowPartitionSplit);
+
+void BM_AllReduce(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Cluster cluster(4);
+  for (auto _ : state) {
+    cluster.Run([&](WorkerContext& ctx) {
+      std::vector<double> data(n, 1.0);
+      ctx.AllReduceSum(data);
+      benchmark::DoNotOptimize(data[0]);
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * n * sizeof(double) * 4);
+}
+BENCHMARK(BM_AllReduce)->Arg(1000)->Arg(100000);
+
+}  // namespace
+}  // namespace vero
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Command-line scorer: load a model saved by vero_train_cli (or SaveModel)
+// and write predictions for a LIBSVM file.
+//
+// Usage:
+//   vero_predict_cli --model model.bin --data test.libsvm [--out preds.txt]
+//                    [--margins] [--task binary|multiclass|regression]
+//
+// Output: one line per instance — P(y=1) for binary, C probabilities for
+// multi-class, the margin for regression (or raw margins with --margins).
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/metrics.h"
+#include "core/model_io.h"
+#include "data/libsvm_io.h"
+
+namespace {
+
+using namespace vero;
+
+struct CliOptions {
+  std::string model_path;
+  std::string data_path;
+  std::string out_path;
+  std::string task = "binary";
+  bool margins = false;
+};
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: vero_predict_cli --model <model.bin> --data "
+               "<file.libsvm> [--out preds.txt] [--margins]\n"
+               "       [--task binary|multiclass|regression]\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--model" && (v = value())) {
+      opt->model_path = v;
+    } else if (arg == "--data" && (v = value())) {
+      opt->data_path = v;
+    } else if (arg == "--out" && (v = value())) {
+      opt->out_path = v;
+    } else if (arg == "--task" && (v = value())) {
+      opt->task = v;
+    } else if (arg == "--margins") {
+      opt->margins = true;
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !opt->model_path.empty() && !opt->data_path.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  if (!ParseArgs(argc, argv, &opt)) {
+    PrintUsage();
+    return 2;
+  }
+
+  auto model_or = LoadModel(opt.model_path);
+  if (!model_or.ok()) {
+    std::fprintf(stderr, "failed to load model: %s\n",
+                 model_or.status().ToString().c_str());
+    return 1;
+  }
+  const GbdtModel& model = model_or.value();
+
+  LibsvmReadOptions read;
+  read.task = model.task();
+  if (model.task() == Task::kMultiClass) read.num_classes = model.num_classes();
+  auto data_or = ReadLibsvmFile(opt.data_path, read);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "failed to load data: %s\n",
+                 data_or.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& data = data_or.value();
+
+  std::ofstream out_file;
+  FILE* out = stdout;
+  if (!opt.out_path.empty()) {
+    out = std::fopen(opt.out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", opt.out_path.c_str());
+      return 1;
+    }
+  }
+
+  const uint32_t dims = model.margin_dims();
+  std::vector<double> buffer(dims);
+  const CsrMatrix& m = data.matrix();
+  for (InstanceId i = 0; i < data.num_instances(); ++i) {
+    if (opt.margins || model.task() == Task::kRegression) {
+      model.PredictMargins(m.RowFeatures(i), m.RowValues(i), buffer.data());
+    } else {
+      model.PredictProba(m.RowFeatures(i), m.RowValues(i), buffer.data());
+    }
+    for (uint32_t k = 0; k < dims; ++k) {
+      std::fprintf(out, k + 1 == dims ? "%.6g\n" : "%.6g ", buffer[k]);
+    }
+  }
+  if (out != stdout) std::fclose(out);
+
+  // When labels are present, report the headline metric as a convenience.
+  const MetricValue metric = EvaluateModel(model, data);
+  std::fprintf(stderr, "%s on %u instances: %.5f\n", metric.name.c_str(),
+               data.num_instances(), metric.value);
+  return 0;
+}

@@ -1,0 +1,252 @@
+// Command-line trainer: train a GBDT from a LIBSVM file (or a built-in
+// synthetic profile), evaluate, and save the model — the "downstream user"
+// entry point.
+//
+// Usage:
+//   vero_train_cli --data <file.libsvm> [--task binary|multiclass|regression]
+//                  [--valid-fraction 0.2] [--trees 100] [--layers 8]
+//                  [--bins 20] [--learning-rate 0.1] [--leaf-wise]
+//                  [--max-leaves N] [--row-subsample F] [--col-subsample F]
+//                  [--early-stopping R] [--workers W] [--quadrant qd1..qd4]
+//                  [--model out.bin] [--importance]
+//   vero_train_cli --profile RCV1 ...   (synthetic stand-in instead of file)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cluster/communicator.h"
+#include "core/metrics.h"
+#include "core/model_io.h"
+#include "core/trainer.h"
+#include "data/libsvm_io.h"
+#include "data/synthetic.h"
+#include "quadrants/train_distributed.h"
+
+namespace {
+
+using namespace vero;
+
+struct CliOptions {
+  std::string data_path;
+  std::string profile;
+  std::string task = "binary";
+  std::string model_path;
+  std::string quadrant;  // empty = single-process reference trainer
+  double valid_fraction = 0.2;
+  int workers = 4;
+  bool importance = false;
+  GbdtParams params;
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: vero_train_cli (--data <file.libsvm> | --profile <name>)\n"
+      "  [--task binary|multiclass|regression] [--valid-fraction F]\n"
+      "  [--trees T] [--layers L] [--bins q] [--learning-rate eta]\n"
+      "  [--lambda L2] [--gamma G] [--leaf-wise] [--max-leaves N]\n"
+      "  [--row-subsample F] [--col-subsample F] [--early-stopping R]\n"
+      "  [--quadrant qd1|qd2|qd3|qd4] [--workers W]\n"
+      "  [--model out.bin] [--importance]\n"
+      "profiles: SUSY Higgs Criteo Epsilon RCV1 Synthesis RCV1-multi\n"
+      "          Synthesis-multi Gender Age Taste\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* opt) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = nullptr;
+    if (arg == "--data" && (v = need_value(i))) {
+      opt->data_path = v;
+    } else if (arg == "--profile" && (v = need_value(i))) {
+      opt->profile = v;
+    } else if (arg == "--task" && (v = need_value(i))) {
+      opt->task = v;
+    } else if (arg == "--valid-fraction" && (v = need_value(i))) {
+      opt->valid_fraction = std::atof(v);
+    } else if (arg == "--trees" && (v = need_value(i))) {
+      opt->params.num_trees = std::atoi(v);
+    } else if (arg == "--layers" && (v = need_value(i))) {
+      opt->params.num_layers = std::atoi(v);
+    } else if (arg == "--bins" && (v = need_value(i))) {
+      opt->params.num_candidate_splits = std::atoi(v);
+    } else if (arg == "--learning-rate" && (v = need_value(i))) {
+      opt->params.learning_rate = std::atof(v);
+    } else if (arg == "--lambda" && (v = need_value(i))) {
+      opt->params.reg_lambda = std::atof(v);
+    } else if (arg == "--gamma" && (v = need_value(i))) {
+      opt->params.reg_gamma = std::atof(v);
+    } else if (arg == "--leaf-wise") {
+      opt->params.growth = GrowthPolicy::kLeafWise;
+    } else if (arg == "--max-leaves" && (v = need_value(i))) {
+      opt->params.max_leaves = std::atoi(v);
+    } else if (arg == "--row-subsample" && (v = need_value(i))) {
+      opt->params.row_subsample = std::atof(v);
+    } else if (arg == "--col-subsample" && (v = need_value(i))) {
+      opt->params.column_subsample = std::atof(v);
+    } else if (arg == "--early-stopping" && (v = need_value(i))) {
+      opt->params.early_stopping_rounds = std::atoi(v);
+    } else if (arg == "--quadrant" && (v = need_value(i))) {
+      opt->quadrant = v;
+    } else if (arg == "--workers" && (v = need_value(i))) {
+      opt->workers = std::atoi(v);
+    } else if (arg == "--model" && (v = need_value(i))) {
+      opt->model_path = v;
+    } else if (arg == "--importance") {
+      opt->importance = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (opt->data_path.empty() == opt->profile.empty()) {
+    std::fprintf(stderr,
+                 "exactly one of --data or --profile is required\n");
+    return false;
+  }
+  return true;
+}
+
+StatusOr<Dataset> LoadData(const CliOptions& opt) {
+  if (!opt.profile.empty()) {
+    return GenerateFromProfile(FindProfile(opt.profile), 1.0);
+  }
+  LibsvmReadOptions read;
+  if (opt.task == "multiclass") {
+    read.task = Task::kMultiClass;
+  } else if (opt.task == "regression") {
+    read.task = Task::kRegression;
+  } else {
+    read.task = Task::kBinary;
+  }
+  return ReadLibsvmFile(opt.data_path, read);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  if (!ParseArgs(argc, argv, &opt)) {
+    PrintUsage();
+    return 2;
+  }
+  auto data_or = LoadData(opt);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "failed to load data: %s\n",
+                 data_or.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& data = data_or.value();
+  std::printf("data: %u instances, %u features, %u classes, task=%s\n",
+              data.num_instances(), data.num_features(), data.num_classes(),
+              TaskToString(data.task()));
+
+  Dataset train_storage, valid_storage;
+  const Dataset* train = &data;
+  const Dataset* valid = nullptr;
+  if (opt.valid_fraction > 0.0 && opt.valid_fraction < 1.0 &&
+      data.num_instances() >= 10) {
+    auto split = data.SplitTail(opt.valid_fraction);
+    train_storage = std::move(split.first);
+    valid_storage = std::move(split.second);
+    train = &train_storage;
+    valid = &valid_storage;
+  }
+
+  GbdtModel model;
+  if (opt.quadrant.empty()) {
+    Trainer trainer(opt.params);
+    auto model_or =
+        trainer.Train(*train, valid, [](const IterationStats& it) {
+          if ((it.tree_index + 1) % 10 == 0 || it.tree_index == 0) {
+            std::printf("  round %3u  train-loss %.5f", it.tree_index + 1,
+                        it.train_loss);
+            if (it.has_valid_metric) {
+              std::printf("  valid %.5f", it.valid_metric);
+            }
+            std::printf("\n");
+          }
+        });
+    if (!model_or.ok()) {
+      std::fprintf(stderr, "training failed: %s\n",
+                   model_or.status().ToString().c_str());
+      return 1;
+    }
+    model = std::move(model_or).value();
+    std::printf("trained %zu trees in %.2fs (best round %u)\n",
+                model.num_trees(), trainer.report().total_seconds,
+                trainer.report().best_iteration + 1);
+  } else {
+    Quadrant quadrant;
+    if (opt.quadrant == "qd1") {
+      quadrant = Quadrant::kQD1;
+    } else if (opt.quadrant == "qd2") {
+      quadrant = Quadrant::kQD2;
+    } else if (opt.quadrant == "qd3") {
+      quadrant = Quadrant::kQD3;
+    } else if (opt.quadrant == "qd4") {
+      quadrant = Quadrant::kQD4;
+    } else {
+      std::fprintf(stderr, "unknown quadrant: %s\n", opt.quadrant.c_str());
+      return 2;
+    }
+    Cluster cluster(opt.workers);
+    DistTrainOptions options;
+    options.params = opt.params;
+    const DistResult result =
+        TrainDistributed(cluster, *train, quadrant, options, valid);
+    model = result.model;
+    std::printf(
+        "trained %zu trees on %d simulated workers (%s): modeled %.2fs "
+        "(comp %.2fs, comm %.2fs), %.2f MB moved\n",
+        model.num_trees(), opt.workers, QuadrantToString(quadrant),
+        result.TrainSeconds(), result.TotalCompSeconds(),
+        result.TotalCommSeconds(), result.train_bytes_sent / 1e6);
+  }
+
+  const MetricValue train_metric = EvaluateModel(model, *train);
+  std::printf("train %s: %.5f\n", train_metric.name.c_str(),
+              train_metric.value);
+  if (valid != nullptr) {
+    const MetricValue valid_metric = EvaluateModel(model, *valid);
+    std::printf("valid %s: %.5f\n", valid_metric.name.c_str(),
+                valid_metric.value);
+  }
+
+  if (opt.importance) {
+    std::vector<double> gain = model.FeatureImportance(
+        data.num_features(), GbdtModel::ImportanceType::kGain);
+    std::printf("top features by gain:\n");
+    for (int rank = 0; rank < 10; ++rank) {
+      uint32_t best = 0;
+      double best_gain = -1.0;
+      for (uint32_t f = 0; f < gain.size(); ++f) {
+        if (gain[f] > best_gain) {
+          best_gain = gain[f];
+          best = f;
+        }
+      }
+      if (best_gain <= 0) break;
+      std::printf("  f%-6u %.4f\n", best, best_gain);
+      gain[best] = -1.0;
+    }
+  }
+
+  if (!opt.model_path.empty()) {
+    const Status status = SaveModel(model, opt.model_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "failed to save model: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("model saved to %s\n", opt.model_path.c_str());
+  }
+  return 0;
+}

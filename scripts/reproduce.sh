@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the repo, runs the full test suite, and regenerates every table
+# and figure of the paper's evaluation.
+#
+#   scripts/reproduce.sh [scale]
+#
+# `scale` multiplies workload sizes (default 1.0; see VERO_SCALE in README).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-1.0}"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+export VERO_SCALE="$SCALE"
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

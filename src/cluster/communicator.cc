@@ -1,0 +1,250 @@
+#include "cluster/communicator.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace vero {
+
+Cluster::Cluster(int num_workers, NetworkModel model)
+    : num_workers_(num_workers),
+      model_(model),
+      barrier_(static_cast<size_t>(num_workers)),
+      ptrs_(num_workers, nullptr),
+      mutable_ptrs_(num_workers, nullptr),
+      sizes_(num_workers, 0),
+      instrument_slots_(num_workers, 0.0) {
+  VERO_CHECK_GT(num_workers, 0);
+  contexts_.reserve(num_workers);
+  for (int r = 0; r < num_workers; ++r) {
+    contexts_.emplace_back(new WorkerContext(this, r));
+  }
+}
+
+void Cluster::Run(const std::function<void(WorkerContext&)>& fn) {
+  if (num_workers_ == 1) {
+    fn(*contexts_[0]);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_workers_);
+  for (int r = 0; r < num_workers_; ++r) {
+    threads.emplace_back([this, &fn, r] { fn(*contexts_[r]); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+const CommStats& Cluster::worker_stats(int rank) const {
+  return contexts_[rank]->stats();
+}
+
+CommStats Cluster::TotalStats() const {
+  CommStats total;
+  for (const auto& ctx : contexts_) total += ctx->stats();
+  return total;
+}
+
+double Cluster::MaxSimSeconds() const {
+  double max_s = 0.0;
+  for (const auto& ctx : contexts_) {
+    max_s = std::max(max_s, ctx->stats().sim_seconds);
+  }
+  return max_s;
+}
+
+void Cluster::ResetStats() {
+  for (auto& ctx : contexts_) ctx->stats_ = CommStats{};
+}
+
+int WorkerContext::world_size() const { return cluster_->num_workers_; }
+
+void WorkerContext::Charge(uint64_t sent, uint64_t received) {
+  stats_.bytes_sent += sent;
+  stats_.bytes_received += received;
+  stats_.num_ops += 1;
+  stats_.sim_seconds += cluster_->model_.OpSeconds(sent, received);
+}
+
+void WorkerContext::Barrier() { cluster_->barrier_.ArriveAndWait(); }
+
+double WorkerContext::InstrumentMax(double value) {
+  const int w = world_size();
+  if (w == 1) return value;
+  cluster_->instrument_slots_[rank_] = value;
+  cluster_->barrier_.ArriveAndWait();
+  double max_v = cluster_->instrument_slots_[0];
+  for (int r = 1; r < w; ++r) {
+    max_v = std::max(max_v, cluster_->instrument_slots_[r]);
+  }
+  cluster_->barrier_.ArriveAndWait();
+  return max_v;
+}
+
+double WorkerContext::InstrumentSum(double value) {
+  const int w = world_size();
+  if (w == 1) return value;
+  cluster_->instrument_slots_[rank_] = value;
+  cluster_->barrier_.ArriveAndWait();
+  double sum = 0.0;
+  for (int r = 0; r < w; ++r) sum += cluster_->instrument_slots_[r];
+  cluster_->barrier_.ArriveAndWait();
+  return sum;
+}
+
+size_t WorkerContext::SliceBegin(size_t n, int rank) const {
+  const size_t w = cluster_->num_workers_;
+  return n * rank / w;
+}
+
+size_t WorkerContext::SliceEnd(size_t n, int rank) const {
+  const size_t w = cluster_->num_workers_;
+  return n * (rank + 1) / w;
+}
+
+void WorkerContext::AllReduceSum(std::span<double> data) {
+  const int w = world_size();
+  if (w == 1) return;
+  cluster_->mutable_ptrs_[rank_] = data.data();
+  cluster_->sizes_[rank_] = data.size();
+  if (cluster_->barrier_.ArriveAndWait()) {
+    // Serial participant: sum everyone into the shared buffer.
+    const size_t n = cluster_->sizes_[0];
+    for (int r = 1; r < w; ++r) VERO_CHECK_EQ(cluster_->sizes_[r], n);
+    cluster_->reduce_buffer_.assign(n, 0.0);
+    for (int r = 0; r < w; ++r) {
+      const double* src = static_cast<const double*>(cluster_->mutable_ptrs_[r]);
+      for (size_t i = 0; i < n; ++i) cluster_->reduce_buffer_[i] += src[i];
+    }
+  }
+  cluster_->barrier_.ArriveAndWait();
+  std::memcpy(data.data(), cluster_->reduce_buffer_.data(),
+              data.size() * sizeof(double));
+  cluster_->barrier_.ArriveAndWait();
+
+  // Ring all-reduce volume: each worker sends (and receives) the buffer
+  // twice, minus its own 1/W share, in 2*(W-1) pipelined steps.
+  const uint64_t bytes = data.size() * sizeof(double);
+  const uint64_t wire = 2 * bytes * (w - 1) / w;
+  Charge(wire, wire);
+}
+
+void WorkerContext::ReduceScatterSum(std::span<double> data) {
+  const int w = world_size();
+  if (w == 1) return;
+  cluster_->mutable_ptrs_[rank_] = data.data();
+  cluster_->sizes_[rank_] = data.size();
+  if (cluster_->barrier_.ArriveAndWait()) {
+    const size_t n = cluster_->sizes_[0];
+    for (int r = 1; r < w; ++r) VERO_CHECK_EQ(cluster_->sizes_[r], n);
+    cluster_->reduce_buffer_.assign(n, 0.0);
+    for (int r = 0; r < w; ++r) {
+      const double* src = static_cast<const double*>(cluster_->mutable_ptrs_[r]);
+      for (size_t i = 0; i < n; ++i) cluster_->reduce_buffer_[i] += src[i];
+    }
+  }
+  cluster_->barrier_.ArriveAndWait();
+  const size_t begin = SliceBegin(data.size(), rank_);
+  const size_t end = SliceEnd(data.size(), rank_);
+  std::memcpy(data.data() + begin, cluster_->reduce_buffer_.data() + begin,
+              (end - begin) * sizeof(double));
+  cluster_->barrier_.ArriveAndWait();
+
+  // Ring reduce-scatter volume: (W-1)/W of the buffer per worker.
+  const uint64_t bytes = data.size() * sizeof(double);
+  const uint64_t wire = bytes * (w - 1) / w;
+  Charge(wire, wire);
+}
+
+void WorkerContext::AllGather(const std::vector<uint8_t>& mine,
+                              std::vector<std::vector<uint8_t>>* all) {
+  const int w = world_size();
+  all->assign(w, {});
+  if (w == 1) {
+    (*all)[0] = mine;
+    return;
+  }
+  cluster_->ptrs_[rank_] = &mine;
+  cluster_->barrier_.ArriveAndWait();
+  uint64_t received = 0;
+  for (int r = 0; r < w; ++r) {
+    const auto* src =
+        static_cast<const std::vector<uint8_t>*>(cluster_->ptrs_[r]);
+    (*all)[r] = *src;
+    if (r != rank_) received += src->size();
+  }
+  cluster_->barrier_.ArriveAndWait();
+  Charge(mine.size() * (w - 1), received);
+}
+
+void WorkerContext::Broadcast(std::vector<uint8_t>* data, int root) {
+  const int w = world_size();
+  if (w == 1) return;
+  if (rank_ == root) cluster_->ptrs_[root] = data;
+  cluster_->barrier_.ArriveAndWait();
+  const auto* src =
+      static_cast<const std::vector<uint8_t>*>(cluster_->ptrs_[root]);
+  uint64_t sent = 0, received = 0;
+  if (rank_ == root) {
+    sent = src->size() * (w - 1);
+  } else {
+    *data = *src;
+    received = src->size();
+  }
+  cluster_->barrier_.ArriveAndWait();
+  Charge(sent, received);
+}
+
+void WorkerContext::Gather(const std::vector<uint8_t>& mine, int root,
+                           std::vector<std::vector<uint8_t>>* all) {
+  const int w = world_size();
+  all->clear();
+  if (w == 1) {
+    all->push_back(mine);
+    return;
+  }
+  cluster_->ptrs_[rank_] = &mine;
+  cluster_->barrier_.ArriveAndWait();
+  uint64_t sent = 0, received = 0;
+  if (rank_ == root) {
+    all->resize(w);
+    for (int r = 0; r < w; ++r) {
+      const auto* src =
+          static_cast<const std::vector<uint8_t>*>(cluster_->ptrs_[r]);
+      (*all)[r] = *src;
+      if (r != rank_) received += src->size();
+    }
+  } else {
+    sent = mine.size();
+  }
+  cluster_->barrier_.ArriveAndWait();
+  Charge(sent, received);
+}
+
+void WorkerContext::AllToAll(std::vector<std::vector<uint8_t>> to_each,
+                             std::vector<std::vector<uint8_t>>* from_each) {
+  const int w = world_size();
+  VERO_CHECK_EQ(static_cast<int>(to_each.size()), w);
+  from_each->assign(w, {});
+  if (w == 1) {
+    (*from_each)[0] = std::move(to_each[0]);
+    return;
+  }
+  cluster_->ptrs_[rank_] = &to_each;
+  cluster_->barrier_.ArriveAndWait();
+  uint64_t sent = 0, received = 0;
+  for (int r = 0; r < w; ++r) {
+    const auto* src = static_cast<const std::vector<std::vector<uint8_t>>*>(
+        cluster_->ptrs_[r]);
+    (*from_each)[r] = (*src)[rank_];
+    if (r != rank_) received += (*src)[rank_].size();
+  }
+  for (int r = 0; r < w; ++r) {
+    if (r != rank_) sent += to_each[r].size();
+  }
+  cluster_->barrier_.ArriveAndWait();
+  Charge(sent, received);
+}
+
+}  // namespace vero

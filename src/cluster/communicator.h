@@ -1,0 +1,130 @@
+#ifndef VERO_CLUSTER_COMMUNICATOR_H_
+#define VERO_CLUSTER_COMMUNICATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "cluster/network_model.h"
+#include "common/threading.h"
+
+namespace vero {
+
+class Cluster;
+
+/// Per-worker handle to the simulated cluster: rank, collectives, and
+/// communication accounting. All collectives are SPMD — every worker of the
+/// cluster must call the same operation in the same order (like MPI).
+///
+/// Byte accounting charges each worker the volume an efficient real
+/// implementation would move (ring all-reduce / reduce-scatter, flat
+/// broadcast/gather), and simulated time follows the cluster's NetworkModel;
+/// the data itself moves through shared memory so results are exact.
+class WorkerContext {
+ public:
+  int rank() const { return rank_; }
+  int world_size() const;
+
+  /// In-place element-wise sum across workers; everyone ends with the total.
+  /// Accounting: ring all-reduce, 2 * bytes * (W-1)/W sent per worker.
+  void AllReduceSum(std::span<double> data);
+
+  /// In-place reduce-scatter: after the call, worker r's slice
+  /// [SliceBegin(n, r), SliceEnd(n, r)) of `data` holds the element-wise
+  /// sum; the rest of the buffer is unspecified.
+  /// Accounting: ring reduce-scatter, bytes * (W-1)/W sent per worker.
+  void ReduceScatterSum(std::span<double> data);
+
+  /// Slice boundaries used by ReduceScatterSum (contiguous, near-equal).
+  size_t SliceBegin(size_t n, int rank) const;
+  size_t SliceEnd(size_t n, int rank) const;
+
+  /// Every worker contributes `mine`; all receive all contributions indexed
+  /// by rank. Accounting: each worker sends its buffer to W-1 peers.
+  void AllGather(const std::vector<uint8_t>& mine,
+                 std::vector<std::vector<uint8_t>>* all);
+
+  /// Root's `data` is copied to everyone. Accounting: root sends
+  /// bytes * (W-1); others receive bytes.
+  void Broadcast(std::vector<uint8_t>* data, int root);
+
+  /// Every worker sends `mine` to root; root receives all (indexed by rank),
+  /// others get an empty vector.
+  void Gather(const std::vector<uint8_t>& mine, int root,
+              std::vector<std::vector<uint8_t>>* all);
+
+  /// Personalized all-to-all: `to_each[r]` goes to worker r; returns
+  /// `from_each[s]` = buffer sent by worker s to this worker.
+  /// to_each must have world_size entries (self-entry is delivered free).
+  void AllToAll(std::vector<std::vector<uint8_t>> to_each,
+                std::vector<std::vector<uint8_t>>* from_each);
+
+  /// Pure synchronization (no bytes charged).
+  void Barrier();
+
+  /// Instrumentation-only reductions: rendezvous like a collective but
+  /// charge no bytes or simulated time. Used to combine per-worker timing
+  /// counters into cluster-level statistics without perturbing the
+  /// experiment.
+  double InstrumentMax(double value);
+  double InstrumentSum(double value);
+
+  /// Communication counters accumulated by this worker so far.
+  const CommStats& stats() const { return stats_; }
+
+ private:
+  friend class Cluster;
+  WorkerContext(Cluster* cluster, int rank) : cluster_(cluster), rank_(rank) {}
+
+  void Charge(uint64_t sent, uint64_t received);
+
+  Cluster* cluster_;
+  int rank_;
+  CommStats stats_;
+};
+
+/// Simulated W-worker cluster. Each Run() spawns one thread per worker and
+/// executes the given SPMD function; collectives rendezvous through shared
+/// state owned here.
+class Cluster {
+ public:
+  Cluster(int num_workers, NetworkModel model = NetworkModel::Lab1Gbps());
+
+  int num_workers() const { return num_workers_; }
+  const NetworkModel& network_model() const { return model_; }
+
+  /// Runs fn(context) on every worker; blocks until all finish. Contexts
+  /// (and their stats) persist across Run calls.
+  void Run(const std::function<void(WorkerContext&)>& fn);
+
+  /// Stats of one worker / summed over workers.
+  const CommStats& worker_stats(int rank) const;
+  CommStats TotalStats() const;
+  /// Maximum simulated comm seconds across workers (the cluster-level
+  /// critical path used in time breakdowns).
+  double MaxSimSeconds() const;
+
+  void ResetStats();
+
+ private:
+  friend class WorkerContext;
+
+  const int num_workers_;
+  const NetworkModel model_;
+  std::vector<std::unique_ptr<WorkerContext>> contexts_;
+
+  // Rendezvous state for collectives.
+  Barrier barrier_;
+  std::vector<const void*> ptrs_;
+  std::vector<void*> mutable_ptrs_;
+  std::vector<size_t> sizes_;
+  std::vector<double> reduce_buffer_;
+  std::vector<double> instrument_slots_;
+};
+
+}  // namespace vero
+
+#endif  // VERO_CLUSTER_COMMUNICATOR_H_

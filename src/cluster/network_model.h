@@ -1,0 +1,65 @@
+#ifndef VERO_CLUSTER_NETWORK_MODEL_H_
+#define VERO_CLUSTER_NETWORK_MODEL_H_
+
+#include <cstdint>
+
+namespace vero {
+
+/// Analytic cost model that converts counted bytes into simulated network
+/// time. The simulated cluster moves real bytes through shared memory, so
+/// communication *volume* is measured, not modeled; this class only supplies
+/// the time per op:
+///
+///   time(op) = latency + max(bytes_sent, bytes_received) / bandwidth
+///
+/// per worker (full-duplex NIC, which is how the paper's per-node 1 Gbps
+/// Ethernet behaves). Defaults follow §5.1's laboratory cluster; the
+/// industrial benches switch to the 10 Gbps production profile of §6.
+struct NetworkModel {
+  /// Per-operation latency in seconds (switch + software stack).
+  double latency_seconds = 2e-4;
+  /// Per-node full-duplex bandwidth in bytes/second. 1 Gbps = 125 MB/s.
+  double bandwidth_bytes_per_second = 125e6;
+
+  /// The paper's laboratory cluster (§5.1): 1 Gbps Ethernet (LAN-grade
+  /// ~0.2 ms per-op software + switch latency).
+  static NetworkModel Lab1Gbps() { return NetworkModel{2e-4, 125e6}; }
+  /// The paper's production cluster (§6): 10 Gbps Ethernet.
+  static NetworkModel Production10Gbps() { return NetworkModel{1e-4, 1.25e9}; }
+
+  double OpSeconds(uint64_t bytes_sent, uint64_t bytes_received) const {
+    const uint64_t wire = bytes_sent > bytes_received ? bytes_sent
+                                                      : bytes_received;
+    return latency_seconds +
+           static_cast<double>(wire) / bandwidth_bytes_per_second;
+  }
+};
+
+/// Per-worker communication counters, accumulated across collective calls.
+struct CommStats {
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t num_ops = 0;
+  /// Simulated network seconds under the cluster's NetworkModel.
+  double sim_seconds = 0.0;
+
+  CommStats& operator+=(const CommStats& other) {
+    bytes_sent += other.bytes_sent;
+    bytes_received += other.bytes_received;
+    num_ops += other.num_ops;
+    sim_seconds += other.sim_seconds;
+    return *this;
+  }
+  CommStats operator-(const CommStats& other) const {
+    CommStats d;
+    d.bytes_sent = bytes_sent - other.bytes_sent;
+    d.bytes_received = bytes_received - other.bytes_received;
+    d.num_ops = num_ops - other.num_ops;
+    d.sim_seconds = sim_seconds - other.sim_seconds;
+    return d;
+  }
+};
+
+}  // namespace vero
+
+#endif  // VERO_CLUSTER_NETWORK_MODEL_H_

@@ -1,0 +1,45 @@
+#include "common/bitmap.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace vero {
+
+size_t Bitmap::Count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+void Bitmap::Reset() {
+  std::fill(words_.begin(), words_.end(), uint64_t{0});
+}
+
+void Bitmap::SerializeTo(std::vector<uint8_t>* out) const {
+  const size_t nbytes = SerializedBytes();
+  const size_t offset = out->size();
+  out->resize(offset + nbytes);
+  for (size_t b = 0; b < nbytes; ++b) {
+    (*out)[offset + b] =
+        static_cast<uint8_t>(words_[b >> 3] >> ((b & 7) * 8));
+  }
+}
+
+bool Bitmap::Deserialize(const uint8_t* bytes, size_t num_bytes,
+                         size_t num_bits, Bitmap* out) {
+  const size_t needed = (num_bits + 7) / 8;
+  if (num_bytes < needed) return false;
+  *out = Bitmap(num_bits);
+  for (size_t b = 0; b < needed; ++b) {
+    out->words_[b >> 3] |= static_cast<uint64_t>(bytes[b]) << ((b & 7) * 8);
+  }
+  // Mask out any garbage above num_bits in the final byte.
+  const size_t tail = num_bits & 63;
+  if (tail != 0 && !out->words_.empty()) {
+    out->words_.back() &= (uint64_t{1} << tail) - 1;
+  }
+  return true;
+}
+
+}  // namespace vero

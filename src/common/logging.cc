@@ -1,0 +1,79 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace vero {
+namespace {
+
+std::atomic<int> g_min_level{-1};  // -1 means "not initialized yet".
+
+int InitialLevel() {
+  const char* env = std::getenv("VERO_LOG_LEVEL");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v >= 0 && v <= 4) return v;
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+std::mutex& EmitMutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+LogLevel MinLogLevel() {
+  int v = g_min_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = InitialLevel();
+    g_min_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= MinLogLevel() || level_ == LogLevel::kFatal) {
+    std::lock_guard<std::mutex> lock(EmitMutex());
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace vero

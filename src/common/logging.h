@@ -1,0 +1,101 @@
+#ifndef VERO_COMMON_LOGGING_H_
+#define VERO_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace vero {
+
+/// Severity levels for the lightweight logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kInfo; override with the VERO_LOG_LEVEL env var (0-4) or
+/// SetMinLogLevel().
+LogLevel MinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a streamed expression when the log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace vero
+
+#define VERO_LOG(level)                                                   \
+  ::vero::internal::LogMessage(::vero::LogLevel::k##level, __FILE__, \
+                               __LINE__)                                  \
+      .stream()
+
+/// Fatal unless `condition` holds; streams extra context.
+#define VERO_CHECK(condition)                                  \
+  if (!(condition))                                            \
+  ::vero::internal::LogMessage(::vero::LogLevel::kFatal,       \
+                               __FILE__, __LINE__)             \
+          .stream()                                            \
+      << "Check failed: " #condition " "
+
+#define VERO_CHECK_OP(op, a, b)                                        \
+  if (!((a)op(b)))                                                     \
+  ::vero::internal::LogMessage(::vero::LogLevel::kFatal, __FILE__,     \
+                               __LINE__)                               \
+          .stream()                                                    \
+      << "Check failed: " #a " " #op " " #b " (" << (a) << " vs " << (b) \
+      << ") "
+
+#define VERO_CHECK_EQ(a, b) VERO_CHECK_OP(==, a, b)
+#define VERO_CHECK_NE(a, b) VERO_CHECK_OP(!=, a, b)
+#define VERO_CHECK_LT(a, b) VERO_CHECK_OP(<, a, b)
+#define VERO_CHECK_LE(a, b) VERO_CHECK_OP(<=, a, b)
+#define VERO_CHECK_GT(a, b) VERO_CHECK_OP(>, a, b)
+#define VERO_CHECK_GE(a, b) VERO_CHECK_OP(>=, a, b)
+
+/// Checks a vero::Status-valued expression is OK.
+#define VERO_CHECK_OK(expr)                                         \
+  do {                                                              \
+    const ::vero::Status _vero_chk_status = (expr);                 \
+    VERO_CHECK(_vero_chk_status.ok()) << _vero_chk_status.ToString(); \
+  } while (0)
+
+#ifdef NDEBUG
+#define VERO_DCHECK(condition) \
+  while (false) VERO_CHECK(condition)
+#define VERO_DCHECK_EQ(a, b) \
+  while (false) VERO_CHECK_EQ(a, b)
+#define VERO_DCHECK_LT(a, b) \
+  while (false) VERO_CHECK_LT(a, b)
+#define VERO_DCHECK_LE(a, b) \
+  while (false) VERO_CHECK_LE(a, b)
+#else
+#define VERO_DCHECK(condition) VERO_CHECK(condition)
+#define VERO_DCHECK_EQ(a, b) VERO_CHECK_EQ(a, b)
+#define VERO_DCHECK_LT(a, b) VERO_CHECK_LT(a, b)
+#define VERO_DCHECK_LE(a, b) VERO_CHECK_LE(a, b)
+#endif
+
+#endif  // VERO_COMMON_LOGGING_H_

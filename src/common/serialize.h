@@ -1,0 +1,145 @@
+#ifndef VERO_COMMON_SERIALIZE_H_
+#define VERO_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vero {
+
+/// Append-only little-endian byte buffer used to encode messages exchanged
+/// through the simulated cluster. The byte counts produced here are exactly
+/// what the network cost model charges, so encoders should be as compact as
+/// the real system would be (e.g. bitmaps, dlog(q)-byte bin indices).
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  const std::vector<uint8_t>& data() const { return data_; }
+  std::vector<uint8_t> TakeData() { return std::move(data_); }
+  size_t size() const { return data_.size(); }
+  void Reserve(size_t n) { data_.reserve(n); }
+
+  void WriteU8(uint8_t v) { data_.push_back(v); }
+  void WriteU16(uint16_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteU32(uint32_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteI32(int32_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteF32(float v) { AppendRaw(&v, sizeof(v)); }
+  void WriteF64(double v) { AppendRaw(&v, sizeof(v)); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+  /// Length-prefixed string.
+  void WriteString(const std::string& s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    AppendRaw(s.data(), s.size());
+  }
+
+  /// Length-prefixed vector of a trivially copyable element type.
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(v.size());
+    AppendRaw(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Raw bytes with no length prefix (caller manages framing).
+  void WriteRaw(const void* src, size_t n) { AppendRaw(src, n); }
+
+ private:
+  void AppendRaw(const void* src, size_t n) {
+    const size_t offset = data_.size();
+    data_.resize(offset + n);
+    if (n > 0) std::memcpy(data_.data() + offset, src, n);
+  }
+
+  std::vector<uint8_t> data_;
+};
+
+/// Sequential reader over a byte span written by ByteWriter. All reads are
+/// bounds-checked and return Status on truncation.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& data)
+      : ByteReader(data.data(), data.size()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+  Status ReadU8(uint8_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadU16(uint16_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadI32(int32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadI64(int64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadF32(float* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadF64(double* v) { return ReadRaw(v, sizeof(*v)); }
+  Status ReadBool(bool* v) {
+    uint8_t b = 0;
+    VERO_RETURN_IF_ERROR(ReadU8(&b));
+    *v = (b != 0);
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* s) {
+    uint32_t n = 0;
+    VERO_RETURN_IF_ERROR(ReadU32(&n));
+    if (n > remaining()) return Truncated();
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status ReadVector(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    VERO_RETURN_IF_ERROR(ReadU64(&n));
+    // Divide instead of multiplying: n * sizeof(T) can wrap for adversarial
+    // length prefixes, which would pass the check and then over-allocate.
+    if (n > remaining() / sizeof(T)) return Truncated();
+    v->resize(n);
+    if (n > 0) {
+      std::memcpy(v->data(), data_ + pos_, n * sizeof(T));
+      pos_ += n * sizeof(T);
+    }
+    return Status::OK();
+  }
+
+  Status ReadRaw(void* dst, size_t n) {
+    if (n > remaining()) return Truncated();
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  /// Advances past n bytes without copying.
+  Status Skip(size_t n) {
+    if (n > remaining()) return Truncated();
+    pos_ += n;
+    return Status::OK();
+  }
+
+  /// Pointer to the current position (valid for `remaining()` bytes).
+  const uint8_t* current() const { return data_ + pos_; }
+
+ private:
+  static Status Truncated() {
+    return Status::OutOfRange("byte buffer truncated");
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace vero
+
+#endif  // VERO_COMMON_SERIALIZE_H_

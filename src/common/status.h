@@ -1,0 +1,151 @@
+#ifndef VERO_COMMON_STATUS_H_
+#define VERO_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace vero {
+
+/// Error categories used across the library. Mirrors the usual
+/// database-system status taxonomy (RocksDB/Arrow style): fallible paths
+/// return a Status (or StatusOr<T>) instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIOError = 3,
+  kOutOfRange = 4,
+  kCorruption = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kResourceExhausted = 8,
+};
+
+/// Returns a human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (OK carries
+/// no allocation). Typical use:
+///
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored StatusOr is a fatal error (CHECK failure semantics).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value and from Status so `return value;` and
+  /// `return Status::...;` both work, mirroring absl::StatusOr.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieBadStatusAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void StatusOr<T>::AbortIfError() const {
+  if (!status_.ok() || !value_.has_value()) {
+    internal::DieBadStatusAccess(status_);
+  }
+}
+
+/// Propagates a non-OK status to the caller.
+#define VERO_RETURN_IF_ERROR(expr)             \
+  do {                                         \
+    ::vero::Status _vero_status = (expr);      \
+    if (!_vero_status.ok()) return _vero_status; \
+  } while (0)
+
+/// Assigns the value of a StatusOr expression or propagates its error.
+#define VERO_ASSIGN_OR_RETURN(lhs, expr)                  \
+  auto VERO_CONCAT_(_vero_sor_, __LINE__) = (expr);       \
+  if (!VERO_CONCAT_(_vero_sor_, __LINE__).ok())           \
+    return VERO_CONCAT_(_vero_sor_, __LINE__).status();   \
+  lhs = std::move(VERO_CONCAT_(_vero_sor_, __LINE__)).value()
+
+#define VERO_CONCAT_IMPL_(a, b) a##b
+#define VERO_CONCAT_(a, b) VERO_CONCAT_IMPL_(a, b)
+
+}  // namespace vero
+
+#endif  // VERO_COMMON_STATUS_H_

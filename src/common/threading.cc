@@ -1,0 +1,84 @@
+#include "common/threading.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace vero {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  VERO_CHECK_GT(num_threads, 0u);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    VERO_CHECK(!shutdown_);
+    tasks_.push(std::move(task));
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [&] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutdown_ and no work left.
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (tasks_.empty() && in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  num_threads = std::min(num_threads, n);
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace vero

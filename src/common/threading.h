@@ -1,0 +1,88 @@
+#ifndef VERO_COMMON_THREADING_H_
+#define VERO_COMMON_THREADING_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vero {
+
+/// Reusable cyclic barrier for a fixed number of participants.
+///
+/// Collectives in the simulated cluster rendezvous on this: a phase counter
+/// makes the barrier safe for immediate reuse by the same group.
+class Barrier {
+ public:
+  explicit Barrier(size_t num_participants)
+      : num_participants_(num_participants), waiting_(0), phase_(0) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all participants have arrived. Returns true for exactly one
+  /// caller per cycle (the "serial" participant), which can run a one-shot
+  /// reduction step.
+  bool ArriveAndWait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const uint64_t my_phase = phase_;
+    if (++waiting_ == num_participants_) {
+      waiting_ = 0;
+      ++phase_;
+      cv_.notify_all();
+      return true;
+    }
+    cv_.wait(lock, [&] { return phase_ != my_phase; });
+    return false;
+  }
+
+  size_t num_participants() const { return num_participants_; }
+
+ private:
+  const size_t num_participants_;
+  size_t waiting_;
+  uint64_t phase_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+/// Minimal fixed-size thread pool (used by tests and data generation; the
+/// cluster substrate manages its own worker threads).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) across up to `num_threads` threads and joins.
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace vero
+
+#endif  // VERO_COMMON_THREADING_H_

@@ -1,0 +1,104 @@
+#ifndef VERO_COMMON_TIMER_H_
+#define VERO_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+
+namespace vero {
+
+/// Wall-clock stopwatch with start/stop accumulation.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the accumulated time and starts counting.
+  void Restart() {
+    accumulated_ns_ = 0;
+    running_ = true;
+    start_ = Clock::now();
+  }
+
+  /// Pauses counting, adding the elapsed segment to the accumulator.
+  void Stop() {
+    if (!running_) return;
+    accumulated_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           Clock::now() - start_)
+                           .count();
+    running_ = false;
+  }
+
+  /// Resumes counting after a Stop().
+  void Resume() {
+    if (running_) return;
+    running_ = true;
+    start_ = Clock::now();
+  }
+
+  /// Accumulated seconds (includes the in-flight segment if running).
+  double Seconds() const {
+    int64_t ns = accumulated_ns_;
+    if (running_) {
+      ns += std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 start_)
+                .count();
+    }
+    return static_cast<double>(ns) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+  int64_t accumulated_ns_ = 0;
+  bool running_ = false;
+};
+
+/// Per-thread CPU-time stopwatch (CLOCK_THREAD_CPUTIME_ID).
+///
+/// The simulated cluster runs workers as threads that may timeshare a single
+/// core; thread CPU time isolates each worker's *compute* cost from scheduler
+/// interleaving and from time spent blocked in collectives, which is what the
+/// paper's computation-time breakdown measures.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() { Restart(); }
+
+  void Restart() {
+    accumulated_ns_ = 0;
+    running_ = true;
+    start_ns_ = NowNs();
+  }
+
+  void Stop() {
+    if (!running_) return;
+    accumulated_ns_ += NowNs() - start_ns_;
+    running_ = false;
+  }
+
+  void Resume() {
+    if (running_) return;
+    running_ = true;
+    start_ns_ = NowNs();
+  }
+
+  double Seconds() const {
+    int64_t ns = accumulated_ns_;
+    if (running_) ns += NowNs() - start_ns_;
+    return static_cast<double>(ns) * 1e-9;
+  }
+
+ private:
+  static int64_t NowNs() {
+    timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<int64_t>(ts.tv_sec) * 1000000000LL + ts.tv_nsec;
+  }
+
+  int64_t start_ns_ = 0;
+  int64_t accumulated_ns_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace vero
+
+#endif  // VERO_COMMON_TIMER_H_

@@ -1,0 +1,77 @@
+#include "core/binned.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vero {
+
+BinnedRowStore BinnedRowStore::FromCsr(const CsrMatrix& matrix,
+                                       const CandidateSplits& splits) {
+  BinnedRowStore store;
+  store.set_num_features(matrix.num_cols());
+  store.row_ptr_.reserve(matrix.num_rows() + 1);
+  store.features_.reserve(matrix.num_nonzeros());
+  store.bins_.reserve(matrix.num_nonzeros());
+  for (InstanceId i = 0; i < matrix.num_rows(); ++i) {
+    store.StartRow();
+    auto features = matrix.RowFeatures(i);
+    auto values = matrix.RowValues(i);
+    for (size_t k = 0; k < features.size(); ++k) {
+      const FeatureId f = features[k];
+      const BinId bin = (splits.NumBins(f) == 0)
+                            ? BinId{0}
+                            : splits.BinForValue(f, values[k]);
+      store.PushEntry(f, bin);
+    }
+  }
+  return store;
+}
+
+std::optional<BinId> BinnedRowStore::FindBin(InstanceId i,
+                                             FeatureId feature) const {
+  auto features = RowFeatures(i);
+  const auto it = std::lower_bound(features.begin(), features.end(), feature);
+  if (it == features.end() || *it != feature) return std::nullopt;
+  return bins_[row_ptr_[i] + (it - features.begin())];
+}
+
+BinnedColumnStore BinnedColumnStore::FromCsr(const CsrMatrix& matrix,
+                                             const CandidateSplits& splits) {
+  BinnedColumnStore store;
+  store.set_num_rows(matrix.num_rows());
+  const uint32_t cols = matrix.num_cols();
+
+  std::vector<uint64_t> counts(cols + 1, 0);
+  for (FeatureId f : matrix.features()) ++counts[f + 1];
+  for (uint32_t c = 0; c < cols; ++c) counts[c + 1] += counts[c];
+
+  store.col_ptr_ = counts;
+  store.rows_.resize(matrix.num_nonzeros());
+  store.bins_.resize(matrix.num_nonzeros());
+  std::vector<uint64_t> cursor = counts;
+  const auto& features = matrix.features();
+  const auto& values = matrix.values();
+  const auto& row_ptr = matrix.row_ptr();
+  for (InstanceId i = 0; i < matrix.num_rows(); ++i) {
+    for (uint64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const FeatureId f = features[k];
+      const uint64_t pos = cursor[f]++;
+      store.rows_[pos] = i;
+      store.bins_[pos] = (splits.NumBins(f) == 0)
+                             ? BinId{0}
+                             : splits.BinForValue(f, values[k]);
+    }
+  }
+  return store;
+}
+
+std::optional<BinId> BinnedColumnStore::FindBin(FeatureId f,
+                                                InstanceId instance) const {
+  auto rows = ColumnRows(f);
+  const auto it = std::lower_bound(rows.begin(), rows.end(), instance);
+  if (it == rows.end() || *it != instance) return std::nullopt;
+  return bins_[col_ptr_[f] + (it - rows.begin())];
+}
+
+}  // namespace vero

@@ -1,0 +1,123 @@
+#ifndef VERO_CORE_BINNED_H_
+#define VERO_CORE_BINNED_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "data/sparse_matrix.h"
+#include "data/types.h"
+#include "sketch/candidate_splits.h"
+
+namespace vero {
+
+/// Row-store of quantized feature values: each instance is a run of
+/// (feature id, bin id) pairs sorted by feature id. This is the
+/// "row-store" data layout of QD2 (and, with local feature ids, QD4).
+class BinnedRowStore {
+ public:
+  BinnedRowStore() : row_ptr_(1, 0) {}
+
+  /// Quantizes a CSR matrix against candidate splits. Row entry order is
+  /// preserved (rows must be sorted by feature id).
+  static BinnedRowStore FromCsr(const CsrMatrix& matrix,
+                                const CandidateSplits& splits);
+
+  uint32_t num_rows() const {
+    return static_cast<uint32_t>(row_ptr_.size() - 1);
+  }
+  uint32_t num_features() const { return num_features_; }
+  uint64_t num_entries() const { return features_.size(); }
+
+  void set_num_features(uint32_t n) { num_features_ = n; }
+  void StartRow() { row_ptr_.push_back(row_ptr_.back()); }
+  void PushEntry(FeatureId feature, BinId bin) {
+    features_.push_back(feature);
+    bins_.push_back(bin);
+    ++row_ptr_.back();
+  }
+
+  std::span<const FeatureId> RowFeatures(InstanceId i) const {
+    return {features_.data() + row_ptr_[i],
+            static_cast<size_t>(row_ptr_[i + 1] - row_ptr_[i])};
+  }
+  std::span<const BinId> RowBins(InstanceId i) const {
+    return {bins_.data() + row_ptr_[i],
+            static_cast<size_t>(row_ptr_[i + 1] - row_ptr_[i])};
+  }
+
+  /// Bin of (instance, feature) via binary search within the row, or nullopt
+  /// if the instance misses the feature.
+  std::optional<BinId> FindBin(InstanceId i, FeatureId feature) const;
+
+  uint64_t MemoryBytes() const {
+    return row_ptr_.capacity() * sizeof(uint64_t) +
+           features_.capacity() * sizeof(FeatureId) +
+           bins_.capacity() * sizeof(BinId);
+  }
+
+ private:
+  uint32_t num_features_ = 0;
+  std::vector<uint64_t> row_ptr_;
+  std::vector<FeatureId> features_;
+  std::vector<BinId> bins_;
+};
+
+/// Column-store of quantized feature values: each feature is a run of
+/// (instance id, bin id) pairs sorted by instance id. This is the
+/// "column-store" layout of QD1 and QD3.
+class BinnedColumnStore {
+ public:
+  BinnedColumnStore() : col_ptr_(1, 0) {}
+
+  static BinnedColumnStore FromCsr(const CsrMatrix& matrix,
+                                   const CandidateSplits& splits);
+
+  uint32_t num_rows() const { return num_rows_; }
+  uint32_t num_features() const {
+    return static_cast<uint32_t>(col_ptr_.size() - 1);
+  }
+  uint64_t num_entries() const { return rows_.size(); }
+
+  void set_num_rows(uint32_t n) { num_rows_ = n; }
+  void StartColumn() { col_ptr_.push_back(col_ptr_.back()); }
+  void PushEntry(InstanceId row, BinId bin) {
+    rows_.push_back(row);
+    bins_.push_back(bin);
+    ++col_ptr_.back();
+  }
+
+  std::span<const InstanceId> ColumnRows(FeatureId f) const {
+    return {rows_.data() + col_ptr_[f],
+            static_cast<size_t>(col_ptr_[f + 1] - col_ptr_[f])};
+  }
+  std::span<const BinId> ColumnBins(FeatureId f) const {
+    return {bins_.data() + col_ptr_[f],
+            static_cast<size_t>(col_ptr_[f + 1] - col_ptr_[f])};
+  }
+  uint64_t ColumnLength(FeatureId f) const {
+    return col_ptr_[f + 1] - col_ptr_[f];
+  }
+
+  /// Bin of (feature, instance) via binary search within the column — the
+  /// log(N) lookup that §3.2.3 charges against column-store with a
+  /// node-to-instance index.
+  std::optional<BinId> FindBin(FeatureId f, InstanceId instance) const;
+
+  uint64_t MemoryBytes() const {
+    return col_ptr_.capacity() * sizeof(uint64_t) +
+           rows_.capacity() * sizeof(InstanceId) +
+           bins_.capacity() * sizeof(BinId);
+  }
+
+ private:
+  uint32_t num_rows_ = 0;
+  std::vector<uint64_t> col_ptr_;
+  std::vector<InstanceId> rows_;
+  std::vector<BinId> bins_;
+};
+
+}  // namespace vero
+
+#endif  // VERO_CORE_BINNED_H_

@@ -1,0 +1,94 @@
+#include "core/cross_validation.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "core/trainer.h"
+
+namespace vero {
+namespace {
+
+// Copies the rows listed in `ids` into a new dataset (feature space kept).
+Dataset GatherRows(const Dataset& dataset, const std::vector<uint32_t>& ids) {
+  const CsrMatrix& m = dataset.matrix();
+  CsrMatrix out;
+  out.set_num_cols(m.num_cols());
+  std::vector<float> labels;
+  labels.reserve(ids.size());
+  for (uint32_t i : ids) {
+    out.StartRow();
+    auto features = m.RowFeatures(i);
+    auto values = m.RowValues(i);
+    for (size_t k = 0; k < features.size(); ++k) {
+      out.PushEntry(features[k], values[k]);
+    }
+    labels.push_back(dataset.labels()[i]);
+  }
+  return Dataset(std::move(out), std::move(labels), dataset.task(),
+                 dataset.num_classes());
+}
+
+}  // namespace
+
+std::pair<Dataset, Dataset> MakeFold(const Dataset& dataset,
+                                     const std::vector<uint32_t>& order,
+                                     uint32_t fold, uint32_t num_folds) {
+  VERO_CHECK_EQ(order.size(), dataset.num_instances());
+  VERO_CHECK_LT(fold, num_folds);
+  const uint64_t n = order.size();
+  const uint64_t begin = n * fold / num_folds;
+  const uint64_t end = n * (fold + 1) / num_folds;
+  std::vector<uint32_t> train_ids, valid_ids;
+  train_ids.reserve(n - (end - begin));
+  valid_ids.reserve(end - begin);
+  for (uint64_t i = 0; i < n; ++i) {
+    (i >= begin && i < end ? valid_ids : train_ids).push_back(order[i]);
+  }
+  return {GatherRows(dataset, train_ids), GatherRows(dataset, valid_ids)};
+}
+
+StatusOr<CrossValidationResult> CrossValidate(
+    const Dataset& dataset, const GbdtParams& params,
+    const CrossValidationOptions& options) {
+  VERO_RETURN_IF_ERROR(params.Validate());
+  if (options.num_folds < 2) {
+    return Status::InvalidArgument("num_folds must be >= 2");
+  }
+  if (dataset.num_instances() < options.num_folds) {
+    return Status::InvalidArgument("fewer instances than folds");
+  }
+
+  std::vector<uint32_t> order(dataset.num_instances());
+  std::iota(order.begin(), order.end(), 0u);
+  if (options.shuffle) {
+    Rng rng(options.seed);
+    rng.Shuffle(&order);
+  }
+
+  CrossValidationResult result;
+  for (uint32_t fold = 0; fold < options.num_folds; ++fold) {
+    auto [train, valid] = MakeFold(dataset, order, fold, options.num_folds);
+    Trainer trainer(params);
+    VERO_ASSIGN_OR_RETURN(const GbdtModel model, trainer.Train(train));
+    const MetricValue metric = EvaluateModel(model, valid);
+    result.fold_metrics.push_back(metric.value);
+    result.metric_name = metric.name;
+    result.higher_is_better = metric.higher_is_better;
+  }
+
+  const double n = static_cast<double>(result.fold_metrics.size());
+  for (double m : result.fold_metrics) result.mean += m;
+  result.mean /= n;
+  if (result.fold_metrics.size() > 1) {
+    double var = 0.0;
+    for (double m : result.fold_metrics) {
+      var += (m - result.mean) * (m - result.mean);
+    }
+    result.stddev = std::sqrt(var / (n - 1));
+  }
+  return result;
+}
+
+}  // namespace vero

@@ -1,0 +1,50 @@
+#ifndef VERO_CORE_CROSS_VALIDATION_H_
+#define VERO_CORE_CROSS_VALIDATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/gbdt_params.h"
+#include "core/metrics.h"
+#include "data/dataset.h"
+
+namespace vero {
+
+/// Result of a k-fold cross validation run.
+struct CrossValidationResult {
+  /// Headline metric (AUC / accuracy / RMSE) per fold.
+  std::vector<double> fold_metrics;
+  std::string metric_name;
+  bool higher_is_better = true;
+  double mean = 0.0;
+  /// Sample standard deviation across folds (0 for a single fold).
+  double stddev = 0.0;
+};
+
+/// Options for cross validation.
+struct CrossValidationOptions {
+  uint32_t num_folds = 5;
+  /// Shuffle instances before folding (deterministic in `seed`).
+  bool shuffle = true;
+  uint64_t seed = 42;
+};
+
+/// Runs k-fold cross validation of the reference trainer: trains k models,
+/// each holding out one fold, and evaluates the headline metric on the
+/// held-out fold. Fold boundaries split the (optionally shuffled) instance
+/// list into k near-equal contiguous ranges.
+StatusOr<CrossValidationResult> CrossValidate(
+    const Dataset& dataset, const GbdtParams& params,
+    const CrossValidationOptions& options = CrossValidationOptions());
+
+/// Builds the (train, valid) pair for one fold; exposed for tests and for
+/// callers that want to parallelize folds themselves. `order` is the
+/// instance visitation order (size N).
+std::pair<Dataset, Dataset> MakeFold(const Dataset& dataset,
+                                     const std::vector<uint32_t>& order,
+                                     uint32_t fold, uint32_t num_folds);
+
+}  // namespace vero
+
+#endif  // VERO_CORE_CROSS_VALIDATION_H_

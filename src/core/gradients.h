@@ -1,0 +1,96 @@
+#ifndef VERO_CORE_GRADIENTS_H_
+#define VERO_CORE_GRADIENTS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vero {
+
+/// First- and second-order gradient of the loss for one instance and class
+/// (g_i, h_i of §2.1.1).
+struct GradPair {
+  double g = 0.0;
+  double h = 0.0;
+
+  GradPair& operator+=(const GradPair& other) {
+    g += other.g;
+    h += other.h;
+    return *this;
+  }
+  GradPair& operator-=(const GradPair& other) {
+    g -= other.g;
+    h -= other.h;
+    return *this;
+  }
+  friend GradPair operator+(GradPair a, const GradPair& b) { return a += b; }
+  friend GradPair operator-(GradPair a, const GradPair& b) { return a -= b; }
+  bool operator==(const GradPair& other) const {
+    return g == other.g && h == other.h;
+  }
+};
+
+/// Per-class gradient sums of a tree node (the G and H of Equations 1-2).
+/// Size is the gradient dimension C (1 except multi-class).
+using GradStats = std::vector<GradPair>;
+
+/// Sum of squared-gradient objective over classes: sum_k G_k^2 / (H_k + λ).
+/// This is the building block of the split gain (Equation 2) generalized to
+/// vector-valued gradients.
+inline double GainTerm(const GradStats& stats, double reg_lambda) {
+  double total = 0.0;
+  for (const GradPair& s : stats) {
+    total += (s.g * s.g) / (s.h + reg_lambda);
+  }
+  return total;
+}
+
+/// Flat gradient buffer for N instances with C classes:
+/// entry (i, k) lives at [i * C + k]. Contiguous so that horizontal workers
+/// can compute shard gradients in one pass and histograms can be accumulated
+/// with simple pointer arithmetic.
+class GradientBuffer {
+ public:
+  GradientBuffer() = default;
+  GradientBuffer(uint32_t num_instances, uint32_t num_dims)
+      : num_dims_(num_dims),
+        data_(static_cast<size_t>(num_instances) * num_dims) {}
+
+  uint32_t num_instances() const {
+    return num_dims_ == 0
+               ? 0
+               : static_cast<uint32_t>(data_.size() / num_dims_);
+  }
+  uint32_t num_dims() const { return num_dims_; }
+
+  GradPair& at(uint32_t instance, uint32_t dim) {
+    return data_[static_cast<size_t>(instance) * num_dims_ + dim];
+  }
+  const GradPair& at(uint32_t instance, uint32_t dim) const {
+    return data_[static_cast<size_t>(instance) * num_dims_ + dim];
+  }
+  /// Pointer to the C consecutive pairs of one instance.
+  const GradPair* row(uint32_t instance) const {
+    return data_.data() + static_cast<size_t>(instance) * num_dims_;
+  }
+
+  /// Per-class totals over all instances.
+  GradStats Total() const {
+    GradStats total(num_dims_);
+    const uint32_t n = num_instances();
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t k = 0; k < num_dims_; ++k) total[k] += at(i, k);
+    }
+    return total;
+  }
+
+  uint64_t MemoryBytes() const { return data_.capacity() * sizeof(GradPair); }
+
+ private:
+  uint32_t num_dims_ = 0;
+  std::vector<GradPair> data_;
+};
+
+}  // namespace vero
+
+#endif  // VERO_CORE_GRADIENTS_H_

@@ -1,0 +1,95 @@
+#include "core/histogram.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vero {
+
+Histogram::Histogram(uint32_t num_features, uint32_t num_bins,
+                     uint32_t num_dims)
+    : num_features_(num_features),
+      num_bins_(num_bins),
+      num_dims_(num_dims),
+      data_(static_cast<size_t>(num_features) * num_bins * num_dims) {}
+
+void Histogram::Clear() {
+  std::fill(data_.begin(), data_.end(), GradPair{});
+}
+
+void Histogram::AddHistogram(const Histogram& other) {
+  VERO_DCHECK_EQ(data_.size(), other.data_.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Histogram::SetToDifference(const Histogram& parent,
+                                const Histogram& child) {
+  VERO_DCHECK_EQ(data_.size(), parent.data_.size());
+  VERO_DCHECK_EQ(data_.size(), child.data_.size());
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] = parent.data_[i] - child.data_[i];
+  }
+}
+
+GradStats Histogram::FeatureTotal(uint32_t feature) const {
+  GradStats total(num_dims_);
+  for (uint32_t b = 0; b < num_bins_; ++b) {
+    const GradPair* cell = data_.data() + Index(feature, b, 0);
+    for (uint32_t k = 0; k < num_dims_; ++k) total[k] += cell[k];
+  }
+  return total;
+}
+
+Histogram* HistogramPool::Acquire(NodeId node, uint32_t num_features,
+                                  uint32_t num_bins, uint32_t num_dims) {
+  VERO_CHECK(live_.find(node) == live_.end())
+      << "node " << node << " already has a histogram";
+  Histogram hist;
+  // Reuse a freelist buffer of the same shape if possible.
+  for (size_t i = 0; i < freelist_.size(); ++i) {
+    if (freelist_[i].num_features() == num_features &&
+        freelist_[i].num_bins() == num_bins &&
+        freelist_[i].num_dims() == num_dims) {
+      hist = std::move(freelist_[i]);
+      freelist_.erase(freelist_.begin() + i);
+      hist.Clear();
+      break;
+    }
+  }
+  if (hist.empty()) {
+    // Construct even when the worker owns zero features: the shape metadata
+    // (bins, dims) must stay meaningful for downstream split finding.
+    hist = Histogram(num_features, num_bins, num_dims);
+  }
+  current_bytes_ += hist.MemoryBytes();
+  peak_bytes_ = std::max(peak_bytes_, current_bytes_);
+  auto [it, inserted] = live_.emplace(node, std::move(hist));
+  VERO_DCHECK(inserted);
+  return &it->second;
+}
+
+Histogram* HistogramPool::Get(NodeId node) {
+  auto it = live_.find(node);
+  return it == live_.end() ? nullptr : &it->second;
+}
+
+const Histogram* HistogramPool::Get(NodeId node) const {
+  auto it = live_.find(node);
+  return it == live_.end() ? nullptr : &it->second;
+}
+
+void HistogramPool::Release(NodeId node) {
+  auto it = live_.find(node);
+  if (it == live_.end()) return;
+  current_bytes_ -= it->second.MemoryBytes();
+  freelist_.push_back(std::move(it->second));
+  live_.erase(it);
+}
+
+void HistogramPool::Clear() {
+  live_.clear();
+  freelist_.clear();
+  current_bytes_ = 0;
+}
+
+}  // namespace vero

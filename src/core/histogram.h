@@ -1,0 +1,120 @@
+#ifndef VERO_CORE_HISTOGRAM_H_
+#define VERO_CORE_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/gradients.h"
+#include "data/types.h"
+
+namespace vero {
+
+/// Gradient histogram for one tree node over a set of features
+/// (Figure 3 of the paper). Bin (f, b) accumulates the per-class (g, h)
+/// sums of instances whose f-th feature falls in bin b.
+///
+/// Layout: data[(f * num_bins + b) * num_dims + k], one GradPair per class,
+/// so the buffer doubles as a flat double array for all-reduce /
+/// reduce-scatter (2 doubles per GradPair). Total size is
+/// 2 * F * q * C * 8 bytes — exactly the paper's Sizehist for F features.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(uint32_t num_features, uint32_t num_bins, uint32_t num_dims);
+
+  uint32_t num_features() const { return num_features_; }
+  uint32_t num_bins() const { return num_bins_; }
+  uint32_t num_dims() const { return num_dims_; }
+  bool empty() const { return data_.empty(); }
+
+  /// Zeroes all bins, keeping the shape.
+  void Clear();
+
+  GradPair& at(uint32_t feature, uint32_t bin, uint32_t dim) {
+    return data_[Index(feature, bin, dim)];
+  }
+  const GradPair& at(uint32_t feature, uint32_t bin, uint32_t dim) const {
+    return data_[Index(feature, bin, dim)];
+  }
+
+  /// Adds the C-dim gradient row `grads` into bin (feature, bin); the hot
+  /// inner loop of histogram construction.
+  void Add(uint32_t feature, uint32_t bin, const GradPair* grads) {
+    GradPair* cell = data_.data() + Index(feature, bin, 0);
+    for (uint32_t k = 0; k < num_dims_; ++k) cell[k] += grads[k];
+  }
+
+  /// Element-wise accumulation of an identically shaped histogram.
+  void AddHistogram(const Histogram& other);
+
+  /// Sets this histogram to parent - child (the histogram subtraction
+  /// technique of §2.1.2). Shapes must match.
+  void SetToDifference(const Histogram& parent, const Histogram& child);
+
+  /// Per-class totals over the bins of one feature (the "present" mass;
+  /// node totals minus this gives the missing-value bucket).
+  GradStats FeatureTotal(uint32_t feature) const;
+
+  /// Raw buffer as doubles (2 * num cells), for collective reductions.
+  double* raw_data() { return reinterpret_cast<double*>(data_.data()); }
+  const double* raw_data() const {
+    return reinterpret_cast<const double*>(data_.data());
+  }
+  size_t raw_size() const { return data_.size() * 2; }
+
+  /// Heap bytes held (the paper's histogram-memory metric).
+  uint64_t MemoryBytes() const { return data_.capacity() * sizeof(GradPair); }
+
+ private:
+  size_t Index(uint32_t feature, uint32_t bin, uint32_t dim) const {
+    return (static_cast<size_t>(feature) * num_bins_ + bin) * num_dims_ + dim;
+  }
+
+  uint32_t num_features_ = 0;
+  uint32_t num_bins_ = 0;
+  uint32_t num_dims_ = 0;
+  std::vector<GradPair> data_;
+};
+
+/// Node-keyed histogram storage with peak-memory accounting.
+///
+/// Training keeps parent histograms alive until both children are resolved
+/// (subtraction), so the pool's peak tracks the paper's
+/// Sizehist * 2^(L-2) memory analysis. Released buffers are recycled to
+/// avoid allocator churn in the training loop.
+class HistogramPool {
+ public:
+  HistogramPool() = default;
+
+  /// Returns a cleared histogram for `node`, reusing a released buffer of
+  /// the same shape when available. Dies if `node` already has one.
+  Histogram* Acquire(NodeId node, uint32_t num_features, uint32_t num_bins,
+                     uint32_t num_dims);
+
+  /// Histogram of `node`, or nullptr.
+  Histogram* Get(NodeId node);
+  const Histogram* Get(NodeId node) const;
+
+  /// Releases `node`'s histogram back to the freelist (no-op if absent).
+  void Release(NodeId node);
+
+  /// Releases everything including the freelist.
+  void Clear();
+
+  /// Current live bytes (excludes freelist) and high-water mark.
+  uint64_t CurrentBytes() const { return current_bytes_; }
+  uint64_t PeakBytes() const { return peak_bytes_; }
+  void ResetPeak() { peak_bytes_ = current_bytes_; }
+
+ private:
+  std::unordered_map<NodeId, Histogram> live_;
+  std::vector<Histogram> freelist_;
+  uint64_t current_bytes_ = 0;
+  uint64_t peak_bytes_ = 0;
+};
+
+}  // namespace vero
+
+#endif  // VERO_CORE_HISTOGRAM_H_

@@ -1,0 +1,112 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "core/loss.h"
+
+namespace vero {
+
+double Auc(const std::vector<float>& labels,
+           const std::vector<double>& scores) {
+  VERO_CHECK_EQ(labels.size(), scores.size());
+  const size_t n = labels.size();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return scores[a] < scores[b];
+  });
+
+  // Sum ranks of positives (average ranks across score ties), then apply the
+  // Mann-Whitney identity.
+  double positive_rank_sum = 0.0;
+  uint64_t num_positive = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    const double avg_rank = 0.5 * (static_cast<double>(i + 1) + j);
+    for (size_t k = i; k < j; ++k) {
+      if (labels[order[k]] > 0.5f) {
+        positive_rank_sum += avg_rank;
+        ++num_positive;
+      }
+    }
+    i = j;
+  }
+  const uint64_t num_negative = n - num_positive;
+  if (num_positive == 0 || num_negative == 0) return 0.5;
+  const double u = positive_rank_sum -
+                   static_cast<double>(num_positive) * (num_positive + 1) / 2;
+  return u / (static_cast<double>(num_positive) * num_negative);
+}
+
+double Accuracy(const std::vector<float>& labels,
+                const std::vector<double>& margins, uint32_t num_dims) {
+  const size_t n = labels.size();
+  VERO_CHECK_EQ(margins.size(), n * num_dims);
+  if (n == 0) return 0.0;
+  uint64_t correct = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t pred;
+    if (num_dims == 1) {
+      pred = margins[i] > 0.0 ? 1 : 0;
+    } else {
+      pred = 0;
+      double best = margins[i * num_dims];
+      for (uint32_t k = 1; k < num_dims; ++k) {
+        if (margins[i * num_dims + k] > best) {
+          best = margins[i * num_dims + k];
+          pred = k;
+        }
+      }
+    }
+    if (pred == static_cast<uint32_t>(labels[i])) ++correct;
+  }
+  return static_cast<double>(correct) / n;
+}
+
+double Rmse(const std::vector<float>& labels,
+            const std::vector<double>& margins) {
+  VERO_CHECK_EQ(labels.size(), margins.size());
+  if (labels.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const double d = margins[i] - labels[i];
+    total += d * d;
+  }
+  return std::sqrt(total / labels.size());
+}
+
+double LogLoss(Task task, uint32_t num_classes,
+               const std::vector<float>& labels,
+               const std::vector<double>& margins) {
+  const auto loss = MakeLossForTask(task, num_classes);
+  return loss->ComputeLoss(labels, margins, 0,
+                           static_cast<uint32_t>(labels.size()));
+}
+
+MetricValue EvaluateMargins(Task task, uint32_t num_classes,
+                            const std::vector<float>& labels,
+                            const std::vector<double>& margins) {
+  switch (task) {
+    case Task::kBinary:
+      return {"auc", Auc(labels, margins), true};
+    case Task::kMultiClass:
+      return {"accuracy", Accuracy(labels, margins, num_classes), true};
+    case Task::kRegression:
+      return {"rmse", Rmse(labels, margins), false};
+  }
+  VERO_LOG(Fatal) << "unknown task";
+  return {};
+}
+
+MetricValue EvaluateModel(const GbdtModel& model, const Dataset& dataset) {
+  const std::vector<double> margins = model.PredictDatasetMargins(dataset);
+  return EvaluateMargins(dataset.task(), dataset.num_classes(),
+                         dataset.labels(), margins);
+}
+
+}  // namespace vero

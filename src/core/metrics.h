@@ -1,0 +1,52 @@
+#ifndef VERO_CORE_METRICS_H_
+#define VERO_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tree.h"
+#include "data/dataset.h"
+
+namespace vero {
+
+/// Area under the ROC curve for binary labels {0,1} and arbitrary real
+/// scores (higher = more positive). Ties contribute half. Returns 0.5 when
+/// one class is absent.
+double Auc(const std::vector<float>& labels, const std::vector<double>& scores);
+
+/// Fraction of instances whose argmax margin equals the label.
+/// `margins` is row-major N x C (C >= 2); for binary pass C = 1 margins and
+/// threshold at 0.
+double Accuracy(const std::vector<float>& labels,
+                const std::vector<double>& margins, uint32_t num_dims);
+
+/// Root-mean-square error for regression margins.
+double Rmse(const std::vector<float>& labels,
+            const std::vector<double>& margins);
+
+/// Mean logistic / softmax cross-entropy (delegates to the task loss).
+double LogLoss(Task task, uint32_t num_classes,
+               const std::vector<float>& labels,
+               const std::vector<double>& margins);
+
+/// The paper's headline validation metric for a task: AUC (binary),
+/// accuracy (multi-class), RMSE (regression).
+struct MetricValue {
+  std::string name;
+  double value = 0.0;
+  /// True when larger values are better (AUC/accuracy).
+  bool higher_is_better = true;
+};
+
+/// Evaluates a model on a dataset with the task's headline metric.
+MetricValue EvaluateModel(const GbdtModel& model, const Dataset& dataset);
+
+/// Headline metric computed from precomputed margins.
+MetricValue EvaluateMargins(Task task, uint32_t num_classes,
+                            const std::vector<float>& labels,
+                            const std::vector<double>& margins);
+
+}  // namespace vero
+
+#endif  // VERO_CORE_METRICS_H_

@@ -1,0 +1,82 @@
+#include "core/model_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "common/serialize.h"
+
+namespace vero {
+namespace {
+
+constexpr uint32_t kMagic = 0x5645524fu;  // "VERO"
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Status SaveModel(const GbdtModel& model, const std::string& path) {
+  ByteWriter writer;
+  writer.WriteU32(kMagic);
+  writer.WriteU32(kVersion);
+  model.SerializeTo(&writer);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(writer.data().data()),
+            static_cast<std::streamsize>(writer.size()));
+  if (!out.good()) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<GbdtModel> LoadModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  ByteReader reader(reinterpret_cast<const uint8_t*>(content.data()),
+                    content.size());
+  uint32_t magic = 0, version = 0;
+  VERO_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  if (magic != kMagic) return Status::Corruption("bad magic in " + path);
+  VERO_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (version != kVersion) {
+    return Status::Corruption("unsupported model version");
+  }
+  GbdtModel model;
+  VERO_RETURN_IF_ERROR(GbdtModel::Deserialize(&reader, &model));
+  return model;
+}
+
+std::string ModelToText(const GbdtModel& model) {
+  std::ostringstream out;
+  out << "task=" << TaskToString(model.task())
+      << " classes=" << model.num_classes()
+      << " learning_rate=" << model.learning_rate()
+      << " trees=" << model.num_trees() << "\n";
+  for (size_t t = 0; t < model.num_trees(); ++t) {
+    const Tree& tree = model.tree(t);
+    out << "tree " << t << " (leaves=" << tree.NumLeaves() << ")\n";
+    for (NodeId id = 0; id < static_cast<NodeId>(tree.max_nodes()); ++id) {
+      if (!tree.Exists(id)) continue;
+      const TreeNode& n = tree.node(id);
+      out << "  node " << id << ": ";
+      if (n.state == TreeNode::State::kInternal) {
+        out << "split f" << n.feature << " <= " << n.split_value << " (bin "
+            << n.split_bin << ", default "
+            << (n.default_left ? "left" : "right") << ", gain " << n.gain
+            << ")";
+      } else {
+        out << "leaf [";
+        for (size_t k = 0; k < n.leaf_values.size(); ++k) {
+          if (k > 0) out << ", ";
+          out << n.leaf_values[k];
+        }
+        out << "]";
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace vero

@@ -1,0 +1,24 @@
+#ifndef VERO_CORE_MODEL_IO_H_
+#define VERO_CORE_MODEL_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/tree.h"
+
+namespace vero {
+
+/// Writes a model to a binary file (magic + version framed ByteWriter
+/// payload).
+Status SaveModel(const GbdtModel& model, const std::string& path);
+
+/// Reads a model written by SaveModel.
+StatusOr<GbdtModel> LoadModel(const std::string& path);
+
+/// Human-readable dump of the forest (one line per node), for debugging and
+/// golden tests.
+std::string ModelToText(const GbdtModel& model);
+
+}  // namespace vero
+
+#endif  // VERO_CORE_MODEL_IO_H_

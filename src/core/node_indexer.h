@@ -1,0 +1,102 @@
+#ifndef VERO_CORE_NODE_INDEXER_H_
+#define VERO_CORE_NODE_INDEXER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "data/types.h"
+
+namespace vero {
+
+/// Node-to-instance index (§3.2.1): maps each live tree node to the
+/// contiguous list of instances currently classified onto it.
+///
+/// Implementation: a permutation of instance ids plus per-node ranges (the
+/// LightGBM "data partition"). Splitting a node stably partitions its range
+/// according to a go-left bitmap whose bit j refers to the j-th instance in
+/// the node's current ordering — the same bitmap the split owner broadcasts
+/// in vertical partitioning, so every worker ends up with an identical
+/// permutation.
+class RowPartition {
+ public:
+  RowPartition() = default;
+
+  /// Places instances [0, n) on the root node in id order.
+  void Init(uint32_t num_instances, uint32_t max_layers);
+
+  /// Places only `subset` (ascending instance ids) on the root — row
+  /// subsampling. Counts and bitmaps then refer to the subset.
+  void InitSubset(std::vector<InstanceId> subset, uint32_t max_layers);
+
+  uint32_t num_instances() const {
+    return static_cast<uint32_t>(order_.size());
+  }
+
+  bool Has(NodeId node) const {
+    return node >= 0 && static_cast<size_t>(node) < ranges_.size() &&
+           ranges_[node].valid;
+  }
+  uint32_t Count(NodeId node) const {
+    return static_cast<uint32_t>(ranges_[node].end - ranges_[node].begin);
+  }
+  std::span<const InstanceId> Instances(NodeId node) const {
+    return {order_.data() + ranges_[node].begin,
+            ranges_[node].end - ranges_[node].begin};
+  }
+
+  /// Splits `node`: instances with go_left bit set move to LeftChild(node),
+  /// the rest to RightChild(node); relative order is preserved on both
+  /// sides. The bitmap has Count(node) bits.
+  void Split(NodeId node, const Bitmap& go_left);
+
+  /// Heap bytes held (index-memory accounting).
+  uint64_t MemoryBytes() const {
+    return order_.capacity() * sizeof(InstanceId) +
+           scratch_.capacity() * sizeof(InstanceId) +
+           ranges_.capacity() * sizeof(Range);
+  }
+
+ private:
+  struct Range {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+    bool valid = false;
+  };
+
+  std::vector<InstanceId> order_;
+  std::vector<InstanceId> scratch_;
+  std::vector<Range> ranges_;  // heap-indexed by NodeId.
+};
+
+/// Instance-to-node index (§3.2.1): maps each instance to its current tree
+/// node, as used by XGBoost-style column scanning (QD1).
+class InstanceToNode {
+ public:
+  InstanceToNode() = default;
+
+  /// All instances start on the root (node 0).
+  void Init(uint32_t num_instances) { node_of_.assign(num_instances, 0); }
+
+  uint32_t num_instances() const {
+    return static_cast<uint32_t>(node_of_.size());
+  }
+
+  NodeId Get(InstanceId i) const { return node_of_[i]; }
+  void Set(InstanceId i, NodeId node) { node_of_[i] = node; }
+
+  /// Number of instances currently on `node` (O(N) scan; used by tests).
+  uint32_t Count(NodeId node) const;
+
+  uint64_t MemoryBytes() const {
+    return node_of_.capacity() * sizeof(NodeId);
+  }
+
+ private:
+  std::vector<NodeId> node_of_;
+};
+
+}  // namespace vero
+
+#endif  // VERO_CORE_NODE_INDEXER_H_

@@ -1,0 +1,149 @@
+#include "core/split.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vero {
+namespace {
+
+// A side must carry some hessian mass to be a meaningful child.
+constexpr double kMinSideHessian = 1e-10;
+
+double SideHessian(const GradStats& stats) {
+  double h = 0.0;
+  for (const GradPair& s : stats) h += s.h;
+  return h;
+}
+
+}  // namespace
+
+bool SplitCandidate::IsBetterThan(const SplitCandidate& other,
+                                  double tol) const {
+  if (!valid) return false;
+  if (!other.valid) return true;
+  if (gain > other.gain + tol) return true;
+  if (other.gain > gain + tol) return false;
+  if (feature != other.feature) return feature < other.feature;
+  if (split_bin != other.split_bin) return split_bin < other.split_bin;
+  return !default_left && other.default_left;
+}
+
+void SplitCandidate::SerializeTo(ByteWriter* writer) const {
+  writer->WriteBool(valid);
+  writer->WriteU32(feature);
+  writer->WriteU16(split_bin);
+  writer->WriteF32(split_value);
+  writer->WriteBool(default_left);
+  writer->WriteF64(gain);
+  auto write_stats = [writer](const GradStats& stats) {
+    writer->WriteU32(static_cast<uint32_t>(stats.size()));
+    for (const GradPair& s : stats) {
+      writer->WriteF64(s.g);
+      writer->WriteF64(s.h);
+    }
+  };
+  write_stats(left_stats);
+  write_stats(right_stats);
+}
+
+Status SplitCandidate::Deserialize(ByteReader* reader, SplitCandidate* out) {
+  VERO_RETURN_IF_ERROR(reader->ReadBool(&out->valid));
+  VERO_RETURN_IF_ERROR(reader->ReadU32(&out->feature));
+  VERO_RETURN_IF_ERROR(reader->ReadU16(&out->split_bin));
+  VERO_RETURN_IF_ERROR(reader->ReadF32(&out->split_value));
+  VERO_RETURN_IF_ERROR(reader->ReadBool(&out->default_left));
+  VERO_RETURN_IF_ERROR(reader->ReadF64(&out->gain));
+  auto read_stats = [reader](GradStats* stats) -> Status {
+    uint32_t n = 0;
+    VERO_RETURN_IF_ERROR(reader->ReadU32(&n));
+    stats->resize(n);
+    for (GradPair& s : *stats) {
+      VERO_RETURN_IF_ERROR(reader->ReadF64(&s.g));
+      VERO_RETURN_IF_ERROR(reader->ReadF64(&s.h));
+    }
+    return Status::OK();
+  };
+  VERO_RETURN_IF_ERROR(read_stats(&out->left_stats));
+  VERO_RETURN_IF_ERROR(read_stats(&out->right_stats));
+  return Status::OK();
+}
+
+SplitCandidate SplitFinder::FindBest(const Histogram& hist,
+                                     const GradStats& node_stats,
+                                     const std::vector<FeatureId>& global_ids,
+                                     const CandidateSplits& splits,
+                                     const std::vector<bool>* feature_mask)
+    const {
+  VERO_CHECK_EQ(global_ids.size(), hist.num_features());
+  const uint32_t dims = hist.num_dims();
+  VERO_CHECK_EQ(node_stats.size(), dims);
+
+  SplitCandidate best;
+  const double parent_term = GainTerm(node_stats, reg_lambda_);
+
+  GradStats left(dims), right(dims), prefix(dims), missing(dims);
+  for (uint32_t f = 0; f < hist.num_features(); ++f) {
+    const FeatureId global_f = global_ids[f];
+    if (feature_mask != nullptr && !(*feature_mask)[global_f]) continue;
+    const uint32_t nbins = splits.NumBins(global_f);
+    if (nbins < 2) continue;  // Constant or unseen feature: unsplittable.
+
+    // Missing-value bucket: node total minus the mass present in this
+    // feature's bins.
+    GradStats present = hist.FeatureTotal(f);
+    for (uint32_t k = 0; k < dims; ++k) {
+      missing[k] = node_stats[k] - present[k];
+    }
+
+    std::fill(prefix.begin(), prefix.end(), GradPair{});
+    // Splitting at the last bin sends everything (present) left, which is
+    // only meaningful when missing mass exists; enumerate bins
+    // [0, nbins - 2] like standard histogram algorithms.
+    for (uint32_t b = 0; b + 1 < nbins; ++b) {
+      for (uint32_t k = 0; k < dims; ++k) prefix[k] += hist.at(f, b, k);
+
+      for (int missing_left = 0; missing_left <= 1; ++missing_left) {
+        for (uint32_t k = 0; k < dims; ++k) {
+          left[k] = prefix[k];
+          if (missing_left != 0) left[k] += missing[k];
+          right[k] = node_stats[k] - left[k];
+        }
+        if (SideHessian(left) < kMinSideHessian ||
+            SideHessian(right) < kMinSideHessian) {
+          continue;
+        }
+        const double gain =
+            0.5 * (GainTerm(left, reg_lambda_) + GainTerm(right, reg_lambda_) -
+                   parent_term) -
+            reg_gamma_;
+        if (gain < min_split_gain_) continue;
+        SplitCandidate candidate;
+        candidate.valid = true;
+        candidate.feature = global_f;
+        candidate.split_bin = static_cast<BinId>(b);
+        candidate.split_value = splits.SplitValue(global_f, b);
+        candidate.default_left = (missing_left != 0);
+        candidate.gain = gain;
+        if (candidate.IsBetterThan(best)) {
+          candidate.left_stats = left;
+          candidate.right_stats = right;
+          best = candidate;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<float> SplitFinder::LeafWeights(const GradStats& node_stats) const {
+  std::vector<float> weights(node_stats.size());
+  for (size_t k = 0; k < node_stats.size(); ++k) {
+    weights[k] = static_cast<float>(-node_stats[k].g /
+                                    (node_stats[k].h + reg_lambda_));
+  }
+  return weights;
+}
+
+}  // namespace vero

@@ -1,0 +1,73 @@
+#ifndef VERO_CORE_TRAINER_H_
+#define VERO_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/gbdt_params.h"
+#include "core/metrics.h"
+#include "core/tree.h"
+#include "data/dataset.h"
+
+namespace vero {
+
+/// Per-boosting-round progress, fed to the iteration callback (this is what
+/// the convergence-curve benches record, mirroring Figure 11/12).
+struct IterationStats {
+  uint32_t tree_index = 0;
+  double train_loss = 0.0;
+  /// Headline metric on the validation set; NaN when no validation set.
+  double valid_metric = 0.0;
+  bool has_valid_metric = false;
+  /// Wall seconds since training started.
+  double elapsed_seconds = 0.0;
+};
+
+using IterationCallback = std::function<void(const IterationStats&)>;
+
+/// Aggregate cost counters for one training run.
+struct TrainReport {
+  double total_seconds = 0.0;
+  double histogram_seconds = 0.0;
+  double split_find_seconds = 0.0;
+  double node_split_seconds = 0.0;
+  uint64_t peak_histogram_bytes = 0;
+  uint64_t data_bytes = 0;
+  /// Round with the best validation metric (0 when no validation set).
+  uint32_t best_iteration = 0;
+};
+
+/// Single-process reference GBDT trainer (histogram algorithm of §2.1.2 with
+/// histogram subtraction, sparsity-aware split finding, level-wise growth).
+///
+/// The distributed quadrant trainers are specializations of this loop over
+/// partitioned data; with identical parameters they produce identical trees,
+/// which the integration tests assert.
+class Trainer {
+ public:
+  explicit Trainer(GbdtParams params) : params_(std::move(params)) {}
+
+  /// Trains a model on `train`. When `valid` is non-null, evaluates the
+  /// headline metric each round. The callback (if any) runs after every
+  /// round.
+  StatusOr<GbdtModel> Train(const Dataset& train, const Dataset* valid,
+                            IterationCallback callback = nullptr);
+
+  /// Convenience overload without validation.
+  StatusOr<GbdtModel> Train(const Dataset& train) {
+    return Train(train, nullptr, nullptr);
+  }
+
+  /// Cost counters of the most recent Train call.
+  const TrainReport& report() const { return report_; }
+
+ private:
+  GbdtParams params_;
+  TrainReport report_;
+};
+
+}  // namespace vero
+
+#endif  // VERO_CORE_TRAINER_H_

@@ -1,0 +1,252 @@
+#include "core/tree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/loss.h"
+
+namespace vero {
+
+Tree::Tree(uint32_t max_layers, uint32_t num_dims)
+    : max_layers_(max_layers), num_dims_(num_dims) {
+  VERO_CHECK_GE(max_layers, 1u);
+  VERO_CHECK_LE(max_layers, 24u);
+  nodes_.resize((size_t{1} << max_layers) - 1);
+  // Root starts as a (zero-weight) leaf; training overwrites it.
+  nodes_[0].state = TreeNode::State::kLeaf;
+  nodes_[0].leaf_values.assign(num_dims_, 0.0f);
+}
+
+void Tree::SetSplit(NodeId id, FeatureId feature, float split_value, BinId bin,
+                    bool default_left, double gain) {
+  VERO_CHECK(Exists(id));
+  VERO_CHECK_LT(static_cast<uint32_t>(RightChild(id)), max_nodes())
+      << "split would exceed tree depth";
+  TreeNode& n = nodes_[id];
+  n.state = TreeNode::State::kInternal;
+  n.feature = feature;
+  n.split_value = split_value;
+  n.split_bin = bin;
+  n.default_left = default_left;
+  n.gain = gain;
+  n.leaf_values.clear();
+  // Children materialize as placeholder leaves.
+  for (NodeId child : {LeftChild(id), RightChild(id)}) {
+    nodes_[child].state = TreeNode::State::kLeaf;
+    nodes_[child].leaf_values.assign(num_dims_, 0.0f);
+  }
+}
+
+void Tree::SetLeaf(NodeId id, std::vector<float> weights) {
+  VERO_CHECK_GE(id, 0);
+  VERO_CHECK_LT(static_cast<uint32_t>(id), max_nodes());
+  VERO_CHECK_EQ(weights.size(), num_dims_);
+  TreeNode& n = nodes_[id];
+  n.state = TreeNode::State::kLeaf;
+  n.feature = kInvalidFeature;
+  n.leaf_values = std::move(weights);
+}
+
+uint32_t Tree::NumLeaves() const {
+  uint32_t count = 0;
+  for (const TreeNode& n : nodes_) {
+    if (n.state == TreeNode::State::kLeaf) ++count;
+  }
+  return count;
+}
+
+uint32_t Tree::NumNodes() const {
+  uint32_t count = 0;
+  for (const TreeNode& n : nodes_) {
+    if (n.state != TreeNode::State::kUnused) ++count;
+  }
+  return count;
+}
+
+NodeId Tree::Route(std::span<const FeatureId> features,
+                   std::span<const float> values) const {
+  NodeId id = 0;
+  while (nodes_[id].state == TreeNode::State::kInternal) {
+    const TreeNode& n = nodes_[id];
+    const auto it =
+        std::lower_bound(features.begin(), features.end(), n.feature);
+    bool go_left;
+    if (it == features.end() || *it != n.feature) {
+      go_left = n.default_left;  // Missing value.
+    } else {
+      const float v = values[it - features.begin()];
+      go_left = (v <= n.split_value);
+    }
+    id = go_left ? LeftChild(id) : RightChild(id);
+  }
+  VERO_DCHECK(nodes_[id].state == TreeNode::State::kLeaf);
+  return id;
+}
+
+void Tree::PredictInto(std::span<const FeatureId> features,
+                       std::span<const float> values, double scale,
+                       double* margins) const {
+  const NodeId leaf = Route(features, values);
+  const std::vector<float>& w = nodes_[leaf].leaf_values;
+  for (uint32_t k = 0; k < num_dims_; ++k) {
+    margins[k] += scale * w[k];
+  }
+}
+
+void Tree::SerializeTo(ByteWriter* writer) const {
+  writer->WriteU32(max_layers_);
+  writer->WriteU32(num_dims_);
+  uint32_t used = 0;
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].state != TreeNode::State::kUnused) ++used;
+  }
+  writer->WriteU32(used);
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    const TreeNode& n = nodes_[i];
+    if (n.state == TreeNode::State::kUnused) continue;
+    writer->WriteU32(i);
+    writer->WriteU8(static_cast<uint8_t>(n.state));
+    writer->WriteU32(n.feature);
+    writer->WriteF32(n.split_value);
+    writer->WriteU16(n.split_bin);
+    writer->WriteBool(n.default_left);
+    writer->WriteF64(n.gain);
+    writer->WriteVector(n.leaf_values);
+  }
+}
+
+Status Tree::Deserialize(ByteReader* reader, Tree* out) {
+  uint32_t max_layers = 0, num_dims = 0, used = 0;
+  VERO_RETURN_IF_ERROR(reader->ReadU32(&max_layers));
+  VERO_RETURN_IF_ERROR(reader->ReadU32(&num_dims));
+  if (max_layers < 1 || max_layers > 24 || num_dims == 0) {
+    return Status::Corruption("bad tree header");
+  }
+  *out = Tree(max_layers, num_dims);
+  out->nodes_[0].state = TreeNode::State::kUnused;  // Rebuilt from stream.
+  out->nodes_[0].leaf_values.clear();
+  VERO_RETURN_IF_ERROR(reader->ReadU32(&used));
+  for (uint32_t k = 0; k < used; ++k) {
+    uint32_t id = 0;
+    VERO_RETURN_IF_ERROR(reader->ReadU32(&id));
+    if (id >= out->nodes_.size()) return Status::Corruption("bad node id");
+    TreeNode& n = out->nodes_[id];
+    uint8_t state = 0;
+    VERO_RETURN_IF_ERROR(reader->ReadU8(&state));
+    if (state == 0 || state > 2) return Status::Corruption("bad node state");
+    n.state = static_cast<TreeNode::State>(state);
+    VERO_RETURN_IF_ERROR(reader->ReadU32(&n.feature));
+    VERO_RETURN_IF_ERROR(reader->ReadF32(&n.split_value));
+    VERO_RETURN_IF_ERROR(reader->ReadU16(&n.split_bin));
+    VERO_RETURN_IF_ERROR(reader->ReadBool(&n.default_left));
+    VERO_RETURN_IF_ERROR(reader->ReadF64(&n.gain));
+    VERO_RETURN_IF_ERROR(reader->ReadVector(&n.leaf_values));
+  }
+  return Status::OK();
+}
+
+bool Tree::operator==(const Tree& other) const {
+  if (max_layers_ != other.max_layers_ || num_dims_ != other.num_dims_) {
+    return false;
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const TreeNode& a = nodes_[i];
+    const TreeNode& b = other.nodes_[i];
+    if (a.state != b.state) return false;
+    if (a.state == TreeNode::State::kUnused) continue;
+    if (a.state == TreeNode::State::kInternal) {
+      if (a.feature != b.feature || a.split_bin != b.split_bin ||
+          a.split_value != b.split_value || a.default_left != b.default_left) {
+        return false;
+      }
+    } else if (a.leaf_values != b.leaf_values) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void GbdtModel::PredictMargins(std::span<const FeatureId> features,
+                               std::span<const float> values,
+                               double* margins) const {
+  const uint32_t dims = margin_dims();
+  std::fill(margins, margins + dims, 0.0);
+  for (const Tree& tree : trees_) {
+    tree.PredictInto(features, values, learning_rate_, margins);
+  }
+}
+
+std::vector<double> GbdtModel::PredictDatasetMargins(
+    const Dataset& dataset) const {
+  const uint32_t dims = margin_dims();
+  const CsrMatrix& m = dataset.matrix();
+  std::vector<double> margins(static_cast<size_t>(dataset.num_instances()) *
+                              dims);
+  for (InstanceId i = 0; i < dataset.num_instances(); ++i) {
+    PredictMargins(m.RowFeatures(i), m.RowValues(i),
+                   margins.data() + static_cast<size_t>(i) * dims);
+  }
+  return margins;
+}
+
+void GbdtModel::PredictProba(std::span<const FeatureId> features,
+                             std::span<const float> values,
+                             double* proba) const {
+  const uint32_t dims = margin_dims();
+  PredictMargins(features, values, proba);
+  if (task_ == Task::kBinary) {
+    proba[0] = Sigmoid(proba[0]);
+  } else if (task_ == Task::kMultiClass) {
+    SoftmaxInPlace(proba, dims);
+  }
+}
+
+void GbdtModel::SerializeTo(ByteWriter* writer) const {
+  writer->WriteU8(static_cast<uint8_t>(task_));
+  writer->WriteU32(num_classes_);
+  writer->WriteF64(learning_rate_);
+  writer->WriteU32(static_cast<uint32_t>(trees_.size()));
+  for (const Tree& tree : trees_) tree.SerializeTo(writer);
+}
+
+std::vector<double> GbdtModel::FeatureImportance(uint32_t num_features,
+                                                 ImportanceType type) const {
+  std::vector<double> importance(num_features, 0.0);
+  for (const Tree& tree : trees_) {
+    for (NodeId id = 0; id < static_cast<NodeId>(tree.max_nodes()); ++id) {
+      if (!tree.Exists(id)) continue;
+      const TreeNode& n = tree.node(id);
+      if (n.state != TreeNode::State::kInternal) continue;
+      VERO_DCHECK_LT(n.feature, num_features);
+      importance[n.feature] +=
+          type == ImportanceType::kGain ? n.gain : 1.0;
+    }
+  }
+  return importance;
+}
+
+Status GbdtModel::Deserialize(ByteReader* reader, GbdtModel* out) {
+  uint8_t task = 0;
+  VERO_RETURN_IF_ERROR(reader->ReadU8(&task));
+  if (task > 2) return Status::Corruption("bad task");
+  out->task_ = static_cast<Task>(task);
+  VERO_RETURN_IF_ERROR(reader->ReadU32(&out->num_classes_));
+  VERO_RETURN_IF_ERROR(reader->ReadF64(&out->learning_rate_));
+  uint32_t num_trees = 0;
+  VERO_RETURN_IF_ERROR(reader->ReadU32(&num_trees));
+  // Each serialized tree needs at least a header; an adversarial count
+  // larger than that bound cannot be honest, so reject before allocating.
+  if (num_trees > reader->remaining() / 12) {
+    return Status::Corruption("tree count exceeds payload");
+  }
+  out->trees_.clear();
+  out->trees_.reserve(num_trees);
+  for (uint32_t t = 0; t < num_trees; ++t) {
+    Tree tree;
+    VERO_RETURN_IF_ERROR(Tree::Deserialize(reader, &tree));
+    out->trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+}  // namespace vero

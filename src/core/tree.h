@@ -1,0 +1,135 @@
+#ifndef VERO_CORE_TREE_H_
+#define VERO_CORE_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/types.h"
+
+namespace vero {
+
+/// One node of a decision tree (heap layout: root 0, children 2i+1/2i+2).
+struct TreeNode {
+  enum class State : uint8_t { kUnused = 0, kInternal = 1, kLeaf = 2 };
+
+  State state = State::kUnused;
+  FeatureId feature = kInvalidFeature;  ///< Split feature (internal only).
+  float split_value = 0.0f;             ///< Go left iff value <= split_value.
+  BinId split_bin = 0;                  ///< Same test in bin space.
+  bool default_left = false;            ///< Direction for missing values.
+  double gain = 0.0;                    ///< Split gain (internal only).
+  std::vector<float> leaf_values;       ///< C leaf weights (leaf only).
+};
+
+/// A single decision tree with vector-valued leaves (dimension C; C == 1 for
+/// regression and binary tasks).
+class Tree {
+ public:
+  Tree() = default;
+  /// `max_layers` is L: depth capacity including the root layer.
+  Tree(uint32_t max_layers, uint32_t num_dims);
+
+  uint32_t max_layers() const { return max_layers_; }
+  uint32_t num_dims() const { return num_dims_; }
+  uint32_t max_nodes() const { return (1u << max_layers_) - 1; }
+
+  TreeNode& node(NodeId id) { return nodes_[id]; }
+  const TreeNode& node(NodeId id) const { return nodes_[id]; }
+  bool Exists(NodeId id) const {
+    return id >= 0 && static_cast<uint32_t>(id) < nodes_.size() &&
+           nodes_[id].state != TreeNode::State::kUnused;
+  }
+
+  /// Converts `id` into an internal node splitting on (feature, bin).
+  void SetSplit(NodeId id, FeatureId feature, float split_value, BinId bin,
+                bool default_left, double gain);
+
+  /// Converts `id` into a leaf with the given C-dim weights.
+  void SetLeaf(NodeId id, std::vector<float> weights);
+
+  /// Number of leaves currently in the tree.
+  uint32_t NumLeaves() const;
+  /// Number of nodes (internal + leaf).
+  uint32_t NumNodes() const;
+
+  /// Walks the tree for one instance given its sorted sparse row; returns
+  /// the leaf reached. `features` must be sorted ascending.
+  NodeId Route(std::span<const FeatureId> features,
+               std::span<const float> values) const;
+
+  /// Adds `scale` x leaf weights of the routed leaf into `margins` (C dims).
+  void PredictInto(std::span<const FeatureId> features,
+                   std::span<const float> values, double scale,
+                   double* margins) const;
+
+  void SerializeTo(ByteWriter* writer) const;
+  static Status Deserialize(ByteReader* reader, Tree* out);
+
+  bool operator==(const Tree& other) const;
+
+ private:
+  uint32_t max_layers_ = 0;
+  uint32_t num_dims_ = 1;
+  std::vector<TreeNode> nodes_;
+};
+
+/// A trained GBDT model: an ordered forest plus the task metadata needed to
+/// turn margins into predictions.
+class GbdtModel {
+ public:
+  GbdtModel() = default;
+  GbdtModel(Task task, uint32_t num_classes, double learning_rate)
+      : task_(task), num_classes_(num_classes), learning_rate_(learning_rate) {}
+
+  Task task() const { return task_; }
+  uint32_t num_classes() const { return num_classes_; }
+  uint32_t margin_dims() const {
+    return task_ == Task::kMultiClass ? num_classes_ : 1;
+  }
+  double learning_rate() const { return learning_rate_; }
+
+  void AddTree(Tree tree) { trees_.push_back(std::move(tree)); }
+  size_t num_trees() const { return trees_.size(); }
+  const Tree& tree(size_t t) const { return trees_[t]; }
+  const std::vector<Tree>& trees() const { return trees_; }
+
+  /// Raw margins (sum of learning_rate x leaf values) for one instance.
+  void PredictMargins(std::span<const FeatureId> features,
+                      std::span<const float> values, double* margins) const;
+
+  /// Margins for every instance of a dataset, row-major N x margin_dims.
+  std::vector<double> PredictDatasetMargins(const Dataset& dataset) const;
+
+  /// Class probabilities (binary: P(y=1) single value; multi-class: C
+  /// values) for one instance.
+  void PredictProba(std::span<const FeatureId> features,
+                    std::span<const float> values, double* proba) const;
+
+  void SerializeTo(ByteWriter* writer) const;
+  static Status Deserialize(ByteReader* reader, GbdtModel* out);
+
+  /// How feature importance is scored.
+  enum class ImportanceType {
+    kGain,        ///< Sum of split gains where the feature is used.
+    kSplitCount,  ///< Number of splits using the feature.
+  };
+
+  /// Per-feature importance over `num_features` features (features never
+  /// used score 0).
+  std::vector<double> FeatureImportance(uint32_t num_features,
+                                        ImportanceType type) const;
+
+ private:
+  Task task_ = Task::kBinary;
+  uint32_t num_classes_ = 2;
+  double learning_rate_ = 0.1;
+  std::vector<Tree> trees_;
+};
+
+}  // namespace vero
+
+#endif  // VERO_CORE_TREE_H_

@@ -1,0 +1,70 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vero {
+
+const char* TaskToString(Task task) {
+  switch (task) {
+    case Task::kRegression:
+      return "regression";
+    case Task::kBinary:
+      return "binary";
+    case Task::kMultiClass:
+      return "multiclass";
+  }
+  return "unknown";
+}
+
+Dataset::Dataset(CsrMatrix matrix, std::vector<float> labels, Task task,
+                 uint32_t num_classes)
+    : matrix_(std::move(matrix)),
+      labels_(std::move(labels)),
+      task_(task),
+      num_classes_(num_classes) {
+  VERO_CHECK_EQ(matrix_.num_rows(), labels_.size());
+  if (task_ == Task::kBinary) VERO_CHECK_EQ(num_classes_, 2u);
+  if (task_ == Task::kMultiClass) VERO_CHECK_GE(num_classes_, 3u);
+  if (task_ == Task::kRegression) num_classes_ = 1;
+}
+
+std::pair<Dataset, Dataset> Dataset::SplitTail(double fraction) const {
+  VERO_CHECK(fraction > 0.0 && fraction < 1.0);
+  const uint32_t n = num_instances();
+  uint32_t n_valid = static_cast<uint32_t>(std::lround(n * fraction));
+  if (n_valid == 0) n_valid = 1;
+  if (n_valid >= n) n_valid = n - 1;
+  const uint32_t n_train = n - n_valid;
+
+  CsrMatrix train_m = matrix_.SliceRows(0, n_train);
+  CsrMatrix valid_m = matrix_.SliceRows(n_train, n);
+  std::vector<float> train_y(labels_.begin(), labels_.begin() + n_train);
+  std::vector<float> valid_y(labels_.begin() + n_train, labels_.end());
+  return {Dataset(std::move(train_m), std::move(train_y), task_, num_classes_),
+          Dataset(std::move(valid_m), std::move(valid_y), task_,
+                  num_classes_)};
+}
+
+Status Dataset::Validate() const {
+  for (FeatureId f : matrix_.features()) {
+    if (f >= matrix_.num_cols()) {
+      return Status::Corruption("feature id out of range");
+    }
+  }
+  if (task_ != Task::kRegression) {
+    for (float y : labels_) {
+      const double yi = static_cast<double>(y);
+      if (yi != std::floor(yi) || yi < 0 || yi >= num_classes_) {
+        return Status::Corruption("label not a class index in range");
+      }
+    }
+  }
+  for (float v : matrix_.values()) {
+    if (!std::isfinite(v)) return Status::Corruption("non-finite value");
+  }
+  return Status::OK();
+}
+
+}  // namespace vero

@@ -1,0 +1,238 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace vero {
+
+Dataset GenerateSynthetic(const SyntheticConfig& config) {
+  VERO_CHECK_GT(config.num_instances, 0u);
+  VERO_CHECK_GT(config.num_features, 0u);
+  VERO_CHECK_GE(config.num_classes, 1u);
+  VERO_CHECK(config.density > 0.0 && config.density <= 1.0);
+
+  const uint32_t n = config.num_instances;
+  const uint32_t d = config.num_features;
+  const uint32_t c = std::max(config.num_classes, 1u);
+  Rng rng(config.seed);
+
+  // Weight matrix: a shared informative support of p*D features, each class
+  // with its own weights on that support.
+  const uint32_t num_informative = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::lround(config.informative_ratio * d)));
+  const std::vector<uint32_t> support =
+      rng.SampleWithoutReplacement(d, num_informative);
+  std::vector<std::vector<float>> weights(c, std::vector<float>(d, 0.0f));
+  for (uint32_t k = 0; k < c; ++k) {
+    for (uint32_t f : support) {
+      weights[k][f] = static_cast<float>(rng.NextGaussian());
+    }
+  }
+  // Complement of the support, for biased row sampling.
+  std::vector<uint32_t> complement;
+  if (config.informative_draw_fraction > 0.0) {
+    complement.reserve(d - support.size());
+    std::vector<bool> in_support(d, false);
+    for (uint32_t f : support) in_support[f] = true;
+    for (uint32_t f = 0; f < d; ++f) {
+      if (!in_support[f]) complement.push_back(f);
+    }
+  }
+
+  const uint32_t nnz_per_row = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::lround(config.density * d)));
+
+  CsrMatrix matrix;
+  matrix.set_num_cols(d);
+  std::vector<float> labels;
+  labels.reserve(n);
+  std::vector<double> scores(c);
+
+  for (uint32_t i = 0; i < n; ++i) {
+    matrix.StartRow();
+    std::vector<uint32_t> feats;
+    if (nnz_per_row != d) {
+      if (config.informative_draw_fraction > 0.0) {
+        // Biased sampling: part of the row comes from the informative
+        // support, the rest from its complement; merge keeps ids sorted.
+        uint32_t k_inf = std::min<uint32_t>(
+            static_cast<uint32_t>(
+                std::lround(config.informative_draw_fraction * nnz_per_row)),
+            static_cast<uint32_t>(support.size()));
+        const uint32_t k_rest = std::min<uint32_t>(
+            nnz_per_row - k_inf, static_cast<uint32_t>(complement.size()));
+        std::vector<uint32_t> inf_idx = rng.SampleWithoutReplacement(
+            static_cast<uint32_t>(support.size()), k_inf);
+        std::vector<uint32_t> rest_idx = rng.SampleWithoutReplacement(
+            static_cast<uint32_t>(complement.size()), k_rest);
+        feats.reserve(k_inf + k_rest);
+        size_t a = 0, b = 0;
+        while (a < inf_idx.size() || b < rest_idx.size()) {
+          const uint32_t fa =
+              a < inf_idx.size() ? support[inf_idx[a]] : 0xFFFFFFFFu;
+          const uint32_t fb =
+              b < rest_idx.size() ? complement[rest_idx[b]] : 0xFFFFFFFFu;
+          if (fa < fb) {
+            feats.push_back(fa);
+            ++a;
+          } else {
+            feats.push_back(fb);
+            ++b;
+          }
+        }
+      } else {
+        feats = rng.SampleWithoutReplacement(d, nnz_per_row);
+      }
+    }
+    std::fill(scores.begin(), scores.end(), 0.0);
+    auto push = [&](uint32_t f) {
+      // Uniform values in [0, 1): mirrors the paper's sampled feature
+      // vectors and keeps quantile bins informative. The score uses the
+      // centered value so class balance does not hinge on the sign of
+      // sum-of-weights (with raw positive values, the constant bias
+      // E[v] * sum(w) would swamp the per-instance signal at high D).
+      const float v = static_cast<float>(rng.NextDouble());
+      matrix.PushEntry(f, v);
+      for (uint32_t k = 0; k < c; ++k) {
+        scores[k] += (static_cast<double>(v) - 0.5) * weights[k][f];
+      }
+    };
+    if (nnz_per_row == d) {
+      for (uint32_t f = 0; f < d; ++f) push(f);
+    } else {
+      for (uint32_t f : feats) push(f);
+    }
+
+    if (c == 1) {
+      // Regression target.
+      labels.push_back(static_cast<float>(
+          scores[0] + config.label_noise * rng.NextGaussian()));
+    } else {
+      uint32_t best = 0;
+      double best_score = -1e300;
+      for (uint32_t k = 0; k < c; ++k) {
+        const double s =
+            scores[k] + config.label_noise * rng.NextGaussian();
+        if (s > best_score) {
+          best_score = s;
+          best = k;
+        }
+      }
+      labels.push_back(static_cast<float>(best));
+    }
+  }
+
+  const Task task = (c == 1)   ? Task::kRegression
+                    : (c == 2) ? Task::kBinary
+                               : Task::kMultiClass;
+  return Dataset(std::move(matrix), std::move(labels), task,
+                 std::max(c, 2u));
+}
+
+const char* DatasetKindToString(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kLowDimDense:
+      return "LD";
+    case DatasetKind::kHighDimSparse:
+      return "HS";
+    case DatasetKind::kMultiClass:
+      return "MC";
+  }
+  return "?";
+}
+
+const std::vector<DatasetProfile>& PublicDatasetProfiles() {
+  // Scaled instance counts keep each dataset's place in the paper's ordering
+  // (SUSY < Higgs < Criteo by N; Epsilon mid-D dense; RCV1/Synthesis
+  // high-D sparse; -multi variants add classes). Densities approximate the
+  // real datasets (LD sets are fully dense; RCV1 has ~75 nnz/row).
+  static const std::vector<DatasetProfile>* kProfiles =
+      new std::vector<DatasetProfile>{
+          // LD stand-ins keep a paper-like N:D ratio (the quantity that
+          // decides horizontal vs vertical on low-dim data) rather than
+          // shrinking N alone.
+          {"SUSY", DatasetKind::kLowDimDense, 5000000, 18, 2,  //
+           200000, 18, 1.0, 101},
+          {"Higgs", DatasetKind::kLowDimDense, 11000000, 28, 2,  //
+           300000, 28, 1.0, 102},
+          {"Criteo", DatasetKind::kLowDimDense, 45000000, 39, 2,  //
+           400000, 39, 1.0, 103},
+          {"Epsilon", DatasetKind::kLowDimDense, 500000, 2000, 2,  //
+           75000, 500, 1.0, 104},
+          {"RCV1", DatasetKind::kHighDimSparse, 697000, 47000, 2,  //
+           20000, 12000, 75.0 / 12000.0, 105},
+          {"Synthesis", DatasetKind::kHighDimSparse, 50000000, 100000, 2,  //
+           50000, 20000, 50.0 / 20000.0, 106},
+          // Multi-class stand-ins: vector-valued histograms cost
+          // D x q x C cells per node on EVERY horizontal worker (the very
+          // effect the paper studies), so a shared-memory host caps the
+          // D x C product; classes are kept faithful and D absorbs the
+          // shrink.
+          {"RCV1-multi", DatasetKind::kMultiClass, 534000, 47000, 53,  //
+           5000, 450, 50.0 / 450.0, 107},
+          {"Synthesis-multi", DatasetKind::kMultiClass, 50000000, 25000, 10,
+           30000, 2000, 50.0 / 2000.0, 108},
+      };
+  return *kProfiles;
+}
+
+const std::vector<DatasetProfile>& IndustrialDatasetProfiles() {
+  static const std::vector<DatasetProfile>* kProfiles =
+      new std::vector<DatasetProfile>{
+          // Gender: huge N, binary -> N-dominant workload. The stand-in
+          // keeps a paper-like N:D ratio (~370:1), which is what makes
+          // horizontal partitioning competitive on the fast network.
+          {"Gender", DatasetKind::kHighDimSparse, 122000000, 330000, 2,  //
+           800000, 800, 16.0 / 800.0, 201},
+          // Age: large N, high D, 9 classes -> the paper's flagship case
+          // (D x C capped for shared-memory hosts, as above).
+          {"Age", DatasetKind::kMultiClass, 48000000, 330000, 9,  //
+           48000, 2500, 40.0 / 2500.0, 202},
+          // Taste: modest N, low D, 100 classes.
+          {"Taste", DatasetKind::kMultiClass, 10000000, 15000, 100,  //
+           10000, 240, 30.0 / 240.0, 203},
+      };
+  return *kProfiles;
+}
+
+const DatasetProfile& FindProfile(const std::string& name) {
+  for (const auto& p : PublicDatasetProfiles()) {
+    if (p.name == name) return p;
+  }
+  for (const auto& p : IndustrialDatasetProfiles()) {
+    if (p.name == name) return p;
+  }
+  VERO_LOG(Fatal) << "unknown dataset profile: " << name;
+  __builtin_unreachable();
+}
+
+Dataset GenerateFromProfile(const DatasetProfile& profile,
+                            double instance_scale) {
+  SyntheticConfig config;
+  config.num_instances = std::max<uint32_t>(
+      500, static_cast<uint32_t>(
+               std::lround(profile.scaled_instances * instance_scale)));
+  config.num_features = profile.scaled_features;
+  config.num_classes = profile.num_classes;
+  config.density = profile.density;
+  // Informative ratio: all features carry signal for dense sets; for sparse
+  // sets keep the paper's 20%.
+  config.informative_ratio =
+      profile.kind == DatasetKind::kLowDimDense ? 1.0 : 0.2;
+  // Sparse rows intersect few informative features, so the per-instance
+  // signal is weak; bias a third of each row toward the informative support
+  // (real sparse data concentrates signal on frequent features) and scale
+  // the label noise down, keeping the task learnable within a bench-sized
+  // tree budget.
+  if (profile.kind != DatasetKind::kLowDimDense) {
+    config.label_noise = 0.1;
+    config.informative_draw_fraction = 0.35;
+  }
+  config.seed = profile.seed;
+  return GenerateSynthetic(config);
+}
+
+}  // namespace vero

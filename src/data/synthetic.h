@@ -1,0 +1,89 @@
+#ifndef VERO_DATA_SYNTHETIC_H_
+#define VERO_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace vero {
+
+/// Configuration for the paper's synthetic data recipe (§5.2):
+/// "generated from random linear regression models. Given dimensionality D,
+/// informative ratio p, and number of classes C, we first randomly
+/// initialize the weight matrix W with size D x C [with p*D nonzero values
+/// per class], then for each instance the feature x is a randomly sampled
+/// D-dimensional vector with density phi, and its label y is determined by
+/// argmax x^T W." The paper sets p = phi = 20%.
+struct SyntheticConfig {
+  uint32_t num_instances = 10000;
+  uint32_t num_features = 100;
+  /// 1 => regression, 2 => binary, >=3 => multi-class.
+  uint32_t num_classes = 2;
+  /// Fraction of features that are nonzero in each instance (phi).
+  double density = 0.2;
+  /// Fraction of features with nonzero weight per class (p).
+  double informative_ratio = 0.2;
+  /// Fraction of each row's nonzeros drawn from the informative support
+  /// (0 = uniform sampling over all features). Real sparse datasets
+  /// concentrate signal on frequent features; setting this > 0 mirrors
+  /// that, keeping high-dimensional stand-ins learnable.
+  double informative_draw_fraction = 0.0;
+  /// Stddev of Gaussian noise added to the class scores before argmax
+  /// (keeps the task learnable but not perfectly separable, so convergence
+  /// curves look like the paper's).
+  double label_noise = 0.5;
+  uint64_t seed = 42;
+};
+
+/// Generates a dataset per the paper's recipe. Deterministic in the seed.
+Dataset GenerateSynthetic(const SyntheticConfig& config);
+
+/// Kind of dataset in the paper's Table 2 taxonomy.
+enum class DatasetKind {
+  kLowDimDense,    ///< LD
+  kHighDimSparse,  ///< HS
+  kMultiClass,     ///< MC
+};
+
+const char* DatasetKindToString(DatasetKind kind);
+
+/// A stand-in profile for one of the paper's evaluation datasets
+/// (Table 2 public/synthetic sets plus the §6 industrial sets). The paper's
+/// true sizes are kept for reference; `scaled_*` are the laptop-scale
+/// defaults actually generated, preserving the shape class (N:D ratio,
+/// sparsity, classes). Benches multiply scaled_instances by VERO_SCALE.
+struct DatasetProfile {
+  std::string name;
+  DatasetKind kind;
+  // Paper-scale shape (for documentation and the analytic model).
+  uint64_t paper_instances;
+  uint64_t paper_features;
+  uint32_t num_classes;
+  // Laptop-scale generation parameters.
+  uint32_t scaled_instances;
+  uint32_t scaled_features;
+  double density;
+  uint64_t seed;
+};
+
+/// Profiles mirroring Table 2: SUSY, Higgs, Criteo, Epsilon, RCV1,
+/// Synthesis, RCV1-multi, Synthesis-multi.
+const std::vector<DatasetProfile>& PublicDatasetProfiles();
+
+/// Profiles mirroring §6: Gender, Age, Taste.
+const std::vector<DatasetProfile>& IndustrialDatasetProfiles();
+
+/// Looks up a profile by name across both lists; dies if absent.
+const DatasetProfile& FindProfile(const std::string& name);
+
+/// Generates the stand-in dataset for a profile. `instance_scale` multiplies
+/// scaled_instances (feature count is left untouched so dimensionality-driven
+/// effects survive scaling).
+Dataset GenerateFromProfile(const DatasetProfile& profile,
+                            double instance_scale = 1.0);
+
+}  // namespace vero
+
+#endif  // VERO_DATA_SYNTHETIC_H_

@@ -1,0 +1,51 @@
+#ifndef VERO_DATA_TYPES_H_
+#define VERO_DATA_TYPES_H_
+
+#include <cstdint>
+
+namespace vero {
+
+/// Index of a training instance (row). 32 bits covers the paper's largest
+/// workload (Gender: 122M instances).
+using InstanceId = uint32_t;
+
+/// Index of a feature (column).
+using FeatureId = uint32_t;
+
+/// Index of a histogram bin / candidate split. The paper uses q = 20
+/// candidate splits; 16 bits leaves ample headroom while keeping the binned
+/// representation compact.
+using BinId = uint16_t;
+
+/// Sentinel for "no bin" (e.g. missing value).
+inline constexpr BinId kInvalidBin = 0xFFFF;
+
+/// Sentinel for "no feature".
+inline constexpr FeatureId kInvalidFeature = 0xFFFFFFFFu;
+
+/// Identifier of a node in a level-wise tree, numbered heap style:
+/// root = 0, children of i are 2i+1 and 2i+2.
+using NodeId = int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Heap-order helpers for level-wise trees.
+inline NodeId LeftChild(NodeId n) { return 2 * n + 1; }
+inline NodeId RightChild(NodeId n) { return 2 * n + 2; }
+inline NodeId Parent(NodeId n) { return (n - 1) / 2; }
+inline NodeId Sibling(NodeId n) { return ((n & 1) != 0) ? n + 1 : n - 1; }
+inline bool IsLeftChild(NodeId n) { return (n & 1) != 0; }
+
+/// One sparse entry of an instance row: (feature id, raw value).
+struct Entry {
+  FeatureId feature;
+  float value;
+
+  bool operator==(const Entry& other) const {
+    return feature == other.feature && value == other.value;
+  }
+};
+
+}  // namespace vero
+
+#endif  // VERO_DATA_TYPES_H_

@@ -1,0 +1,90 @@
+#include "partition/column_grouping.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace vero {
+
+const char* ColumnGroupingStrategyToString(ColumnGroupingStrategy s) {
+  switch (s) {
+    case ColumnGroupingStrategy::kGreedyBalance:
+      return "greedy";
+    case ColumnGroupingStrategy::kRoundRobin:
+      return "round-robin";
+    case ColumnGroupingStrategy::kRange:
+      return "range";
+  }
+  return "?";
+}
+
+std::vector<int> AssignFeatureGroups(const std::vector<uint64_t>& feature_costs,
+                                     int num_groups,
+                                     ColumnGroupingStrategy strategy) {
+  VERO_CHECK_GT(num_groups, 0);
+  const size_t d = feature_costs.size();
+  std::vector<int> owner(d, 0);
+  if (num_groups == 1) return owner;
+
+  switch (strategy) {
+    case ColumnGroupingStrategy::kRoundRobin: {
+      for (size_t f = 0; f < d; ++f) owner[f] = static_cast<int>(f % num_groups);
+      return owner;
+    }
+    case ColumnGroupingStrategy::kRange: {
+      for (size_t f = 0; f < d; ++f) {
+        owner[f] = static_cast<int>(f * num_groups / d);
+      }
+      return owner;
+    }
+    case ColumnGroupingStrategy::kGreedyBalance: {
+      // Longest-processing-time: features in decreasing cost order, each to
+      // the currently lightest group. Ties broken deterministically by
+      // feature id / group id.
+      std::vector<uint32_t> order(d);
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](uint32_t a, uint32_t b) {
+                         return feature_costs[a] > feature_costs[b];
+                       });
+      using Load = std::pair<uint64_t, int>;  // (load, group)
+      std::priority_queue<Load, std::vector<Load>, std::greater<Load>> heap;
+      for (int g = 0; g < num_groups; ++g) heap.emplace(0, g);
+      for (uint32_t f : order) {
+        auto [load, g] = heap.top();
+        heap.pop();
+        owner[f] = g;
+        heap.emplace(load + feature_costs[f], g);
+      }
+      return owner;
+    }
+  }
+  VERO_LOG(Fatal) << "unknown grouping strategy";
+  return owner;
+}
+
+std::vector<uint64_t> GroupLoads(const std::vector<uint64_t>& feature_costs,
+                                 const std::vector<int>& owner,
+                                 int num_groups) {
+  VERO_CHECK_EQ(feature_costs.size(), owner.size());
+  std::vector<uint64_t> loads(num_groups, 0);
+  for (size_t f = 0; f < owner.size(); ++f) {
+    loads[owner[f]] += feature_costs[f];
+  }
+  return loads;
+}
+
+double LoadImbalance(const std::vector<uint64_t>& loads) {
+  if (loads.empty()) return 1.0;
+  uint64_t max_load = 0, total = 0;
+  for (uint64_t l : loads) {
+    max_load = std::max(max_load, l);
+    total += l;
+  }
+  const double mean = static_cast<double>(total) / loads.size();
+  return mean > 0 ? static_cast<double>(max_load) / mean : 1.0;
+}
+
+}  // namespace vero

@@ -1,0 +1,43 @@
+#ifndef VERO_PARTITION_COLUMN_GROUPING_H_
+#define VERO_PARTITION_COLUMN_GROUPING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/types.h"
+
+namespace vero {
+
+/// Strategy for assigning features to workers under vertical partitioning
+/// (§4.2.3 discusses why naive strategies cause stragglers).
+enum class ColumnGroupingStrategy {
+  /// Greedy longest-processing-time balancing of per-feature nonzero counts
+  /// (the paper's choice; near-optimal for the NP-hard balance problem).
+  kGreedyBalance,
+  /// feature -> feature % W.
+  kRoundRobin,
+  /// Contiguous ranges of equal feature count.
+  kRange,
+};
+
+const char* ColumnGroupingStrategyToString(ColumnGroupingStrategy s);
+
+/// Assigns each feature to one of `num_groups` groups. `feature_costs[f]`
+/// is the number of key-value pairs of feature f (its nonzero count, read
+/// off the global quantile sketches in the real pipeline).
+/// Returns owner group per feature.
+std::vector<int> AssignFeatureGroups(const std::vector<uint64_t>& feature_costs,
+                                     int num_groups,
+                                     ColumnGroupingStrategy strategy);
+
+/// Total cost per group under an assignment (for balance diagnostics).
+std::vector<uint64_t> GroupLoads(const std::vector<uint64_t>& feature_costs,
+                                 const std::vector<int>& owner,
+                                 int num_groups);
+
+/// max(load) / mean(load): 1.0 is perfect balance.
+double LoadImbalance(const std::vector<uint64_t>& loads);
+
+}  // namespace vero
+
+#endif  // VERO_PARTITION_COLUMN_GROUPING_H_

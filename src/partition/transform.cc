@@ -1,0 +1,409 @@
+#include "partition/transform.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/serialize.h"
+#include "common/timer.h"
+#include "sketch/quantile_summary.h"
+
+namespace vero {
+namespace {
+
+// Emulated per-row serialization overhead (object headers etc.) charged to
+// the non-blockified encodings; blockify exists precisely to amortize this
+// across whole arrays (§4.2.3, Table 5).
+constexpr uint32_t kPerRowObjectOverhead = 16;
+
+// Bytes needed to address values in [0, n): the dlog(p) / dlog(q) encoding
+// of §4.2.1 step 3.
+uint32_t BytesForRange(uint64_t n) {
+  uint32_t bits = 1;
+  while ((uint64_t{1} << bits) < n && bits < 63) ++bits;
+  return (bits + 7) / 8;
+}
+
+void WritePacked(ByteWriter* writer, uint64_t value, uint32_t width) {
+  for (uint32_t b = 0; b < width; ++b) {
+    writer->WriteU8(static_cast<uint8_t>(value >> (8 * b)));
+  }
+}
+
+uint64_t ReadPacked(ByteReader* reader, uint32_t width) {
+  uint64_t value = 0;
+  for (uint32_t b = 0; b < width; ++b) {
+    uint8_t byte = 0;
+    VERO_CHECK_OK(reader->ReadU8(&byte));
+    value |= static_cast<uint64_t>(byte) << (8 * b);
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* TransformEncodingToString(TransformEncoding e) {
+  switch (e) {
+    case TransformEncoding::kNaive:
+      return "naive";
+    case TransformEncoding::kCompressed:
+      return "compressed";
+    case TransformEncoding::kBlockified:
+      return "blockified";
+  }
+  return "?";
+}
+
+std::pair<uint32_t, uint32_t> HorizontalRange(uint32_t num_instances,
+                                              int world_size, int rank) {
+  const uint64_t n = num_instances;
+  const uint32_t begin = static_cast<uint32_t>(n * rank / world_size);
+  const uint32_t end = static_cast<uint32_t>(n * (rank + 1) / world_size);
+  return {begin, end};
+}
+
+CandidateSplits BuildDistributedCandidateSplits(
+    WorkerContext& ctx, const Dataset& shard, uint32_t q,
+    uint32_t sketch_entries, std::vector<uint64_t>* feature_counts,
+    double* sketch_seconds) {
+  const int w = ctx.world_size();
+  const int rank = ctx.rank();
+  const uint32_t d = shard.num_features();
+  ThreadCpuTimer cpu;
+
+  // Step 1a: local per-feature sketches from this worker's rows.
+  std::vector<QuantileSketch> sketches(d, QuantileSketch(sketch_entries));
+  const CsrMatrix& m = shard.matrix();
+  const auto& features = m.features();
+  const auto& values = m.values();
+  for (size_t k = 0; k < features.size(); ++k) {
+    sketches[features[k]].Add(values[k]);
+  }
+
+  // Step 1b: repartition sketches so feature f's local sketches meet on
+  // worker f % W.
+  std::vector<std::vector<uint8_t>> to_dest(w);
+  {
+    std::vector<ByteWriter> writers(w);
+    for (uint32_t f = 0; f < d; ++f) {
+      const QuantileSummary& summary = sketches[f].Finalize();
+      if (summary.empty()) continue;
+      ByteWriter& writer = writers[f % w];
+      writer.WriteU32(f);
+      summary.SerializeTo(&writer);
+    }
+    for (int g = 0; g < w; ++g) to_dest[g] = writers[g].TakeData();
+  }
+  sketches.clear();
+  sketches.shrink_to_fit();
+
+  cpu.Stop();
+  std::vector<std::vector<uint8_t>> from_src;
+  ctx.AllToAll(std::move(to_dest), &from_src);
+  cpu.Resume();
+
+  // Step 1c: merge local sketches of each owned feature into global ones.
+  std::vector<QuantileSummary> merged(d);
+  for (int src = 0; src < w; ++src) {
+    ByteReader reader(from_src[src]);
+    while (!reader.AtEnd()) {
+      uint32_t f = 0;
+      VERO_CHECK_OK(reader.ReadU32(&f));
+      VERO_CHECK_EQ(static_cast<int>(f % w), rank);
+      QuantileSummary summary;
+      VERO_CHECK_OK(QuantileSummary::Deserialize(&reader, &summary));
+      merged[f] = merged[f].Merge(summary);
+    }
+  }
+
+  // Step 2a: candidate splits for owned features.
+  ByteWriter owned_writer;
+  for (uint32_t f = rank; f < d; f += w) {
+    if (merged[f].empty()) continue;
+    merged[f] = merged[f].Prune(sketch_entries);
+    const std::vector<float> splits = merged[f].ProposeSplits(q);
+    owned_writer.WriteU32(f);
+    owned_writer.WriteU64(
+        static_cast<uint64_t>(merged[f].total_weight() + 0.5));
+    owned_writer.WriteVector(splits);
+  }
+
+  // Step 2b: master collects and broadcasts the full split table (plus the
+  // per-feature counts that drive load-balanced grouping).
+  cpu.Stop();
+  std::vector<std::vector<uint8_t>> gathered;
+  ctx.Gather(owned_writer.data(), /*root=*/0, &gathered);
+  cpu.Resume();
+
+  std::vector<uint8_t> full_table;
+  if (rank == 0) {
+    std::vector<std::vector<float>> all_splits(d);
+    std::vector<uint64_t> counts(d, 0);
+    for (const auto& buf : gathered) {
+      ByteReader reader(buf);
+      while (!reader.AtEnd()) {
+        uint32_t f = 0;
+        uint64_t count = 0;
+        VERO_CHECK_OK(reader.ReadU32(&f));
+        VERO_CHECK_OK(reader.ReadU64(&count));
+        VERO_CHECK_OK(reader.ReadVector(&all_splits[f]));
+        counts[f] = count;
+      }
+    }
+    CandidateSplits splits(q, std::move(all_splits));
+    ByteWriter writer;
+    splits.SerializeTo(&writer);
+    writer.WriteVector(counts);
+    full_table = writer.TakeData();
+  }
+  cpu.Stop();
+  ctx.Broadcast(&full_table, /*root=*/0);
+  cpu.Resume();
+
+  ByteReader reader(full_table);
+  CandidateSplits splits;
+  VERO_CHECK_OK(CandidateSplits::Deserialize(&reader, &splits));
+  std::vector<uint64_t> counts;
+  VERO_CHECK_OK(reader.ReadVector(&counts));
+  if (feature_counts != nullptr) *feature_counts = std::move(counts);
+  cpu.Stop();
+  if (sketch_seconds != nullptr) *sketch_seconds = cpu.Seconds();
+  return splits;
+}
+
+VerticalShard HorizontalToVertical(WorkerContext& ctx, const Dataset& shard,
+                                   const TransformOptions& options) {
+  const int w = ctx.world_size();
+  const int rank = ctx.rank();
+  const uint32_t d = shard.num_features();
+  VerticalShard result;
+  result.num_features = d;
+  const CommStats comm_before = ctx.stats();
+
+  // Row offsets of every worker's shard (tiny exchange so each worker can
+  // place received blocks in global instance space).
+  std::vector<uint32_t> shard_rows(w, 0);
+  {
+    ByteWriter writer;
+    writer.WriteU32(shard.num_instances());
+    std::vector<std::vector<uint8_t>> all;
+    ctx.AllGather(writer.data(), &all);
+    for (int r = 0; r < w; ++r) {
+      ByteReader reader(all[r]);
+      VERO_CHECK_OK(reader.ReadU32(&shard_rows[r]));
+    }
+  }
+  std::vector<uint32_t> row_offsets(w + 1, 0);
+  for (int r = 0; r < w; ++r) row_offsets[r + 1] = row_offsets[r] + shard_rows[r];
+  result.num_instances = row_offsets[w];
+
+  // Steps 1-2: global candidate splits + per-feature counts.
+  std::vector<uint64_t> feature_counts;
+  result.splits = BuildDistributedCandidateSplits(
+      ctx, shard, options.num_candidate_splits, options.sketch_entries,
+      &feature_counts, &result.stats.sketch_seconds);
+
+  ThreadCpuTimer cpu;
+
+  // Step 3a: column grouping (deterministic given the gathered counts, so
+  // every worker computes the same assignment locally).
+  result.feature_owner =
+      AssignFeatureGroups(feature_counts, w, options.grouping);
+  std::vector<uint32_t> local_id_of(d, 0);
+  std::vector<uint32_t> dest_feature_count(w, 0);
+  for (uint32_t f = 0; f < d; ++f) {
+    local_id_of[f] = dest_feature_count[result.feature_owner[f]]++;
+    if (result.feature_owner[f] == rank) result.owned_features.push_back(f);
+  }
+  const uint32_t bin_bytes = BytesForRange(options.num_candidate_splits);
+
+  // Step 3b: re-encode local rows into per-destination column groups.
+  const CsrMatrix& m = shard.matrix();
+  std::vector<std::vector<uint8_t>> to_dest(w);
+  {
+    std::vector<ByteWriter> writers(w);
+    const uint32_t rows = shard.num_instances();
+    for (int g = 0; g < w; ++g) writers[g].WriteU32(rows);
+
+    if (options.encoding == TransformEncoding::kBlockified) {
+      // Three flat arrays per destination: row lengths, features, bins.
+      std::vector<std::vector<uint32_t>> lens(w);
+      std::vector<std::vector<uint8_t>> payload(w);
+      for (int g = 0; g < w; ++g) lens[g].assign(rows, 0);
+      std::vector<ByteWriter> entry_writers(w);
+      for (InstanceId i = 0; i < rows; ++i) {
+        auto row_features = m.RowFeatures(i);
+        auto row_values = m.RowValues(i);
+        for (size_t k = 0; k < row_features.size(); ++k) {
+          const FeatureId f = row_features[k];
+          const int g = result.feature_owner[f];
+          const uint32_t fbytes = BytesForRange(dest_feature_count[g]);
+          const BinId bin = result.splits.NumBins(f) == 0
+                                ? BinId{0}
+                                : result.splits.BinForValue(f, row_values[k]);
+          WritePacked(&entry_writers[g], local_id_of[f], fbytes);
+          WritePacked(&entry_writers[g], bin, bin_bytes);
+          ++lens[g][i];
+        }
+      }
+      for (int g = 0; g < w; ++g) {
+        writers[g].WriteVector(lens[g]);
+        writers[g].WriteVector(entry_writers[g].TakeData());
+      }
+    } else {
+      // One framed message per row per destination.
+      const bool naive = options.encoding == TransformEncoding::kNaive;
+      for (InstanceId i = 0; i < rows; ++i) {
+        auto row_features = m.RowFeatures(i);
+        auto row_values = m.RowValues(i);
+        // Per-row length prefix for each destination, written lazily: count
+        // entries per destination first.
+        std::vector<uint32_t> counts(w, 0);
+        for (FeatureId f : row_features) ++counts[result.feature_owner[f]];
+        for (int g = 0; g < w; ++g) {
+          writers[g].WriteU32(counts[g]);
+          for (uint32_t pad = 0; pad < kPerRowObjectOverhead; ++pad) {
+            writers[g].WriteU8(0);
+          }
+        }
+        for (size_t k = 0; k < row_features.size(); ++k) {
+          const FeatureId f = row_features[k];
+          const int g = result.feature_owner[f];
+          if (naive) {
+            writers[g].WriteU32(f);
+            writers[g].WriteF64(row_values[k]);
+          } else {
+            const uint32_t fbytes = BytesForRange(dest_feature_count[g]);
+            const BinId bin =
+                result.splits.NumBins(f) == 0
+                    ? BinId{0}
+                    : result.splits.BinForValue(f, row_values[k]);
+            WritePacked(&writers[g], local_id_of[f], fbytes);
+            WritePacked(&writers[g], bin, bin_bytes);
+          }
+        }
+      }
+    }
+    for (int g = 0; g < w; ++g) to_dest[g] = writers[g].TakeData();
+  }
+  cpu.Stop();
+  result.stats.encode_seconds = cpu.Seconds();
+  cpu.Restart();
+  cpu.Stop();
+
+  // Step 4: repartition the column groups.
+  const uint64_t bytes_before = ctx.stats().bytes_sent;
+  const double sim_before_repart = ctx.stats().sim_seconds;
+  std::vector<std::vector<uint8_t>> from_src;
+  ctx.AllToAll(std::move(to_dest), &from_src);
+  result.stats.repartition_bytes_sent = ctx.stats().bytes_sent - bytes_before;
+  result.stats.repartition_sim_seconds =
+      ctx.stats().sim_seconds - sim_before_repart;
+  cpu.Resume();
+
+  // Decode: one block per source worker, ordered by source rank so the
+  // blocks tile [0, N) in order (step 4's sort by original worker id).
+  const uint32_t my_feature_bytes = BytesForRange(dest_feature_count[rank]);
+  for (int src = 0; src < w; ++src) {
+    ByteReader reader(from_src[src]);
+    uint32_t rows = 0;
+    VERO_CHECK_OK(reader.ReadU32(&rows));
+    VERO_CHECK_EQ(rows, shard_rows[src]);
+    ColumnGroupBlock block;
+    block.row_offset = row_offsets[src];
+
+    if (options.encoding == TransformEncoding::kBlockified) {
+      std::vector<uint32_t> lens;
+      VERO_CHECK_OK(reader.ReadVector(&lens));
+      std::vector<uint8_t> payload;
+      VERO_CHECK_OK(reader.ReadVector(&payload));
+      ByteReader entries(payload);
+      uint64_t total = 0;
+      for (uint32_t len : lens) total += len;
+      block.features.reserve(total);
+      block.bins.reserve(total);
+      block.row_ptr.reserve(rows + 1);
+      for (uint32_t r = 0; r < rows; ++r) {
+        for (uint32_t k = 0; k < lens[r]; ++k) {
+          block.features.push_back(
+              static_cast<uint32_t>(ReadPacked(&entries, my_feature_bytes)));
+          block.bins.push_back(
+              static_cast<BinId>(ReadPacked(&entries, bin_bytes)));
+        }
+        block.row_ptr.push_back(static_cast<uint32_t>(block.features.size()));
+      }
+    } else {
+      const bool naive = options.encoding == TransformEncoding::kNaive;
+      for (uint32_t r = 0; r < rows; ++r) {
+        uint32_t len = 0;
+        VERO_CHECK_OK(reader.ReadU32(&len));
+        VERO_CHECK_OK(reader.Skip(kPerRowObjectOverhead));
+        // Per-row staging vector: the small-object churn blockify avoids.
+        std::vector<std::pair<uint32_t, BinId>> row;
+        row.reserve(len);
+        for (uint32_t k = 0; k < len; ++k) {
+          if (naive) {
+            uint32_t f = 0;
+            double v = 0.0;
+            VERO_CHECK_OK(reader.ReadU32(&f));
+            VERO_CHECK_OK(reader.ReadF64(&v));
+            const BinId bin =
+                result.splits.NumBins(f) == 0
+                    ? BinId{0}
+                    : result.splits.BinForValue(f, static_cast<float>(v));
+            row.emplace_back(local_id_of[f], bin);
+          } else {
+            const uint32_t lf =
+                static_cast<uint32_t>(ReadPacked(&reader, my_feature_bytes));
+            const BinId bin =
+                static_cast<BinId>(ReadPacked(&reader, bin_bytes));
+            row.emplace_back(lf, bin);
+          }
+        }
+        for (const auto& [lf, bin] : row) {
+          block.features.push_back(lf);
+          block.bins.push_back(bin);
+        }
+        block.row_ptr.push_back(static_cast<uint32_t>(block.features.size()));
+      }
+    }
+    result.data.AppendBlock(std::move(block));
+  }
+  result.data.MergeBlocks(options.max_blocks);
+  cpu.Stop();
+  result.stats.decode_seconds = cpu.Seconds();
+
+  // Step 5: broadcast instance labels (master collects, then broadcasts).
+  const double sim_before_labels = ctx.stats().sim_seconds;
+  {
+    ByteWriter writer;
+    writer.WriteVector(shard.labels());
+    std::vector<std::vector<uint8_t>> gathered;
+    ctx.Gather(writer.data(), /*root=*/0, &gathered);
+    std::vector<uint8_t> all_labels;
+    if (rank == 0) {
+      std::vector<float> labels;
+      labels.reserve(result.num_instances);
+      for (const auto& buf : gathered) {
+        ByteReader reader(buf);
+        std::vector<float> part;
+        VERO_CHECK_OK(reader.ReadVector(&part));
+        labels.insert(labels.end(), part.begin(), part.end());
+      }
+      ByteWriter out;
+      out.WriteVector(labels);
+      all_labels = out.TakeData();
+    }
+    ctx.Broadcast(&all_labels, /*root=*/0);
+    ByteReader reader(all_labels);
+    VERO_CHECK_OK(reader.ReadVector(&result.labels));
+  }
+  result.stats.label_broadcast_sim_seconds =
+      ctx.stats().sim_seconds - sim_before_labels;
+  result.stats.sim_comm_seconds =
+      ctx.stats().sim_seconds - comm_before.sim_seconds;
+  VERO_CHECK_EQ(result.labels.size(), result.num_instances);
+  return result;
+}
+
+}  // namespace vero

@@ -1,0 +1,107 @@
+#ifndef VERO_PARTITION_TRANSFORM_H_
+#define VERO_PARTITION_TRANSFORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/communicator.h"
+#include "data/dataset.h"
+#include "partition/column_group.h"
+#include "partition/column_grouping.h"
+#include "sketch/candidate_splits.h"
+
+namespace vero {
+
+/// Wire encoding used when repartitioning column groups (step 4 of §4.2.1).
+/// The three variants reproduce Table 5's ablation.
+enum class TransformEncoding {
+  /// Original 12-byte key-value pairs (4-byte feature id + 8-byte double
+  /// value), one framed message per instance row.
+  kNaive,
+  /// Feature ids re-encoded inside the destination group with ceil(log2 p)
+  /// bytes and values replaced by ceil(log2 q)-byte histogram bin indexes;
+  /// still one framed message per row.
+  kCompressed,
+  /// Compressed encoding, additionally blockified: one message per
+  /// (source, destination) pair containing three flat arrays, eliminating
+  /// the per-row object overhead (Figure 9).
+  kBlockified,
+};
+
+const char* TransformEncodingToString(TransformEncoding e);
+
+/// Options for the horizontal-to-vertical transformation.
+struct TransformOptions {
+  uint32_t num_candidate_splits = 20;
+  uint32_t sketch_entries = 256;
+  ColumnGroupingStrategy grouping = ColumnGroupingStrategy::kGreedyBalance;
+  TransformEncoding encoding = TransformEncoding::kBlockified;
+  /// Block-merge target after repartition (§4.2.3 reports < 5 in practice).
+  size_t max_blocks = 5;
+};
+
+/// Cost breakdown of one worker's transformation, mirroring Table 5.
+struct TransformStats {
+  /// Steps 1-2: sketch building, merging, split generation (CPU).
+  double sketch_seconds = 0.0;
+  /// Step 3: column grouping + encoding (CPU).
+  double encode_seconds = 0.0;
+  /// Step 4: decode of received groups (CPU).
+  double decode_seconds = 0.0;
+  /// Simulated network seconds across all transform steps.
+  double sim_comm_seconds = 0.0;
+  /// Simulated network seconds of the column-group repartition alone
+  /// (step 4's all-to-all) — the quantity Table 5's encoding ablation
+  /// varies.
+  double repartition_sim_seconds = 0.0;
+  /// Simulated network seconds of the label broadcast alone (step 5).
+  double label_broadcast_sim_seconds = 0.0;
+  /// Bytes this worker sent during the column-group repartition (step 4).
+  uint64_t repartition_bytes_sent = 0;
+};
+
+/// A worker's dataset after vertical repartitioning: every instance, the
+/// worker's feature subset, quantized, plus the global metadata every
+/// worker shares.
+struct VerticalShard {
+  /// Candidate splits for ALL features (broadcast in step 2).
+  CandidateSplits splits;
+  /// Owning worker of each global feature.
+  std::vector<int> feature_owner;
+  /// Global ids of the features owned here, ascending; local feature id ==
+  /// index into this vector.
+  std::vector<FeatureId> owned_features;
+  /// Row-stored blocks over (all instances) x (owned features).
+  ColumnGroup data;
+  /// All instance labels (broadcast in step 5).
+  std::vector<float> labels;
+  uint32_t num_instances = 0;
+  /// Global feature count D.
+  uint32_t num_features = 0;
+  TransformStats stats;
+};
+
+/// Steps 1-2 of the transformation, shared with horizontal trainers: builds
+/// local per-feature quantile sketches, repartitions + merges them, proposes
+/// candidate splits, and leaves the full CandidateSplits on every worker.
+/// `feature_counts` (optional) receives the global nonzero count per feature
+/// (the load-balance signal of §4.2.3). SPMD: call from every worker.
+CandidateSplits BuildDistributedCandidateSplits(
+    WorkerContext& ctx, const Dataset& shard, uint32_t q,
+    uint32_t sketch_entries, std::vector<uint64_t>* feature_counts,
+    double* sketch_seconds = nullptr);
+
+/// The full 5-step horizontal-to-vertical transformation (§4.2.1). Each
+/// worker passes its horizontal shard (a contiguous row range, rank order)
+/// and receives its vertical shard. SPMD: call from every worker.
+VerticalShard HorizontalToVertical(WorkerContext& ctx, const Dataset& shard,
+                                   const TransformOptions& options);
+
+/// Helper: the contiguous row range [begin, end) of `rank`'s horizontal
+/// shard for an N-instance dataset over W workers.
+std::pair<uint32_t, uint32_t> HorizontalRange(uint32_t num_instances,
+                                              int world_size, int rank);
+
+}  // namespace vero
+
+#endif  // VERO_PARTITION_TRANSFORM_H_

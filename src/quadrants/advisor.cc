@@ -1,0 +1,201 @@
+#include "quadrants/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/histogram.h"
+
+namespace vero {
+namespace {
+
+// Number of tree nodes whose splits are searched (internal-node budget of an
+// L-layer tree): 2^(L-1) - 1, the paper's aggregation count (§3.1.3).
+double InternalNodes(uint32_t layers) {
+  return std::pow(2.0, layers - 1) - 1.0;
+}
+
+// Entries scanned per tree per worker during histogram construction, as a
+// multiple of the worker's shard entries. With subtraction only the smaller
+// sibling of each pair is built: the root layer scans everything, each of
+// the remaining L-2 build layers scans at most half.
+double ScanPassesWithSubtraction(uint32_t layers) {
+  return 1.0 + 0.5 * (layers > 2 ? layers - 2 : 0);
+}
+
+// Without subtraction every build layer scans the full shard.
+double ScanPassesWithoutSubtraction(uint32_t layers) {
+  return static_cast<double>(layers - 1);
+}
+
+}  // namespace
+
+uint64_t QuadrantAdvisor::HistogramBytesPerNode(const WorkloadSpec& w) {
+  return 2ull * w.num_features * w.num_candidate_splits * w.gradient_dim() *
+         8ull;
+}
+
+QuadrantEstimate QuadrantAdvisor::Estimate(const WorkloadSpec& w,
+                                           Quadrant quadrant) const {
+  const double workers = env_.num_workers;
+  const double n = static_cast<double>(w.num_instances);
+  const double dims = w.gradient_dim();
+  const double layers = w.num_layers;
+  const double size_hist = static_cast<double>(HistogramBytesPerNode(w));
+  const double internal = InternalNodes(w.num_layers);
+  const double shard_entries = w.total_nnz() / workers;
+
+  QuadrantEstimate e;
+  e.quadrant = quadrant;
+
+  // ---- Computation ----------------------------------------------------
+  const bool vertical = IsVertical(quadrant);
+  const bool subtraction = quadrant != Quadrant::kQD1;
+  const double scan_passes = subtraction
+                                 ? ScanPassesWithSubtraction(w.num_layers)
+                                 : ScanPassesWithoutSubtraction(w.num_layers);
+  // QD3's linear column scans cannot skip instances of subtracted siblings:
+  // every pass reads the whole shard.
+  const double effective_passes =
+      quadrant == Quadrant::kQD3 ? ScanPassesWithoutSubtraction(w.num_layers)
+                                 : scan_passes;
+  const double hist_seconds =
+      effective_passes * shard_entries * dims / env_.scan_throughput;
+
+  // Split enumeration: QD1 evaluates all D features on every worker
+  // (redundant post-all-reduce); the others evaluate D/W.
+  const double features_searched =
+      quadrant == Quadrant::kQD1 ? static_cast<double>(w.num_features)
+                                 : w.num_features / workers;
+  const double split_seconds = internal * features_searched *
+                               w.num_candidate_splits * dims /
+                               env_.gain_throughput;
+
+  // Gradients + index updates + margin updates: shard rows for horizontal,
+  // every row for vertical (replicated placement work — why Gender favors
+  // horizontal).
+  const double rows_touched = vertical ? n : n / workers;
+  const double index_seconds =
+      (layers + dims) * rows_touched / env_.index_throughput;
+
+  e.comp_seconds = hist_seconds + split_seconds + index_seconds;
+
+  // ---- Communication ----------------------------------------------------
+  double per_worker_wire = 0.0;  // max(bytes sent, received) per worker
+  double ops = 0.0;
+  if (!vertical && quadrant != Quadrant::kFeatureParallel) {
+    // Histogram aggregation over the internal nodes (§3.1.3): all-reduce
+    // moves ~2x a reduce-scatter.
+    const double factor = quadrant == Quadrant::kQD1 ? 2.0 : 1.0;
+    per_worker_wire =
+        factor * size_hist * internal * (workers - 1) / workers;
+    ops = 3.0 * (layers - 1);
+  } else if (vertical) {
+    // Placement bitmaps: ceil(N/8) bytes per split layer, broadcast by the
+    // owning workers to W-1 peers; split exchange is negligible by
+    // comparison. Charge the cluster-total wire to the critical worker
+    // conservatively (owners rotate, so divide by W).
+    per_worker_wire =
+        std::ceil(n / 8.0) * (workers - 1) * (layers - 1) / workers;
+    ops = 4.0 * (layers - 1);
+  } else {
+    // Feature-parallel: only split exchange.
+    per_worker_wire = 256.0 * internal;
+    ops = 2.0 * (layers - 1);
+  }
+  e.comm_seconds = ops * env_.network.latency_seconds +
+                   per_worker_wire / env_.network.bandwidth_bytes_per_second;
+  e.comm_bytes_per_tree =
+      static_cast<uint64_t>(per_worker_wire * workers);
+
+  // ---- Memory (§3.1.2) ---------------------------------------------------
+  const double live_nodes = std::pow(2.0, w.num_layers >= 2 ? w.num_layers - 2
+                                                            : 0);
+  // Subtraction retains parents while children materialize: ~1.5x the layer.
+  const double retention = subtraction ? 1.5 : 1.0;
+  double hist_bytes = retention * live_nodes * size_hist;
+  if (vertical) hist_bytes /= workers;
+  e.histogram_bytes = static_cast<uint64_t>(hist_bytes);
+  e.fits_memory = e.histogram_bytes <= env_.memory_budget_bytes;
+  return e;
+}
+
+std::vector<QuadrantEstimate> QuadrantAdvisor::Rank(
+    const WorkloadSpec& w) const {
+  std::vector<QuadrantEstimate> estimates;
+  for (Quadrant q : {Quadrant::kQD1, Quadrant::kQD2, Quadrant::kQD3,
+                     Quadrant::kQD4}) {
+    estimates.push_back(Estimate(w, q));
+  }
+  std::stable_sort(estimates.begin(), estimates.end(),
+                   [](const QuadrantEstimate& a, const QuadrantEstimate& b) {
+                     if (a.fits_memory != b.fits_memory) return a.fits_memory;
+                     return a.total_seconds() < b.total_seconds();
+                   });
+  return estimates;
+}
+
+Quadrant QuadrantAdvisor::Recommend(const WorkloadSpec& w) const {
+  return Rank(w).front().quadrant;
+}
+
+std::string QuadrantAdvisor::Explain(const WorkloadSpec& w) const {
+  std::ostringstream out;
+  out << "workload: N=" << w.num_instances << " D=" << w.num_features
+      << " C=" << w.num_classes << " density=" << w.density
+      << " L=" << w.num_layers << " q=" << w.num_candidate_splits
+      << "  (Sizehist=" << HistogramBytesPerNode(w) / 1e6 << " MB)\n";
+  for (const QuadrantEstimate& e : Rank(w)) {
+    out << "  " << QuadrantToString(e.quadrant)
+        << ": comp=" << e.comp_seconds << "s comm=" << e.comm_seconds
+        << "s hist-mem=" << e.histogram_bytes / 1e6 << " MB"
+        << (e.fits_memory ? "" : "  [exceeds memory budget]") << "\n";
+  }
+  return out.str();
+}
+
+EnvironmentSpec QuadrantAdvisor::Calibrate(EnvironmentSpec base) {
+  Rng rng(97);
+  // Histogram-accumulation throughput.
+  {
+    const uint32_t d = 256, q = 20;
+    Histogram hist(d, q, 1);
+    const size_t entries = 2'000'000;
+    std::vector<uint32_t> features(entries);
+    std::vector<BinId> bins(entries);
+    for (size_t i = 0; i < entries; ++i) {
+      features[i] = static_cast<uint32_t>(rng.Uniform(d));
+      bins[i] = static_cast<BinId>(rng.Uniform(q));
+    }
+    const GradPair g{1.0, 0.5};
+    ThreadCpuTimer timer;
+    for (size_t i = 0; i < entries; ++i) {
+      hist.Add(features[i], bins[i], &g);
+    }
+    timer.Stop();
+    if (timer.Seconds() > 0) {
+      base.scan_throughput = entries / timer.Seconds();
+    }
+  }
+  // Gain-evaluation throughput: approximate with the dominant FLOP pattern.
+  {
+    const size_t evals = 2'000'000;
+    double acc = 0.0, g = 0.3, h = 0.7;
+    ThreadCpuTimer timer;
+    for (size_t i = 0; i < evals; ++i) {
+      g += 1e-9;
+      h += 1e-9;
+      acc += g * g / (h + 1.0);
+    }
+    timer.Stop();
+    if (timer.Seconds() > 0 && acc > 0) {
+      base.gain_throughput = evals / timer.Seconds();
+    }
+  }
+  return base;
+}
+
+}  // namespace vero

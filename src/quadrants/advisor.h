@@ -1,0 +1,97 @@
+#ifndef VERO_QUADRANTS_ADVISOR_H_
+#define VERO_QUADRANTS_ADVISOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/network_model.h"
+#include "quadrants/quadrant.h"
+
+namespace vero {
+
+/// Shape of a training workload, in the units of the paper's §3 analysis.
+struct WorkloadSpec {
+  uint64_t num_instances = 0;   ///< N
+  uint64_t num_features = 0;    ///< D
+  uint32_t num_classes = 2;     ///< C (gradient dim; 2 == binary -> 1 dim)
+  double density = 1.0;         ///< nnz fraction (d = density * D)
+  uint32_t num_layers = 8;      ///< L
+  uint32_t num_candidate_splits = 20;  ///< q
+
+  /// Gradient dimensionality: 1 unless multi-class.
+  uint32_t gradient_dim() const { return num_classes > 2 ? num_classes : 1; }
+  /// Average nonzeros per instance.
+  double avg_row_nnz() const { return density * num_features; }
+  /// Total nonzeros.
+  double total_nnz() const { return avg_row_nnz() * num_instances; }
+};
+
+/// Cluster environment: worker count, network, and calibrated kernel
+/// throughputs (entries/s and gain-evaluations/s of this build on this
+/// host).
+struct EnvironmentSpec {
+  int num_workers = 8;
+  NetworkModel network = NetworkModel::Lab1Gbps();
+  /// Histogram-accumulation throughput, (entry x class) adds per second.
+  double scan_throughput = 150e6;
+  /// Split-enumeration throughput, (bin x class) gain evaluations/second.
+  double gain_throughput = 100e6;
+  /// Index/margin bookkeeping throughput, instance-touches per second.
+  double index_throughput = 400e6;
+  /// Per-worker memory available for histograms; estimates exceeding it are
+  /// flagged (and ranked last), mirroring the paper's OOM observations.
+  uint64_t memory_budget_bytes = 4ull << 30;
+};
+
+/// Predicted per-tree cost of one quadrant under the §3 model.
+struct QuadrantEstimate {
+  Quadrant quadrant = Quadrant::kQD4;
+  double comp_seconds = 0.0;        ///< Per tree, critical-path worker.
+  double comm_seconds = 0.0;        ///< Per tree, modeled network time.
+  uint64_t histogram_bytes = 0;     ///< Peak per worker.
+  uint64_t comm_bytes_per_tree = 0; ///< Cluster-wide.
+  bool fits_memory = true;
+
+  double total_seconds() const { return comp_seconds + comm_seconds; }
+};
+
+/// The paper's closing open problem (§6: "How to determine an optimal data
+/// management strategy given the dataset and the environment ... remains
+/// unsolved"), answered with its own §3 cost model: predict per-quadrant
+/// computation, communication, and memory, and recommend the cheapest
+/// quadrant that fits.
+class QuadrantAdvisor {
+ public:
+  explicit QuadrantAdvisor(EnvironmentSpec env) : env_(std::move(env)) {}
+
+  /// Sizehist = 2 x D x q x C x 8 bytes (§3.1.1).
+  static uint64_t HistogramBytesPerNode(const WorkloadSpec& workload);
+
+  /// Cost estimate for one quadrant.
+  QuadrantEstimate Estimate(const WorkloadSpec& workload,
+                            Quadrant quadrant) const;
+
+  /// Estimates for QD1-QD4, best (feasible, fastest) first.
+  std::vector<QuadrantEstimate> Rank(const WorkloadSpec& workload) const;
+
+  /// The recommended quadrant (first of Rank()).
+  Quadrant Recommend(const WorkloadSpec& workload) const;
+
+  /// Human-readable report of the ranking (one line per quadrant).
+  std::string Explain(const WorkloadSpec& workload) const;
+
+  const EnvironmentSpec& environment() const { return env_; }
+
+  /// Measures this host's kernel throughputs with short micro-runs and
+  /// returns a calibrated environment (network/topology fields taken from
+  /// `base`).
+  static EnvironmentSpec Calibrate(EnvironmentSpec base);
+
+ private:
+  EnvironmentSpec env_;
+};
+
+}  // namespace vero
+
+#endif  // VERO_QUADRANTS_ADVISOR_H_

@@ -1,0 +1,302 @@
+#include "quadrants/dist_common.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/serialize.h"
+#include "common/timer.h"
+#include "core/metrics.h"
+
+namespace vero {
+
+TreeCostSummary SummarizeTreeCosts(const std::vector<TreeCost>& costs) {
+  TreeCostSummary summary;
+  if (costs.empty()) return summary;
+  const double n = static_cast<double>(costs.size());
+  for (const TreeCost& c : costs) summary.mean += c;
+  summary.mean.gradient_seconds /= n;
+  summary.mean.hist_seconds /= n;
+  summary.mean.find_split_seconds /= n;
+  summary.mean.node_split_seconds /= n;
+  summary.mean.other_seconds /= n;
+  summary.mean.comm_seconds /= n;
+  if (costs.size() > 1) {
+    double comp_var = 0.0, comm_var = 0.0;
+    for (const TreeCost& c : costs) {
+      const double dc = c.comp_seconds() - summary.mean.comp_seconds();
+      const double dm = c.comm_seconds - summary.mean.comm_seconds;
+      comp_var += dc * dc;
+      comm_var += dm * dm;
+    }
+    summary.comp_std = std::sqrt(comp_var / (costs.size() - 1));
+    summary.comm_std = std::sqrt(comm_var / (costs.size() - 1));
+  }
+  return summary;
+}
+
+std::vector<uint8_t> SerializeSplits(
+    const std::vector<SplitCandidate>& splits) {
+  ByteWriter writer;
+  writer.WriteU32(static_cast<uint32_t>(splits.size()));
+  for (const SplitCandidate& s : splits) s.SerializeTo(&writer);
+  return writer.TakeData();
+}
+
+std::vector<SplitCandidate> DeserializeSplits(
+    const std::vector<uint8_t>& data) {
+  ByteReader reader(data);
+  uint32_t n = 0;
+  VERO_CHECK_OK(reader.ReadU32(&n));
+  std::vector<SplitCandidate> splits(n);
+  for (SplitCandidate& s : splits) {
+    VERO_CHECK_OK(SplitCandidate::Deserialize(&reader, &s));
+  }
+  return splits;
+}
+
+void MergeBestSplits(const std::vector<SplitCandidate>& candidates,
+                     std::vector<SplitCandidate>* best) {
+  if (best->empty()) {
+    *best = candidates;
+    return;
+  }
+  VERO_CHECK_EQ(candidates.size(), best->size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].IsBetterThan((*best)[i])) {
+      (*best)[i] = candidates[i];
+    }
+  }
+}
+
+DistTrainerBase::DistTrainerBase(WorkerContext& ctx,
+                                 const DistTrainOptions& options, Task task,
+                                 uint32_t num_classes)
+    : ctx_(ctx),
+      options_(options),
+      task_(task),
+      num_classes_(num_classes),
+      dims_(task == Task::kMultiClass ? num_classes : 1),
+      loss_(MakeLossForTask(task, num_classes)),
+      finder_(options.params.reg_lambda, options.params.reg_gamma,
+              options.params.min_split_gain),
+      model_(task, num_classes, options.params.learning_rate) {}
+
+void DistTrainerBase::Train(const Dataset* valid,
+                            std::vector<TreeCost>* tree_costs,
+                            std::vector<IterationStats>* curve,
+                            double setup_sim_seconds) {
+  const GbdtParams& params = options_.params;
+  const uint32_t num_layers = params.num_layers;
+  const uint32_t max_nodes = (1u << num_layers) - 1;
+  tree_costs->clear();
+  if (curve != nullptr) curve->clear();
+
+  std::vector<double> valid_margins;
+  if (valid != nullptr && ctx_.rank() == 0) {
+    valid_margins.assign(
+        static_cast<size_t>(valid->num_instances()) * dims_, 0.0);
+  }
+  double elapsed = setup_sim_seconds;
+  double best_metric = 0.0;
+  bool best_metric_set = false;
+  uint32_t rounds_since_best = 0;
+
+  for (uint32_t t = 0; t < params.num_trees; ++t) {
+    const double tree_sim_start = ctx_.stats().sim_seconds;
+    TreeCost local;  // Thread-CPU seconds of this worker's phases.
+    ThreadCpuTimer timer;
+
+    // ---- Gradients ----
+    timer.Restart();
+    const GradStats root_stats = ComputeGradients();
+    timer.Stop();
+    local.gradient_seconds = timer.Seconds();
+
+    InitTreeIndexes();
+    node_stats_.assign(max_nodes, GradStats{});
+    node_counts_.assign(max_nodes, 0);
+    node_stats_[0] = root_stats;
+    VERO_CHECK_GT(num_global_instances_, 0u);
+    node_counts_[0] = num_global_instances_;
+
+    Tree tree(num_layers, dims_);
+    std::vector<NodeId> frontier = {0};
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    const bool subtraction =
+        UsesSubtraction() && params.histogram_subtraction;
+
+    for (uint32_t depth = 0; depth < num_layers && !frontier.empty();
+         ++depth) {
+      const bool last_layer = (depth + 1 == num_layers);
+      // ---- Histogram construction ----
+      // Nodes on the last layer become leaves unconditionally, so their
+      // histograms are never consulted; skip building them.
+      timer.Restart();
+      if (!last_layer) {
+        std::vector<BuildTask> tasks;
+        if (depth == 0) {
+          tasks.push_back(BuildTask{0, kInvalidNode, kInvalidNode});
+        } else {
+          for (const auto& [left, right] : pairs) {
+            const NodeId parent = Parent(left);
+            if (subtraction) {
+              const NodeId smaller =
+                  node_counts_[left] <= node_counts_[right] ? left : right;
+              tasks.push_back(BuildTask{smaller, Sibling(smaller), parent});
+            } else {
+              tasks.push_back(BuildTask{left, kInvalidNode, parent});
+              tasks.push_back(BuildTask{right, kInvalidNode, parent});
+            }
+          }
+        }
+        BuildLayerHistograms(tasks);
+        // Parents are no longer needed once children histograms exist.
+        for (const BuildTask& task : tasks) {
+          if (task.parent != kInvalidNode) pool_.Release(task.parent);
+        }
+      }
+      timer.Stop();
+      local.hist_seconds += timer.Seconds();
+
+      // ---- Split finding ----
+      timer.Restart();
+      std::vector<SplitCandidate> best;
+      if (!last_layer) {
+        best = FindLayerSplits(frontier);
+        VERO_CHECK_EQ(best.size(), frontier.size());
+      } else {
+        best.resize(frontier.size());
+      }
+      std::vector<NodeId> split_nodes;
+      std::vector<SplitCandidate> split_decisions;
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        const NodeId node = frontier[i];
+        const bool can_split =
+            best[i].valid &&
+            node_counts_[node] >= 2 * params.min_child_instances;
+        if (can_split) {
+          split_nodes.push_back(node);
+          split_decisions.push_back(std::move(best[i]));
+        } else {
+          tree.SetLeaf(node, finder_.LeafWeights(node_stats_[node]));
+          pool_.Release(node);
+        }
+      }
+      timer.Stop();
+      local.find_split_seconds += timer.Seconds();
+
+      // ---- Node splitting ----
+      timer.Restart();
+      pairs.clear();
+      std::vector<NodeId> next_frontier;
+      if (!split_nodes.empty()) {
+        for (size_t i = 0; i < split_nodes.size(); ++i) {
+          const SplitCandidate& s = split_decisions[i];
+          tree.SetSplit(split_nodes[i], s.feature, s.split_value, s.split_bin,
+                        s.default_left, s.gain);
+        }
+        std::vector<uint32_t> child_counts;
+        ApplyLayerSplits(split_nodes, split_decisions, &child_counts);
+        VERO_CHECK_EQ(child_counts.size(), 2 * split_nodes.size());
+        for (size_t i = 0; i < split_nodes.size(); ++i) {
+          const NodeId l = LeftChild(split_nodes[i]);
+          const NodeId r = RightChild(split_nodes[i]);
+          node_stats_[l] = split_decisions[i].left_stats;
+          node_stats_[r] = split_decisions[i].right_stats;
+          node_counts_[l] = child_counts[2 * i];
+          node_counts_[r] = child_counts[2 * i + 1];
+          pairs.emplace_back(l, r);
+          next_frontier.push_back(l);
+          next_frontier.push_back(r);
+        }
+        if (!subtraction) {
+          // No subtraction: parents' histograms are dead immediately.
+          for (NodeId node : split_nodes) pool_.Release(node);
+        }
+      }
+      timer.Stop();
+      local.node_split_seconds += timer.Seconds();
+      frontier = std::move(next_frontier);
+    }
+    for (NodeId node = 0; node < static_cast<NodeId>(max_nodes); ++node) {
+      pool_.Release(node);
+    }
+
+    // ---- Margin update ----
+    timer.Restart();
+    UpdateMargins(tree);
+    timer.Stop();
+    local.other_seconds = timer.Seconds();
+
+    model_.AddTree(std::move(tree));
+
+    // ---- Cluster-level cost of this round ----
+    const double my_comm = ctx_.stats().sim_seconds - tree_sim_start;
+    TreeCost cost;
+    cost.gradient_seconds = ctx_.InstrumentMax(local.gradient_seconds);
+    cost.hist_seconds = ctx_.InstrumentMax(local.hist_seconds);
+    cost.find_split_seconds = ctx_.InstrumentMax(local.find_split_seconds);
+    cost.node_split_seconds = ctx_.InstrumentMax(local.node_split_seconds);
+    cost.other_seconds = ctx_.InstrumentMax(local.other_seconds);
+    cost.comm_seconds = ctx_.InstrumentMax(my_comm);
+    tree_costs->push_back(cost);
+    elapsed += cost.total_seconds();
+
+    // ---- Curve recording (rank 0) ----
+    if (curve != nullptr) {
+      const uint32_t my_rows = static_cast<uint32_t>(labels_.size());
+      const double my_loss_sum =
+          loss_->ComputeLoss(labels_, margins_, 0, my_rows) * my_rows;
+      // Vertical quadrants replicate all rows; horizontal ones own a shard.
+      const double loss_sum = OwnsAllRows()
+                                  ? my_loss_sum
+                                  : ctx_.InstrumentSum(my_loss_sum);
+      IterationStats stats;
+      stats.tree_index = t;
+      stats.train_loss = loss_sum / num_global_instances_;
+      stats.elapsed_seconds = elapsed;
+      if (valid != nullptr && ctx_.rank() == 0) {
+        const Tree& last = model_.tree(model_.num_trees() - 1);
+        const CsrMatrix& vm = valid->matrix();
+        for (InstanceId i = 0; i < valid->num_instances(); ++i) {
+          last.PredictInto(vm.RowFeatures(i), vm.RowValues(i),
+                           params.learning_rate,
+                           valid_margins.data() +
+                               static_cast<size_t>(i) * dims_);
+        }
+        const MetricValue metric =
+            EvaluateMargins(valid->task(), valid->num_classes(),
+                            valid->labels(), valid_margins);
+        stats.valid_metric = metric.value;
+        stats.has_valid_metric = true;
+        const bool improved =
+            !best_metric_set ||
+            (metric.higher_is_better ? metric.value > best_metric
+                                     : metric.value < best_metric);
+        if (improved) {
+          best_metric = metric.value;
+          best_metric_set = true;
+          rounds_since_best = 0;
+        } else {
+          ++rounds_since_best;
+        }
+      }
+      curve->push_back(stats);
+    }
+
+    // Early stopping: rank 0 owns the validation metric; every worker must
+    // take the same branch, so the decision travels over the
+    // instrumentation channel.
+    if (params.early_stopping_rounds > 0 && valid != nullptr) {
+      const double stop_flag =
+          (ctx_.rank() == 0 &&
+           rounds_since_best >= params.early_stopping_rounds)
+              ? 1.0
+              : 0.0;
+      if (ctx_.InstrumentMax(stop_flag) > 0.5) break;
+    }
+  }
+}
+
+}  // namespace vero

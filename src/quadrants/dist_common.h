@@ -1,0 +1,217 @@
+#ifndef VERO_QUADRANTS_DIST_COMMON_H_
+#define VERO_QUADRANTS_DIST_COMMON_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/communicator.h"
+#include "common/status.h"
+#include "core/gbdt_params.h"
+#include "core/gradients.h"
+#include "core/histogram.h"
+#include "core/loss.h"
+#include "core/split.h"
+#include "core/trainer.h"
+#include "core/tree.h"
+#include "data/dataset.h"
+#include "partition/transform.h"
+#include "quadrants/quadrant.h"
+#include "sketch/candidate_splits.h"
+
+namespace vero {
+
+/// Options for a distributed training run.
+struct DistTrainOptions {
+  GbdtParams params;
+  /// Transform settings (vertical quadrants; horizontal quadrants use only
+  /// the sketch fields through the shared candidate-split pipeline).
+  TransformOptions transform;
+};
+
+/// Cluster-level cost of one boosting round: compute phases are the maximum
+/// thread-CPU seconds across workers (the straggler defines the round), comm
+/// is the maximum simulated network time across workers.
+struct TreeCost {
+  double gradient_seconds = 0.0;
+  double hist_seconds = 0.0;
+  double find_split_seconds = 0.0;
+  double node_split_seconds = 0.0;
+  double other_seconds = 0.0;
+  double comm_seconds = 0.0;
+
+  double comp_seconds() const {
+    return gradient_seconds + hist_seconds + find_split_seconds +
+           node_split_seconds + other_seconds;
+  }
+  double total_seconds() const { return comp_seconds() + comm_seconds; }
+
+  TreeCost& operator+=(const TreeCost& o) {
+    gradient_seconds += o.gradient_seconds;
+    hist_seconds += o.hist_seconds;
+    find_split_seconds += o.find_split_seconds;
+    node_split_seconds += o.node_split_seconds;
+    other_seconds += o.other_seconds;
+    comm_seconds += o.comm_seconds;
+    return *this;
+  }
+};
+
+/// Mean and sample standard deviation of per-tree costs.
+struct TreeCostSummary {
+  TreeCost mean;
+  double comp_std = 0.0;
+  double comm_std = 0.0;
+};
+
+TreeCostSummary SummarizeTreeCosts(const std::vector<TreeCost>& costs);
+
+/// Result of a distributed training run.
+struct DistResult {
+  GbdtModel model;
+  std::vector<TreeCost> tree_costs;
+  /// Max across workers of the peak histogram-pool bytes.
+  uint64_t peak_histogram_bytes = 0;
+  /// Max across workers of the stored (binned) data bytes.
+  uint64_t data_bytes = 0;
+  /// Total bytes sent cluster-wide during training (excludes transform).
+  uint64_t train_bytes_sent = 0;
+  /// Simulated seconds of preprocessing (transform / sketch pipeline):
+  /// max worker compute + comm.
+  double setup_seconds = 0.0;
+  /// Transform cost detail (vertical quadrants).
+  TransformStats transform_stats;
+  /// Per-iteration curve recorded on rank 0 (elapsed uses simulated time).
+  std::vector<IterationStats> curve;
+
+  /// Sum over trees of max-comp + max-comm: the modeled training time.
+  double TrainSeconds() const {
+    double total = 0.0;
+    for (const TreeCost& c : tree_costs) total += c.total_seconds();
+    return total;
+  }
+  double TotalCompSeconds() const {
+    double total = 0.0;
+    for (const TreeCost& c : tree_costs) total += c.comp_seconds();
+    return total;
+  }
+  double TotalCommSeconds() const {
+    double total = 0.0;
+    for (const TreeCost& c : tree_costs) total += c.comm_seconds;
+    return total;
+  }
+};
+
+/// Base class for the per-worker SPMD training loops of QD1-QD4.
+///
+/// The boosting skeleton (gradients -> per-layer histogram / split find /
+/// node split -> leaf weights -> margin update) lives here; subclasses
+/// supply the quadrant-specific storage, histogram construction,
+/// split-finding communication pattern, and placement mechanics.
+class DistTrainerBase {
+ public:
+  DistTrainerBase(WorkerContext& ctx, const DistTrainOptions& options,
+                  Task task, uint32_t num_classes);
+  virtual ~DistTrainerBase() = default;
+
+  /// Runs all boosting rounds. `valid` (optional) is evaluated on rank 0
+  /// after each round. Fills per-tree costs (identical on all ranks).
+  void Train(const Dataset* valid, std::vector<TreeCost>* tree_costs,
+             std::vector<IterationStats>* curve, double setup_sim_seconds);
+
+  const GbdtModel& model() const { return model_; }
+  uint64_t peak_histogram_bytes() const { return pool_.PeakBytes(); }
+  /// Bytes of the worker's stored training data (subclass-computed).
+  virtual uint64_t DataBytes() const = 0;
+
+ protected:
+  /// One node's histogram-construction assignment for a layer.
+  struct BuildTask {
+    NodeId build_node = kInvalidNode;      ///< Built by scanning data.
+    NodeId subtract_node = kInvalidNode;   ///< Derived as parent - sibling.
+    NodeId parent = kInvalidNode;          ///< Released after both children.
+  };
+
+  // ---- Quadrant-specific hooks -------------------------------------------
+
+  /// Whether this quadrant's index supports the histogram subtraction
+  /// technique (QD1's instance-to-node index cannot, per §3.2.3).
+  virtual bool UsesSubtraction() const { return true; }
+
+  /// True for vertical quadrants, where every worker holds all labels /
+  /// margins; false for horizontal ones, which own a row shard.
+  virtual bool OwnsAllRows() const = 0;
+
+  /// Number of features covered by this worker's histograms (D for
+  /// horizontal quadrants, |owned| for vertical ones).
+  virtual uint32_t HistFeatureCount() const = 0;
+  /// Global feature ids corresponding to local histogram columns.
+  virtual const std::vector<FeatureId>& HistGlobalIds() const = 0;
+
+  /// Resets per-tree instance indexes (row partition / instance-to-node).
+  virtual void InitTreeIndexes() = 0;
+
+  /// Computes gradients into grads_ for the rows this worker owns and
+  /// returns the GLOBAL root gradient stats (identical on every worker).
+  virtual GradStats ComputeGradients() = 0;
+
+  /// Builds (and, for horizontal quadrants, aggregates) histograms for the
+  /// layer. `tasks` encodes the subtraction schema; when subtraction is
+  /// disabled both children appear as build_node entries.
+  virtual void BuildLayerHistograms(const std::vector<BuildTask>& tasks) = 0;
+
+  /// Returns the GLOBAL best split of every frontier node (same result on
+  /// every worker; involves the quadrant's split-exchange pattern).
+  virtual std::vector<SplitCandidate> FindLayerSplits(
+      const std::vector<NodeId>& frontier) = 0;
+
+  /// Applies the decided splits: updates instance indexes (broadcasting
+  /// placement bitmaps for vertical quadrants) and fills `child_counts`
+  /// with the GLOBAL instance count of each child, ordered
+  /// [left0, right0, left1, right1, ...].
+  virtual void ApplyLayerSplits(const std::vector<NodeId>& nodes,
+                                const std::vector<SplitCandidate>& splits,
+                                std::vector<uint32_t>* child_counts) = 0;
+
+  /// Adds learning_rate * leaf weights into the margins of the rows this
+  /// worker owns, using the final instance placement of `tree`.
+  virtual void UpdateMargins(const Tree& tree) = 0;
+
+  // ---- Shared state -------------------------------------------------------
+
+  WorkerContext& ctx_;
+  DistTrainOptions options_;
+  Task task_;
+  uint32_t num_classes_;
+  uint32_t dims_;
+  std::unique_ptr<Loss> loss_;
+  SplitFinder finder_;
+
+  GbdtModel model_;
+  GradientBuffer grads_;
+  HistogramPool pool_;
+  /// Per-node gradient stats and global instance counts (replicated).
+  std::vector<GradStats> node_stats_;
+  std::vector<uint32_t> node_counts_;
+
+  /// Margins for the rows this worker owns (shard rows for horizontal,
+  /// all rows for vertical), row-major x dims_.
+  std::vector<double> margins_;
+  /// Labels for the rows this worker owns.
+  std::vector<float> labels_;
+  /// Global instance count N; subclasses must set this during construction.
+  uint32_t num_global_instances_ = 0;
+};
+
+/// Serialization helpers shared by the quadrant split exchanges.
+std::vector<uint8_t> SerializeSplits(const std::vector<SplitCandidate>& splits);
+std::vector<SplitCandidate> DeserializeSplits(const std::vector<uint8_t>& data);
+
+/// Element-wise "keep the better" merge used to reduce per-node local bests.
+void MergeBestSplits(const std::vector<SplitCandidate>& candidates,
+                     std::vector<SplitCandidate>* best);
+
+}  // namespace vero
+
+#endif  // VERO_QUADRANTS_DIST_COMMON_H_

@@ -1,0 +1,125 @@
+#include "quadrants/feature_parallel.h"
+
+#include <numeric>
+
+#include "common/bitmap.h"
+#include "common/logging.h"
+
+namespace vero {
+
+FeatureParallelTrainer::FeatureParallelTrainer(WorkerContext& ctx,
+                                               const DistTrainOptions& options,
+                                               const Dataset& full,
+                                               const CandidateSplits& splits)
+    : DistTrainerBase(ctx, options, full.task(), full.num_classes()),
+      splits_(splits),
+      store_(BinnedRowStore::FromCsr(full.matrix(), splits)),
+      num_rows_(full.num_instances()) {
+  num_global_instances_ = num_rows_;
+  labels_ = full.labels();
+  margins_.assign(static_cast<size_t>(num_rows_) * dims_, 0.0);
+  grads_ = GradientBuffer(num_rows_, dims_);
+  const uint32_t d = full.num_features();
+  feature_begin_ =
+      static_cast<uint32_t>(ctx.SliceBegin(d, ctx.rank()));
+  const uint32_t feature_end =
+      static_cast<uint32_t>(ctx.SliceEnd(d, ctx.rank()));
+  owned_features_.resize(feature_end - feature_begin_);
+  std::iota(owned_features_.begin(), owned_features_.end(), feature_begin_);
+}
+
+uint64_t FeatureParallelTrainer::DataBytes() const {
+  return store_.MemoryBytes() + labels_.capacity() * sizeof(float);
+}
+
+void FeatureParallelTrainer::InitTreeIndexes() {
+  partition_.Init(num_rows_, options_.params.num_layers);
+}
+
+GradStats FeatureParallelTrainer::ComputeGradients() {
+  loss_->ComputeGradients(labels_, margins_, 0, num_rows_, &grads_);
+  return grads_.Total();
+}
+
+void FeatureParallelTrainer::BuildLayerHistograms(
+    const std::vector<BuildTask>& tasks) {
+  const uint32_t q = options_.params.num_candidate_splits;
+  const uint32_t feature_end =
+      feature_begin_ + static_cast<uint32_t>(owned_features_.size());
+  for (const BuildTask& task : tasks) {
+    Histogram* hist =
+        pool_.Acquire(task.build_node, HistFeatureCount(), q, dims_);
+    // Row scan over the full copy, accumulating only the owned feature
+    // slice (feature-parallel histogram division).
+    for (InstanceId i : partition_.Instances(task.build_node)) {
+      auto features = store_.RowFeatures(i);
+      auto bins = store_.RowBins(i);
+      const GradPair* g = grads_.row(i);
+      for (size_t k = 0; k < features.size(); ++k) {
+        if (features[k] < feature_begin_ || features[k] >= feature_end) {
+          continue;
+        }
+        hist->Add(features[k] - feature_begin_, bins[k], g);
+      }
+    }
+    if (task.subtract_node != kInvalidNode) {
+      Histogram* sibling =
+          pool_.Acquire(task.subtract_node, HistFeatureCount(), q, dims_);
+      const Histogram* parent = pool_.Get(task.parent);
+      VERO_CHECK(parent != nullptr);
+      sibling->SetToDifference(*parent, *hist);
+    }
+  }
+}
+
+std::vector<SplitCandidate> FeatureParallelTrainer::FindLayerSplits(
+    const std::vector<NodeId>& frontier) {
+  std::vector<SplitCandidate> local(frontier.size());
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    const Histogram* hist = pool_.Get(frontier[i]);
+    local[i] = finder_.FindBest(*hist, node_stats_[frontier[i]],
+                                owned_features_, splits_);
+  }
+  std::vector<std::vector<uint8_t>> all;
+  ctx_.AllGather(SerializeSplits(local), &all);
+  std::vector<SplitCandidate> best;
+  for (const auto& buf : all) MergeBestSplits(DeserializeSplits(buf), &best);
+  return best;
+}
+
+void FeatureParallelTrainer::ApplyLayerSplits(
+    const std::vector<NodeId>& nodes,
+    const std::vector<SplitCandidate>& splits,
+    std::vector<uint32_t>* child_counts) {
+  // Every worker holds the full dataset: placement is local, no broadcast.
+  child_counts->clear();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const SplitCandidate& s = splits[i];
+    auto instances = partition_.Instances(nodes[i]);
+    Bitmap go_left(instances.size());
+    for (size_t j = 0; j < instances.size(); ++j) {
+      const auto bin = store_.FindBin(instances[j], s.feature);
+      go_left.Assign(j, bin.has_value() ? (*bin <= s.split_bin)
+                                        : s.default_left);
+    }
+    partition_.Split(nodes[i], go_left);
+    child_counts->push_back(partition_.Count(LeftChild(nodes[i])));
+    child_counts->push_back(partition_.Count(RightChild(nodes[i])));
+  }
+}
+
+void FeatureParallelTrainer::UpdateMargins(const Tree& tree) {
+  const double lr = options_.params.learning_rate;
+  for (NodeId node = 0; node < static_cast<NodeId>(tree.max_nodes());
+       ++node) {
+    if (!partition_.Has(node)) continue;
+    const std::vector<float>& w = tree.node(node).leaf_values;
+    for (InstanceId i : partition_.Instances(node)) {
+      for (uint32_t k = 0; k < dims_; ++k) {
+        margins_[static_cast<size_t>(i) * dims_ + k] += lr * w[k];
+      }
+    }
+  }
+}
+
+}  // namespace vero

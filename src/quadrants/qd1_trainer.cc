@@ -1,0 +1,162 @@
+#include "quadrants/qd1_trainer.h"
+
+#include <cstring>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace vero {
+
+Qd1Trainer::Qd1Trainer(WorkerContext& ctx, const DistTrainOptions& options,
+                       const Dataset& shard, const CandidateSplits& splits,
+                       uint32_t num_global_instances)
+    : DistTrainerBase(ctx, options, shard.task(), shard.num_classes()),
+      splits_(splits),
+      store_(BinnedColumnStore::FromCsr(shard.matrix(), splits)),
+      num_local_rows_(shard.num_instances()) {
+  num_global_instances_ = num_global_instances;
+  labels_ = shard.labels();
+  margins_.assign(static_cast<size_t>(num_local_rows_) * dims_, 0.0);
+  grads_ = GradientBuffer(num_local_rows_, dims_);
+  all_features_.resize(shard.num_features());
+  std::iota(all_features_.begin(), all_features_.end(), FeatureId{0});
+  slot_of_node_.assign((size_t{1} << options.params.num_layers) - 1, -1);
+}
+
+uint64_t Qd1Trainer::DataBytes() const {
+  return store_.MemoryBytes() + labels_.capacity() * sizeof(float);
+}
+
+uint32_t Qd1Trainer::HistFeatureCount() const {
+  return static_cast<uint32_t>(all_features_.size());
+}
+
+void Qd1Trainer::InitTreeIndexes() { node_of_.Init(num_local_rows_); }
+
+GradStats Qd1Trainer::ComputeGradients() {
+  loss_->ComputeGradients(labels_, margins_, 0, num_local_rows_, &grads_);
+  GradStats local = grads_.Total();
+  std::vector<double> raw(2 * dims_);
+  for (uint32_t k = 0; k < dims_; ++k) {
+    raw[2 * k] = local[k].g;
+    raw[2 * k + 1] = local[k].h;
+  }
+  ctx_.AllReduceSum(raw);
+  for (uint32_t k = 0; k < dims_; ++k) {
+    local[k].g = raw[2 * k];
+    local[k].h = raw[2 * k + 1];
+  }
+  return local;
+}
+
+void Qd1Trainer::BuildLayerHistograms(const std::vector<BuildTask>& tasks) {
+  const uint32_t q = options_.params.num_candidate_splits;
+  // One sweep over all columns builds every frontier node at once, driven
+  // by the instance-to-node index (the XGBoost layer pass).
+  std::vector<NodeId> build_nodes;
+  for (const BuildTask& task : tasks) {
+    VERO_CHECK_EQ(task.subtract_node, kInvalidNode);
+    build_nodes.push_back(task.build_node);
+    pool_.Acquire(task.build_node, HistFeatureCount(), q, dims_);
+  }
+  std::vector<Histogram*> hists((size_t{1} << options_.params.num_layers) - 1,
+                                nullptr);
+  for (NodeId node : build_nodes) hists[node] = pool_.Get(node);
+
+  const uint32_t d = HistFeatureCount();
+  for (FeatureId f = 0; f < d; ++f) {
+    auto rows = store_.ColumnRows(f);
+    auto bins = store_.ColumnBins(f);
+    for (size_t k = 0; k < rows.size(); ++k) {
+      const NodeId node = node_of_.Get(rows[k]);
+      Histogram* hist = hists[node];
+      if (hist == nullptr) continue;  // Instance rests on a finished leaf.
+      hist->Add(f, bins[k], grads_.row(rows[k]));
+    }
+  }
+}
+
+std::vector<SplitCandidate> Qd1Trainer::FindLayerSplits(
+    const std::vector<NodeId>& frontier) {
+  const uint32_t q = options_.params.num_candidate_splits;
+  const size_t per_node =
+      static_cast<size_t>(HistFeatureCount()) * q * dims_ * 2;
+  // All-reduce the concatenated layer histograms; afterwards every worker
+  // holds the aggregated histograms (XGBoost then lets each worker evaluate
+  // all features redundantly — deterministic, so no extra broadcast).
+  std::vector<double> buffer(frontier.size() * per_node);
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    const Histogram* hist = pool_.Get(frontier[i]);
+    std::memcpy(buffer.data() + i * per_node, hist->raw_data(),
+                per_node * sizeof(double));
+  }
+  ctx_.AllReduceSum(buffer);
+  std::vector<SplitCandidate> best(frontier.size());
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    Histogram* hist = pool_.Get(frontier[i]);
+    std::memcpy(hist->raw_data(), buffer.data() + i * per_node,
+                per_node * sizeof(double));
+    best[i] = finder_.FindBest(*hist, node_stats_[frontier[i]],
+                               all_features_, splits_);
+  }
+  return best;
+}
+
+void Qd1Trainer::ApplyLayerSplits(const std::vector<NodeId>& nodes,
+                                  const std::vector<SplitCandidate>& splits,
+                                  std::vector<uint32_t>* child_counts) {
+  // Pass 1: instances present in a split feature's column move by value.
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const SplitCandidate& s = splits[i];
+    auto rows = store_.ColumnRows(s.feature);
+    auto bins = store_.ColumnBins(s.feature);
+    for (size_t k = 0; k < rows.size(); ++k) {
+      if (node_of_.Get(rows[k]) != nodes[i]) continue;
+      node_of_.Set(rows[k], bins[k] <= s.split_bin ? LeftChild(nodes[i])
+                                                   : RightChild(nodes[i]));
+    }
+    slot_of_node_[nodes[i]] = static_cast<int32_t>(i);
+  }
+  // Pass 2: one scan moves the remaining (missing-value) instances to the
+  // default child of whichever node they still sit on.
+  std::vector<double> counts(2 * nodes.size(), 0.0);
+  for (InstanceId i = 0; i < num_local_rows_; ++i) {
+    const NodeId node = node_of_.Get(i);
+    NodeId resolved = node;
+    if (static_cast<size_t>(node) < slot_of_node_.size() &&
+        slot_of_node_[node] >= 0) {
+      const size_t slot = static_cast<size_t>(slot_of_node_[node]);
+      resolved = splits[slot].default_left ? LeftChild(node)
+                                           : RightChild(node);
+      node_of_.Set(i, resolved);
+    }
+    // Count children of this layer.
+    const NodeId parent = Parent(resolved);
+    if (resolved > 0 && static_cast<size_t>(parent) < slot_of_node_.size() &&
+        slot_of_node_[parent] >= 0) {
+      const size_t slot = static_cast<size_t>(slot_of_node_[parent]);
+      counts[2 * slot + (IsLeftChild(resolved) ? 0 : 1)] += 1.0;
+    }
+  }
+  for (NodeId node : nodes) slot_of_node_[node] = -1;
+
+  ctx_.AllReduceSum(counts);
+  child_counts->resize(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    (*child_counts)[i] = static_cast<uint32_t>(counts[i] + 0.5);
+  }
+}
+
+void Qd1Trainer::UpdateMargins(const Tree& tree) {
+  const double lr = options_.params.learning_rate;
+  for (InstanceId i = 0; i < num_local_rows_; ++i) {
+    const NodeId node = node_of_.Get(i);
+    VERO_DCHECK(tree.Exists(node));
+    const std::vector<float>& w = tree.node(node).leaf_values;
+    for (uint32_t k = 0; k < dims_; ++k) {
+      margins_[static_cast<size_t>(i) * dims_ + k] += lr * w[k];
+    }
+  }
+}
+
+}  // namespace vero

@@ -1,0 +1,192 @@
+#include "quadrants/qd2_trainer.h"
+
+#include <cstring>
+#include <numeric>
+
+#include "common/bitmap.h"
+#include "common/logging.h"
+
+namespace vero {
+
+Qd2Trainer::Qd2Trainer(WorkerContext& ctx, const DistTrainOptions& options,
+                       const Dataset& shard, const CandidateSplits& splits,
+                       uint32_t num_global_instances)
+    : DistTrainerBase(ctx, options, shard.task(), shard.num_classes()),
+      splits_(splits),
+      store_(BinnedRowStore::FromCsr(shard.matrix(), splits)),
+      num_local_rows_(shard.num_instances()) {
+  num_global_instances_ = num_global_instances;
+  labels_ = shard.labels();
+  margins_.assign(static_cast<size_t>(num_local_rows_) * dims_, 0.0);
+  grads_ = GradientBuffer(num_local_rows_, dims_);
+  all_features_.resize(shard.num_features());
+  std::iota(all_features_.begin(), all_features_.end(), FeatureId{0});
+}
+
+uint64_t Qd2Trainer::DataBytes() const {
+  return store_.MemoryBytes() + labels_.capacity() * sizeof(float);
+}
+
+uint32_t Qd2Trainer::HistFeatureCount() const {
+  return static_cast<uint32_t>(all_features_.size());
+}
+
+void Qd2Trainer::InitTreeIndexes() {
+  partition_.Init(num_local_rows_, options_.params.num_layers);
+}
+
+GradStats Qd2Trainer::ComputeGradients() {
+  loss_->ComputeGradients(labels_, margins_, 0, num_local_rows_, &grads_);
+  GradStats local = grads_.Total();
+  // Tiny all-reduce of the 2C root sums.
+  std::vector<double> raw(2 * dims_);
+  for (uint32_t k = 0; k < dims_; ++k) {
+    raw[2 * k] = local[k].g;
+    raw[2 * k + 1] = local[k].h;
+  }
+  ctx_.AllReduceSum(raw);
+  for (uint32_t k = 0; k < dims_; ++k) {
+    local[k].g = raw[2 * k];
+    local[k].h = raw[2 * k + 1];
+  }
+  return local;
+}
+
+void Qd2Trainer::BuildNodeHistogram(NodeId node, Histogram* hist) {
+  for (InstanceId i : partition_.Instances(node)) {
+    auto features = store_.RowFeatures(i);
+    auto bins = store_.RowBins(i);
+    const GradPair* g = grads_.row(i);
+    for (size_t k = 0; k < features.size(); ++k) {
+      hist->Add(features[k], bins[k], g);
+    }
+  }
+}
+
+void Qd2Trainer::BuildLayerHistograms(const std::vector<BuildTask>& tasks) {
+  const uint32_t q = options_.params.num_candidate_splits;
+  for (const BuildTask& task : tasks) {
+    Histogram* hist =
+        pool_.Acquire(task.build_node, HistFeatureCount(), q, dims_);
+    BuildNodeHistogram(task.build_node, hist);
+    if (task.subtract_node != kInvalidNode) {
+      Histogram* sibling =
+          pool_.Acquire(task.subtract_node, HistFeatureCount(), q, dims_);
+      const Histogram* parent = pool_.Get(task.parent);
+      VERO_CHECK(parent != nullptr);
+      sibling->SetToDifference(*parent, *hist);
+    }
+  }
+}
+
+std::vector<SplitCandidate> Qd2Trainer::FindLayerSplits(
+    const std::vector<NodeId>& frontier) {
+  const int w = ctx_.world_size();
+  const int rank = ctx_.rank();
+  const uint32_t d = HistFeatureCount();
+  const uint32_t q = options_.params.num_candidate_splits;
+  // Doubles per feature in the flat histogram layout.
+  const size_t per_feature = static_cast<size_t>(q) * dims_ * 2;
+
+  // Feature-sliced reduce-scatter, realized as a personalized all-to-all:
+  // worker g receives (and sums) the [fbegin(g), fend(g)) feature rows of
+  // every frontier node's local histogram.
+  std::vector<std::vector<uint8_t>> to_dest(w);
+  for (int g = 0; g < w; ++g) {
+    const size_t fb = ctx_.SliceBegin(d, g);
+    const size_t fe = ctx_.SliceEnd(d, g);
+    std::vector<uint8_t>& buf = to_dest[g];
+    buf.resize(frontier.size() * (fe - fb) * per_feature * sizeof(double));
+    uint8_t* out = buf.data();
+    for (NodeId node : frontier) {
+      const Histogram* hist = pool_.Get(node);
+      VERO_CHECK(hist != nullptr);
+      const double* src = hist->raw_data() + fb * per_feature;
+      const size_t bytes = (fe - fb) * per_feature * sizeof(double);
+      std::memcpy(out, src, bytes);
+      out += bytes;
+    }
+  }
+  std::vector<std::vector<uint8_t>> from_src;
+  ctx_.AllToAll(std::move(to_dest), &from_src);
+
+  const size_t my_fb = ctx_.SliceBegin(d, rank);
+  const size_t my_fe = ctx_.SliceEnd(d, rank);
+  const size_t my_features = my_fe - my_fb;
+  const size_t doubles_per_node = my_features * per_feature;
+  std::vector<double> agg(frontier.size() * doubles_per_node, 0.0);
+  for (int src = 0; src < w; ++src) {
+    VERO_CHECK_EQ(from_src[src].size(), agg.size() * sizeof(double));
+    const double* in = reinterpret_cast<const double*>(from_src[src].data());
+    for (size_t i = 0; i < agg.size(); ++i) agg[i] += in[i];
+  }
+
+  // Local best per node over the owned feature slice.
+  std::vector<FeatureId> slice_ids(my_features);
+  std::iota(slice_ids.begin(), slice_ids.end(),
+            static_cast<FeatureId>(my_fb));
+  std::vector<SplitCandidate> local_best(frontier.size());
+  Histogram slice(static_cast<uint32_t>(my_features), q, dims_);
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    std::memcpy(slice.raw_data(), agg.data() + i * doubles_per_node,
+                doubles_per_node * sizeof(double));
+    // The missing-value bucket needs the node totals minus the mass present
+    // in this slice's feature bins; FindBest computes it per feature from
+    // the full node stats, which works on any feature subset.
+    local_best[i] = finder_.FindBest(slice, node_stats_[frontier[i]],
+                                     slice_ids, splits_);
+  }
+
+  // Exchange local bests; everyone deterministically merges.
+  std::vector<std::vector<uint8_t>> all;
+  ctx_.AllGather(SerializeSplits(local_best), &all);
+  std::vector<SplitCandidate> best;
+  for (int r = 0; r < w; ++r) {
+    MergeBestSplits(DeserializeSplits(all[r]), &best);
+  }
+  return best;
+}
+
+void Qd2Trainer::ApplyLayerSplits(const std::vector<NodeId>& nodes,
+                                  const std::vector<SplitCandidate>& splits,
+                                  std::vector<uint32_t>* child_counts) {
+  // Each worker owns full rows, so placement is local (no broadcast).
+  std::vector<double> counts(2 * nodes.size(), 0.0);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const SplitCandidate& s = splits[i];
+    auto instances = partition_.Instances(nodes[i]);
+    Bitmap go_left(instances.size());
+    for (size_t j = 0; j < instances.size(); ++j) {
+      const auto bin = store_.FindBin(instances[j], s.feature);
+      const bool left =
+          bin.has_value() ? (*bin <= s.split_bin) : s.default_left;
+      go_left.Assign(j, left);
+    }
+    partition_.Split(nodes[i], go_left);
+    counts[2 * i] = partition_.Count(LeftChild(nodes[i]));
+    counts[2 * i + 1] = partition_.Count(RightChild(nodes[i]));
+  }
+  // Global child counts drive the shared subtraction schema (the "master
+  // collects instance counts" step of §4.2.2).
+  ctx_.AllReduceSum(counts);
+  child_counts->resize(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    (*child_counts)[i] = static_cast<uint32_t>(counts[i] + 0.5);
+  }
+}
+
+void Qd2Trainer::UpdateMargins(const Tree& tree) {
+  const double lr = options_.params.learning_rate;
+  for (NodeId node = 0; node < static_cast<NodeId>(tree.max_nodes());
+       ++node) {
+    if (!partition_.Has(node)) continue;
+    const std::vector<float>& w = tree.node(node).leaf_values;
+    for (InstanceId i : partition_.Instances(node)) {
+      for (uint32_t k = 0; k < dims_; ++k) {
+        margins_[static_cast<size_t>(i) * dims_ + k] += lr * w[k];
+      }
+    }
+  }
+}
+
+}  // namespace vero

@@ -1,0 +1,55 @@
+#ifndef VERO_QUADRANTS_QD2_TRAINER_H_
+#define VERO_QUADRANTS_QD2_TRAINER_H_
+
+#include <vector>
+
+#include "core/binned.h"
+#include "core/node_indexer.h"
+#include "quadrants/dist_common.h"
+
+namespace vero {
+
+/// QD2: horizontal partitioning + row-store (the LightGBM / DimBoost
+/// design). Each worker holds a row shard binned over the full feature
+/// space, maintains a node-to-instance index with histogram subtraction,
+/// aggregates histograms with a feature-sliced reduce-scatter, finds splits
+/// on its feature slice, and exchanges per-node local bests.
+class Qd2Trainer : public DistTrainerBase {
+ public:
+  /// `shard` is this worker's contiguous row range (global feature space);
+  /// `splits` must be the shared distributed candidate-split table.
+  Qd2Trainer(WorkerContext& ctx, const DistTrainOptions& options,
+             const Dataset& shard, const CandidateSplits& splits,
+             uint32_t num_global_instances);
+
+  uint64_t DataBytes() const override;
+
+ protected:
+  bool OwnsAllRows() const override { return false; }
+  uint32_t HistFeatureCount() const override;
+  const std::vector<FeatureId>& HistGlobalIds() const override {
+    return all_features_;
+  }
+  void InitTreeIndexes() override;
+  GradStats ComputeGradients() override;
+  void BuildLayerHistograms(const std::vector<BuildTask>& tasks) override;
+  std::vector<SplitCandidate> FindLayerSplits(
+      const std::vector<NodeId>& frontier) override;
+  void ApplyLayerSplits(const std::vector<NodeId>& nodes,
+                        const std::vector<SplitCandidate>& splits,
+                        std::vector<uint32_t>* child_counts) override;
+  void UpdateMargins(const Tree& tree) override;
+
+ private:
+  void BuildNodeHistogram(NodeId node, Histogram* hist);
+
+  const CandidateSplits& splits_;
+  BinnedRowStore store_;
+  RowPartition partition_;
+  std::vector<FeatureId> all_features_;
+  uint32_t num_local_rows_ = 0;
+};
+
+}  // namespace vero
+
+#endif  // VERO_QUADRANTS_QD2_TRAINER_H_

@@ -1,0 +1,148 @@
+#include "quadrants/qd3_trainer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vero {
+
+const char* Qd3IndexPolicyToString(Qd3IndexPolicy policy) {
+  switch (policy) {
+    case Qd3IndexPolicy::kLinearScanOnly:
+      return "linear-scan";
+    case Qd3IndexPolicy::kBinarySearchOnly:
+      return "binary-search";
+    case Qd3IndexPolicy::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+Qd3Trainer::Qd3Trainer(WorkerContext& ctx, const DistTrainOptions& options,
+                       Task task, uint32_t num_classes,
+                       const VerticalShard& shard, Qd3IndexPolicy policy)
+    : VerticalTrainerBase(ctx, options, task, num_classes, shard),
+      policy_(policy) {
+  // Pivot the row-stored column group into per-feature columns
+  // (instance ids ascend naturally because rows are visited in order).
+  const uint32_t num_local = HistFeatureCount();
+  std::vector<uint64_t> counts(num_local, 0);
+  for (InstanceId i = 0; i < shard.num_instances; ++i) {
+    for (uint32_t f : shard.data.RowFeatures(i)) ++counts[f];
+  }
+  store_.set_num_rows(shard.num_instances);
+  // Build incrementally column-by-column would need column-major input;
+  // instead allocate via a second pass with cursors.
+  {
+    std::vector<uint64_t> col_ptr(num_local + 1, 0);
+    for (uint32_t f = 0; f < num_local; ++f) {
+      col_ptr[f + 1] = col_ptr[f] + counts[f];
+    }
+    std::vector<InstanceId> rows(col_ptr[num_local]);
+    std::vector<BinId> bins(col_ptr[num_local]);
+    std::vector<uint64_t> cursor = col_ptr;
+    for (InstanceId i = 0; i < shard.num_instances; ++i) {
+      auto features = shard.data.RowFeatures(i);
+      auto row_bins = shard.data.RowBins(i);
+      for (size_t k = 0; k < features.size(); ++k) {
+        const uint64_t pos = cursor[features[k]]++;
+        rows[pos] = i;
+        bins[pos] = row_bins[k];
+      }
+    }
+    BinnedColumnStore store;
+    store.set_num_rows(shard.num_instances);
+    for (uint32_t f = 0; f < num_local; ++f) {
+      store.StartColumn();
+      for (uint64_t k = col_ptr[f]; k < col_ptr[f + 1]; ++k) {
+        store.PushEntry(rows[k], bins[k]);
+      }
+    }
+    store_ = std::move(store);
+  }
+}
+
+uint64_t Qd3Trainer::DataBytes() const {
+  return store_.MemoryBytes() + labels_.capacity() * sizeof(float);
+}
+
+void Qd3Trainer::InitTreeIndexes() {
+  VerticalTrainerBase::InitTreeIndexes();
+  node_of_.Init(shard_.num_instances);
+}
+
+void Qd3Trainer::BuildLayerHistograms(const std::vector<BuildTask>& tasks) {
+  const uint32_t q = options_.params.num_candidate_splits;
+  const uint32_t num_local = HistFeatureCount();
+
+  std::vector<NodeId> build_nodes;
+  uint64_t build_instances = 0;
+  for (const BuildTask& task : tasks) {
+    build_nodes.push_back(task.build_node);
+    build_instances += partition_.Count(task.build_node);
+    pool_.Acquire(task.build_node, num_local, q, dims_);
+  }
+  std::vector<Histogram*> hists(
+      (size_t{1} << options_.params.num_layers) - 1, nullptr);
+  for (NodeId node : build_nodes) hists[node] = pool_.Get(node);
+
+  // Per column: either one linear scan that serves every build node via the
+  // instance-to-node index, or per-node binary searches via the
+  // node-to-instance index — whichever touches less data (§5.2.2).
+  for (uint32_t f = 0; f < num_local; ++f) {
+    const uint64_t nnz = store_.ColumnLength(f);
+    if (nnz == 0) continue;
+    const double cost_linear = static_cast<double>(nnz);
+    const double cost_binary =
+        static_cast<double>(build_instances) *
+        std::log2(static_cast<double>(nnz) + 2.0);
+    const bool linear =
+        policy_ == Qd3IndexPolicy::kLinearScanOnly ||
+        (policy_ == Qd3IndexPolicy::kMixed && cost_linear <= cost_binary);
+    if (linear) {
+      auto rows = store_.ColumnRows(f);
+      auto bins = store_.ColumnBins(f);
+      for (size_t k = 0; k < rows.size(); ++k) {
+        Histogram* hist = hists[node_of_.Get(rows[k])];
+        if (hist == nullptr) continue;
+        hist->Add(f, bins[k], grads_.row(rows[k]));
+      }
+    } else {
+      for (NodeId node : build_nodes) {
+        Histogram* hist = hists[node];
+        for (InstanceId i : partition_.Instances(node)) {
+          const auto bin = store_.FindBin(f, i);
+          if (bin.has_value()) hist->Add(f, *bin, grads_.row(i));
+        }
+      }
+    }
+  }
+
+  // Siblings come from subtraction against the retained parents.
+  for (const BuildTask& task : tasks) {
+    if (task.subtract_node == kInvalidNode) continue;
+    Histogram* sibling =
+        pool_.Acquire(task.subtract_node, num_local, q, dims_);
+    const Histogram* parent = pool_.Get(task.parent);
+    VERO_CHECK(parent != nullptr);
+    sibling->SetToDifference(*parent, *pool_.Get(task.build_node));
+  }
+}
+
+bool Qd3Trainer::PlaceInstance(InstanceId instance, uint32_t local_feature,
+                               const SplitCandidate& split) const {
+  // Column-store lookup: binary search the feature's column by instance id.
+  const auto bin = store_.FindBin(local_feature, instance);
+  return bin.has_value() ? (*bin <= split.split_bin) : split.default_left;
+}
+
+void Qd3Trainer::OnNodeSplit(NodeId node) {
+  // Keep the instance-to-node index in sync for linear column scans.
+  for (NodeId child : {LeftChild(node), RightChild(node)}) {
+    for (InstanceId i : partition_.Instances(child)) {
+      node_of_.Set(i, child);
+    }
+  }
+}
+
+}  // namespace vero

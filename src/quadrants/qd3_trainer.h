@@ -1,0 +1,54 @@
+#ifndef VERO_QUADRANTS_QD3_TRAINER_H_
+#define VERO_QUADRANTS_QD3_TRAINER_H_
+
+#include <vector>
+
+#include "core/binned.h"
+#include "quadrants/vertical_common.h"
+
+namespace vero {
+
+/// Policy for building histograms from columns in QD3 (Appendix C studies
+/// these; the mixed policy is the paper's optimized representative).
+enum class Qd3IndexPolicy {
+  /// Always scan whole columns with the instance-to-node index (cannot use
+  /// histogram subtraction) — Yggdrasil-with-instance-to-node behavior.
+  kLinearScanOnly,
+  /// Always binary-search per node instance with subtraction.
+  kBinarySearchOnly,
+  /// Per column, pick whichever is cheaper (the paper's QD3).
+  kMixed,
+};
+
+const char* Qd3IndexPolicyToString(Qd3IndexPolicy policy);
+
+/// QD3: vertical partitioning + column-store (the Yggdrasil family). Each
+/// worker stores its feature subset as columns over all instances and
+/// combines an instance-to-node index (for linear column scans) with the
+/// node-to-instance index (for per-node binary searches + subtraction),
+/// choosing per column (§5.2.2 "Index plan").
+class Qd3Trainer : public VerticalTrainerBase {
+ public:
+  Qd3Trainer(WorkerContext& ctx, const DistTrainOptions& options, Task task,
+             uint32_t num_classes, const VerticalShard& shard,
+             Qd3IndexPolicy policy = Qd3IndexPolicy::kMixed);
+
+  uint64_t DataBytes() const override;
+
+ protected:
+  void InitTreeIndexes() override;
+  void BuildLayerHistograms(const std::vector<BuildTask>& tasks) override;
+  bool PlaceInstance(InstanceId instance, uint32_t local_feature,
+                     const SplitCandidate& split) const override;
+  void OnNodeSplit(NodeId node) override;
+  bool MasterCoordinatesSplits() const override { return false; }
+
+ private:
+  BinnedColumnStore store_;  ///< Columns indexed by local feature id.
+  InstanceToNode node_of_;
+  Qd3IndexPolicy policy_;
+};
+
+}  // namespace vero
+
+#endif  // VERO_QUADRANTS_QD3_TRAINER_H_

@@ -1,0 +1,44 @@
+#ifndef VERO_QUADRANTS_QUADRANT_H_
+#define VERO_QUADRANTS_QUADRANT_H_
+
+namespace vero {
+
+/// The four data-management quadrants of Figure 1, plus the
+/// feature-parallel (replicated-dataset) baseline of Appendix D.
+enum class Quadrant {
+  /// Horizontal partitioning + column-store (XGBoost).
+  kQD1,
+  /// Horizontal partitioning + row-store (LightGBM / DimBoost).
+  kQD2,
+  /// Vertical partitioning + column-store (Yggdrasil).
+  kQD3,
+  /// Vertical partitioning + row-store (Vero — this paper).
+  kQD4,
+  /// Feature-parallel: no partitioning, full dataset on every worker
+  /// (LightGBM feature-parallel mode).
+  kFeatureParallel,
+};
+
+inline const char* QuadrantToString(Quadrant q) {
+  switch (q) {
+    case Quadrant::kQD1:
+      return "QD1(Horizontal+Column)";
+    case Quadrant::kQD2:
+      return "QD2(Horizontal+Row)";
+    case Quadrant::kQD3:
+      return "QD3(Vertical+Column)";
+    case Quadrant::kQD4:
+      return "QD4(Vertical+Row/Vero)";
+    case Quadrant::kFeatureParallel:
+      return "FeatureParallel";
+  }
+  return "?";
+}
+
+inline bool IsVertical(Quadrant q) {
+  return q == Quadrant::kQD3 || q == Quadrant::kQD4;
+}
+
+}  // namespace vero
+
+#endif  // VERO_QUADRANTS_QUADRANT_H_

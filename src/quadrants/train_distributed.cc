@@ -1,0 +1,138 @@
+#include "quadrants/train_distributed.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "quadrants/feature_parallel.h"
+#include "quadrants/qd1_trainer.h"
+#include "quadrants/qd2_trainer.h"
+#include "quadrants/qd4_vero.h"
+
+namespace vero {
+namespace {
+
+// Everything one worker reports back after its SPMD run.
+struct WorkerOutput {
+  GbdtModel model;
+  std::vector<TreeCost> tree_costs;
+  std::vector<IterationStats> curve;
+  uint64_t peak_histogram_bytes = 0;
+  uint64_t data_bytes = 0;
+  uint64_t train_bytes_sent = 0;
+  double setup_seconds = 0.0;
+  TransformStats transform_stats;
+};
+
+}  // namespace
+
+DistResult TrainDistributed(Cluster& cluster, const Dataset& train,
+                            Quadrant quadrant,
+                            const DistTrainOptions& options,
+                            const Dataset* valid,
+                            Qd3IndexPolicy qd3_policy) {
+  VERO_CHECK_OK(options.params.Validate());
+  const int w = cluster.num_workers();
+  const uint32_t n = train.num_instances();
+
+  // Horizontal shards in rank order (the layout loaded from HDFS in §4.2.1).
+  std::vector<Dataset> shards;
+  if (quadrant != Quadrant::kFeatureParallel) {
+    shards.reserve(w);
+    for (int r = 0; r < w; ++r) {
+      const auto [begin, end] = HorizontalRange(n, w, r);
+      shards.emplace_back(train.matrix().SliceRows(begin, end),
+                          std::vector<float>(train.labels().begin() + begin,
+                                             train.labels().begin() + end),
+                          train.task(), train.num_classes());
+    }
+  }
+
+  cluster.ResetStats();
+  std::vector<WorkerOutput> outputs(w);
+
+  cluster.Run([&](WorkerContext& ctx) {
+    const int rank = ctx.rank();
+    WorkerOutput& out = outputs[rank];
+    ThreadCpuTimer setup_cpu;
+    const double sim_start = ctx.stats().sim_seconds;
+
+    std::unique_ptr<DistTrainerBase> trainer;
+    CandidateSplits splits;       // Storage for horizontal quadrants.
+    VerticalShard vertical;       // Storage for vertical quadrants.
+
+    switch (quadrant) {
+      case Quadrant::kQD1:
+      case Quadrant::kQD2: {
+        const Dataset& shard = shards[rank];
+        double sketch_seconds = 0.0;
+        splits = BuildDistributedCandidateSplits(
+            ctx, shard, options.params.num_candidate_splits,
+            options.params.sketch_entries, nullptr, &sketch_seconds);
+        if (quadrant == Quadrant::kQD1) {
+          trainer = std::make_unique<Qd1Trainer>(ctx, options, shard, splits,
+                                                 n);
+        } else {
+          trainer = std::make_unique<Qd2Trainer>(ctx, options, shard, splits,
+                                                 n);
+        }
+        break;
+      }
+      case Quadrant::kQD3:
+      case Quadrant::kQD4: {
+        TransformOptions transform = options.transform;
+        transform.num_candidate_splits = options.params.num_candidate_splits;
+        transform.sketch_entries = options.params.sketch_entries;
+        vertical = HorizontalToVertical(ctx, shards[rank], transform);
+        out.transform_stats = vertical.stats;
+        if (quadrant == Quadrant::kQD3) {
+          trainer = std::make_unique<Qd3Trainer>(ctx, options, train.task(),
+                                                 train.num_classes(),
+                                                 vertical, qd3_policy);
+        } else {
+          trainer = std::make_unique<Qd4VeroTrainer>(
+              ctx, options, train.task(), train.num_classes(), vertical);
+        }
+        break;
+      }
+      case Quadrant::kFeatureParallel: {
+        // No partitioning: every worker computes identical splits locally
+        // from its full copy (no sketch communication).
+        splits = ProposeCandidateSplits(train,
+                                        options.params.num_candidate_splits,
+                                        options.params.sketch_entries);
+        trainer = std::make_unique<FeatureParallelTrainer>(ctx, options,
+                                                           train, splits);
+        break;
+      }
+    }
+
+    setup_cpu.Stop();
+    const double setup_comm = ctx.stats().sim_seconds - sim_start;
+    out.setup_seconds =
+        ctx.InstrumentMax(setup_cpu.Seconds()) + ctx.InstrumentMax(setup_comm);
+    const uint64_t bytes_after_setup = ctx.stats().bytes_sent;
+
+    trainer->Train(valid, &out.tree_costs, &out.curve, out.setup_seconds);
+    out.train_bytes_sent = ctx.stats().bytes_sent - bytes_after_setup;
+    out.peak_histogram_bytes = trainer->peak_histogram_bytes();
+    out.data_bytes = trainer->DataBytes();
+    if (rank == 0) out.model = trainer->model();
+  });
+
+  DistResult result;
+  result.model = std::move(outputs[0].model);
+  result.tree_costs = std::move(outputs[0].tree_costs);
+  result.curve = std::move(outputs[0].curve);
+  result.setup_seconds = outputs[0].setup_seconds;
+  result.transform_stats = outputs[0].transform_stats;
+  for (const WorkerOutput& out : outputs) {
+    result.peak_histogram_bytes =
+        std::max(result.peak_histogram_bytes, out.peak_histogram_bytes);
+    result.data_bytes = std::max(result.data_bytes, out.data_bytes);
+    result.train_bytes_sent += out.train_bytes_sent;
+  }
+  return result;
+}
+
+}  // namespace vero

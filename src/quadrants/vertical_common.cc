@@ -1,0 +1,148 @@
+#include "quadrants/vertical_common.h"
+
+#include "common/logging.h"
+#include "common/serialize.h"
+
+namespace vero {
+
+VerticalTrainerBase::VerticalTrainerBase(WorkerContext& ctx,
+                                         const DistTrainOptions& options,
+                                         Task task, uint32_t num_classes,
+                                         const VerticalShard& shard)
+    : DistTrainerBase(ctx, options, task, num_classes), shard_(shard) {
+  num_global_instances_ = shard.num_instances;
+  labels_ = shard.labels;
+  margins_.assign(static_cast<size_t>(shard.num_instances) * dims_, 0.0);
+  grads_ = GradientBuffer(shard.num_instances, dims_);
+  local_id_of_.assign(shard.num_features, kInvalidFeature);
+  for (size_t i = 0; i < shard.owned_features.size(); ++i) {
+    local_id_of_[shard.owned_features[i]] = static_cast<uint32_t>(i);
+  }
+}
+
+void VerticalTrainerBase::InitTreeIndexes() {
+  partition_.Init(shard_.num_instances, options_.params.num_layers);
+}
+
+GradStats VerticalTrainerBase::ComputeGradients() {
+  // Every worker recomputes gradients for all instances (replicated work,
+  // zero communication — the vertical trade-off of §2.2.1).
+  loss_->ComputeGradients(labels_, margins_, 0, shard_.num_instances,
+                          &grads_);
+  return grads_.Total();
+}
+
+std::vector<SplitCandidate> VerticalTrainerBase::LocalBestSplits(
+    const std::vector<NodeId>& frontier) {
+  std::vector<SplitCandidate> local(frontier.size());
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    const Histogram* hist = pool_.Get(frontier[i]);
+    VERO_CHECK(hist != nullptr);
+    local[i] = finder_.FindBest(*hist, node_stats_[frontier[i]],
+                                shard_.owned_features, shard_.splits);
+  }
+  return local;
+}
+
+std::vector<SplitCandidate> VerticalTrainerBase::FindLayerSplits(
+    const std::vector<NodeId>& frontier) {
+  const std::vector<SplitCandidate> local = LocalBestSplits(frontier);
+  std::vector<SplitCandidate> best;
+  if (MasterCoordinatesSplits()) {
+    // Vero: master gathers local bests, resolves, broadcasts the winners.
+    std::vector<std::vector<uint8_t>> gathered;
+    ctx_.Gather(SerializeSplits(local), /*root=*/0, &gathered);
+    std::vector<uint8_t> decision;
+    if (ctx_.rank() == 0) {
+      for (const auto& buf : gathered) {
+        MergeBestSplits(DeserializeSplits(buf), &best);
+      }
+      decision = SerializeSplits(best);
+    }
+    ctx_.Broadcast(&decision, /*root=*/0);
+    best = DeserializeSplits(decision);
+  } else {
+    // Yggdrasil: all workers exchange local bests and resolve locally.
+    std::vector<std::vector<uint8_t>> all;
+    ctx_.AllGather(SerializeSplits(local), &all);
+    for (const auto& buf : all) {
+      MergeBestSplits(DeserializeSplits(buf), &best);
+    }
+  }
+  return best;
+}
+
+void VerticalTrainerBase::ApplyLayerSplits(
+    const std::vector<NodeId>& nodes,
+    const std::vector<SplitCandidate>& splits,
+    std::vector<uint32_t>* child_counts) {
+  const int w = ctx_.world_size();
+  // The feature values of a split live on exactly one worker; it computes
+  // the placement bitmap and broadcasts it (bit j = j-th instance in the
+  // node's canonical order goes left). Broadcasts are batched per owner.
+  std::vector<int> owner_of(nodes.size());
+  std::vector<std::vector<uint8_t>> payload_by_owner(w);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    owner_of[i] = shard_.feature_owner[splits[i].feature];
+  }
+  for (int owner = 0; owner < w; ++owner) {
+    bool any = false;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (owner_of[i] == owner) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    std::vector<uint8_t> payload;
+    if (ctx_.rank() == owner) {
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        if (owner_of[i] != owner) continue;
+        const uint32_t local_f = local_id_of_[splits[i].feature];
+        VERO_CHECK_NE(local_f, kInvalidFeature);
+        auto instances = partition_.Instances(nodes[i]);
+        Bitmap go_left(instances.size());
+        for (size_t j = 0; j < instances.size(); ++j) {
+          go_left.Assign(j, PlaceInstance(instances[j], local_f, splits[i]));
+        }
+        go_left.SerializeTo(&payload);
+      }
+    }
+    ctx_.Broadcast(&payload, owner);
+    payload_by_owner[owner] = std::move(payload);
+  }
+
+  // Apply the bitmaps in node order (every worker decodes the same bytes).
+  std::vector<size_t> cursor(w, 0);
+  child_counts->clear();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const int owner = owner_of[i];
+    const std::vector<uint8_t>& payload = payload_by_owner[owner];
+    const size_t count = partition_.Count(nodes[i]);
+    Bitmap go_left;
+    VERO_CHECK(Bitmap::Deserialize(payload.data() + cursor[owner],
+                                   payload.size() - cursor[owner], count,
+                                   &go_left));
+    cursor[owner] += go_left.SerializedBytes();
+    partition_.Split(nodes[i], go_left);
+    OnNodeSplit(nodes[i]);
+    child_counts->push_back(partition_.Count(LeftChild(nodes[i])));
+    child_counts->push_back(partition_.Count(RightChild(nodes[i])));
+  }
+}
+
+void VerticalTrainerBase::UpdateMargins(const Tree& tree) {
+  const double lr = options_.params.learning_rate;
+  for (NodeId node = 0; node < static_cast<NodeId>(tree.max_nodes());
+       ++node) {
+    if (!partition_.Has(node)) continue;
+    const std::vector<float>& w = tree.node(node).leaf_values;
+    for (InstanceId i : partition_.Instances(node)) {
+      for (uint32_t k = 0; k < dims_; ++k) {
+        margins_[static_cast<size_t>(i) * dims_ + k] += lr * w[k];
+      }
+    }
+  }
+}
+
+}  // namespace vero

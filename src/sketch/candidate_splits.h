@@ -1,0 +1,72 @@
+#ifndef VERO_SKETCH_CANDIDATE_SPLITS_H_
+#define VERO_SKETCH_CANDIDATE_SPLITS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/types.h"
+
+namespace vero {
+
+/// Per-feature candidate split values proposed from quantile sketches
+/// (Figure 3 of the paper). Feature f has splits[f] ascending values; a raw
+/// value v maps to the bin of the first split >= v. Features never observed
+/// have an empty split list.
+class CandidateSplits {
+ public:
+  CandidateSplits() = default;
+  CandidateSplits(uint32_t max_bins, std::vector<std::vector<float>> splits)
+      : max_bins_(max_bins), splits_(std::move(splits)) {}
+
+  uint32_t num_features() const {
+    return static_cast<uint32_t>(splits_.size());
+  }
+  /// Upper bound q on bins per feature.
+  uint32_t max_bins() const { return max_bins_; }
+  /// Number of bins actually used by feature f.
+  uint32_t NumBins(FeatureId f) const {
+    return static_cast<uint32_t>(splits_[f].size());
+  }
+  const std::vector<float>& FeatureSplits(FeatureId f) const {
+    return splits_[f];
+  }
+
+  /// Bin of value v for feature f: first split >= v, clamped to the last
+  /// bin (values above the observed max land in the top bin).
+  BinId BinForValue(FeatureId f, float v) const;
+
+  /// The raw split value represented by (feature, bin).
+  float SplitValue(FeatureId f, BinId bin) const { return splits_[f][bin]; }
+
+  /// Total candidate count, used for load-balanced column grouping.
+  uint64_t TotalBins() const;
+
+  void SerializeTo(ByteWriter* writer) const;
+  static Status Deserialize(ByteReader* reader, CandidateSplits* out);
+
+  bool operator==(const CandidateSplits& other) const {
+    return max_bins_ == other.max_bins_ && splits_ == other.splits_;
+  }
+
+ private:
+  uint32_t max_bins_ = 0;
+  std::vector<std::vector<float>> splits_;
+};
+
+/// Builds exact per-feature candidate splits from a full dataset via
+/// streaming sketches (single-node path; the distributed path builds local
+/// sketches and merges them — see partition/transform).
+CandidateSplits ProposeCandidateSplits(const Dataset& dataset, uint32_t q,
+                                       size_t sketch_entries = 256);
+
+/// Quantizes a CSR matrix into per-entry bin ids, parallel to
+/// matrix.features(). Values for features with no splits map to bin 0.
+std::vector<BinId> BinValues(const CsrMatrix& matrix,
+                             const CandidateSplits& splits);
+
+}  // namespace vero
+
+#endif  // VERO_SKETCH_CANDIDATE_SPLITS_H_

@@ -1,0 +1,250 @@
+#include "sketch/quantile_summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vero {
+
+QuantileSummary::QuantileSummary(std::vector<SummaryEntry> entries)
+    : entries_(std::move(entries)) {
+  total_weight_ = entries_.empty() ? 0.0 : entries_.back().rmax;
+}
+
+QuantileSummary QuantileSummary::FromValues(std::vector<float> values) {
+  std::vector<std::pair<float, float>> weighted;
+  weighted.reserve(values.size());
+  for (float v : values) weighted.emplace_back(v, 1.0f);
+  return FromWeightedValues(std::move(weighted));
+}
+
+QuantileSummary QuantileSummary::FromWeightedValues(
+    std::vector<std::pair<float, float>> weighted) {
+  std::sort(weighted.begin(), weighted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<SummaryEntry> entries;
+  double cum = 0.0;
+  size_t i = 0;
+  while (i < weighted.size()) {
+    const float v = weighted[i].first;
+    double w = 0.0;
+    while (i < weighted.size() && weighted[i].first == v) {
+      w += weighted[i].second;
+      ++i;
+    }
+    SummaryEntry e;
+    e.value = v;
+    e.rmin = cum;
+    e.w = w;
+    cum += w;
+    e.rmax = cum;
+    entries.push_back(e);
+  }
+  return QuantileSummary(std::move(entries));
+}
+
+QuantileSummary QuantileSummary::Merge(const QuantileSummary& other) const {
+  if (empty()) return other;
+  if (other.empty()) return *this;
+  const auto& a = entries_;
+  const auto& b = other.entries_;
+  std::vector<SummaryEntry> out;
+  out.reserve(a.size() + b.size());
+
+  size_t i = 0, j = 0;
+  // Rank contribution of the *other* list below the current position:
+  // for an entry x taken from A, elements of B strictly below x contribute
+  // at least b_prev.rmin + b_prev.w to rmin and at most b_next.rmax - b_next.w
+  // to rmax (b_prev = last B entry < x, b_next = first B entry > x).
+  while (i < a.size() || j < b.size()) {
+    SummaryEntry e;
+    if (j == b.size() || (i < a.size() && a[i].value < b[j].value)) {
+      const SummaryEntry& x = a[i++];
+      const double b_below = (j == 0) ? 0.0 : b[j - 1].RMinNext();
+      const double b_above_floor =
+          (j == b.size()) ? other.total_weight_ : b[j].RMaxPrev();
+      e.value = x.value;
+      e.w = x.w;
+      e.rmin = x.rmin + b_below;
+      e.rmax = x.rmax + b_above_floor;
+    } else if (i == a.size() || b[j].value < a[i].value) {
+      const SummaryEntry& x = b[j++];
+      const double a_below = (i == 0) ? 0.0 : a[i - 1].RMinNext();
+      const double a_above_floor =
+          (i == a.size()) ? total_weight_ : a[i].RMaxPrev();
+      e.value = x.value;
+      e.w = x.w;
+      e.rmin = x.rmin + a_below;
+      e.rmax = x.rmax + a_above_floor;
+    } else {
+      // Equal values combine exactly.
+      const SummaryEntry& x = a[i++];
+      const SummaryEntry& y = b[j++];
+      e.value = x.value;
+      e.w = x.w + y.w;
+      e.rmin = x.rmin + y.rmin;
+      e.rmax = x.rmax + y.rmax;
+    }
+    out.push_back(e);
+  }
+  return QuantileSummary(std::move(out));
+}
+
+QuantileSummary QuantileSummary::Prune(size_t max_entries) const {
+  if (entries_.size() <= max_entries || max_entries < 2) return *this;
+  std::vector<SummaryEntry> out;
+  out.reserve(max_entries);
+  out.push_back(entries_.front());
+  const size_t interior = max_entries - 2;
+  size_t cursor = 0;
+  for (size_t k = 1; k <= interior; ++k) {
+    const double target =
+        total_weight_ * static_cast<double>(k) / (interior + 1);
+    // Advance to the entry whose midpoint rank is closest to target.
+    while (cursor + 1 < entries_.size()) {
+      const double mid_next =
+          0.5 * (entries_[cursor + 1].rmin + entries_[cursor + 1].rmax);
+      if (mid_next <= target) {
+        ++cursor;
+      } else {
+        break;
+      }
+    }
+    size_t pick = cursor;
+    if (cursor + 1 < entries_.size()) {
+      const double mid_cur =
+          0.5 * (entries_[cursor].rmin + entries_[cursor].rmax);
+      const double mid_next =
+          0.5 * (entries_[cursor + 1].rmin + entries_[cursor + 1].rmax);
+      if (std::abs(mid_next - target) < std::abs(mid_cur - target)) {
+        pick = cursor + 1;
+      }
+    }
+    if (out.back().value != entries_[pick].value &&
+        entries_[pick].value != entries_.back().value) {
+      out.push_back(entries_[pick]);
+    }
+  }
+  if (entries_.size() > 1) out.push_back(entries_.back());
+  return QuantileSummary(std::move(out));
+}
+
+double QuantileSummary::Query(double rank) const {
+  VERO_CHECK(!empty());
+  if (rank <= 0) return entries_.front().value;
+  if (rank >= total_weight_) return entries_.back().value;
+  size_t best = 0;
+  double best_err = 1e300;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const double mid = 0.5 * (entries_[i].rmin + entries_[i].rmax);
+    const double err = std::abs(mid - rank);
+    if (err < best_err) {
+      best_err = err;
+      best = i;
+    }
+  }
+  return entries_[best].value;
+}
+
+std::vector<float> QuantileSummary::ProposeSplits(uint32_t q) const {
+  std::vector<float> splits;
+  if (empty() || q == 0) return splits;
+  splits.reserve(q);
+  for (uint32_t k = 1; k <= q; ++k) {
+    const double rank = total_weight_ * static_cast<double>(k) / q;
+    const float v = static_cast<float>(Query(rank));
+    if (splits.empty() || v > splits.back()) splits.push_back(v);
+  }
+  // Guarantee the last split covers the maximum so binning is total.
+  const float max_v = static_cast<float>(entries_.back().value);
+  if (splits.empty() || splits.back() < max_v) {
+    if (!splits.empty() && splits.size() >= q) {
+      splits.back() = max_v;
+    } else {
+      splits.push_back(max_v);
+    }
+  }
+  return splits;
+}
+
+double QuantileSummary::min_value() const {
+  VERO_CHECK(!empty());
+  return entries_.front().value;
+}
+
+double QuantileSummary::max_value() const {
+  VERO_CHECK(!empty());
+  return entries_.back().value;
+}
+
+Status QuantileSummary::CheckInvariants() const {
+  double prev_value = -1e300;
+  for (const auto& e : entries_) {
+    if (e.value <= prev_value) {
+      return Status::Corruption("summary values not strictly increasing");
+    }
+    prev_value = e.value;
+    if (e.w < 0 || e.rmin < 0 || e.rmin + e.w > e.rmax + 1e-9) {
+      return Status::Corruption("summary rank bounds violated");
+    }
+    if (e.rmax > total_weight_ + 1e-9) {
+      return Status::Corruption("rmax exceeds total weight");
+    }
+  }
+  return Status::OK();
+}
+
+void QuantileSummary::SerializeTo(ByteWriter* writer) const {
+  writer->WriteU64(entries_.size());
+  for (const auto& e : entries_) {
+    writer->WriteF64(e.value);
+    writer->WriteF64(e.rmin);
+    writer->WriteF64(e.rmax);
+    writer->WriteF64(e.w);
+  }
+}
+
+Status QuantileSummary::Deserialize(ByteReader* reader, QuantileSummary* out) {
+  uint64_t n = 0;
+  VERO_RETURN_IF_ERROR(reader->ReadU64(&n));
+  std::vector<SummaryEntry> entries(n);
+  for (auto& e : entries) {
+    VERO_RETURN_IF_ERROR(reader->ReadF64(&e.value));
+    VERO_RETURN_IF_ERROR(reader->ReadF64(&e.rmin));
+    VERO_RETURN_IF_ERROR(reader->ReadF64(&e.rmax));
+    VERO_RETURN_IF_ERROR(reader->ReadF64(&e.w));
+  }
+  *out = QuantileSummary(std::move(entries));
+  return Status::OK();
+}
+
+QuantileSketch::QuantileSketch(size_t max_entries, size_t buffer_size)
+    : max_entries_(std::max<size_t>(max_entries, 4)),
+      buffer_size_(std::max<size_t>(buffer_size, 16)) {
+  // The buffer grows lazily: datasets allocate one sketch per feature, and
+  // most features of a sparse dataset see few values.
+}
+
+void QuantileSketch::Add(float value) { AddWeighted(value, 1.0f); }
+
+void QuantileSketch::AddWeighted(float value, float weight) {
+  buffer_.emplace_back(value, weight);
+  total_weight_ += weight;
+  if (buffer_.size() >= buffer_size_) Flush();
+}
+
+void QuantileSketch::Flush() {
+  if (buffer_.empty()) return;
+  QuantileSummary batch =
+      QuantileSummary::FromWeightedValues(std::move(buffer_));
+  buffer_.clear();
+  summary_ = summary_.Merge(batch).Prune(max_entries_);
+}
+
+const QuantileSummary& QuantileSketch::Finalize() {
+  Flush();
+  return summary_;
+}
+
+}  // namespace vero

@@ -1,0 +1,116 @@
+#ifndef VERO_SKETCH_QUANTILE_SUMMARY_H_
+#define VERO_SKETCH_QUANTILE_SUMMARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace vero {
+
+/// One entry of a quantile summary: a value together with bounds on its rank
+/// in the underlying multiset.
+///
+/// rmin = total weight of elements strictly smaller than `value` (lower
+/// bound), rmax = total weight of elements <= `value` (upper bound),
+/// w = total weight of elements equal to `value`. Invariant:
+/// rmin + w <= rmax.
+struct SummaryEntry {
+  double value = 0.0;
+  double rmin = 0.0;
+  double rmax = 0.0;
+  double w = 0.0;
+
+  /// Upper bound on the rank of values strictly less than this entry.
+  double RMinNext() const { return rmin + w; }
+  /// Lower bound on the rank of values greater than this entry.
+  double RMaxPrev() const { return rmax - w; }
+};
+
+/// Mergeable epsilon-approximate quantile summary over weighted values
+/// (the structure behind histogram candidate-split proposal, following the
+/// GK/WQSummary family the paper cites [15, 22]).
+///
+/// Summaries built exactly from sorted data have zero rank error; Merge is
+/// exact given exact inputs; Prune(b) introduces at most total_weight/(b-1)
+/// rank error. Distributed pipelines build exact local summaries, merge
+/// them pairwise, and prune to bound memory.
+class QuantileSummary {
+ public:
+  QuantileSummary() = default;
+
+  /// Builds an exact summary from unsorted, unweighted values.
+  static QuantileSummary FromValues(std::vector<float> values);
+
+  /// Builds an exact summary from unsorted (value, weight) pairs.
+  static QuantileSummary FromWeightedValues(
+      std::vector<std::pair<float, float>> weighted);
+
+  /// Exact combination of two summaries (rank bounds add).
+  QuantileSummary Merge(const QuantileSummary& other) const;
+
+  /// Reduces to at most `max_entries` entries, keeping extremes; adds at most
+  /// total_weight/(max_entries-1) rank error.
+  QuantileSummary Prune(size_t max_entries) const;
+
+  /// Value whose estimated rank ((rmin+rmax)/2) is closest to `rank`.
+  /// Requires a non-empty summary.
+  double Query(double rank) const;
+
+  /// Proposes up to `q` split values at quantiles 1/q .. q/q; deduplicated
+  /// and ending at the maximum value so every observed value falls in a bin.
+  std::vector<float> ProposeSplits(uint32_t q) const;
+
+  double total_weight() const { return total_weight_; }
+  size_t num_entries() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<SummaryEntry>& entries() const { return entries_; }
+  double min_value() const;
+  double max_value() const;
+
+  /// Checks rank-bound invariants; used by tests and debug paths.
+  Status CheckInvariants() const;
+
+  /// Wire format used when repartitioning sketches across workers.
+  void SerializeTo(ByteWriter* writer) const;
+  static Status Deserialize(ByteReader* reader, QuantileSummary* out);
+
+ private:
+  explicit QuantileSummary(std::vector<SummaryEntry> entries);
+
+  std::vector<SummaryEntry> entries_;  // sorted by value, distinct.
+  double total_weight_ = 0.0;
+};
+
+/// Streaming sketch: buffers incoming values and folds them into a pruned
+/// summary once the buffer fills, keeping memory bounded regardless of
+/// stream length.
+class QuantileSketch {
+ public:
+  /// `max_entries` bounds the retained summary size (rank error ~ W/b);
+  /// `buffer_size` controls the batching granularity.
+  explicit QuantileSketch(size_t max_entries = 256, size_t buffer_size = 4096);
+
+  void Add(float value);
+  void AddWeighted(float value, float weight);
+
+  /// Folds any buffered values and returns the current summary.
+  const QuantileSummary& Finalize();
+
+  /// Total weight added so far.
+  double total_weight() const { return total_weight_; }
+
+ private:
+  void Flush();
+
+  size_t max_entries_;
+  size_t buffer_size_;
+  std::vector<std::pair<float, float>> buffer_;
+  QuantileSummary summary_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace vero
+
+#endif  // VERO_SKETCH_QUANTILE_SUMMARY_H_

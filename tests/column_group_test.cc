@@ -1,0 +1,126 @@
+#include "partition/column_group.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vero {
+namespace {
+
+ColumnGroupBlock MakeBlock(InstanceId offset,
+                           const std::vector<std::vector<std::pair<uint32_t, BinId>>>& rows) {
+  ColumnGroupBlock block;
+  block.row_offset = offset;
+  for (const auto& row : rows) {
+    for (const auto& [f, b] : row) {
+      block.features.push_back(f);
+      block.bins.push_back(b);
+    }
+    block.row_ptr.push_back(static_cast<uint32_t>(block.features.size()));
+  }
+  return block;
+}
+
+TEST(ColumnGroupTest, SingleBlockAccess) {
+  ColumnGroup group;
+  group.AppendBlock(MakeBlock(0, {{{0, 1}, {2, 3}}, {}, {{1, 4}}}));
+  EXPECT_EQ(group.num_instances(), 3u);
+  EXPECT_EQ(group.num_blocks(), 1u);
+  EXPECT_EQ(group.num_entries(), 3u);
+  auto f0 = group.RowFeatures(0);
+  ASSERT_EQ(f0.size(), 2u);
+  EXPECT_EQ(f0[1], 2u);
+  EXPECT_EQ(group.RowBins(0)[1], 3);
+  EXPECT_EQ(group.RowFeatures(1).size(), 0u);
+  EXPECT_EQ(group.RowFeatures(2)[0], 1u);
+}
+
+TEST(ColumnGroupTest, TwoPhaseIndexAcrossBlocks) {
+  ColumnGroup group;
+  group.AppendBlock(MakeBlock(0, {{{0, 1}}, {{1, 2}}}));
+  group.AppendBlock(MakeBlock(2, {{{2, 3}}}));
+  group.AppendBlock(MakeBlock(3, {{{3, 4}}, {{4, 5}}}));
+  EXPECT_EQ(group.num_instances(), 5u);
+  EXPECT_EQ(group.num_blocks(), 3u);
+  // Phase 1 must find the right block for each global instance id.
+  EXPECT_EQ(group.RowFeatures(1)[0], 1u);
+  EXPECT_EQ(group.RowFeatures(2)[0], 2u);
+  EXPECT_EQ(group.RowFeatures(3)[0], 3u);
+  EXPECT_EQ(group.RowFeatures(4)[0], 4u);
+}
+
+TEST(ColumnGroupTest, FindBin) {
+  ColumnGroup group;
+  group.AppendBlock(MakeBlock(0, {{{1, 7}, {5, 9}}}));
+  ASSERT_TRUE(group.FindBin(0, 5).has_value());
+  EXPECT_EQ(*group.FindBin(0, 5), 9);
+  EXPECT_FALSE(group.FindBin(0, 3).has_value());
+}
+
+TEST(ColumnGroupTest, MergeBlocksPreservesEveryRow) {
+  Rng rng(3);
+  ColumnGroup group;
+  std::vector<std::vector<std::pair<uint32_t, BinId>>> all_rows;
+  InstanceId offset = 0;
+  for (int b = 0; b < 8; ++b) {
+    std::vector<std::vector<std::pair<uint32_t, BinId>>> rows;
+    const int nrows = 1 + static_cast<int>(rng.Uniform(5));
+    for (int r = 0; r < nrows; ++r) {
+      std::vector<std::pair<uint32_t, BinId>> row;
+      uint32_t f = 0;
+      const int len = static_cast<int>(rng.Uniform(4));
+      for (int k = 0; k < len; ++k) {
+        f += 1 + static_cast<uint32_t>(rng.Uniform(3));
+        row.emplace_back(f, static_cast<BinId>(rng.Uniform(16)));
+      }
+      rows.push_back(row);
+      all_rows.push_back(row);
+    }
+    group.AppendBlock(MakeBlock(offset, rows));
+    offset += nrows;
+  }
+  ASSERT_EQ(group.num_blocks(), 8u);
+  group.MergeBlocks(3);
+  EXPECT_LE(group.num_blocks(), 3u);
+  ASSERT_EQ(group.num_instances(), all_rows.size());
+  for (InstanceId i = 0; i < all_rows.size(); ++i) {
+    auto features = group.RowFeatures(i);
+    auto bins = group.RowBins(i);
+    ASSERT_EQ(features.size(), all_rows[i].size()) << "row " << i;
+    for (size_t k = 0; k < features.size(); ++k) {
+      EXPECT_EQ(features[k], all_rows[i][k].first);
+      EXPECT_EQ(bins[k], all_rows[i][k].second);
+    }
+  }
+}
+
+TEST(ColumnGroupTest, MergeToSingleBlock) {
+  ColumnGroup group;
+  group.AppendBlock(MakeBlock(0, {{{0, 1}}}));
+  group.AppendBlock(MakeBlock(1, {{{1, 2}}}));
+  group.MergeBlocks(1);
+  EXPECT_EQ(group.num_blocks(), 1u);
+  EXPECT_EQ(group.RowFeatures(1)[0], 1u);
+}
+
+TEST(ColumnGroupTest, MergeNoopWhenFewBlocks) {
+  ColumnGroup group;
+  group.AppendBlock(MakeBlock(0, {{{0, 1}}}));
+  group.MergeBlocks(5);
+  EXPECT_EQ(group.num_blocks(), 1u);
+}
+
+TEST(ColumnGroupTest, MemoryBytesPositive) {
+  ColumnGroup group;
+  group.AppendBlock(MakeBlock(0, {{{0, 1}}}));
+  EXPECT_GT(group.MemoryBytes(), 0u);
+}
+
+TEST(ColumnGroupDeathTest, NonContiguousBlocksDie) {
+  ColumnGroup group;
+  group.AppendBlock(MakeBlock(0, {{{0, 1}}}));
+  EXPECT_DEATH(group.AppendBlock(MakeBlock(5, {{{0, 1}}})), "contiguous");
+}
+
+}  // namespace
+}  // namespace vero

@@ -1,0 +1,109 @@
+#include "partition/column_grouping.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vero {
+namespace {
+
+TEST(ColumnGroupingTest, RoundRobinAssignsModulo) {
+  const std::vector<uint64_t> costs(10, 1);
+  const auto owner =
+      AssignFeatureGroups(costs, 3, ColumnGroupingStrategy::kRoundRobin);
+  for (size_t f = 0; f < 10; ++f) EXPECT_EQ(owner[f], static_cast<int>(f % 3));
+}
+
+TEST(ColumnGroupingTest, RangeAssignsContiguously) {
+  const std::vector<uint64_t> costs(9, 1);
+  const auto owner =
+      AssignFeatureGroups(costs, 3, ColumnGroupingStrategy::kRange);
+  EXPECT_EQ(owner[0], 0);
+  EXPECT_EQ(owner[4], 1);
+  EXPECT_EQ(owner[8], 2);
+  // Owners are non-decreasing.
+  for (size_t f = 1; f < 9; ++f) EXPECT_GE(owner[f], owner[f - 1]);
+}
+
+TEST(ColumnGroupingTest, GreedyBalancesSkewedCosts) {
+  // One huge feature plus many small ones: greedy must isolate the big one.
+  std::vector<uint64_t> costs = {1000, 1, 1, 1, 1, 1, 1, 1};
+  const auto owner =
+      AssignFeatureGroups(costs, 2, ColumnGroupingStrategy::kGreedyBalance);
+  const auto loads = GroupLoads(costs, owner, 2);
+  EXPECT_EQ(std::max(loads[0], loads[1]), 1000u);
+  EXPECT_EQ(std::min(loads[0], loads[1]), 7u);
+}
+
+TEST(ColumnGroupingTest, GreedyBeatsRoundRobinOnSkew) {
+  Rng rng(7);
+  std::vector<uint64_t> costs(100);
+  for (auto& c : costs) {
+    // Zipf-ish skew.
+    c = static_cast<uint64_t>(1000.0 / (1 + rng.Uniform(50)));
+  }
+  const auto greedy =
+      AssignFeatureGroups(costs, 4, ColumnGroupingStrategy::kGreedyBalance);
+  const auto rr =
+      AssignFeatureGroups(costs, 4, ColumnGroupingStrategy::kRoundRobin);
+  const double greedy_imbalance =
+      LoadImbalance(GroupLoads(costs, greedy, 4));
+  const double rr_imbalance = LoadImbalance(GroupLoads(costs, rr, 4));
+  EXPECT_LE(greedy_imbalance, rr_imbalance + 1e-9);
+  EXPECT_LT(greedy_imbalance, 1.05);
+}
+
+TEST(ColumnGroupingTest, EveryFeatureAssignedToValidGroup) {
+  std::vector<uint64_t> costs(57, 3);
+  for (auto strategy :
+       {ColumnGroupingStrategy::kGreedyBalance,
+        ColumnGroupingStrategy::kRoundRobin, ColumnGroupingStrategy::kRange}) {
+    const auto owner = AssignFeatureGroups(costs, 5, strategy);
+    ASSERT_EQ(owner.size(), 57u);
+    for (int g : owner) {
+      EXPECT_GE(g, 0);
+      EXPECT_LT(g, 5);
+    }
+    // Loads sum to total cost.
+    const auto loads = GroupLoads(costs, owner, 5);
+    uint64_t total = 0;
+    for (uint64_t l : loads) total += l;
+    EXPECT_EQ(total, 57u * 3);
+  }
+}
+
+TEST(ColumnGroupingTest, SingleGroupTrivial) {
+  std::vector<uint64_t> costs = {5, 10};
+  const auto owner =
+      AssignFeatureGroups(costs, 1, ColumnGroupingStrategy::kGreedyBalance);
+  EXPECT_EQ(owner, (std::vector<int>{0, 0}));
+}
+
+TEST(ColumnGroupingTest, GreedyIsDeterministic) {
+  Rng rng(11);
+  std::vector<uint64_t> costs(200);
+  for (auto& c : costs) c = rng.Uniform(1000);
+  const auto a =
+      AssignFeatureGroups(costs, 8, ColumnGroupingStrategy::kGreedyBalance);
+  const auto b =
+      AssignFeatureGroups(costs, 8, ColumnGroupingStrategy::kGreedyBalance);
+  EXPECT_EQ(a, b);
+}
+
+TEST(LoadImbalanceTest, PerfectBalanceIsOne) {
+  EXPECT_DOUBLE_EQ(LoadImbalance({5, 5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(LoadImbalance({10, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(LoadImbalance({}), 1.0);
+}
+
+TEST(ColumnGroupingTest, StrategyNames) {
+  EXPECT_STREQ(
+      ColumnGroupingStrategyToString(ColumnGroupingStrategy::kGreedyBalance),
+      "greedy");
+  EXPECT_STREQ(
+      ColumnGroupingStrategyToString(ColumnGroupingStrategy::kRoundRobin),
+      "round-robin");
+}
+
+}  // namespace
+}  // namespace vero

@@ -1,0 +1,124 @@
+// Tests for the small common utilities: timers, logging levels, CHECK
+// macros, and GbdtParams validation.
+
+#include <gtest/gtest.h>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/gbdt_params.h"
+
+namespace vero {
+namespace {
+
+TEST(WallTimerTest, AccumulatesAcrossStopResume) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  timer.Stop();
+  const double first = timer.Seconds();
+  EXPECT_GE(first, 0.008);
+  // Stopped: no growth.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_DOUBLE_EQ(timer.Seconds(), first);
+  timer.Resume();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.Stop();
+  EXPECT_GT(timer.Seconds(), first);
+}
+
+TEST(WallTimerTest, RestartZeroes) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.Restart();
+  EXPECT_LT(timer.Seconds(), 0.004);
+}
+
+TEST(ThreadCpuTimerTest, CountsCpuNotSleep) {
+  ThreadCpuTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  timer.Stop();
+  // Sleeping burns (almost) no CPU.
+  EXPECT_LT(timer.Seconds(), 0.02);
+
+  timer.Restart();
+  volatile double x = 1.0;
+  for (int i = 0; i < 20000000; ++i) x = x * 1.0000001;
+  timer.Stop();
+  EXPECT_GT(timer.Seconds(), 0.001);
+}
+
+TEST(ThreadCpuTimerTest, IsolatedPerThread) {
+  ThreadCpuTimer main_timer;
+  std::thread burner([] {
+    volatile double x = 1.0;
+    for (int i = 0; i < 30000000; ++i) x = x * 1.0000001;
+  });
+  burner.join();
+  main_timer.Stop();
+  // The other thread's CPU must not appear here (joining is a wait).
+  EXPECT_LT(main_timer.Seconds(), 0.05);
+}
+
+TEST(LoggingTest, MinLevelRoundTrip) {
+  const LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(MinLogLevel(), LogLevel::kError);
+  SetMinLogLevel(original);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(VERO_CHECK(1 == 2) << "impossible", "Check failed: 1 == 2");
+  EXPECT_DEATH(VERO_CHECK_EQ(3, 4), "3 vs 4");
+  EXPECT_DEATH(VERO_CHECK_LT(5, 5), "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(VERO_CHECK_OK(Status::IOError("disk on fire")),
+               "disk on fire");
+}
+
+TEST(LoggingTest, ChecksPassSilently) {
+  VERO_CHECK(true);
+  VERO_CHECK_EQ(1, 1);
+  VERO_CHECK_NE(1, 2);
+  VERO_CHECK_LE(1, 1);
+  VERO_CHECK_GE(2, 1);
+  VERO_CHECK_GT(2, 1);
+  VERO_CHECK_OK(Status::OK());
+}
+
+TEST(GbdtParamsTest, DefaultsAreValidAndMatchPaper) {
+  GbdtParams params;
+  EXPECT_TRUE(params.Validate().ok());
+  EXPECT_EQ(params.num_trees, 100u);       // T = 100 (§5.1)
+  EXPECT_EQ(params.num_layers, 8u);        // L = 8
+  EXPECT_EQ(params.num_candidate_splits, 20u);  // q = 20
+  EXPECT_TRUE(params.histogram_subtraction);
+}
+
+TEST(GbdtParamsTest, RejectsEachBadField) {
+  auto bad = [](auto mutate) {
+    GbdtParams params;
+    mutate(params);
+    return !params.Validate().ok();
+  };
+  EXPECT_TRUE(bad([](GbdtParams& p) { p.num_trees = 0; }));
+  EXPECT_TRUE(bad([](GbdtParams& p) { p.num_layers = 1; }));
+  EXPECT_TRUE(bad([](GbdtParams& p) { p.num_layers = 30; }));
+  EXPECT_TRUE(bad([](GbdtParams& p) { p.num_candidate_splits = 0; }));
+  EXPECT_TRUE(bad([](GbdtParams& p) { p.num_candidate_splits = 100000; }));
+  EXPECT_TRUE(bad([](GbdtParams& p) { p.learning_rate = 0.0; }));
+  EXPECT_TRUE(bad([](GbdtParams& p) { p.reg_lambda = -1.0; }));
+  EXPECT_TRUE(bad([](GbdtParams& p) { p.reg_gamma = -0.5; }));
+}
+
+TEST(GbdtParamsTest, EffectiveMaxLeaves) {
+  GbdtParams params;
+  params.num_layers = 5;
+  EXPECT_EQ(params.EffectiveMaxLeaves(), 16u);  // 2^(5-1)
+  params.max_leaves = 6;
+  EXPECT_EQ(params.EffectiveMaxLeaves(), 6u);
+}
+
+}  // namespace
+}  // namespace vero

@@ -1,0 +1,151 @@
+// Randomized stress tests of the cluster substrate: arbitrary buffer sizes
+// (including empty and odd), varying worker counts, and long mixed op
+// sequences, cross-checked against locally computed expectations.
+
+#include <gtest/gtest.h>
+
+#include "cluster/communicator.h"
+#include "common/random.h"
+
+namespace vero {
+namespace {
+
+class CommStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommStressTest, AllReduceRandomSizes) {
+  const int w = GetParam();
+  Cluster cluster(w);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{17}, size_t{1000},
+                   size_t{4097}}) {
+    cluster.Run([&](WorkerContext& ctx) {
+      std::vector<double> data(n);
+      for (size_t i = 0; i < n; ++i) {
+        data[i] = static_cast<double>(i % 7) * (ctx.rank() + 1);
+      }
+      ctx.AllReduceSum(data);
+      const double rank_sum = w * (w + 1) / 2.0;
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_DOUBLE_EQ(data[i], static_cast<double>(i % 7) * rank_sum)
+            << "n=" << n << " i=" << i;
+      }
+    });
+  }
+}
+
+TEST_P(CommStressTest, ReduceScatterSliceSums) {
+  const int w = GetParam();
+  Cluster cluster(w);
+  for (size_t n : {size_t{1}, size_t{7}, size_t{w * 3 + 1}, size_t{513}}) {
+    cluster.Run([&](WorkerContext& ctx) {
+      std::vector<double> data(n);
+      for (size_t i = 0; i < n; ++i) data[i] = i + 0.25 * ctx.rank();
+      ctx.ReduceScatterSum(data);
+      const size_t begin = ctx.SliceBegin(n, ctx.rank());
+      const size_t end = ctx.SliceEnd(n, ctx.rank());
+      const double rank_quarter_sum = 0.25 * w * (w - 1) / 2.0;
+      for (size_t i = begin; i < end; ++i) {
+        ASSERT_DOUBLE_EQ(data[i], w * static_cast<double>(i) +
+                                      rank_quarter_sum);
+      }
+    });
+  }
+}
+
+TEST_P(CommStressTest, AllToAllVariableSizes) {
+  const int w = GetParam();
+  Cluster cluster(w);
+  cluster.Run([&](WorkerContext& ctx) {
+    Rng rng(1000 + ctx.rank());
+    for (int round = 0; round < 10; ++round) {
+      std::vector<std::vector<uint8_t>> to(w);
+      for (int dest = 0; dest < w; ++dest) {
+        // Deterministic per (src, dest, round) so receivers can verify.
+        const size_t len = (ctx.rank() * 31 + dest * 7 + round) % 20;
+        to[dest].assign(len, static_cast<uint8_t>(ctx.rank() * 16 + dest));
+      }
+      std::vector<std::vector<uint8_t>> from;
+      ctx.AllToAll(std::move(to), &from);
+      for (int src = 0; src < w; ++src) {
+        const size_t expect_len = (src * 31 + ctx.rank() * 7 + round) % 20;
+        ASSERT_EQ(from[src].size(), expect_len);
+        for (uint8_t b : from[src]) {
+          ASSERT_EQ(b, static_cast<uint8_t>(src * 16 + ctx.rank()));
+        }
+      }
+    }
+  });
+}
+
+TEST_P(CommStressTest, EmptyBroadcastAndGather) {
+  const int w = GetParam();
+  Cluster cluster(w);
+  cluster.Run([&](WorkerContext& ctx) {
+    std::vector<uint8_t> empty;
+    ctx.Broadcast(&empty, w - 1);
+    EXPECT_TRUE(empty.empty());
+    std::vector<std::vector<uint8_t>> all;
+    ctx.Gather(empty, 0, &all);
+    if (ctx.rank() == 0) {
+      EXPECT_EQ(all.size(), static_cast<size_t>(w));
+    }
+  });
+}
+
+TEST_P(CommStressTest, LongMixedSequenceRemainsConsistent) {
+  const int w = GetParam();
+  Cluster cluster(w);
+  cluster.Run([&](WorkerContext& ctx) {
+    Rng rng(42);  // Same seed everywhere: identical op sequence (SPMD).
+    for (int step = 0; step < 60; ++step) {
+      switch (rng.Uniform(5)) {
+        case 0: {
+          std::vector<double> data(1 + rng.Uniform(64), 1.0);
+          ctx.AllReduceSum(data);
+          ASSERT_DOUBLE_EQ(data[0], static_cast<double>(w));
+          break;
+        }
+        case 1: {
+          std::vector<double> data(w + rng.Uniform(64), 2.0);
+          ctx.ReduceScatterSum(data);
+          const size_t b = ctx.SliceBegin(data.size(), ctx.rank());
+          ASSERT_DOUBLE_EQ(data[b], 2.0 * w);
+          break;
+        }
+        case 2: {
+          const int root = static_cast<int>(rng.Uniform(w));
+          std::vector<uint8_t> payload;
+          if (ctx.rank() == root) payload.assign(5, 9);
+          ctx.Broadcast(&payload, root);
+          ASSERT_EQ(payload.size(), 5u);
+          break;
+        }
+        case 3: {
+          std::vector<uint8_t> mine = {static_cast<uint8_t>(ctx.rank())};
+          std::vector<std::vector<uint8_t>> all;
+          ctx.AllGather(mine, &all);
+          ASSERT_EQ(all[w - 1][0], w - 1);
+          break;
+        }
+        case 4: {
+          const double m = ctx.InstrumentMax(ctx.rank() * 1.0);
+          ASSERT_DOUBLE_EQ(m, w - 1.0);
+          break;
+        }
+      }
+    }
+  });
+  // Stats are internally consistent: sum of sent == sum of received for the
+  // symmetric ops is not guaranteed op-by-op, but totals must be nonzero
+  // and finite.
+  const CommStats total = cluster.TotalStats();
+  if (w > 1) {
+    EXPECT_GT(total.num_ops, 0u);
+    EXPECT_GT(total.sim_seconds, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, CommStressTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace vero

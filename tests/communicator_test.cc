@@ -1,0 +1,246 @@
+#include "cluster/communicator.h"
+
+#include <gtest/gtest.h>
+
+namespace vero {
+namespace {
+
+TEST(CommunicatorTest, AllReduceSumsAcrossWorkers) {
+  Cluster cluster(4);
+  cluster.Run([](WorkerContext& ctx) {
+    std::vector<double> data = {static_cast<double>(ctx.rank()), 1.0};
+    ctx.AllReduceSum(data);
+    EXPECT_DOUBLE_EQ(data[0], 0 + 1 + 2 + 3);
+    EXPECT_DOUBLE_EQ(data[1], 4.0);
+  });
+}
+
+TEST(CommunicatorTest, AllReduceRepeatedCalls) {
+  Cluster cluster(3);
+  cluster.Run([](WorkerContext& ctx) {
+    for (int round = 0; round < 20; ++round) {
+      std::vector<double> data = {1.0 * round, -1.0};
+      ctx.AllReduceSum(data);
+      ASSERT_DOUBLE_EQ(data[0], 3.0 * round);
+      ASSERT_DOUBLE_EQ(data[1], -3.0);
+    }
+  });
+}
+
+TEST(CommunicatorTest, ReduceScatterOwnsCorrectSlice) {
+  Cluster cluster(4);
+  cluster.Run([](WorkerContext& ctx) {
+    std::vector<double> data(10);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<double>(i) * (ctx.rank() + 1);
+    }
+    ctx.ReduceScatterSum(data);
+    const size_t begin = ctx.SliceBegin(10, ctx.rank());
+    const size_t end = ctx.SliceEnd(10, ctx.rank());
+    for (size_t i = begin; i < end; ++i) {
+      // Sum over workers of i * (r+1) = i * 10.
+      EXPECT_DOUBLE_EQ(data[i], i * 10.0);
+    }
+  });
+}
+
+TEST(CommunicatorTest, SlicesTileTheRange) {
+  Cluster cluster(3);
+  cluster.Run([](WorkerContext& ctx) {
+    size_t covered = 0;
+    for (int r = 0; r < ctx.world_size(); ++r) {
+      EXPECT_EQ(ctx.SliceBegin(11, r), covered);
+      covered = ctx.SliceEnd(11, r);
+    }
+    EXPECT_EQ(covered, 11u);
+  });
+}
+
+TEST(CommunicatorTest, AllGatherDeliversEveryContribution) {
+  Cluster cluster(4);
+  cluster.Run([](WorkerContext& ctx) {
+    std::vector<uint8_t> mine(ctx.rank() + 1,
+                              static_cast<uint8_t>(ctx.rank()));
+    std::vector<std::vector<uint8_t>> all;
+    ctx.AllGather(mine, &all);
+    ASSERT_EQ(all.size(), 4u);
+    for (int r = 0; r < 4; ++r) {
+      ASSERT_EQ(all[r].size(), static_cast<size_t>(r + 1));
+      EXPECT_EQ(all[r][0], r);
+    }
+  });
+}
+
+TEST(CommunicatorTest, BroadcastFromEveryRoot) {
+  Cluster cluster(3);
+  cluster.Run([](WorkerContext& ctx) {
+    for (int root = 0; root < 3; ++root) {
+      std::vector<uint8_t> data;
+      if (ctx.rank() == root) data = {1, 2, 3, static_cast<uint8_t>(root)};
+      ctx.Broadcast(&data, root);
+      ASSERT_EQ(data.size(), 4u);
+      EXPECT_EQ(data[3], root);
+    }
+  });
+}
+
+TEST(CommunicatorTest, GatherOnlyRootReceives) {
+  Cluster cluster(4);
+  cluster.Run([](WorkerContext& ctx) {
+    std::vector<uint8_t> mine = {static_cast<uint8_t>(ctx.rank() * 10)};
+    std::vector<std::vector<uint8_t>> all;
+    ctx.Gather(mine, 2, &all);
+    if (ctx.rank() == 2) {
+      ASSERT_EQ(all.size(), 4u);
+      for (int r = 0; r < 4; ++r) EXPECT_EQ(all[r][0], r * 10);
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(CommunicatorTest, AllToAllPersonalizedExchange) {
+  Cluster cluster(3);
+  cluster.Run([](WorkerContext& ctx) {
+    std::vector<std::vector<uint8_t>> to(3);
+    for (int dest = 0; dest < 3; ++dest) {
+      to[dest] = {static_cast<uint8_t>(ctx.rank()),
+                  static_cast<uint8_t>(dest)};
+    }
+    std::vector<std::vector<uint8_t>> from;
+    ctx.AllToAll(std::move(to), &from);
+    ASSERT_EQ(from.size(), 3u);
+    for (int src = 0; src < 3; ++src) {
+      ASSERT_EQ(from[src].size(), 2u);
+      EXPECT_EQ(from[src][0], src);
+      EXPECT_EQ(from[src][1], ctx.rank());
+    }
+  });
+}
+
+TEST(CommunicatorTest, ByteAccountingMatchesRingFormulas) {
+  const size_t n = 1000;
+  Cluster cluster(4);
+  cluster.Run([&](WorkerContext& ctx) {
+    std::vector<double> data(n, 1.0);
+    ctx.AllReduceSum(data);
+  });
+  const uint64_t bytes = n * sizeof(double);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(cluster.worker_stats(r).bytes_sent, 2 * bytes * 3 / 4);
+    EXPECT_EQ(cluster.worker_stats(r).num_ops, 1u);
+  }
+
+  cluster.ResetStats();
+  cluster.Run([&](WorkerContext& ctx) {
+    std::vector<double> data(n, 1.0);
+    ctx.ReduceScatterSum(data);
+  });
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(cluster.worker_stats(r).bytes_sent, bytes * 3 / 4);
+  }
+}
+
+TEST(CommunicatorTest, BroadcastChargesRootTimesWMinus1) {
+  Cluster cluster(4);
+  cluster.Run([](WorkerContext& ctx) {
+    std::vector<uint8_t> data;
+    if (ctx.rank() == 1) data.assign(100, 7);
+    ctx.Broadcast(&data, 1);
+  });
+  EXPECT_EQ(cluster.worker_stats(1).bytes_sent, 300u);
+  EXPECT_EQ(cluster.worker_stats(0).bytes_received, 100u);
+  EXPECT_EQ(cluster.worker_stats(0).bytes_sent, 0u);
+}
+
+TEST(CommunicatorTest, SimulatedTimeFollowsModel) {
+  NetworkModel model;
+  model.latency_seconds = 0.5;
+  model.bandwidth_bytes_per_second = 1000.0;
+  Cluster cluster(2, model);
+  cluster.Run([](WorkerContext& ctx) {
+    std::vector<uint8_t> data;
+    if (ctx.rank() == 0) data.assign(2000, 1);
+    ctx.Broadcast(&data, 0);
+  });
+  // Root sends 2000 bytes to 1 peer: 0.5 + 2000/1000 = 2.5s.
+  EXPECT_NEAR(cluster.worker_stats(0).sim_seconds, 2.5, 1e-9);
+  EXPECT_NEAR(cluster.worker_stats(1).sim_seconds, 2.5, 1e-9);
+  EXPECT_NEAR(cluster.MaxSimSeconds(), 2.5, 1e-9);
+}
+
+TEST(CommunicatorTest, SingleWorkerOpsAreFreeAndCorrect) {
+  Cluster cluster(1);
+  cluster.Run([](WorkerContext& ctx) {
+    std::vector<double> data = {5.0};
+    ctx.AllReduceSum(data);
+    EXPECT_DOUBLE_EQ(data[0], 5.0);
+    std::vector<uint8_t> payload = {9};
+    ctx.Broadcast(&payload, 0);
+    EXPECT_EQ(payload[0], 9);
+    std::vector<std::vector<uint8_t>> all;
+    ctx.AllGather(payload, &all);
+    EXPECT_EQ(all.size(), 1u);
+  });
+  EXPECT_EQ(cluster.TotalStats().bytes_sent, 0u);
+  EXPECT_DOUBLE_EQ(cluster.TotalStats().sim_seconds, 0.0);
+}
+
+TEST(CommunicatorTest, InstrumentMaxAndSumAreUncharged) {
+  Cluster cluster(4);
+  cluster.Run([](WorkerContext& ctx) {
+    const double m = ctx.InstrumentMax(static_cast<double>(ctx.rank()));
+    EXPECT_DOUBLE_EQ(m, 3.0);
+    const double s = ctx.InstrumentSum(1.5);
+    EXPECT_DOUBLE_EQ(s, 6.0);
+  });
+  EXPECT_EQ(cluster.TotalStats().bytes_sent, 0u);
+  EXPECT_EQ(cluster.TotalStats().num_ops, 0u);
+}
+
+TEST(CommunicatorTest, MixedSequenceStaysConsistent) {
+  // Interleave different collectives repeatedly to shake out rendezvous
+  // reuse bugs.
+  Cluster cluster(4);
+  cluster.Run([](WorkerContext& ctx) {
+    for (int round = 0; round < 10; ++round) {
+      std::vector<double> sums = {1.0};
+      ctx.AllReduceSum(sums);
+      ASSERT_DOUBLE_EQ(sums[0], 4.0);
+
+      std::vector<uint8_t> payload = {static_cast<uint8_t>(round)};
+      ctx.Broadcast(&payload, round % 4);
+      ASSERT_EQ(payload[0], round);
+
+      std::vector<std::vector<uint8_t>> all;
+      ctx.AllGather(payload, &all);
+      ASSERT_EQ(all.size(), 4u);
+
+      ctx.Barrier();
+    }
+  });
+}
+
+TEST(CommStatsTest, Arithmetic) {
+  CommStats a{100, 50, 2, 1.0};
+  CommStats b{10, 5, 1, 0.25};
+  a += b;
+  EXPECT_EQ(a.bytes_sent, 110u);
+  const CommStats d = a - b;
+  EXPECT_EQ(d.bytes_sent, 100u);
+  EXPECT_DOUBLE_EQ(d.sim_seconds, 1.0);
+}
+
+TEST(NetworkModelTest, PresetsAndOpSeconds) {
+  const NetworkModel lab = NetworkModel::Lab1Gbps();
+  EXPECT_DOUBLE_EQ(lab.bandwidth_bytes_per_second, 125e6);
+  const NetworkModel prod = NetworkModel::Production10Gbps();
+  EXPECT_GT(prod.bandwidth_bytes_per_second,
+            lab.bandwidth_bytes_per_second);
+  // max(sent, received) drives the wire time.
+  EXPECT_DOUBLE_EQ(lab.OpSeconds(125000000, 0), lab.latency_seconds + 1.0);
+  EXPECT_DOUBLE_EQ(lab.OpSeconds(0, 125000000), lab.latency_seconds + 1.0);
+}
+
+}  // namespace
+}  // namespace vero

@@ -1,0 +1,119 @@
+#include "core/cross_validation.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <numeric>
+
+#include "data/synthetic.h"
+
+namespace vero {
+namespace {
+
+Dataset MakeData(uint32_t n = 2000) {
+  SyntheticConfig config;
+  config.num_instances = n;
+  config.num_features = 20;
+  config.density = 0.5;
+  config.seed = 81;
+  return GenerateSynthetic(config);
+}
+
+GbdtParams FastParams() {
+  GbdtParams params;
+  params.num_trees = 5;
+  params.num_layers = 4;
+  params.num_candidate_splits = 8;
+  return params;
+}
+
+TEST(MakeFoldTest, FoldsPartitionTheDataset) {
+  const Dataset data = MakeData(103);  // Not divisible by 5.
+  std::vector<uint32_t> order(103);
+  std::iota(order.begin(), order.end(), 0u);
+  uint32_t total_valid = 0;
+  for (uint32_t fold = 0; fold < 5; ++fold) {
+    const auto [train, valid] = MakeFold(data, order, fold, 5);
+    EXPECT_EQ(train.num_instances() + valid.num_instances(), 103u);
+    EXPECT_GE(valid.num_instances(), 20u);
+    EXPECT_LE(valid.num_instances(), 21u);
+    total_valid += valid.num_instances();
+  }
+  EXPECT_EQ(total_valid, 103u);
+}
+
+TEST(MakeFoldTest, RowsCarryTheirLabelsAndFeatures) {
+  const Dataset data = MakeData(50);
+  std::vector<uint32_t> order(50);
+  std::iota(order.begin(), order.end(), 0u);
+  std::reverse(order.begin(), order.end());  // Nontrivial order.
+  const auto [train, valid] = MakeFold(data, order, 0, 5);
+  // Fold 0 of the reversed order = instances 49..40.
+  ASSERT_EQ(valid.num_instances(), 10u);
+  for (uint32_t j = 0; j < 10; ++j) {
+    const uint32_t original = 49 - j;
+    EXPECT_EQ(valid.labels()[j], data.labels()[original]);
+    auto a = valid.matrix().RowFeatures(j);
+    auto b = data.matrix().RowFeatures(original);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+  }
+}
+
+TEST(CrossValidateTest, ProducesOneMetricPerFold) {
+  const auto result = CrossValidate(MakeData(), FastParams());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->fold_metrics.size(), 5u);
+  EXPECT_EQ(result->metric_name, "auc");
+  EXPECT_TRUE(result->higher_is_better);
+  for (double m : result->fold_metrics) {
+    EXPECT_GT(m, 0.5);  // Learnable data: every fold beats chance.
+    EXPECT_LE(m, 1.0);
+  }
+  // Mean/stddev consistency.
+  double mean = 0.0;
+  for (double m : result->fold_metrics) mean += m;
+  mean /= result->fold_metrics.size();
+  EXPECT_NEAR(result->mean, mean, 1e-12);
+  EXPECT_GE(result->stddev, 0.0);
+}
+
+TEST(CrossValidateTest, DeterministicInSeed) {
+  const Dataset data = MakeData(800);
+  CrossValidationOptions options;
+  options.num_folds = 3;
+  const auto a = CrossValidate(data, FastParams(), options);
+  const auto b = CrossValidate(data, FastParams(), options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->fold_metrics, b->fold_metrics);
+  options.seed = 43;
+  const auto c = CrossValidate(data, FastParams(), options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->fold_metrics, c->fold_metrics);
+}
+
+TEST(CrossValidateTest, RejectsBadInputs) {
+  CrossValidationOptions options;
+  options.num_folds = 1;
+  EXPECT_FALSE(CrossValidate(MakeData(100), FastParams(), options).ok());
+  options.num_folds = 200;
+  EXPECT_FALSE(CrossValidate(MakeData(100), FastParams(), options).ok());
+  GbdtParams bad = FastParams();
+  bad.num_trees = 0;
+  EXPECT_FALSE(CrossValidate(MakeData(100), bad).ok());
+}
+
+TEST(CrossValidateTest, RegressionUsesRmse) {
+  SyntheticConfig config;
+  config.num_instances = 600;
+  config.num_features = 10;
+  config.num_classes = 1;
+  config.seed = 83;
+  const auto result =
+      CrossValidate(GenerateSynthetic(config), FastParams());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->metric_name, "rmse");
+  EXPECT_FALSE(result->higher_is_better);
+}
+
+}  // namespace
+}  // namespace vero

@@ -1,0 +1,99 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace vero {
+namespace {
+
+Dataset MakeBinary(uint32_t n) {
+  CsrMatrix m;
+  m.set_num_cols(2);
+  std::vector<float> labels;
+  for (uint32_t i = 0; i < n; ++i) {
+    m.StartRow();
+    m.PushEntry(0, static_cast<float>(i));
+    labels.push_back(static_cast<float>(i % 2));
+  }
+  return Dataset(std::move(m), std::move(labels), Task::kBinary, 2);
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d = MakeBinary(10);
+  EXPECT_EQ(d.num_instances(), 10u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_EQ(d.num_classes(), 2u);
+  EXPECT_EQ(d.gradient_dim(), 1u);
+  EXPECT_EQ(d.task(), Task::kBinary);
+  EXPECT_DOUBLE_EQ(d.density(), 0.5);
+}
+
+TEST(DatasetTest, MultiClassGradientDim) {
+  CsrMatrix m;
+  m.set_num_cols(1);
+  std::vector<float> labels;
+  for (int i = 0; i < 6; ++i) {
+    m.StartRow();
+    labels.push_back(static_cast<float>(i % 3));
+  }
+  Dataset d(std::move(m), std::move(labels), Task::kMultiClass, 3);
+  EXPECT_EQ(d.gradient_dim(), 3u);
+}
+
+TEST(DatasetTest, SplitTailPreservesOrderAndSizes) {
+  Dataset d = MakeBinary(10);
+  const auto [train, valid] = d.SplitTail(0.3);
+  EXPECT_EQ(train.num_instances(), 7u);
+  EXPECT_EQ(valid.num_instances(), 3u);
+  EXPECT_EQ(train.labels()[6], d.labels()[6]);
+  EXPECT_EQ(valid.labels()[0], d.labels()[7]);
+  // Feature values follow the same rows.
+  EXPECT_EQ(valid.matrix().RowValues(0)[0], 7.0f);
+}
+
+TEST(DatasetTest, SplitTailAlwaysLeavesBothSidesNonEmpty) {
+  Dataset d = MakeBinary(2);
+  const auto [train, valid] = d.SplitTail(0.01);
+  EXPECT_EQ(train.num_instances(), 1u);
+  EXPECT_EQ(valid.num_instances(), 1u);
+}
+
+TEST(DatasetTest, ValidateAcceptsGoodData) {
+  EXPECT_TRUE(MakeBinary(5).Validate().ok());
+}
+
+TEST(DatasetTest, ValidateRejectsBadLabel) {
+  CsrMatrix m;
+  m.set_num_cols(1);
+  m.StartRow();
+  Dataset d(std::move(m), {5.0f}, Task::kBinary, 2);
+  EXPECT_EQ(d.Validate().code(), StatusCode::kCorruption);
+}
+
+TEST(DatasetTest, ValidateRejectsNonFiniteValue) {
+  CsrMatrix m;
+  m.set_num_cols(1);
+  m.StartRow();
+  m.PushEntry(0, std::numeric_limits<float>::infinity());
+  Dataset d(std::move(m), {0.0f}, Task::kBinary, 2);
+  EXPECT_EQ(d.Validate().code(), StatusCode::kCorruption);
+}
+
+TEST(DatasetTest, RegressionAllowsArbitraryLabels) {
+  CsrMatrix m;
+  m.set_num_cols(1);
+  m.StartRow();
+  Dataset d(std::move(m), {-3.7f}, Task::kRegression, 1);
+  EXPECT_TRUE(d.Validate().ok());
+  EXPECT_EQ(d.num_classes(), 1u);
+}
+
+TEST(TaskTest, Names) {
+  EXPECT_STREQ(TaskToString(Task::kBinary), "binary");
+  EXPECT_STREQ(TaskToString(Task::kMultiClass), "multiclass");
+  EXPECT_STREQ(TaskToString(Task::kRegression), "regression");
+}
+
+}  // namespace
+}  // namespace vero

@@ -1,0 +1,153 @@
+#include "core/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vero {
+namespace {
+
+TEST(HistogramTest, ShapeAndClear) {
+  Histogram h(3, 4, 2);
+  EXPECT_EQ(h.num_features(), 3u);
+  EXPECT_EQ(h.num_bins(), 4u);
+  EXPECT_EQ(h.num_dims(), 2u);
+  EXPECT_EQ(h.raw_size(), 3u * 4 * 2 * 2);
+  GradPair g[2] = {{1.0, 2.0}, {3.0, 4.0}};
+  h.Add(1, 2, g);
+  EXPECT_DOUBLE_EQ(h.at(1, 2, 0).g, 1.0);
+  EXPECT_DOUBLE_EQ(h.at(1, 2, 1).h, 4.0);
+  h.Clear();
+  EXPECT_DOUBLE_EQ(h.at(1, 2, 0).g, 0.0);
+}
+
+TEST(HistogramTest, MemoryBytesMatchesPaperFormula) {
+  // Sizehist = 2 x D x q x C x 8 bytes (§3.1.1).
+  const uint32_t d = 100, q = 20, c = 9;
+  Histogram h(d, q, c);
+  EXPECT_EQ(h.MemoryBytes(), 2ull * d * q * c * 8);
+}
+
+TEST(HistogramTest, AddAccumulates) {
+  Histogram h(1, 2, 1);
+  GradPair g1{1.0, 0.5}, g2{2.0, 0.25};
+  h.Add(0, 1, &g1);
+  h.Add(0, 1, &g2);
+  EXPECT_DOUBLE_EQ(h.at(0, 1, 0).g, 3.0);
+  EXPECT_DOUBLE_EQ(h.at(0, 1, 0).h, 0.75);
+}
+
+TEST(HistogramTest, AddHistogramElementwise) {
+  Histogram a(2, 2, 1), b(2, 2, 1);
+  GradPair g{1.0, 1.0};
+  a.Add(0, 0, &g);
+  b.Add(0, 0, &g);
+  b.Add(1, 1, &g);
+  a.AddHistogram(b);
+  EXPECT_DOUBLE_EQ(a.at(0, 0, 0).g, 2.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1, 0).g, 1.0);
+}
+
+TEST(HistogramTest, FeatureTotal) {
+  Histogram h(2, 3, 2);
+  GradPair g[2] = {{1.0, 2.0}, {10.0, 20.0}};
+  h.Add(0, 0, g);
+  h.Add(0, 2, g);
+  h.Add(1, 1, g);
+  const GradStats t0 = h.FeatureTotal(0);
+  EXPECT_DOUBLE_EQ(t0[0].g, 2.0);
+  EXPECT_DOUBLE_EQ(t0[1].h, 40.0);
+  const GradStats t1 = h.FeatureTotal(1);
+  EXPECT_DOUBLE_EQ(t1[0].g, 1.0);
+}
+
+// The histogram subtraction invariant of §2.1.2: hist(parent) =
+// hist(left) + hist(right), so right = parent - left exactly.
+TEST(HistogramTest, SubtractionInvariant) {
+  Rng rng(42);
+  const uint32_t d = 5, q = 8, c = 3;
+  Histogram parent(d, q, c), left(d, q, c), right_direct(d, q, c);
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t f = rng.Uniform(d);
+    const uint32_t b = rng.Uniform(q);
+    std::vector<GradPair> g(c);
+    for (auto& p : g) p = {rng.NextGaussian(), rng.NextDouble()};
+    parent.Add(f, b, g.data());
+    if (rng.Bernoulli(0.4)) {
+      left.Add(f, b, g.data());
+    } else {
+      right_direct.Add(f, b, g.data());
+    }
+  }
+  Histogram right_sub(d, q, c);
+  right_sub.SetToDifference(parent, left);
+  for (uint32_t f = 0; f < d; ++f) {
+    for (uint32_t b = 0; b < q; ++b) {
+      for (uint32_t k = 0; k < c; ++k) {
+        EXPECT_NEAR(right_sub.at(f, b, k).g, right_direct.at(f, b, k).g,
+                    1e-12);
+        EXPECT_NEAR(right_sub.at(f, b, k).h, right_direct.at(f, b, k).h,
+                    1e-12);
+      }
+    }
+  }
+}
+
+TEST(HistogramTest, RawDataIsFlatDoubleView) {
+  Histogram h(1, 1, 1);
+  GradPair g{3.0, 7.0};
+  h.Add(0, 0, &g);
+  ASSERT_EQ(h.raw_size(), 2u);
+  EXPECT_DOUBLE_EQ(h.raw_data()[0], 3.0);
+  EXPECT_DOUBLE_EQ(h.raw_data()[1], 7.0);
+}
+
+TEST(HistogramPoolTest, AcquireGetRelease) {
+  HistogramPool pool;
+  Histogram* h = pool.Acquire(3, 2, 4, 1);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(pool.Get(3), h);
+  EXPECT_EQ(pool.Get(5), nullptr);
+  EXPECT_EQ(pool.CurrentBytes(), h->MemoryBytes());
+  pool.Release(3);
+  EXPECT_EQ(pool.Get(3), nullptr);
+  EXPECT_EQ(pool.CurrentBytes(), 0u);
+}
+
+TEST(HistogramPoolTest, PeakTracksHighWaterMark) {
+  HistogramPool pool;
+  pool.Acquire(0, 10, 10, 1);
+  pool.Acquire(1, 10, 10, 1);
+  const uint64_t two = pool.CurrentBytes();
+  pool.Release(0);
+  pool.Release(1);
+  EXPECT_EQ(pool.PeakBytes(), two);
+  EXPECT_EQ(pool.CurrentBytes(), 0u);
+  pool.ResetPeak();
+  EXPECT_EQ(pool.PeakBytes(), 0u);
+}
+
+TEST(HistogramPoolTest, ReleasedBuffersAreRecycledCleared) {
+  HistogramPool pool;
+  Histogram* h = pool.Acquire(0, 2, 2, 1);
+  GradPair g{5.0, 5.0};
+  h->Add(0, 0, &g);
+  pool.Release(0);
+  Histogram* h2 = pool.Acquire(1, 2, 2, 1);
+  EXPECT_DOUBLE_EQ(h2->at(0, 0, 0).g, 0.0);  // Recycled buffer is cleared.
+}
+
+TEST(HistogramPoolTest, ReleaseUnknownNodeIsNoop) {
+  HistogramPool pool;
+  pool.Release(42);
+  EXPECT_EQ(pool.CurrentBytes(), 0u);
+}
+
+TEST(HistogramPoolDeathTest, DoubleAcquireDies) {
+  HistogramPool pool;
+  pool.Acquire(0, 1, 1, 1);
+  EXPECT_DEATH(pool.Acquire(0, 1, 1, 1), "already has a histogram");
+}
+
+}  // namespace
+}  // namespace vero

@@ -1,0 +1,113 @@
+#include "data/libsvm_io.h"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace vero {
+namespace {
+
+TEST(LibsvmTest, ParsesBasicBinaryFile) {
+  const std::string content =
+      "1 1:0.5 3:1.25\n"
+      "-1 2:2.0\n"
+      "0 1:0.1 2:0.2 3:0.3\n";
+  LibsvmReadOptions options;
+  options.task = Task::kBinary;
+  auto d = ParseLibsvm(content, options);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->num_instances(), 3u);
+  EXPECT_EQ(d->num_features(), 3u);  // 1-based indices shifted down.
+  EXPECT_EQ(d->labels()[0], 1.0f);
+  EXPECT_EQ(d->labels()[1], 0.0f);  // -1 mapped to 0.
+  EXPECT_EQ(d->matrix().RowFeatures(0)[1], 2u);
+  EXPECT_EQ(d->matrix().RowValues(0)[1], 1.25f);
+}
+
+TEST(LibsvmTest, ZeroBasedIndices) {
+  LibsvmReadOptions options;
+  options.one_based_indices = false;
+  auto d = ParseLibsvm("1 0:1.0 4:2.0\n", options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_features(), 5u);
+  EXPECT_EQ(d->matrix().RowFeatures(0)[0], 0u);
+}
+
+TEST(LibsvmTest, SkipsBlankLinesAndComments) {
+  auto d = ParseLibsvm("\n# header\n1 1:1.0\n\n0 1:2.0\n", LibsvmReadOptions{});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_instances(), 2u);
+}
+
+TEST(LibsvmTest, MultiClassInfersClassCount) {
+  LibsvmReadOptions options;
+  options.task = Task::kMultiClass;
+  auto d = ParseLibsvm("0 1:1\n4 1:2\n2 1:3\n", options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_classes(), 5u);
+}
+
+TEST(LibsvmTest, ExplicitFeatureCountWins) {
+  LibsvmReadOptions options;
+  options.num_features = 100;
+  auto d = ParseLibsvm("1 1:1.0\n", options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_features(), 100u);
+}
+
+TEST(LibsvmTest, RejectsMalformedLabel) {
+  auto d = ParseLibsvm("abc 1:1.0\n", LibsvmReadOptions{});
+  EXPECT_EQ(d.status().code(), StatusCode::kCorruption);
+}
+
+TEST(LibsvmTest, RejectsMalformedEntry) {
+  EXPECT_FALSE(ParseLibsvm("1 1:\n", LibsvmReadOptions{}).ok());
+  EXPECT_FALSE(ParseLibsvm("1 :2\n", LibsvmReadOptions{}).ok());
+  EXPECT_FALSE(ParseLibsvm("1 1:2:3\n", LibsvmReadOptions{}).ok());
+}
+
+TEST(LibsvmTest, RejectsZeroIndexInOneBasedFile) {
+  auto d = ParseLibsvm("1 0:1.0\n", LibsvmReadOptions{});
+  EXPECT_EQ(d.status().code(), StatusCode::kCorruption);
+}
+
+TEST(LibsvmTest, HandlesCarriageReturns) {
+  auto d = ParseLibsvm("1 1:1.0\r\n0 2:2.0\r\n", LibsvmReadOptions{});
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->num_instances(), 2u);
+}
+
+TEST(LibsvmTest, FileRoundTrip) {
+  SyntheticConfig config;
+  config.num_instances = 100;
+  config.num_features = 20;
+  config.num_classes = 3;
+  config.density = 0.4;
+  const Dataset original = GenerateSynthetic(config);
+
+  const std::string path = ::testing::TempDir() + "/libsvm_roundtrip.txt";
+  ASSERT_TRUE(WriteLibsvmFile(original, path).ok());
+
+  LibsvmReadOptions options;
+  options.task = Task::kMultiClass;
+  options.num_features = original.num_features();
+  auto reloaded = ReadLibsvmFile(path, options);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->num_instances(), original.num_instances());
+  EXPECT_EQ(reloaded->labels(), original.labels());
+  EXPECT_EQ(reloaded->matrix().features(), original.matrix().features());
+  for (size_t k = 0; k < original.matrix().values().size(); ++k) {
+    EXPECT_NEAR(reloaded->matrix().values()[k], original.matrix().values()[k],
+                1e-5f);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LibsvmTest, MissingFileIsIOError) {
+  auto d = ReadLibsvmFile("/nonexistent/path.txt", LibsvmReadOptions{});
+  EXPECT_EQ(d.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace vero

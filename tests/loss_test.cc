@@ -1,0 +1,155 @@
+#include "core/loss.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vero {
+namespace {
+
+// Numerical gradient check: g = dL/dm and h = d2L/dm2 via central
+// differences on the per-instance loss.
+void CheckGradientsNumerically(const Loss& loss, float label,
+                               const std::vector<double>& margin) {
+  const uint32_t dims = loss.num_dims();
+  GradientBuffer grads(1, dims);
+  loss.ComputeGradients({label}, margin, 0, 1, &grads);
+  const double eps = 1e-5;
+  for (uint32_t k = 0; k < dims; ++k) {
+    std::vector<double> plus = margin, minus = margin;
+    plus[k] += eps;
+    minus[k] -= eps;
+    const double l_plus = loss.ComputeLoss({label}, plus, 0, 1);
+    const double l_minus = loss.ComputeLoss({label}, minus, 0, 1);
+    const double l_mid = loss.ComputeLoss({label}, margin, 0, 1);
+    const double g_num = (l_plus - l_minus) / (2 * eps);
+    const double h_num = (l_plus - 2 * l_mid + l_minus) / (eps * eps);
+    EXPECT_NEAR(grads.at(0, k).g, g_num, 1e-4) << "dim " << k;
+    // The softmax surrogate uses 2p(1-p) >= true diagonal Hessian; only
+    // check exactness for the losses whose h is the true second derivative.
+    if (loss.name() != "softmax") {
+      EXPECT_NEAR(grads.at(0, k).h, h_num, 1e-3) << "dim " << k;
+    } else {
+      EXPECT_GE(grads.at(0, k).h + 1e-6, h_num) << "dim " << k;
+    }
+  }
+}
+
+TEST(SquareLossTest, GradientsAreResiduals) {
+  SquareLoss loss;
+  GradientBuffer grads(2, 1);
+  loss.ComputeGradients({1.0f, -2.0f}, {3.0, 0.5}, 0, 2, &grads);
+  EXPECT_DOUBLE_EQ(grads.at(0, 0).g, 2.0);
+  EXPECT_DOUBLE_EQ(grads.at(0, 0).h, 1.0);
+  EXPECT_DOUBLE_EQ(grads.at(1, 0).g, 2.5);
+}
+
+TEST(SquareLossTest, NumericalCheck) {
+  SquareLoss loss;
+  CheckGradientsNumerically(loss, 1.5f, {0.3});
+  CheckGradientsNumerically(loss, -0.5f, {2.0});
+}
+
+TEST(LogisticLossTest, GradientAtZeroMargin) {
+  LogisticLoss loss;
+  GradientBuffer grads(2, 1);
+  loss.ComputeGradients({1.0f, 0.0f}, {0.0, 0.0}, 0, 2, &grads);
+  EXPECT_DOUBLE_EQ(grads.at(0, 0).g, -0.5);
+  EXPECT_DOUBLE_EQ(grads.at(1, 0).g, 0.5);
+  EXPECT_DOUBLE_EQ(grads.at(0, 0).h, 0.25);
+}
+
+TEST(LogisticLossTest, NumericalCheck) {
+  LogisticLoss loss;
+  for (double m : {-3.0, -0.5, 0.0, 1.0, 4.0}) {
+    CheckGradientsNumerically(loss, 1.0f, {m});
+    CheckGradientsNumerically(loss, 0.0f, {m});
+  }
+}
+
+TEST(LogisticLossTest, LossAtZeroIsLog2) {
+  LogisticLoss loss;
+  EXPECT_NEAR(loss.ComputeLoss({1.0f}, {0.0}, 0, 1), std::log(2.0), 1e-12);
+}
+
+TEST(LogisticLossTest, ExtremeMarginsStayFinite) {
+  LogisticLoss loss;
+  GradientBuffer grads(1, 1);
+  loss.ComputeGradients({1.0f}, {100.0}, 0, 1, &grads);
+  EXPECT_TRUE(std::isfinite(grads.at(0, 0).g));
+  EXPECT_GT(grads.at(0, 0).h, 0.0);
+  EXPECT_TRUE(std::isfinite(loss.ComputeLoss({0.0f}, {100.0}, 0, 1)));
+}
+
+TEST(SoftmaxLossTest, GradientsSumToZeroAcrossClasses) {
+  SoftmaxLoss loss(4);
+  GradientBuffer grads(1, 4);
+  loss.ComputeGradients({2.0f}, {0.1, -0.5, 2.0, 0.7}, 0, 1, &grads);
+  double sum = 0.0;
+  for (uint32_t k = 0; k < 4; ++k) sum += grads.at(0, k).g;
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+  // The true class has a negative gradient.
+  EXPECT_LT(grads.at(0, 2).g, 0.0);
+}
+
+TEST(SoftmaxLossTest, NumericalCheck) {
+  SoftmaxLoss loss(3);
+  CheckGradientsNumerically(loss, 0.0f, {0.2, -1.0, 0.5});
+  CheckGradientsNumerically(loss, 2.0f, {1.0, 1.0, 1.0});
+}
+
+TEST(SoftmaxLossTest, UniformMarginLossIsLogC) {
+  SoftmaxLoss loss(5);
+  EXPECT_NEAR(loss.ComputeLoss({3.0f}, {1.0, 1.0, 1.0, 1.0, 1.0}, 0, 1),
+              std::log(5.0), 1e-12);
+}
+
+TEST(SoftmaxTest, SoftmaxInPlaceNormalizes) {
+  double p[3] = {1.0, 2.0, 3.0};
+  SoftmaxInPlace(p, 3);
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
+  EXPECT_GT(p[2], p[1]);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(SoftmaxTest, StableForLargeMargins) {
+  double p[2] = {1000.0, 999.0};
+  SoftmaxInPlace(p, 2);
+  EXPECT_TRUE(std::isfinite(p[0]));
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+}
+
+TEST(SigmoidTest, SymmetryAndRange) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(3.0) + Sigmoid(-3.0), 1.0, 1e-12);
+  EXPECT_GT(Sigmoid(-800.0), 0.0 - 1e-300);
+  EXPECT_LE(Sigmoid(800.0), 1.0);
+}
+
+TEST(MakeLossTest, FactorySelectsByTask) {
+  EXPECT_EQ(MakeLossForTask(Task::kRegression, 1)->name(), "square");
+  EXPECT_EQ(MakeLossForTask(Task::kBinary, 2)->name(), "logistic");
+  EXPECT_EQ(MakeLossForTask(Task::kMultiClass, 7)->name(), "softmax");
+  EXPECT_EQ(MakeLossForTask(Task::kMultiClass, 7)->num_dims(), 7u);
+}
+
+TEST(GradientBufferTest, TotalSumsAllInstances) {
+  GradientBuffer grads(3, 2);
+  for (uint32_t i = 0; i < 3; ++i) {
+    for (uint32_t k = 0; k < 2; ++k) {
+      grads.at(i, k) = {static_cast<double>(i), static_cast<double>(k)};
+    }
+  }
+  const GradStats total = grads.Total();
+  EXPECT_DOUBLE_EQ(total[0].g, 3.0);
+  EXPECT_DOUBLE_EQ(total[1].h, 3.0);
+}
+
+TEST(GainTermTest, MatchesFormula) {
+  GradStats stats = {{2.0, 3.0}, {-4.0, 1.0}};
+  EXPECT_DOUBLE_EQ(GainTerm(stats, 1.0), 4.0 / 4.0 + 16.0 / 2.0);
+}
+
+}  // namespace
+}  // namespace vero

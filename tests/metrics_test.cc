@@ -1,0 +1,103 @@
+#include "core/metrics.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vero {
+namespace {
+
+TEST(AucTest, PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(Auc({0, 0, 1, 1}, {0.1, 0.2, 0.8, 0.9}), 1.0);
+  EXPECT_DOUBLE_EQ(Auc({1, 1, 0, 0}, {0.1, 0.2, 0.8, 0.9}), 0.0);
+}
+
+TEST(AucTest, RandomScoresGiveHalf) {
+  EXPECT_DOUBLE_EQ(Auc({0, 1}, {0.5, 0.5}), 0.5);
+}
+
+TEST(AucTest, HandComputedCase) {
+  // Pairs: (0.1-,0.4+),(0.1-,0.35-),(0.1-,0.8+) etc. Classic example:
+  const std::vector<float> labels = {1, 0, 1, 0};
+  const std::vector<double> scores = {0.8, 0.4, 0.35, 0.1};
+  // Positive scores {0.8, 0.35}, negative {0.4, 0.1}:
+  // correct pairs: (0.8>0.4), (0.8>0.1), (0.35<0.4 no), (0.35>0.1) = 3/4.
+  EXPECT_DOUBLE_EQ(Auc(labels, scores), 0.75);
+}
+
+TEST(AucTest, TiesCountHalf) {
+  EXPECT_DOUBLE_EQ(Auc({0, 1, 0, 1}, {0.5, 0.5, 0.1, 0.9}), 0.875);
+}
+
+TEST(AucTest, DegenerateSingleClass) {
+  EXPECT_DOUBLE_EQ(Auc({1, 1}, {0.1, 0.9}), 0.5);
+  EXPECT_DOUBLE_EQ(Auc({0, 0}, {0.1, 0.9}), 0.5);
+}
+
+TEST(AucTest, MatchesBruteForceOnRandomData) {
+  Rng rng(4);
+  const int n = 300;
+  std::vector<float> labels(n);
+  std::vector<double> scores(n);
+  for (int i = 0; i < n; ++i) {
+    labels[i] = rng.Bernoulli(0.4) ? 1.0f : 0.0f;
+    scores[i] = rng.Uniform(20) / 20.0;  // Plenty of ties.
+  }
+  double correct = 0.0, total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (labels[i] > 0.5f && labels[j] < 0.5f) {
+        total += 1.0;
+        if (scores[i] > scores[j]) {
+          correct += 1.0;
+        } else if (scores[i] == scores[j]) {
+          correct += 0.5;
+        }
+      }
+    }
+  }
+  EXPECT_NEAR(Auc(labels, scores), correct / total, 1e-12);
+}
+
+TEST(AccuracyTest, BinaryThresholdsAtZero) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 1}, {0.5, -0.2, -0.1}, 1), 2.0 / 3);
+}
+
+TEST(AccuracyTest, MultiClassArgmax) {
+  // Two instances, three classes.
+  const std::vector<double> margins = {0.1, 0.9, 0.0,   // argmax 1
+                                       2.0, 1.0, 3.0};  // argmax 2
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2}, margins, 3), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0, 2}, margins, 3), 0.5);
+}
+
+TEST(AccuracyTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}, 3), 0.0);
+}
+
+TEST(RmseTest, HandComputed) {
+  EXPECT_DOUBLE_EQ(Rmse({1, 2}, {2.0, 4.0}), std::sqrt((1.0 + 4.0) / 2));
+  EXPECT_DOUBLE_EQ(Rmse({3}, {3.0}), 0.0);
+}
+
+TEST(LogLossTest, DelegatesToTaskLoss) {
+  EXPECT_NEAR(LogLoss(Task::kBinary, 2, {1.0f}, {0.0}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LogLoss(Task::kMultiClass, 3, {0.0f}, {1.0, 1.0, 1.0}),
+              std::log(3.0), 1e-12);
+}
+
+TEST(EvaluateMarginsTest, PicksHeadlineMetricByTask) {
+  EXPECT_EQ(EvaluateMargins(Task::kBinary, 2, {0, 1}, {-1.0, 1.0}).name,
+            "auc");
+  EXPECT_EQ(EvaluateMargins(Task::kRegression, 1, {0.5f}, {0.5}).name,
+            "rmse");
+  EXPECT_EQ(
+      EvaluateMargins(Task::kMultiClass, 3, {0.0f}, {1.0, 0.0, 0.0}).name,
+      "accuracy");
+  EXPECT_FALSE(
+      EvaluateMargins(Task::kRegression, 1, {0.5f}, {0.5}).higher_is_better);
+}
+
+}  // namespace
+}  // namespace vero

@@ -1,0 +1,194 @@
+// Unit tests for remaining small surfaces: TreeCost summaries, the split
+// exchange helpers, feature masks, histogram-pool shape handling, and the
+// quadrant taxonomy helpers.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "quadrants/dist_common.h"
+
+namespace vero {
+namespace {
+
+TEST(TreeCostTest, TotalsAndAccumulation) {
+  TreeCost a;
+  a.gradient_seconds = 1;
+  a.hist_seconds = 2;
+  a.find_split_seconds = 3;
+  a.node_split_seconds = 4;
+  a.other_seconds = 5;
+  a.comm_seconds = 10;
+  EXPECT_DOUBLE_EQ(a.comp_seconds(), 15.0);
+  EXPECT_DOUBLE_EQ(a.total_seconds(), 25.0);
+  TreeCost b = a;
+  b += a;
+  EXPECT_DOUBLE_EQ(b.comp_seconds(), 30.0);
+  EXPECT_DOUBLE_EQ(b.comm_seconds, 20.0);
+}
+
+TEST(TreeCostSummaryTest, MeanAndStd) {
+  TreeCost a, b;
+  a.hist_seconds = 1.0;
+  a.comm_seconds = 2.0;
+  b.hist_seconds = 3.0;
+  b.comm_seconds = 4.0;
+  const TreeCostSummary s = SummarizeTreeCosts({a, b});
+  EXPECT_DOUBLE_EQ(s.mean.hist_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(s.mean.comm_seconds, 3.0);
+  // Sample std of {1,3} (comp) and {2,4} (comm) is sqrt(2).
+  EXPECT_NEAR(s.comp_std, std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(s.comm_std, std::sqrt(2.0), 1e-12);
+}
+
+TEST(TreeCostSummaryTest, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(SummarizeTreeCosts({}).mean.comp_seconds(), 0.0);
+  TreeCost a;
+  a.hist_seconds = 5.0;
+  const TreeCostSummary s = SummarizeTreeCosts({a});
+  EXPECT_DOUBLE_EQ(s.mean.hist_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(s.comp_std, 0.0);
+}
+
+TEST(SplitExchangeTest, SerializeRoundTripVector) {
+  std::vector<SplitCandidate> splits(3);
+  splits[0].valid = true;
+  splits[0].feature = 7;
+  splits[0].gain = 1.5;
+  splits[0].left_stats = {{1, 2}};
+  splits[0].right_stats = {{3, 4}};
+  splits[2].valid = true;
+  splits[2].feature = 2;
+  const auto bytes = SerializeSplits(splits);
+  const auto back = DeserializeSplits(bytes);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_TRUE(back[0].valid);
+  EXPECT_EQ(back[0].feature, 7u);
+  EXPECT_FALSE(back[1].valid);
+  EXPECT_EQ(back[2].feature, 2u);
+}
+
+TEST(SplitExchangeTest, MergePicksBetterPerSlot) {
+  std::vector<SplitCandidate> a(2), b(2);
+  a[0].valid = true;
+  a[0].gain = 1.0;
+  a[0].feature = 5;
+  b[0].valid = true;
+  b[0].gain = 2.0;
+  b[0].feature = 9;
+  b[1].valid = true;
+  b[1].gain = 0.5;
+  std::vector<SplitCandidate> best;
+  MergeBestSplits(a, &best);
+  MergeBestSplits(b, &best);
+  EXPECT_EQ(best[0].feature, 9u);   // Higher gain wins slot 0.
+  EXPECT_TRUE(best[1].valid);       // Only b had slot 1.
+}
+
+TEST(SplitFinderMaskTest, MaskedFeaturesNeverChosen) {
+  Histogram hist(2, 3, 1);
+  GradPair neg{-10.0, 5.0}, pos{10.0, 5.0};
+  // Feature 0 offers a perfect split; feature 1 a weak one.
+  hist.Add(0, 0, &neg);
+  hist.Add(0, 1, &pos);
+  GradPair weak_a{-1.0, 5.0}, weak_b{1.0, 5.0};
+  hist.Add(1, 0, &weak_a);
+  hist.Add(1, 1, &weak_b);
+  GradStats node = {{0.0, 10.0}};
+  CandidateSplits splits(3, {{1.0f, 2.0f, 3.0f}, {1.0f, 2.0f, 3.0f}});
+  SplitFinder finder(1.0, 0.0, 0.0);
+
+  const std::vector<bool> only_f1 = {false, true};
+  const SplitCandidate best =
+      finder.FindBest(hist, node, {0, 1}, splits, &only_f1);
+  ASSERT_TRUE(best.valid);
+  EXPECT_EQ(best.feature, 1u);  // The strong feature 0 is masked out.
+
+  const std::vector<bool> none = {false, false};
+  EXPECT_FALSE(finder.FindBest(hist, node, {0, 1}, splits, &none).valid);
+}
+
+TEST(HistogramPoolTest, FreelistShapeMismatchAllocatesFresh) {
+  HistogramPool pool;
+  pool.Acquire(0, 4, 4, 1);
+  pool.Release(0);
+  // Different shape: the recycled buffer cannot be reused.
+  Histogram* h = pool.Acquire(1, 8, 2, 2);
+  EXPECT_EQ(h->num_features(), 8u);
+  EXPECT_EQ(h->num_bins(), 2u);
+  EXPECT_EQ(h->num_dims(), 2u);
+}
+
+TEST(HistogramPoolTest, ZeroFeatureHistogramKeepsShapeMetadata) {
+  HistogramPool pool;
+  Histogram* h = pool.Acquire(0, 0, 20, 3);
+  EXPECT_EQ(h->num_features(), 0u);
+  EXPECT_EQ(h->num_bins(), 20u);
+  EXPECT_EQ(h->num_dims(), 3u);
+  EXPECT_EQ(h->MemoryBytes(), 0u);
+}
+
+TEST(QuadrantTaxonomyTest, NamesAndOrientation) {
+  EXPECT_FALSE(IsVertical(Quadrant::kQD1));
+  EXPECT_FALSE(IsVertical(Quadrant::kQD2));
+  EXPECT_TRUE(IsVertical(Quadrant::kQD3));
+  EXPECT_TRUE(IsVertical(Quadrant::kQD4));
+  EXPECT_FALSE(IsVertical(Quadrant::kFeatureParallel));
+  EXPECT_NE(std::string(QuadrantToString(Quadrant::kQD4)).find("Vero"),
+            std::string::npos);
+}
+
+TEST(MarginConsistencyTest, IncrementalValidMetricMatchesFullPrediction) {
+  // The trainer updates validation margins incrementally (one tree at a
+  // time); the final value must agree exactly with routing every instance
+  // through the finished model.
+  SyntheticConfig config;
+  config.num_instances = 2500;
+  config.num_features = 25;
+  config.density = 0.4;
+  config.seed = 151;
+  const Dataset data = GenerateSynthetic(config);
+  const auto [train, valid] = data.SplitTail(0.3);
+  GbdtParams params;
+  params.num_trees = 8;
+  params.num_layers = 5;
+  params.num_candidate_splits = 16;
+  double last_incremental = -1.0;
+  Trainer trainer(params);
+  auto model = trainer.Train(train, &valid, [&](const IterationStats& it) {
+    last_incremental = it.valid_metric;
+  });
+  ASSERT_TRUE(model.ok());
+  const double full = EvaluateModel(*model, valid).value;
+  EXPECT_NEAR(last_incremental, full, 1e-12);
+}
+
+TEST(MarginConsistencyTest, TrainMarginsMatchModelRouting) {
+  // Partition-based margin accumulation during training must agree with
+  // post-hoc routing (ties the node-to-instance index to the tree tests).
+  SyntheticConfig config;
+  config.num_instances = 1500;
+  config.num_features = 20;
+  config.density = 0.5;
+  config.seed = 153;
+  const Dataset train = GenerateSynthetic(config);
+  GbdtParams params;
+  params.num_trees = 6;
+  params.num_layers = 5;
+  double final_loss = -1.0;
+  Trainer trainer(params);
+  auto model = trainer.Train(train, nullptr, [&](const IterationStats& it) {
+    final_loss = it.train_loss;
+  });
+  ASSERT_TRUE(model.ok());
+  const auto margins = model->PredictDatasetMargins(train);
+  const double routed_loss =
+      LogLoss(train.task(), train.num_classes(), train.labels(), margins);
+  EXPECT_NEAR(final_loss, routed_loss, 1e-9);
+}
+
+}  // namespace
+}  // namespace vero

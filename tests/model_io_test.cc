@@ -1,0 +1,75 @@
+#include "core/model_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+
+namespace vero {
+namespace {
+
+GbdtModel MakeModel() {
+  GbdtModel model(Task::kBinary, 2, 0.3);
+  Tree t(3, 1);
+  t.SetSplit(0, 4, 1.5f, 2, false, 3.0);
+  t.SetLeaf(1, {-0.5f});
+  t.SetLeaf(2, {0.5f});
+  model.AddTree(std::move(t));
+  return model;
+}
+
+TEST(ModelIoTest, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/model_io.bin";
+  const GbdtModel model = MakeModel();
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_trees(), 1u);
+  EXPECT_TRUE(loaded->tree(0) == model.tree(0));
+  EXPECT_DOUBLE_EQ(loaded->learning_rate(), 0.3);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, LoadMissingFileFails) {
+  EXPECT_EQ(LoadModel("/no/such/file.bin").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(ModelIoTest, LoadRejectsBadMagic) {
+  const std::string path = ::testing::TempDir() + "/bad_magic.bin";
+  std::ofstream out(path, std::ios::binary);
+  out << "this is not a model file at all";
+  out.close();
+  EXPECT_EQ(LoadModel(path).status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, LoadRejectsTruncatedFile) {
+  const std::string path = ::testing::TempDir() + "/truncated.bin";
+  ASSERT_TRUE(SaveModel(MakeModel(), path).ok());
+  // Truncate to the first 12 bytes.
+  std::ifstream in(path, std::ios::binary);
+  char buf[12];
+  in.read(buf, 12);
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(buf, 12);
+  out.close();
+  EXPECT_FALSE(LoadModel(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, SaveToUnwritablePathFails) {
+  EXPECT_EQ(SaveModel(MakeModel(), "/no/such/dir/model.bin").code(),
+            StatusCode::kIOError);
+}
+
+TEST(ModelIoTest, TextDumpMentionsStructure) {
+  const std::string text = ModelToText(MakeModel());
+  EXPECT_NE(text.find("task=binary"), std::string::npos);
+  EXPECT_NE(text.find("split f4"), std::string::npos);
+  EXPECT_NE(text.find("leaf"), std::string::npos);
+  EXPECT_NE(text.find("tree 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vero

@@ -1,0 +1,142 @@
+// Full-pipeline integration test: the complete downstream-user path —
+// dataset on disk (LIBSVM) -> loaded -> distributed Vero training ->
+// model on disk -> reloaded -> predictions — with quality and consistency
+// checks at every hop.
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "core/model_io.h"
+#include "data/libsvm_io.h"
+#include "data/synthetic.h"
+#include "quadrants/train_distributed.h"
+
+namespace vero {
+namespace {
+
+TEST(PipelineTest, DiskToDistributedModelToPredictions) {
+  // 1. Materialize a dataset on disk.
+  SyntheticConfig config;
+  config.num_instances = 3000;
+  config.num_features = 40;
+  config.num_classes = 2;
+  config.density = 0.4;
+  config.seed = 91;
+  const Dataset original = GenerateSynthetic(config);
+  const std::string data_path = ::testing::TempDir() + "/pipeline.libsvm";
+  ASSERT_TRUE(WriteLibsvmFile(original, data_path).ok());
+
+  // 2. Load it back the way a user would.
+  LibsvmReadOptions read;
+  read.task = Task::kBinary;
+  read.num_features = original.num_features();
+  auto loaded = ReadLibsvmFile(data_path, read);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_instances(), original.num_instances());
+
+  // 3. Train Vero on a 4-worker simulated cluster with a holdout.
+  const auto [train, valid] = loaded->SplitTail(0.2);
+  DistTrainOptions options;
+  options.params.num_trees = 10;
+  options.params.num_layers = 5;
+  Cluster cluster(4);
+  const DistResult result =
+      TrainDistributed(cluster, train, Quadrant::kQD4, options, &valid);
+  const double trained_auc = EvaluateModel(result.model, valid).value;
+  EXPECT_GT(trained_auc, 0.6);
+
+  // 4. Persist and reload the model.
+  const std::string model_path = ::testing::TempDir() + "/pipeline.model";
+  ASSERT_TRUE(SaveModel(result.model, model_path).ok());
+  auto reloaded = LoadModel(model_path);
+  ASSERT_TRUE(reloaded.ok());
+
+  // 5. Reloaded predictions must match bit-for-bit.
+  const auto a = result.model.PredictDatasetMargins(valid);
+  const auto b = reloaded->PredictDatasetMargins(valid);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_DOUBLE_EQ(a[i], b[i]);
+
+  // 6. Probabilities are calibrated into [0, 1] and order-consistent with
+  //    margins.
+  const CsrMatrix& vm = valid.matrix();
+  for (InstanceId i = 0; i < std::min<InstanceId>(100, valid.num_instances());
+       ++i) {
+    double proba = 0.0;
+    reloaded->PredictProba(vm.RowFeatures(i), vm.RowValues(i), &proba);
+    EXPECT_GE(proba, 0.0);
+    EXPECT_LE(proba, 1.0);
+    EXPECT_EQ(proba > 0.5, a[i] > 0.0);
+  }
+
+  std::remove(data_path.c_str());
+  std::remove(model_path.c_str());
+}
+
+TEST(PipelineTest, MultiClassRoundTripKeepsAccuracy) {
+  SyntheticConfig config;
+  config.num_instances = 2000;
+  config.num_features = 25;
+  config.num_classes = 6;
+  config.density = 0.5;
+  config.seed = 93;
+  const Dataset data = GenerateSynthetic(config);
+  const std::string data_path = ::testing::TempDir() + "/pipeline_mc.libsvm";
+  ASSERT_TRUE(WriteLibsvmFile(data, data_path).ok());
+  LibsvmReadOptions read;
+  read.task = Task::kMultiClass;
+  read.num_classes = 6;
+  read.num_features = data.num_features();
+  auto loaded = ReadLibsvmFile(data_path, read);
+  ASSERT_TRUE(loaded.ok());
+
+  DistTrainOptions options;
+  options.params.num_trees = 6;
+  options.params.num_layers = 4;
+  Cluster cluster(3);
+  const DistResult result =
+      TrainDistributed(cluster, *loaded, Quadrant::kQD4, options);
+  const double acc = EvaluateModel(result.model, *loaded).value;
+  EXPECT_GT(acc, 1.0 / 6);
+
+  const std::string model_path = ::testing::TempDir() + "/pipeline_mc.model";
+  ASSERT_TRUE(SaveModel(result.model, model_path).ok());
+  auto reloaded = LoadModel(model_path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_DOUBLE_EQ(EvaluateModel(*reloaded, *loaded).value, acc);
+  std::remove(data_path.c_str());
+  std::remove(model_path.c_str());
+}
+
+TEST(PipelineTest, TrainOnOneClusterSizeScoreAnywhere) {
+  // A model trained with W=6 must behave identically to one trained with
+  // W=1 (quadrant invariance) and be usable without any cluster at all.
+  SyntheticConfig config;
+  config.num_instances = 900;
+  config.num_features = 15;
+  config.seed = 95;
+  const Dataset data = GenerateSynthetic(config);
+  DistTrainOptions options;
+  options.params.num_trees = 4;
+  options.params.num_layers = 4;
+  Cluster c6(6), c1(1);
+  const GbdtModel w6 =
+      TrainDistributed(c6, data, Quadrant::kQD4, options).model;
+  const GbdtModel w1 =
+      TrainDistributed(c1, data, Quadrant::kQD4, options).model;
+  const auto m6 = w6.PredictDatasetMargins(data);
+  const auto m1 = w1.PredictDatasetMargins(data);
+  ASSERT_EQ(m6.size(), m1.size());
+  for (size_t i = 0; i < m6.size(); ++i) {
+    // Different worker counts change the distributed sketch merge order
+    // slightly, so allow quantization-level differences only.
+    EXPECT_NEAR(m6[i], m1[i], 0.5) << i;
+  }
+  // Both beat chance comfortably.
+  EXPECT_GT(EvaluateMargins(Task::kBinary, 2, data.labels(), m6).value, 0.6);
+  EXPECT_GT(EvaluateMargins(Task::kBinary, 2, data.labels(), m1).value, 0.6);
+}
+
+}  // namespace
+}  // namespace vero

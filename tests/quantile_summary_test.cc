@@ -1,0 +1,211 @@
+#include "sketch/quantile_summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/serialize.h"
+
+namespace vero {
+namespace {
+
+TEST(QuantileSummaryTest, ExactFromValues) {
+  QuantileSummary s = QuantileSummary::FromValues({3.0f, 1.0f, 2.0f, 1.0f});
+  EXPECT_EQ(s.num_entries(), 3u);  // Distinct values 1, 2, 3.
+  EXPECT_DOUBLE_EQ(s.total_weight(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min_value(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max_value(), 3.0);
+  ASSERT_TRUE(s.CheckInvariants().ok());
+  // value 1 has rmin 0, rmax 2 (two copies); value 2 rmin 2 rmax 3.
+  EXPECT_DOUBLE_EQ(s.entries()[0].rmin, 0.0);
+  EXPECT_DOUBLE_EQ(s.entries()[0].rmax, 2.0);
+  EXPECT_DOUBLE_EQ(s.entries()[1].rmin, 2.0);
+  EXPECT_DOUBLE_EQ(s.entries()[1].rmax, 3.0);
+}
+
+TEST(QuantileSummaryTest, EmptySummary) {
+  QuantileSummary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.ProposeSplits(10).size(), 0u);
+  EXPECT_TRUE(s.Merge(QuantileSummary()).empty());
+}
+
+TEST(QuantileSummaryTest, WeightedValues) {
+  QuantileSummary s =
+      QuantileSummary::FromWeightedValues({{1.0f, 3.0f}, {2.0f, 1.0f}});
+  EXPECT_DOUBLE_EQ(s.total_weight(), 4.0);
+  EXPECT_DOUBLE_EQ(s.entries()[0].w, 3.0);
+  ASSERT_TRUE(s.CheckInvariants().ok());
+}
+
+TEST(QuantileSummaryTest, MergeOfExactSummariesIsExact) {
+  QuantileSummary a = QuantileSummary::FromValues({1, 3, 5, 7});
+  QuantileSummary b = QuantileSummary::FromValues({2, 3, 6});
+  QuantileSummary m = a.Merge(b);
+  ASSERT_TRUE(m.CheckInvariants().ok());
+  EXPECT_DOUBLE_EQ(m.total_weight(), 7.0);
+  // Merged exact summaries keep exact ranks: rmin(x) == #values < x.
+  const std::vector<float> all = {1, 2, 3, 3, 5, 6, 7};
+  for (const SummaryEntry& e : m.entries()) {
+    const double below = std::count_if(all.begin(), all.end(), [&](float v) {
+      return v < e.value;
+    });
+    const double below_or_eq = std::count_if(
+        all.begin(), all.end(), [&](float v) { return v <= e.value; });
+    EXPECT_DOUBLE_EQ(e.rmin, below) << "value " << e.value;
+    EXPECT_DOUBLE_EQ(e.rmax, below_or_eq) << "value " << e.value;
+  }
+}
+
+TEST(QuantileSummaryTest, MergeWithEmpty) {
+  QuantileSummary a = QuantileSummary::FromValues({1, 2});
+  EXPECT_EQ(a.Merge(QuantileSummary()).num_entries(), 2u);
+  EXPECT_EQ(QuantileSummary().Merge(a).num_entries(), 2u);
+}
+
+TEST(QuantileSummaryTest, PruneKeepsExtremesAndBounds) {
+  std::vector<float> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(static_cast<float>(i));
+  QuantileSummary s = QuantileSummary::FromValues(values).Prune(20);
+  ASSERT_TRUE(s.CheckInvariants().ok());
+  EXPECT_LE(s.num_entries(), 20u);
+  EXPECT_DOUBLE_EQ(s.min_value(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max_value(), 999.0);
+}
+
+TEST(QuantileSummaryTest, QueryOnExactSummaryIsExact) {
+  std::vector<float> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(static_cast<float>(i));
+  QuantileSummary s = QuantileSummary::FromValues(values);
+  EXPECT_NEAR(s.Query(50), 50.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.Query(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Query(1000), 100.0);
+}
+
+TEST(QuantileSummaryTest, ProposeSplitsCoversMaxAndIsSorted) {
+  std::vector<float> values;
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(static_cast<float>(rng.NextDouble()));
+  }
+  const float max_v = *std::max_element(values.begin(), values.end());
+  QuantileSummary s = QuantileSummary::FromValues(values);
+  const std::vector<float> splits = s.ProposeSplits(20);
+  ASSERT_FALSE(splits.empty());
+  EXPECT_LE(splits.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(splits.begin(), splits.end()));
+  EXPECT_EQ(splits.back(), max_v);
+}
+
+TEST(QuantileSummaryTest, ProposeSplitsOnConstantFeature) {
+  QuantileSummary s = QuantileSummary::FromValues({2.5f, 2.5f, 2.5f});
+  const std::vector<float> splits = s.ProposeSplits(20);
+  ASSERT_EQ(splits.size(), 1u);
+  EXPECT_EQ(splits[0], 2.5f);
+}
+
+TEST(QuantileSummaryTest, SerializeRoundTrip) {
+  QuantileSummary s = QuantileSummary::FromValues({1, 2, 2, 3, 10});
+  ByteWriter w;
+  s.SerializeTo(&w);
+  ByteReader r(w.data());
+  QuantileSummary t;
+  ASSERT_TRUE(QuantileSummary::Deserialize(&r, &t).ok());
+  EXPECT_EQ(t.num_entries(), s.num_entries());
+  EXPECT_DOUBLE_EQ(t.total_weight(), s.total_weight());
+  EXPECT_DOUBLE_EQ(t.Query(2.0), s.Query(2.0));
+}
+
+// Property: pruned sketch rank error stays within total_weight/(b-1) plus
+// merge slack, across distributions and sketch budgets.
+class SketchErrorTest
+    : public ::testing::TestWithParam<std::tuple<int, size_t>> {};
+
+TEST_P(SketchErrorTest, QuantileErrorBounded) {
+  const auto [distribution, max_entries] = GetParam();
+  Rng rng(distribution * 100 + max_entries);
+  const int n = 20000;
+  std::vector<float> values;
+  values.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    double v = 0;
+    switch (distribution) {
+      case 0:
+        v = rng.NextDouble();
+        break;
+      case 1:
+        v = rng.NextGaussian();
+        break;
+      case 2:
+        v = std::exp(3 * rng.NextDouble());
+        break;
+      case 3:
+        v = rng.Uniform(50);  // Heavy ties.
+        break;
+    }
+    values.push_back(static_cast<float>(v));
+  }
+  QuantileSketch sketch(max_entries, 1024);
+  for (float v : values) sketch.Add(v);
+  const QuantileSummary& summary =
+      const_cast<QuantileSketch&>(sketch).Finalize();
+  ASSERT_TRUE(summary.CheckInvariants().ok());
+  EXPECT_DOUBLE_EQ(summary.total_weight(), n);
+
+  std::vector<float> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  // Allow a few buffer-merge rounds' worth of slack on top of 1/(b-1).
+  const double tolerance = 8.0 * n / static_cast<double>(max_entries - 1);
+  for (double q = 0.1; q < 1.0; q += 0.1) {
+    const double rank = q * n;
+    const float estimate = static_cast<float>(summary.Query(rank));
+    // True rank range of the estimate in the sorted data.
+    const auto lo = std::lower_bound(sorted.begin(), sorted.end(), estimate);
+    const auto hi = std::upper_bound(sorted.begin(), sorted.end(), estimate);
+    const double rank_lo = lo - sorted.begin();
+    const double rank_hi = hi - sorted.begin();
+    const double error = std::max(
+        0.0, std::max(rank_lo - rank, rank - rank_hi));
+    EXPECT_LE(error, tolerance)
+        << "distribution " << distribution << " q " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistributionsAndBudgets, SketchErrorTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(size_t{64}, size_t{256},
+                                         size_t{1024})));
+
+TEST(QuantileSketchTest, MergedShardsMatchSingleStream) {
+  // The distributed pipeline builds per-worker sketches and merges them;
+  // the merged result must approximate the same quantiles.
+  Rng rng(77);
+  std::vector<float> values;
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(static_cast<float>(rng.NextGaussian()));
+  }
+  QuantileSketch shard_a(256), shard_b(256), shard_c(256);
+  for (size_t i = 0; i < values.size(); ++i) {
+    (i % 3 == 0 ? shard_a : i % 3 == 1 ? shard_b : shard_c).Add(values[i]);
+  }
+  QuantileSummary merged = shard_a.Finalize()
+                               .Merge(shard_b.Finalize())
+                               .Merge(shard_c.Finalize())
+                               .Prune(256);
+  ASSERT_TRUE(merged.CheckInvariants().ok());
+  EXPECT_DOUBLE_EQ(merged.total_weight(), 10000.0);
+
+  QuantileSketch single(256);
+  for (float v : values) single.Add(v);
+  const QuantileSummary& single_summary = single.Finalize();
+  for (double q = 0.1; q < 1.0; q += 0.2) {
+    EXPECT_NEAR(merged.Query(q * 10000), single_summary.Query(q * 10000),
+                0.25)
+        << "quantile " << q;
+  }
+}
+
+}  // namespace
+}  // namespace vero

@@ -1,0 +1,153 @@
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+namespace vero {
+namespace {
+
+TEST(SerializeTest, ScalarRoundTrip) {
+  ByteWriter w;
+  w.WriteU8(0xAB);
+  w.WriteU16(0xBEEF);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x0123456789ABCDEFull);
+  w.WriteI32(-42);
+  w.WriteI64(-1234567890123LL);
+  w.WriteF32(3.5f);
+  w.WriteF64(-2.25);
+  w.WriteBool(true);
+  w.WriteBool(false);
+
+  ByteReader r(w.data());
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  int32_t i32;
+  int64_t i64;
+  float f32;
+  double f64;
+  bool b1, b2;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU16(&u16).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadI32(&i32).ok());
+  ASSERT_TRUE(r.ReadI64(&i64).ok());
+  ASSERT_TRUE(r.ReadF32(&f32).ok());
+  ASSERT_TRUE(r.ReadF64(&f64).ok());
+  ASSERT_TRUE(r.ReadBool(&b1).ok());
+  ASSERT_TRUE(r.ReadBool(&b2).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u16, 0xBEEF);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i32, -42);
+  EXPECT_EQ(i64, -1234567890123LL);
+  EXPECT_EQ(f32, 3.5f);
+  EXPECT_EQ(f64, -2.25);
+  EXPECT_TRUE(b1);
+  EXPECT_FALSE(b2);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, StringRoundTrip) {
+  ByteWriter w;
+  w.WriteString("hello");
+  w.WriteString("");
+  w.WriteString(std::string("bin\0ary", 7));
+  ByteReader r(w.data());
+  std::string a, b, c;
+  ASSERT_TRUE(r.ReadString(&a).ok());
+  ASSERT_TRUE(r.ReadString(&b).ok());
+  ASSERT_TRUE(r.ReadString(&c).ok());
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, std::string("bin\0ary", 7));
+}
+
+TEST(SerializeTest, VectorRoundTrip) {
+  ByteWriter w;
+  std::vector<float> floats = {1.5f, -2.0f, 0.0f};
+  std::vector<uint64_t> empty;
+  w.WriteVector(floats);
+  w.WriteVector(empty);
+  ByteReader r(w.data());
+  std::vector<float> f2;
+  std::vector<uint64_t> e2 = {9};
+  ASSERT_TRUE(r.ReadVector(&f2).ok());
+  ASSERT_TRUE(r.ReadVector(&e2).ok());
+  EXPECT_EQ(f2, floats);
+  EXPECT_TRUE(e2.empty());
+}
+
+TEST(SerializeTest, TruncatedScalarFails) {
+  ByteWriter w;
+  w.WriteU16(7);
+  ByteReader r(w.data());
+  uint32_t v;
+  EXPECT_EQ(r.ReadU32(&v).code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializeTest, TruncatedVectorFails) {
+  ByteWriter w;
+  w.WriteU64(1000);  // Claims 1000 elements but provides none.
+  ByteReader r(w.data());
+  std::vector<double> v;
+  EXPECT_EQ(r.ReadVector(&v).code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializeTest, TruncatedStringFails) {
+  ByteWriter w;
+  w.WriteU32(100);
+  w.WriteU8('x');
+  ByteReader r(w.data());
+  std::string s;
+  EXPECT_EQ(r.ReadString(&s).code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializeTest, SkipAdvances) {
+  ByteWriter w;
+  w.WriteU32(1);
+  w.WriteU32(2);
+  ByteReader r(w.data());
+  ASSERT_TRUE(r.Skip(4).ok());
+  uint32_t v;
+  ASSERT_TRUE(r.ReadU32(&v).ok());
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(r.Skip(1).code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializeTest, TakeDataMovesBuffer) {
+  ByteWriter w;
+  w.WriteU32(5);
+  std::vector<uint8_t> data = w.TakeData();
+  EXPECT_EQ(data.size(), 4u);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(SerializeTest, RawWrite) {
+  ByteWriter w;
+  const char payload[] = {1, 2, 3};
+  w.WriteRaw(payload, 3);
+  EXPECT_EQ(w.size(), 3u);
+  ByteReader r(w.data());
+  char out[3];
+  ASSERT_TRUE(r.ReadRaw(out, 3).ok());
+  EXPECT_EQ(out[2], 3);
+}
+
+TEST(SerializeTest, PositionAndRemaining) {
+  ByteWriter w;
+  w.WriteU64(0);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.remaining(), 8u);
+  uint32_t v;
+  ASSERT_TRUE(r.ReadU32(&v).ok());
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_FALSE(r.AtEnd());
+}
+
+}  // namespace
+}  // namespace vero

@@ -1,0 +1,180 @@
+#include "core/split.h"
+
+#include <gtest/gtest.h>
+
+#include "common/serialize.h"
+
+namespace vero {
+namespace {
+
+// One feature, three bins, binary task. Gradients arranged so that
+// splitting after bin 0 is clearly best.
+CandidateSplits MakeSplits() {
+  return CandidateSplits(3, {{1.0f, 2.0f, 3.0f}});
+}
+
+TEST(SplitFinderTest, FindsHandComputableSplit) {
+  // Bin 0: g=-10,h=5; bin 1: g=+10,h=5; bin 2: g=0,h=0.
+  Histogram hist(1, 3, 1);
+  GradPair neg{-10.0, 5.0}, pos{10.0, 5.0};
+  hist.Add(0, 0, &neg);
+  hist.Add(0, 1, &pos);
+  GradStats node = {{0.0, 10.0}};
+
+  SplitFinder finder(/*lambda=*/1.0, /*gamma=*/0.0, /*min_gain=*/0.0);
+  const SplitCandidate best =
+      finder.FindBest(hist, node, {0}, MakeSplits());
+  ASSERT_TRUE(best.valid);
+  EXPECT_EQ(best.feature, 0u);
+  EXPECT_EQ(best.split_bin, 0);
+  EXPECT_EQ(best.split_value, 1.0f);
+  // gain = 0.5 * (100/6 + 100/6 - 0/11).
+  EXPECT_NEAR(best.gain, 0.5 * (100.0 / 6 + 100.0 / 6), 1e-9);
+  EXPECT_DOUBLE_EQ(best.left_stats[0].g, -10.0);
+  EXPECT_DOUBLE_EQ(best.right_stats[0].g, 10.0);
+}
+
+TEST(SplitFinderTest, GammaSubtractsFromGain) {
+  Histogram hist(1, 3, 1);
+  GradPair neg{-10.0, 5.0}, pos{10.0, 5.0};
+  hist.Add(0, 0, &neg);
+  hist.Add(0, 1, &pos);
+  GradStats node = {{0.0, 10.0}};
+  SplitFinder finder(1.0, /*gamma=*/2.0, 0.0);
+  const SplitCandidate best =
+      finder.FindBest(hist, node, {0}, MakeSplits());
+  EXPECT_NEAR(best.gain, 0.5 * (100.0 / 6 + 100.0 / 6) - 2.0, 1e-9);
+}
+
+TEST(SplitFinderTest, MinGainFiltersWeakSplits) {
+  Histogram hist(1, 3, 1);
+  GradPair a{-0.1, 5.0}, b{0.1, 5.0};
+  hist.Add(0, 0, &a);
+  hist.Add(0, 1, &b);
+  GradStats node = {{0.0, 10.0}};
+  SplitFinder finder(1.0, 0.0, /*min_gain=*/1.0);
+  EXPECT_FALSE(finder.FindBest(hist, node, {0}, MakeSplits()).valid);
+}
+
+TEST(SplitFinderTest, MissingValuesPickBetterDefaultSide) {
+  // Present mass: bin 0 has g=-10 (wants to isolate); missing mass g=+8.
+  Histogram hist(1, 3, 1);
+  GradPair neg{-10.0, 5.0};
+  hist.Add(0, 0, &neg);
+  GradStats node = {{-2.0, 9.0}};  // Missing: g=8, h=4.
+  SplitFinder finder(1.0, 0.0, 0.0);
+  const SplitCandidate best =
+      finder.FindBest(hist, node, {0}, MakeSplits());
+  ASSERT_TRUE(best.valid);
+  // Sending missing right separates -10 from +8 cleanly.
+  EXPECT_FALSE(best.default_left);
+  EXPECT_DOUBLE_EQ(best.left_stats[0].g, -10.0);
+  EXPECT_DOUBLE_EQ(best.right_stats[0].g, 8.0);
+}
+
+TEST(SplitFinderTest, SkipsConstantFeatures) {
+  Histogram hist(1, 3, 1);
+  GradPair g{1.0, 1.0};
+  hist.Add(0, 0, &g);
+  GradStats node = {{1.0, 1.0}};
+  CandidateSplits one_bin(3, {{5.0f}});
+  SplitFinder finder(1.0, 0.0, 0.0);
+  EXPECT_FALSE(finder.FindBest(hist, node, {0}, one_bin).valid);
+}
+
+TEST(SplitFinderTest, MultiClassGainSumsOverClasses) {
+  Histogram hist(1, 2, 2);
+  GradPair bin0[2] = {{-5.0, 2.0}, {5.0, 2.0}};
+  GradPair bin1[2] = {{5.0, 2.0}, {-5.0, 2.0}};
+  hist.Add(0, 0, bin0);
+  hist.Add(0, 1, bin1);
+  GradStats node = {{0.0, 4.0}, {0.0, 4.0}};
+  CandidateSplits splits(2, {{1.0f, 2.0f}});
+  SplitFinder finder(1.0, 0.0, 0.0);
+  const SplitCandidate best = finder.FindBest(hist, node, {0}, splits);
+  ASSERT_TRUE(best.valid);
+  // Per class: 25/3 left + 25/3 right; parent 0. Two classes.
+  EXPECT_NEAR(best.gain, 0.5 * 4 * (25.0 / 3), 1e-9);
+}
+
+TEST(SplitFinderTest, LeafWeightsFormula) {
+  SplitFinder finder(1.0, 0.0, 0.0);
+  const std::vector<float> w = finder.LeafWeights({{4.0, 3.0}, {-2.0, 1.0}});
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_FLOAT_EQ(w[0], -1.0f);  // -4 / (3+1)
+  EXPECT_FLOAT_EQ(w[1], 1.0f);   // 2 / (1+1)
+}
+
+TEST(SplitCandidateTest, OrderingPrefersHigherGain) {
+  SplitCandidate a, b;
+  a.valid = b.valid = true;
+  a.gain = 2.0;
+  b.gain = 1.0;
+  EXPECT_TRUE(a.IsBetterThan(b));
+  EXPECT_FALSE(b.IsBetterThan(a));
+}
+
+TEST(SplitCandidateTest, TieBreaksByFeatureThenBin) {
+  SplitCandidate a, b;
+  a.valid = b.valid = true;
+  a.gain = b.gain = 1.0;
+  a.feature = 2;
+  b.feature = 5;
+  EXPECT_TRUE(a.IsBetterThan(b));
+  b.feature = 2;
+  a.split_bin = 1;
+  b.split_bin = 3;
+  EXPECT_TRUE(a.IsBetterThan(b));
+}
+
+TEST(SplitCandidateTest, InvalidNeverWins) {
+  SplitCandidate invalid, valid;
+  valid.valid = true;
+  valid.gain = -5.0;
+  EXPECT_FALSE(invalid.IsBetterThan(valid));
+  EXPECT_TRUE(valid.IsBetterThan(invalid));
+  EXPECT_FALSE(invalid.IsBetterThan(invalid));
+}
+
+TEST(SplitCandidateTest, SerializeRoundTrip) {
+  SplitCandidate s;
+  s.valid = true;
+  s.feature = 17;
+  s.split_bin = 3;
+  s.split_value = 2.5f;
+  s.default_left = true;
+  s.gain = 4.75;
+  s.left_stats = {{1.0, 2.0}, {3.0, 4.0}};
+  s.right_stats = {{-1.0, 0.5}, {0.0, 0.25}};
+  ByteWriter w;
+  s.SerializeTo(&w);
+  ByteReader r(w.data());
+  SplitCandidate t;
+  ASSERT_TRUE(SplitCandidate::Deserialize(&r, &t).ok());
+  EXPECT_EQ(t.feature, 17u);
+  EXPECT_EQ(t.split_bin, 3);
+  EXPECT_EQ(t.split_value, 2.5f);
+  EXPECT_TRUE(t.default_left);
+  EXPECT_DOUBLE_EQ(t.gain, 4.75);
+  EXPECT_EQ(t.left_stats.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.right_stats[0].h, 0.5);
+}
+
+TEST(SplitFinderTest, LeftRightStatsSumToNodeStats) {
+  // Property: whatever split wins, left + right must equal the node totals.
+  Histogram hist(2, 3, 1);
+  GradPair g1{-3.0, 1.0}, g2{2.0, 1.5}, g3{4.0, 2.0};
+  hist.Add(0, 0, &g1);
+  hist.Add(0, 1, &g2);
+  hist.Add(1, 2, &g3);
+  GradStats node = {{3.5, 5.0}};  // Includes some missing mass.
+  CandidateSplits splits(3, {{1.0f, 2.0f, 3.0f}, {1.0f, 2.0f, 3.0f}});
+  SplitFinder finder(1.0, 0.0, 0.0);
+  const SplitCandidate best = finder.FindBest(hist, node, {0, 1}, splits);
+  ASSERT_TRUE(best.valid);
+  EXPECT_NEAR(best.left_stats[0].g + best.right_stats[0].g, node[0].g, 1e-12);
+  EXPECT_NEAR(best.left_stats[0].h + best.right_stats[0].h, node[0].h, 1e-12);
+}
+
+}  // namespace
+}  // namespace vero

@@ -1,0 +1,136 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace vero {
+namespace {
+
+TEST(SyntheticTest, ShapeMatchesConfig) {
+  SyntheticConfig config;
+  config.num_instances = 500;
+  config.num_features = 40;
+  config.num_classes = 2;
+  config.density = 0.25;
+  const Dataset d = GenerateSynthetic(config);
+  EXPECT_EQ(d.num_instances(), 500u);
+  EXPECT_EQ(d.num_features(), 40u);
+  EXPECT_EQ(d.task(), Task::kBinary);
+  // Every row has round(0.25 * 40) = 10 nonzeros.
+  for (InstanceId i = 0; i < d.num_instances(); ++i) {
+    EXPECT_EQ(d.matrix().RowLength(i), 10u);
+  }
+}
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  SyntheticConfig config;
+  config.num_instances = 200;
+  config.num_features = 30;
+  config.seed = 99;
+  const Dataset a = GenerateSynthetic(config);
+  const Dataset b = GenerateSynthetic(config);
+  EXPECT_EQ(a.labels(), b.labels());
+  EXPECT_EQ(a.matrix().features(), b.matrix().features());
+  EXPECT_EQ(a.matrix().values(), b.matrix().values());
+  config.seed = 100;
+  const Dataset c = GenerateSynthetic(config);
+  EXPECT_NE(a.labels(), c.labels());
+}
+
+TEST(SyntheticTest, RowsSortedByFeature) {
+  SyntheticConfig config;
+  config.num_instances = 100;
+  config.num_features = 50;
+  config.density = 0.3;
+  const Dataset d = GenerateSynthetic(config);
+  for (InstanceId i = 0; i < d.num_instances(); ++i) {
+    auto features = d.matrix().RowFeatures(i);
+    EXPECT_TRUE(std::is_sorted(features.begin(), features.end()));
+  }
+}
+
+TEST(SyntheticTest, BinaryLabelsInRange) {
+  SyntheticConfig config;
+  config.num_instances = 300;
+  config.num_classes = 2;
+  const Dataset d = GenerateSynthetic(config);
+  int ones = 0;
+  for (float y : d.labels()) {
+    ASSERT_TRUE(y == 0.0f || y == 1.0f);
+    ones += (y == 1.0f);
+  }
+  // The argmax construction keeps classes roughly balanced.
+  EXPECT_GT(ones, 30);
+  EXPECT_LT(ones, 270);
+}
+
+TEST(SyntheticTest, MultiClassUsesAllClasses) {
+  SyntheticConfig config;
+  config.num_instances = 2000;
+  config.num_features = 50;
+  config.num_classes = 5;
+  const Dataset d = GenerateSynthetic(config);
+  EXPECT_EQ(d.task(), Task::kMultiClass);
+  std::vector<int> counts(5, 0);
+  for (float y : d.labels()) ++counts[static_cast<int>(y)];
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(SyntheticTest, RegressionLabels) {
+  SyntheticConfig config;
+  config.num_instances = 100;
+  config.num_classes = 1;
+  const Dataset d = GenerateSynthetic(config);
+  EXPECT_EQ(d.task(), Task::kRegression);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(SyntheticTest, DenseWhenDensityIsOne) {
+  SyntheticConfig config;
+  config.num_instances = 50;
+  config.num_features = 8;
+  config.density = 1.0;
+  const Dataset d = GenerateSynthetic(config);
+  EXPECT_EQ(d.num_nonzeros(), 50u * 8u);
+}
+
+TEST(ProfileTest, PublicProfilesMatchTable2) {
+  const auto& profiles = PublicDatasetProfiles();
+  ASSERT_EQ(profiles.size(), 8u);
+  EXPECT_EQ(profiles[0].name, "SUSY");
+  EXPECT_EQ(profiles[0].paper_instances, 5000000u);
+  EXPECT_EQ(profiles[0].num_classes, 2u);
+  const DatasetProfile& rcv1_multi = FindProfile("RCV1-multi");
+  EXPECT_EQ(rcv1_multi.num_classes, 53u);
+  EXPECT_EQ(rcv1_multi.kind, DatasetKind::kMultiClass);
+}
+
+TEST(ProfileTest, IndustrialProfilesMatchSection6) {
+  const auto& profiles = IndustrialDatasetProfiles();
+  ASSERT_EQ(profiles.size(), 3u);
+  EXPECT_EQ(FindProfile("Age").num_classes, 9u);
+  EXPECT_EQ(FindProfile("Gender").paper_instances, 122000000u);
+  EXPECT_EQ(FindProfile("Taste").num_classes, 100u);
+}
+
+TEST(ProfileTest, GenerateFromProfileRespectsScale) {
+  const DatasetProfile& profile = FindProfile("SUSY");
+  const Dataset half = GenerateFromProfile(profile, 0.5);
+  EXPECT_EQ(half.num_instances(), profile.scaled_instances / 2);
+  EXPECT_EQ(half.num_features(), profile.scaled_features);
+}
+
+TEST(ProfileTest, GenerateFromProfileFloorsTinyScales) {
+  const Dataset tiny = GenerateFromProfile(FindProfile("SUSY"), 1e-9);
+  EXPECT_GE(tiny.num_instances(), 500u);
+}
+
+TEST(ProfileTest, KindNames) {
+  EXPECT_STREQ(DatasetKindToString(DatasetKind::kLowDimDense), "LD");
+  EXPECT_STREQ(DatasetKindToString(DatasetKind::kHighDimSparse), "HS");
+  EXPECT_STREQ(DatasetKindToString(DatasetKind::kMultiClass), "MC");
+}
+
+}  // namespace
+}  // namespace vero

@@ -1,0 +1,301 @@
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+
+namespace vero {
+namespace {
+
+Dataset MakeData(uint32_t n = 3000, uint32_t d = 30, uint64_t seed = 5,
+                 uint32_t classes = 2) {
+  SyntheticConfig config;
+  config.num_instances = n;
+  config.num_features = d;
+  config.num_classes = classes;
+  config.density = 0.5;
+  config.seed = seed;
+  return GenerateSynthetic(config);
+}
+
+GbdtParams BaseParams() {
+  GbdtParams params;
+  params.num_trees = 10;
+  params.num_layers = 5;
+  params.num_candidate_splits = 16;
+  return params;
+}
+
+// ---- Leaf-wise growth ----------------------------------------------------
+
+TEST(LeafWiseTest, RespectsLeafBudget) {
+  const Dataset train = MakeData();
+  GbdtParams params = BaseParams();
+  params.growth = GrowthPolicy::kLeafWise;
+  params.num_layers = 10;  // Deep cap; the leaf budget is the constraint.
+  params.max_leaves = 7;
+  Trainer trainer(params);
+  auto model = trainer.Train(train);
+  ASSERT_TRUE(model.ok());
+  for (size_t t = 0; t < model->num_trees(); ++t) {
+    EXPECT_LE(model->tree(t).NumLeaves(), 7u);
+    EXPECT_GE(model->tree(t).NumLeaves(), 2u);
+  }
+}
+
+TEST(LeafWiseTest, RespectsDepthCap) {
+  const Dataset train = MakeData();
+  GbdtParams params = BaseParams();
+  params.growth = GrowthPolicy::kLeafWise;
+  params.num_layers = 3;  // At most 4 leaves at depth <= 2.
+  params.max_leaves = 64;
+  Trainer trainer(params);
+  auto model = trainer.Train(train);
+  ASSERT_TRUE(model.ok());
+  for (size_t t = 0; t < model->num_trees(); ++t) {
+    EXPECT_LE(model->tree(t).NumLeaves(), 4u);
+  }
+}
+
+TEST(LeafWiseTest, MatchesLevelWiseQualityOnEasyData) {
+  const Dataset data = MakeData(5000, 40, 11);
+  const auto [train, valid] = data.SplitTail(0.25);
+  GbdtParams level = BaseParams();
+  GbdtParams leaf = BaseParams();
+  leaf.growth = GrowthPolicy::kLeafWise;
+  auto level_model = Trainer(level).Train(train);
+  auto leaf_model = Trainer(leaf).Train(train);
+  ASSERT_TRUE(level_model.ok() && leaf_model.ok());
+  const double level_auc = EvaluateModel(*level_model, valid).value;
+  const double leaf_auc = EvaluateModel(*leaf_model, valid).value;
+  EXPECT_GT(leaf_auc, 0.65);
+  EXPECT_NEAR(leaf_auc, level_auc, 0.1);
+}
+
+TEST(LeafWiseTest, WithFullBudgetExpandsSameOrMoreGainThanLevelWise) {
+  // With the same leaf budget as level-wise capacity, leaf-wise picks the
+  // globally best splits first; total train loss should be <= comparable.
+  const Dataset train = MakeData(2000, 20, 13);
+  GbdtParams leaf = BaseParams();
+  leaf.growth = GrowthPolicy::kLeafWise;
+  leaf.num_trees = 5;
+  GbdtParams level = BaseParams();
+  level.num_trees = 5;
+  double leaf_loss = 0.0, level_loss = 0.0;
+  Trainer(leaf).Train(train, nullptr, [&](const IterationStats& it) {
+    leaf_loss = it.train_loss;
+  });
+  Trainer(level).Train(train, nullptr, [&](const IterationStats& it) {
+    level_loss = it.train_loss;
+  });
+  EXPECT_LT(leaf_loss, level_loss * 1.05);
+}
+
+TEST(LeafWiseTest, DeterministicAcrossRuns) {
+  const Dataset train = MakeData(1000, 15, 17);
+  GbdtParams params = BaseParams();
+  params.growth = GrowthPolicy::kLeafWise;
+  params.max_leaves = 10;
+  auto a = Trainer(params).Train(train);
+  auto b = Trainer(params).Train(train);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t t = 0; t < a->num_trees(); ++t) {
+    EXPECT_TRUE(a->tree(t) == b->tree(t));
+  }
+}
+
+// ---- Subsampling -----------------------------------------------------------
+
+TEST(SubsampleTest, RowSubsampleStillLearns) {
+  const Dataset data = MakeData(6000, 40, 19);
+  const auto [train, valid] = data.SplitTail(0.25);
+  GbdtParams params = BaseParams();
+  params.row_subsample = 0.5;
+  params.num_trees = 20;
+  auto model = Trainer(params).Train(train);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(EvaluateModel(*model, valid).value, 0.7);
+}
+
+TEST(SubsampleTest, ColumnSubsampleOnlyUsesSampledFeatures) {
+  const Dataset train = MakeData(2000, 50, 23);
+  GbdtParams params = BaseParams();
+  params.column_subsample = 0.2;
+  params.num_trees = 1;  // One tree uses exactly one feature sample.
+  auto model = Trainer(params).Train(train);
+  ASSERT_TRUE(model.ok());
+  const auto counts = model->FeatureImportance(
+      train.num_features(), GbdtModel::ImportanceType::kSplitCount);
+  uint32_t used = 0;
+  for (double c : counts) used += (c > 0);
+  EXPECT_LE(used, 10u);  // At most 20% of 50 features.
+  EXPECT_GE(used, 1u);
+}
+
+TEST(SubsampleTest, DifferentSeedsDifferentTrees) {
+  const Dataset train = MakeData(2000, 30, 29);
+  GbdtParams a = BaseParams();
+  a.row_subsample = 0.5;
+  a.num_trees = 3;
+  GbdtParams b = a;
+  b.seed = a.seed + 1;
+  auto ma = Trainer(a).Train(train);
+  auto mb = Trainer(b).Train(train);
+  ASSERT_TRUE(ma.ok() && mb.ok());
+  bool any_diff = false;
+  for (size_t t = 0; t < ma->num_trees(); ++t) {
+    if (!(ma->tree(t) == mb->tree(t))) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SubsampleTest, InvalidFractionsRejected) {
+  GbdtParams params = BaseParams();
+  params.row_subsample = 0.0;
+  EXPECT_FALSE(params.Validate().ok());
+  params = BaseParams();
+  params.column_subsample = 1.5;
+  EXPECT_FALSE(params.Validate().ok());
+  params = BaseParams();
+  params.max_leaves = 1;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+// ---- Early stopping ----------------------------------------------------------
+
+TEST(EarlyStoppingTest, RequiresValidationSet) {
+  GbdtParams params = BaseParams();
+  params.early_stopping_rounds = 3;
+  Trainer trainer(params);
+  EXPECT_EQ(trainer.Train(MakeData(500)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EarlyStoppingTest, StopsOnPlateau) {
+  // Pure-noise labels: the validation AUC cannot improve systematically, so
+  // training must stop well before the full budget.
+  SyntheticConfig config;
+  config.num_instances = 2000;
+  config.num_features = 10;
+  config.label_noise = 1000.0;  // Labels dominated by noise.
+  config.seed = 31;
+  const Dataset data = GenerateSynthetic(config);
+  const auto [train, valid] = data.SplitTail(0.5);
+  GbdtParams params = BaseParams();
+  params.num_trees = 200;
+  params.early_stopping_rounds = 5;
+  Trainer trainer(params);
+  auto model = trainer.Train(train, &valid);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(model->num_trees(), 200u);
+}
+
+TEST(EarlyStoppingTest, DoesNotStopWhileImproving) {
+  const Dataset data = MakeData(5000, 40, 37);
+  const auto [train, valid] = data.SplitTail(0.25);
+  GbdtParams params = BaseParams();
+  params.num_trees = 15;
+  params.early_stopping_rounds = 10;
+  Trainer trainer(params);
+  auto model = trainer.Train(train, &valid);
+  ASSERT_TRUE(model.ok());
+  // A learnable task improves through the first rounds.
+  EXPECT_GE(model->num_trees(), 10u);
+  EXPECT_LE(trainer.report().best_iteration, model->num_trees() - 1);
+}
+
+// ---- Feature importance -----------------------------------------------------
+
+TEST(FeatureImportanceTest, InformativeFeaturesScoreHigher) {
+  // Only the first 3 features carry signal.
+  SyntheticConfig config;
+  config.num_instances = 5000;
+  config.num_features = 30;
+  config.informative_ratio = 0.1;  // 3 informative features.
+  config.density = 1.0;
+  config.label_noise = 0.1;
+  config.seed = 41;
+  const Dataset train = GenerateSynthetic(config);
+  GbdtParams params = BaseParams();
+  auto model = Trainer(params).Train(train);
+  ASSERT_TRUE(model.ok());
+  const auto gain = model->FeatureImportance(
+      train.num_features(), GbdtModel::ImportanceType::kGain);
+  // Informative features must claim the bulk of the gain mass.
+  std::vector<double> sorted = gain;
+  std::sort(sorted.rbegin(), sorted.rend());
+  double top3 = sorted[0] + sorted[1] + sorted[2];
+  double total = 0.0;
+  for (double g : gain) total += g;
+  EXPECT_GT(top3, 0.5 * total);
+}
+
+TEST(FeatureImportanceTest, SplitCountMatchesInternalNodes) {
+  const Dataset train = MakeData(1000, 10, 43);
+  GbdtParams params = BaseParams();
+  params.num_trees = 3;
+  auto model = Trainer(params).Train(train);
+  ASSERT_TRUE(model.ok());
+  const auto counts = model->FeatureImportance(
+      train.num_features(), GbdtModel::ImportanceType::kSplitCount);
+  double total_splits = 0.0;
+  for (double c : counts) total_splits += c;
+  uint32_t internal = 0;
+  for (size_t t = 0; t < model->num_trees(); ++t) {
+    internal += model->tree(t).NumNodes() - model->tree(t).NumLeaves();
+  }
+  EXPECT_DOUBLE_EQ(total_splits, internal);
+}
+
+TEST(FeatureImportanceTest, UnusedFeaturesScoreZero) {
+  const Dataset train = MakeData(500, 5, 47);
+  GbdtParams params = BaseParams();
+  params.num_trees = 1;
+  auto model = Trainer(params).Train(train);
+  ASSERT_TRUE(model.ok());
+  // Ask for more features than the dataset has; the extras must be zero.
+  const auto gain =
+      model->FeatureImportance(100, GbdtModel::ImportanceType::kGain);
+  for (size_t f = 5; f < 100; ++f) EXPECT_DOUBLE_EQ(gain[f], 0.0);
+}
+
+// ---- Combined sweep -----------------------------------------------------------
+
+struct ExtensionParam {
+  GrowthPolicy growth;
+  double row_subsample;
+  double column_subsample;
+};
+
+class ExtensionSweepTest : public ::testing::TestWithParam<ExtensionParam> {};
+
+TEST_P(ExtensionSweepTest, TrainsCleanAndLearns) {
+  const ExtensionParam p = GetParam();
+  const Dataset data = MakeData(4000, 25, 53);
+  const auto [train, valid] = data.SplitTail(0.25);
+  GbdtParams params = BaseParams();
+  params.growth = p.growth;
+  params.row_subsample = p.row_subsample;
+  params.column_subsample = p.column_subsample;
+  params.num_trees = 15;
+  auto model = Trainer(params).Train(train, &valid);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(EvaluateModel(*model, valid).value, 0.62);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GrowthAndSampling, ExtensionSweepTest,
+    ::testing::Values(
+        ExtensionParam{GrowthPolicy::kLevelWise, 1.0, 1.0},
+        ExtensionParam{GrowthPolicy::kLevelWise, 0.7, 1.0},
+        ExtensionParam{GrowthPolicy::kLevelWise, 1.0, 0.7},
+        ExtensionParam{GrowthPolicy::kLevelWise, 0.7, 0.7},
+        ExtensionParam{GrowthPolicy::kLeafWise, 1.0, 1.0},
+        ExtensionParam{GrowthPolicy::kLeafWise, 0.7, 1.0},
+        ExtensionParam{GrowthPolicy::kLeafWise, 1.0, 0.7},
+        ExtensionParam{GrowthPolicy::kLeafWise, 0.5, 0.5}));
+
+}  // namespace
+}  // namespace vero

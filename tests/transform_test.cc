@@ -1,0 +1,250 @@
+#include "partition/transform.h"
+
+#include <gtest/gtest.h>
+#include <map>
+
+#include "core/binned.h"
+#include "data/synthetic.h"
+
+namespace vero {
+namespace {
+
+Dataset MakeData(uint32_t n = 500, uint32_t d = 40, uint32_t c = 2,
+                 uint64_t seed = 51) {
+  SyntheticConfig config;
+  config.num_instances = n;
+  config.num_features = d;
+  config.num_classes = c;
+  config.density = 0.3;
+  config.seed = seed;
+  return GenerateSynthetic(config);
+}
+
+std::vector<Dataset> ShardRows(const Dataset& data, int w) {
+  std::vector<Dataset> shards;
+  for (int r = 0; r < w; ++r) {
+    const auto [begin, end] = HorizontalRange(data.num_instances(), w, r);
+    shards.emplace_back(
+        data.matrix().SliceRows(begin, end),
+        std::vector<float>(data.labels().begin() + begin,
+                           data.labels().begin() + end),
+        data.task(), data.num_classes());
+  }
+  return shards;
+}
+
+TEST(HorizontalRangeTest, TilesInstanceSpace) {
+  uint32_t covered = 0;
+  for (int r = 0; r < 4; ++r) {
+    const auto [begin, end] = HorizontalRange(103, 4, r);
+    EXPECT_EQ(begin, covered);
+    covered = end;
+    EXPECT_GE(end, begin);
+  }
+  EXPECT_EQ(covered, 103u);
+}
+
+TEST(DistributedSplitsTest, MatchSingleNodePipelineAtW1) {
+  const Dataset data = MakeData();
+  Cluster cluster(1);
+  CandidateSplits dist;
+  cluster.Run([&](WorkerContext& ctx) {
+    dist = BuildDistributedCandidateSplits(ctx, data, 16, 256, nullptr);
+  });
+  const CandidateSplits local = ProposeCandidateSplits(data, 16, 256);
+  EXPECT_TRUE(dist == local);
+}
+
+TEST(DistributedSplitsTest, AllWorkersAgreeAndCountsAreExact) {
+  const Dataset data = MakeData();
+  const int w = 4;
+  const auto shards = ShardRows(data, w);
+  Cluster cluster(w);
+  std::vector<CandidateSplits> splits(w);
+  std::vector<std::vector<uint64_t>> counts(w);
+  cluster.Run([&](WorkerContext& ctx) {
+    splits[ctx.rank()] = BuildDistributedCandidateSplits(
+        ctx, shards[ctx.rank()], 16, 256, &counts[ctx.rank()]);
+  });
+  for (int r = 1; r < w; ++r) {
+    EXPECT_TRUE(splits[r] == splits[0]) << "worker " << r;
+    EXPECT_EQ(counts[r], counts[0]);
+  }
+  // Counts must be the exact per-feature nonzero totals.
+  std::vector<uint64_t> expected(data.num_features(), 0);
+  for (FeatureId f : data.matrix().features()) ++expected[f];
+  EXPECT_EQ(counts[0], expected);
+}
+
+class TransformEncodingTest
+    : public ::testing::TestWithParam<TransformEncoding> {};
+
+TEST_P(TransformEncodingTest, VerticalShardMatchesDirectBinning) {
+  const Dataset data = MakeData();
+  const int w = 3;
+  const auto shards = ShardRows(data, w);
+  Cluster cluster(w);
+  std::vector<VerticalShard> verticals(w);
+  TransformOptions options;
+  options.num_candidate_splits = 16;
+  options.encoding = GetParam();
+  cluster.Run([&](WorkerContext& ctx) {
+    verticals[ctx.rank()] =
+        HorizontalToVertical(ctx, shards[ctx.rank()], options);
+  });
+
+  // Reference binning of the full dataset under the shared split table.
+  const CandidateSplits& splits = verticals[0].splits;
+  const BinnedRowStore reference =
+      BinnedRowStore::FromCsr(data.matrix(), splits);
+
+  // Ownership covers every feature exactly once.
+  std::vector<int> seen(data.num_features(), 0);
+  for (int r = 0; r < w; ++r) {
+    EXPECT_EQ(verticals[r].feature_owner, verticals[0].feature_owner);
+    for (FeatureId f : verticals[r].owned_features) {
+      EXPECT_EQ(verticals[r].feature_owner[f], r);
+      ++seen[f];
+    }
+    EXPECT_EQ(verticals[r].num_instances, data.num_instances());
+    EXPECT_EQ(verticals[r].labels, data.labels());
+    EXPECT_LE(verticals[r].data.num_blocks(), options.max_blocks);
+  }
+  for (FeatureId f = 0; f < data.num_features(); ++f) {
+    EXPECT_EQ(seen[f], 1) << "feature " << f;
+  }
+
+  // Every (instance, feature, bin) triple must survive the transform.
+  for (int r = 0; r < w; ++r) {
+    const VerticalShard& v = verticals[r];
+    uint64_t checked = 0;
+    for (InstanceId i = 0; i < data.num_instances(); ++i) {
+      auto local_features = v.data.RowFeatures(i);
+      auto local_bins = v.data.RowBins(i);
+      for (size_t k = 0; k < local_features.size(); ++k) {
+        const FeatureId global_f = v.owned_features[local_features[k]];
+        const auto expected = reference.FindBin(i, global_f);
+        ASSERT_TRUE(expected.has_value())
+            << "instance " << i << " feature " << global_f;
+        EXPECT_EQ(local_bins[k], *expected);
+        ++checked;
+      }
+    }
+    // Entry conservation: worker r holds exactly the entries of its
+    // features.
+    uint64_t expected_entries = 0;
+    for (FeatureId f : data.matrix().features()) {
+      if (v.feature_owner[f] == r) ++expected_entries;
+    }
+    EXPECT_EQ(checked, expected_entries);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Encodings, TransformEncodingTest,
+                         ::testing::Values(TransformEncoding::kNaive,
+                                           TransformEncoding::kCompressed,
+                                           TransformEncoding::kBlockified));
+
+TEST(TransformTest, CompressionShrinksRepartitionBytes) {
+  const Dataset data = MakeData(800, 60);
+  const int w = 4;
+  const auto shards = ShardRows(data, w);
+  std::map<TransformEncoding, uint64_t> bytes;
+  for (TransformEncoding e :
+       {TransformEncoding::kNaive, TransformEncoding::kCompressed,
+        TransformEncoding::kBlockified}) {
+    Cluster cluster(w);
+    TransformOptions options;
+    options.encoding = e;
+    std::vector<uint64_t> sent(w, 0);
+    cluster.Run([&](WorkerContext& ctx) {
+      const VerticalShard v =
+          HorizontalToVertical(ctx, shards[ctx.rank()], options);
+      sent[ctx.rank()] = v.stats.repartition_bytes_sent;
+    });
+    uint64_t total = 0;
+    for (uint64_t s : sent) total += s;
+    bytes[e] = total;
+  }
+  // Naive (12 B/entry + per-row overhead) > compressed (2 B/entry +
+  // per-row overhead) > blockified (2 B/entry + flat arrays).
+  EXPECT_GT(bytes[TransformEncoding::kNaive],
+            2 * bytes[TransformEncoding::kCompressed]);
+  EXPECT_GT(bytes[TransformEncoding::kCompressed],
+            bytes[TransformEncoding::kBlockified]);
+}
+
+TEST(TransformTest, GroupingStrategiesAllProduceValidShards) {
+  const Dataset data = MakeData(300, 30);
+  const int w = 3;
+  const auto shards = ShardRows(data, w);
+  for (auto strategy :
+       {ColumnGroupingStrategy::kGreedyBalance,
+        ColumnGroupingStrategy::kRoundRobin, ColumnGroupingStrategy::kRange}) {
+    Cluster cluster(w);
+    TransformOptions options;
+    options.grouping = strategy;
+    std::vector<uint64_t> entries(w, 0);
+    cluster.Run([&](WorkerContext& ctx) {
+      const VerticalShard v =
+          HorizontalToVertical(ctx, shards[ctx.rank()], options);
+      entries[ctx.rank()] = v.data.num_entries();
+    });
+    uint64_t total = 0;
+    for (uint64_t e : entries) total += e;
+    EXPECT_EQ(total, data.num_nonzeros())
+        << ColumnGroupingStrategyToString(strategy);
+  }
+}
+
+TEST(TransformTest, GreedyGroupingBalancesEntries) {
+  const Dataset data = MakeData(2000, 100, 2, 77);
+  const int w = 4;
+  const auto shards = ShardRows(data, w);
+  Cluster cluster(w);
+  TransformOptions options;
+  options.grouping = ColumnGroupingStrategy::kGreedyBalance;
+  std::vector<uint64_t> entries(w, 0);
+  cluster.Run([&](WorkerContext& ctx) {
+    entries[ctx.rank()] =
+        HorizontalToVertical(ctx, shards[ctx.rank()], options)
+            .data.num_entries();
+  });
+  const uint64_t mean = data.num_nonzeros() / w;
+  for (uint64_t e : entries) {
+    EXPECT_NEAR(static_cast<double>(e), static_cast<double>(mean),
+                0.1 * mean);
+  }
+}
+
+TEST(TransformTest, StatsArePopulated) {
+  const Dataset data = MakeData(400, 20);
+  const auto shards = ShardRows(data, 2);
+  Cluster cluster(2);
+  TransformOptions options;
+  std::vector<TransformStats> stats(2);
+  cluster.Run([&](WorkerContext& ctx) {
+    stats[ctx.rank()] =
+        HorizontalToVertical(ctx, shards[ctx.rank()], options).stats;
+  });
+  for (const TransformStats& s : stats) {
+    EXPECT_GT(s.repartition_bytes_sent, 0u);
+    EXPECT_GT(s.sim_comm_seconds, 0.0);
+    EXPECT_GE(s.sim_comm_seconds, s.label_broadcast_sim_seconds);
+  }
+}
+
+TEST(TransformTest, SingleWorkerTransformKeepsEverything) {
+  const Dataset data = MakeData(200, 10);
+  Cluster cluster(1);
+  TransformOptions options;
+  cluster.Run([&](WorkerContext& ctx) {
+    const VerticalShard v = HorizontalToVertical(ctx, data, options);
+    EXPECT_EQ(v.owned_features.size(), data.num_features());
+    EXPECT_EQ(v.data.num_entries(), data.num_nonzeros());
+    EXPECT_EQ(v.labels, data.labels());
+  });
+}
+
+}  // namespace
+}  // namespace vero

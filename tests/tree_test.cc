@@ -1,0 +1,175 @@
+#include "core/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/serialize.h"
+
+namespace vero {
+namespace {
+
+TEST(NodeIdTest, HeapNavigation) {
+  EXPECT_EQ(LeftChild(0), 1);
+  EXPECT_EQ(RightChild(0), 2);
+  EXPECT_EQ(Parent(1), 0);
+  EXPECT_EQ(Parent(2), 0);
+  EXPECT_EQ(Sibling(1), 2);
+  EXPECT_EQ(Sibling(2), 1);
+  EXPECT_TRUE(IsLeftChild(1));
+  EXPECT_FALSE(IsLeftChild(2));
+  EXPECT_EQ(Parent(LeftChild(5)), 5);
+}
+
+Tree MakeStump() {
+  // Root splits on feature 3 at value 1.5 (bin 2); missing goes right.
+  Tree tree(3, 1);
+  tree.SetSplit(0, 3, 1.5f, 2, /*default_left=*/false, 1.0);
+  tree.SetLeaf(1, {-1.0f});
+  tree.SetLeaf(2, {2.0f});
+  return tree;
+}
+
+TEST(TreeTest, FreshTreeIsRootLeaf) {
+  Tree tree(4, 2);
+  EXPECT_TRUE(tree.Exists(0));
+  EXPECT_FALSE(tree.Exists(1));
+  EXPECT_EQ(tree.NumLeaves(), 1u);
+  EXPECT_EQ(tree.max_nodes(), 15u);
+}
+
+TEST(TreeTest, SetSplitCreatesChildren) {
+  Tree tree = MakeStump();
+  EXPECT_TRUE(tree.Exists(1));
+  EXPECT_TRUE(tree.Exists(2));
+  EXPECT_EQ(tree.NumLeaves(), 2u);
+  EXPECT_EQ(tree.NumNodes(), 3u);
+  EXPECT_EQ(tree.node(0).feature, 3u);
+}
+
+TEST(TreeTest, RouteByValue) {
+  Tree tree = MakeStump();
+  const std::vector<FeatureId> f = {1, 3};
+  const std::vector<float> low = {9.0f, 1.0f};
+  const std::vector<float> high = {9.0f, 3.0f};
+  EXPECT_EQ(tree.Route({f.data(), 2}, {low.data(), 2}), 1);
+  EXPECT_EQ(tree.Route({f.data(), 2}, {high.data(), 2}), 2);
+}
+
+TEST(TreeTest, RouteBoundaryGoesLeft) {
+  Tree tree = MakeStump();
+  const std::vector<FeatureId> f = {3};
+  const std::vector<float> v = {1.5f};  // v <= split_value goes left.
+  EXPECT_EQ(tree.Route({f.data(), 1}, {v.data(), 1}), 1);
+}
+
+TEST(TreeTest, RouteMissingUsesDefault) {
+  Tree tree = MakeStump();
+  const std::vector<FeatureId> f = {1};  // Feature 3 absent.
+  const std::vector<float> v = {0.5f};
+  EXPECT_EQ(tree.Route({f.data(), 1}, {v.data(), 1}), 2);  // default right
+}
+
+TEST(TreeTest, PredictIntoAccumulatesScaled) {
+  Tree tree = MakeStump();
+  const std::vector<FeatureId> f = {3};
+  const std::vector<float> v = {0.0f};
+  double margin = 10.0;
+  tree.PredictInto({f.data(), 1}, {v.data(), 1}, 0.5, &margin);
+  EXPECT_DOUBLE_EQ(margin, 10.0 + 0.5 * -1.0);
+}
+
+TEST(TreeTest, MultiDimLeaves) {
+  Tree tree(2, 3);
+  tree.SetLeaf(0, {1.0f, 2.0f, 3.0f});
+  double margins[3] = {0, 0, 0};
+  tree.PredictInto({}, {}, 1.0, margins);
+  EXPECT_DOUBLE_EQ(margins[2], 3.0);
+}
+
+TEST(TreeTest, SerializeRoundTrip) {
+  Tree tree = MakeStump();
+  ByteWriter w;
+  tree.SerializeTo(&w);
+  ByteReader r(w.data());
+  Tree loaded;
+  ASSERT_TRUE(Tree::Deserialize(&r, &loaded).ok());
+  EXPECT_TRUE(tree == loaded);
+  const std::vector<FeatureId> f = {3};
+  const std::vector<float> v = {3.0f};
+  EXPECT_EQ(loaded.Route({f.data(), 1}, {v.data(), 1}), 2);
+}
+
+TEST(TreeTest, DeserializeRejectsGarbage) {
+  ByteWriter w;
+  w.WriteU32(99);  // max_layers out of range
+  w.WriteU32(1);
+  w.WriteU32(0);
+  ByteReader r(w.data());
+  Tree t;
+  EXPECT_FALSE(Tree::Deserialize(&r, &t).ok());
+}
+
+TEST(TreeDeathTest, SplitBeyondCapacityDies) {
+  Tree tree(2, 1);  // Only root + 2 children fit.
+  tree.SetSplit(0, 0, 1.0f, 0, false, 0.0);
+  EXPECT_DEATH(tree.SetSplit(1, 0, 1.0f, 0, false, 0.0), "depth");
+}
+
+TEST(GbdtModelTest, PredictSumsTrees) {
+  GbdtModel model(Task::kRegression, 1, 0.5);
+  {
+    Tree t(2, 1);
+    t.SetLeaf(0, {2.0f});
+    model.AddTree(std::move(t));
+  }
+  {
+    Tree t(2, 1);
+    t.SetLeaf(0, {3.0f});
+    model.AddTree(std::move(t));
+  }
+  double margin = 0.0;
+  model.PredictMargins({}, {}, &margin);
+  EXPECT_DOUBLE_EQ(margin, 0.5 * (2.0 + 3.0));
+}
+
+TEST(GbdtModelTest, PredictProbaBinary) {
+  GbdtModel model(Task::kBinary, 2, 1.0);
+  Tree t(2, 1);
+  t.SetLeaf(0, {0.0f});
+  model.AddTree(std::move(t));
+  double proba = 0.0;
+  model.PredictProba({}, {}, &proba);
+  EXPECT_DOUBLE_EQ(proba, 0.5);
+}
+
+TEST(GbdtModelTest, PredictProbaMultiClassNormalizes) {
+  GbdtModel model(Task::kMultiClass, 3, 1.0);
+  Tree t(2, 3);
+  t.SetLeaf(0, {1.0f, 2.0f, 0.5f});
+  model.AddTree(std::move(t));
+  double proba[3];
+  model.PredictProba({}, {}, proba);
+  EXPECT_NEAR(proba[0] + proba[1] + proba[2], 1.0, 1e-12);
+  EXPECT_GT(proba[1], proba[0]);
+}
+
+TEST(GbdtModelTest, SerializeRoundTrip) {
+  GbdtModel model(Task::kMultiClass, 3, 0.1);
+  Tree t(3, 3);
+  t.SetSplit(0, 1, 0.5f, 1, true, 2.0);
+  t.SetLeaf(1, {1.0f, 0.0f, -1.0f});
+  t.SetLeaf(2, {0.0f, 1.0f, 0.0f});
+  model.AddTree(std::move(t));
+  ByteWriter w;
+  model.SerializeTo(&w);
+  ByteReader r(w.data());
+  GbdtModel loaded;
+  ASSERT_TRUE(GbdtModel::Deserialize(&r, &loaded).ok());
+  EXPECT_EQ(loaded.num_trees(), 1u);
+  EXPECT_EQ(loaded.task(), Task::kMultiClass);
+  EXPECT_EQ(loaded.num_classes(), 3u);
+  EXPECT_DOUBLE_EQ(loaded.learning_rate(), 0.1);
+  EXPECT_TRUE(loaded.tree(0) == model.tree(0));
+}
+
+}  // namespace
+}  // namespace vero
