@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anatomy_model.dir/anatomy_model.cc.o"
+  "CMakeFiles/anatomy_model.dir/anatomy_model.cc.o.d"
+  "anatomy_model"
+  "anatomy_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anatomy_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

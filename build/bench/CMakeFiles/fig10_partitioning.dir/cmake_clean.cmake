@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_partitioning.dir/fig10_partitioning.cc.o"
+  "CMakeFiles/fig10_partitioning.dir/fig10_partitioning.cc.o.d"
+  "fig10_partitioning"
+  "fig10_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_industrial.dir/fig12_industrial.cc.o"
+  "CMakeFiles/fig12_industrial.dir/fig12_industrial.cc.o.d"
+  "fig12_industrial"
+  "fig12_industrial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_industrial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

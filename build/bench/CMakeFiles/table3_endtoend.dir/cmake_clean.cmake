@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_endtoend.dir/table3_endtoend.cc.o"
+  "CMakeFiles/table3_endtoend.dir/table3_endtoend.cc.o.d"
+  "table3_endtoend"
+  "table3_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_transform.dir/table5_transform.cc.o"
+  "CMakeFiles/table5_transform.dir/table5_transform.cc.o.d"
+  "table5_transform"
+  "table5_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

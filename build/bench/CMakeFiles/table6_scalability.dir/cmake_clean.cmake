@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_scalability.dir/table6_scalability.cc.o"
+  "CMakeFiles/table6_scalability.dir/table6_scalability.cc.o.d"
+  "table6_scalability"
+  "table6_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

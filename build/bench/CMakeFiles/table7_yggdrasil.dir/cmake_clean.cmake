@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_yggdrasil.dir/table7_yggdrasil.cc.o"
+  "CMakeFiles/table7_yggdrasil.dir/table7_yggdrasil.cc.o.d"
+  "table7_yggdrasil"
+  "table7_yggdrasil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_yggdrasil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

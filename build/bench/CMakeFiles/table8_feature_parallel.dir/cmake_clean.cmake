@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_feature_parallel.dir/table8_feature_parallel.cc.o"
+  "CMakeFiles/table8_feature_parallel.dir/table8_feature_parallel.cc.o.d"
+  "table8_feature_parallel"
+  "table8_feature_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_feature_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vero_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/vero_bench_common.dir/bench_common.cc.o.d"
+  "libvero_bench_common.a"
+  "libvero_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vero_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_vero.dir/distributed_vero.cpp.o"
+  "CMakeFiles/distributed_vero.dir/distributed_vero.cpp.o.d"
+  "distributed_vero"
+  "distributed_vero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_vero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

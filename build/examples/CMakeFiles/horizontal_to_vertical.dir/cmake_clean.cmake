@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horizontal_to_vertical.dir/horizontal_to_vertical.cpp.o"
+  "CMakeFiles/horizontal_to_vertical.dir/horizontal_to_vertical.cpp.o.d"
+  "horizontal_to_vertical"
+  "horizontal_to_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horizontal_to_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for horizontal_to_vertical.
+# This may be replaced when dependencies are built.

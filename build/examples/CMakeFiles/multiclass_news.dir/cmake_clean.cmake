@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiclass_news.dir/multiclass_news.cpp.o"
+  "CMakeFiles/multiclass_news.dir/multiclass_news.cpp.o.d"
+  "multiclass_news"
+  "multiclass_news.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiclass_news.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

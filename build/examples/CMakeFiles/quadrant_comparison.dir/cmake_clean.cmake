@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quadrant_comparison.dir/quadrant_comparison.cpp.o"
+  "CMakeFiles/quadrant_comparison.dir/quadrant_comparison.cpp.o.d"
+  "quadrant_comparison"
+  "quadrant_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quadrant_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

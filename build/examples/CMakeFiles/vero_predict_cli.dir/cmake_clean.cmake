@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vero_predict_cli.dir/vero_predict_cli.cpp.o"
+  "CMakeFiles/vero_predict_cli.dir/vero_predict_cli.cpp.o.d"
+  "vero_predict_cli"
+  "vero_predict_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vero_predict_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vero_train_cli.dir/vero_train_cli.cpp.o"
+  "CMakeFiles/vero_train_cli.dir/vero_train_cli.cpp.o.d"
+  "vero_train_cli"
+  "vero_train_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vero_train_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

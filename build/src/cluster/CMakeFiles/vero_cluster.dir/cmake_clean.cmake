@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vero_cluster.dir/communicator.cc.o"
+  "CMakeFiles/vero_cluster.dir/communicator.cc.o.d"
+  "libvero_cluster.a"
+  "libvero_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vero_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

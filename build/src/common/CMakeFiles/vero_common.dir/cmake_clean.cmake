@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vero_common.dir/bitmap.cc.o"
+  "CMakeFiles/vero_common.dir/bitmap.cc.o.d"
+  "CMakeFiles/vero_common.dir/logging.cc.o"
+  "CMakeFiles/vero_common.dir/logging.cc.o.d"
+  "CMakeFiles/vero_common.dir/random.cc.o"
+  "CMakeFiles/vero_common.dir/random.cc.o.d"
+  "CMakeFiles/vero_common.dir/status.cc.o"
+  "CMakeFiles/vero_common.dir/status.cc.o.d"
+  "CMakeFiles/vero_common.dir/threading.cc.o"
+  "CMakeFiles/vero_common.dir/threading.cc.o.d"
+  "libvero_common.a"
+  "libvero_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vero_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvero_common.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/binned.cc" "src/core/CMakeFiles/vero_core.dir/binned.cc.o" "gcc" "src/core/CMakeFiles/vero_core.dir/binned.cc.o.d"
+  "/root/repo/src/core/cross_validation.cc" "src/core/CMakeFiles/vero_core.dir/cross_validation.cc.o" "gcc" "src/core/CMakeFiles/vero_core.dir/cross_validation.cc.o.d"
+  "/root/repo/src/core/histogram.cc" "src/core/CMakeFiles/vero_core.dir/histogram.cc.o" "gcc" "src/core/CMakeFiles/vero_core.dir/histogram.cc.o.d"
+  "/root/repo/src/core/loss.cc" "src/core/CMakeFiles/vero_core.dir/loss.cc.o" "gcc" "src/core/CMakeFiles/vero_core.dir/loss.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/vero_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/vero_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/core/CMakeFiles/vero_core.dir/model_io.cc.o" "gcc" "src/core/CMakeFiles/vero_core.dir/model_io.cc.o.d"
+  "/root/repo/src/core/node_indexer.cc" "src/core/CMakeFiles/vero_core.dir/node_indexer.cc.o" "gcc" "src/core/CMakeFiles/vero_core.dir/node_indexer.cc.o.d"
+  "/root/repo/src/core/split.cc" "src/core/CMakeFiles/vero_core.dir/split.cc.o" "gcc" "src/core/CMakeFiles/vero_core.dir/split.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/vero_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/vero_core.dir/trainer.cc.o.d"
+  "/root/repo/src/core/tree.cc" "src/core/CMakeFiles/vero_core.dir/tree.cc.o" "gcc" "src/core/CMakeFiles/vero_core.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sketch/CMakeFiles/vero_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vero_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vero_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

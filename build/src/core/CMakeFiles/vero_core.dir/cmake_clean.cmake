@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vero_core.dir/binned.cc.o"
+  "CMakeFiles/vero_core.dir/binned.cc.o.d"
+  "CMakeFiles/vero_core.dir/cross_validation.cc.o"
+  "CMakeFiles/vero_core.dir/cross_validation.cc.o.d"
+  "CMakeFiles/vero_core.dir/histogram.cc.o"
+  "CMakeFiles/vero_core.dir/histogram.cc.o.d"
+  "CMakeFiles/vero_core.dir/loss.cc.o"
+  "CMakeFiles/vero_core.dir/loss.cc.o.d"
+  "CMakeFiles/vero_core.dir/metrics.cc.o"
+  "CMakeFiles/vero_core.dir/metrics.cc.o.d"
+  "CMakeFiles/vero_core.dir/model_io.cc.o"
+  "CMakeFiles/vero_core.dir/model_io.cc.o.d"
+  "CMakeFiles/vero_core.dir/node_indexer.cc.o"
+  "CMakeFiles/vero_core.dir/node_indexer.cc.o.d"
+  "CMakeFiles/vero_core.dir/split.cc.o"
+  "CMakeFiles/vero_core.dir/split.cc.o.d"
+  "CMakeFiles/vero_core.dir/trainer.cc.o"
+  "CMakeFiles/vero_core.dir/trainer.cc.o.d"
+  "CMakeFiles/vero_core.dir/tree.cc.o"
+  "CMakeFiles/vero_core.dir/tree.cc.o.d"
+  "libvero_core.a"
+  "libvero_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vero_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

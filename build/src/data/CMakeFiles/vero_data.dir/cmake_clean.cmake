@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vero_data.dir/dataset.cc.o"
+  "CMakeFiles/vero_data.dir/dataset.cc.o.d"
+  "CMakeFiles/vero_data.dir/libsvm_io.cc.o"
+  "CMakeFiles/vero_data.dir/libsvm_io.cc.o.d"
+  "CMakeFiles/vero_data.dir/sparse_matrix.cc.o"
+  "CMakeFiles/vero_data.dir/sparse_matrix.cc.o.d"
+  "CMakeFiles/vero_data.dir/synthetic.cc.o"
+  "CMakeFiles/vero_data.dir/synthetic.cc.o.d"
+  "libvero_data.a"
+  "libvero_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vero_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/column_group.cc" "src/partition/CMakeFiles/vero_partition.dir/column_group.cc.o" "gcc" "src/partition/CMakeFiles/vero_partition.dir/column_group.cc.o.d"
+  "/root/repo/src/partition/column_grouping.cc" "src/partition/CMakeFiles/vero_partition.dir/column_grouping.cc.o" "gcc" "src/partition/CMakeFiles/vero_partition.dir/column_grouping.cc.o.d"
+  "/root/repo/src/partition/transform.cc" "src/partition/CMakeFiles/vero_partition.dir/transform.cc.o" "gcc" "src/partition/CMakeFiles/vero_partition.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/vero_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/vero_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vero_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vero_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vero_partition.dir/column_group.cc.o"
+  "CMakeFiles/vero_partition.dir/column_group.cc.o.d"
+  "CMakeFiles/vero_partition.dir/column_grouping.cc.o"
+  "CMakeFiles/vero_partition.dir/column_grouping.cc.o.d"
+  "CMakeFiles/vero_partition.dir/transform.cc.o"
+  "CMakeFiles/vero_partition.dir/transform.cc.o.d"
+  "libvero_partition.a"
+  "libvero_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vero_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quadrants/advisor.cc" "src/quadrants/CMakeFiles/vero_quadrants.dir/advisor.cc.o" "gcc" "src/quadrants/CMakeFiles/vero_quadrants.dir/advisor.cc.o.d"
+  "/root/repo/src/quadrants/dist_common.cc" "src/quadrants/CMakeFiles/vero_quadrants.dir/dist_common.cc.o" "gcc" "src/quadrants/CMakeFiles/vero_quadrants.dir/dist_common.cc.o.d"
+  "/root/repo/src/quadrants/feature_parallel.cc" "src/quadrants/CMakeFiles/vero_quadrants.dir/feature_parallel.cc.o" "gcc" "src/quadrants/CMakeFiles/vero_quadrants.dir/feature_parallel.cc.o.d"
+  "/root/repo/src/quadrants/qd1_trainer.cc" "src/quadrants/CMakeFiles/vero_quadrants.dir/qd1_trainer.cc.o" "gcc" "src/quadrants/CMakeFiles/vero_quadrants.dir/qd1_trainer.cc.o.d"
+  "/root/repo/src/quadrants/qd2_trainer.cc" "src/quadrants/CMakeFiles/vero_quadrants.dir/qd2_trainer.cc.o" "gcc" "src/quadrants/CMakeFiles/vero_quadrants.dir/qd2_trainer.cc.o.d"
+  "/root/repo/src/quadrants/qd3_trainer.cc" "src/quadrants/CMakeFiles/vero_quadrants.dir/qd3_trainer.cc.o" "gcc" "src/quadrants/CMakeFiles/vero_quadrants.dir/qd3_trainer.cc.o.d"
+  "/root/repo/src/quadrants/qd4_vero.cc" "src/quadrants/CMakeFiles/vero_quadrants.dir/qd4_vero.cc.o" "gcc" "src/quadrants/CMakeFiles/vero_quadrants.dir/qd4_vero.cc.o.d"
+  "/root/repo/src/quadrants/train_distributed.cc" "src/quadrants/CMakeFiles/vero_quadrants.dir/train_distributed.cc.o" "gcc" "src/quadrants/CMakeFiles/vero_quadrants.dir/train_distributed.cc.o.d"
+  "/root/repo/src/quadrants/vertical_common.cc" "src/quadrants/CMakeFiles/vero_quadrants.dir/vertical_common.cc.o" "gcc" "src/quadrants/CMakeFiles/vero_quadrants.dir/vertical_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/vero_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/vero_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vero_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/vero_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vero_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vero_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vero_quadrants.dir/advisor.cc.o"
+  "CMakeFiles/vero_quadrants.dir/advisor.cc.o.d"
+  "CMakeFiles/vero_quadrants.dir/dist_common.cc.o"
+  "CMakeFiles/vero_quadrants.dir/dist_common.cc.o.d"
+  "CMakeFiles/vero_quadrants.dir/feature_parallel.cc.o"
+  "CMakeFiles/vero_quadrants.dir/feature_parallel.cc.o.d"
+  "CMakeFiles/vero_quadrants.dir/qd1_trainer.cc.o"
+  "CMakeFiles/vero_quadrants.dir/qd1_trainer.cc.o.d"
+  "CMakeFiles/vero_quadrants.dir/qd2_trainer.cc.o"
+  "CMakeFiles/vero_quadrants.dir/qd2_trainer.cc.o.d"
+  "CMakeFiles/vero_quadrants.dir/qd3_trainer.cc.o"
+  "CMakeFiles/vero_quadrants.dir/qd3_trainer.cc.o.d"
+  "CMakeFiles/vero_quadrants.dir/qd4_vero.cc.o"
+  "CMakeFiles/vero_quadrants.dir/qd4_vero.cc.o.d"
+  "CMakeFiles/vero_quadrants.dir/train_distributed.cc.o"
+  "CMakeFiles/vero_quadrants.dir/train_distributed.cc.o.d"
+  "CMakeFiles/vero_quadrants.dir/vertical_common.cc.o"
+  "CMakeFiles/vero_quadrants.dir/vertical_common.cc.o.d"
+  "libvero_quadrants.a"
+  "libvero_quadrants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vero_quadrants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

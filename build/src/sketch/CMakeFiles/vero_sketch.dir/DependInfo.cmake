@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/candidate_splits.cc" "src/sketch/CMakeFiles/vero_sketch.dir/candidate_splits.cc.o" "gcc" "src/sketch/CMakeFiles/vero_sketch.dir/candidate_splits.cc.o.d"
+  "/root/repo/src/sketch/quantile_summary.cc" "src/sketch/CMakeFiles/vero_sketch.dir/quantile_summary.cc.o" "gcc" "src/sketch/CMakeFiles/vero_sketch.dir/quantile_summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/vero_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vero_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vero_sketch.dir/candidate_splits.cc.o"
+  "CMakeFiles/vero_sketch.dir/candidate_splits.cc.o.d"
+  "CMakeFiles/vero_sketch.dir/quantile_summary.cc.o"
+  "CMakeFiles/vero_sketch.dir/quantile_summary.cc.o.d"
+  "libvero_sketch.a"
+  "libvero_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vero_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

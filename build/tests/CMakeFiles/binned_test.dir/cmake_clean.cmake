@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binned_test.dir/binned_test.cc.o"
+  "CMakeFiles/binned_test.dir/binned_test.cc.o.d"
+  "binned_test"
+  "binned_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binned_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

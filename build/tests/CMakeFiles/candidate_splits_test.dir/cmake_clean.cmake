@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candidate_splits_test.dir/candidate_splits_test.cc.o"
+  "CMakeFiles/candidate_splits_test.dir/candidate_splits_test.cc.o.d"
+  "candidate_splits_test"
+  "candidate_splits_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candidate_splits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_grouping_test.dir/column_grouping_test.cc.o"
+  "CMakeFiles/column_grouping_test.dir/column_grouping_test.cc.o.d"
+  "column_grouping_test"
+  "column_grouping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_grouping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_utils_test.dir/common_utils_test.cc.o"
+  "CMakeFiles/common_utils_test.dir/common_utils_test.cc.o.d"
+  "common_utils_test"
+  "common_utils_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_utils_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/communicator_stress_test.dir/communicator_stress_test.cc.o"
+  "CMakeFiles/communicator_stress_test.dir/communicator_stress_test.cc.o.d"
+  "communicator_stress_test"
+  "communicator_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/communicator_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

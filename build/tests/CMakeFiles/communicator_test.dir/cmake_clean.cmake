@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/communicator_test.dir/communicator_test.cc.o"
+  "CMakeFiles/communicator_test.dir/communicator_test.cc.o.d"
+  "communicator_test"
+  "communicator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/communicator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_trainer_test.dir/dist_trainer_test.cc.o"
+  "CMakeFiles/dist_trainer_test.dir/dist_trainer_test.cc.o.d"
+  "dist_trainer_test"
+  "dist_trainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

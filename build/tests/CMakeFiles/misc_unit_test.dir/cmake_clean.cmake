@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misc_unit_test.dir/misc_unit_test.cc.o"
+  "CMakeFiles/misc_unit_test.dir/misc_unit_test.cc.o.d"
+  "misc_unit_test"
+  "misc_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misc_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_indexer_test.dir/node_indexer_test.cc.o"
+  "CMakeFiles/node_indexer_test.dir/node_indexer_test.cc.o.d"
+  "node_indexer_test"
+  "node_indexer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_indexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

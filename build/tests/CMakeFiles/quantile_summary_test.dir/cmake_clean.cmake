@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantile_summary_test.dir/quantile_summary_test.cc.o"
+  "CMakeFiles/quantile_summary_test.dir/quantile_summary_test.cc.o.d"
+  "quantile_summary_test"
+  "quantile_summary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantile_summary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

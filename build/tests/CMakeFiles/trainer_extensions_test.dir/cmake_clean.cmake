@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trainer_extensions_test.dir/trainer_extensions_test.cc.o"
+  "CMakeFiles/trainer_extensions_test.dir/trainer_extensions_test.cc.o.d"
+  "trainer_extensions_test"
+  "trainer_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trainer_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
