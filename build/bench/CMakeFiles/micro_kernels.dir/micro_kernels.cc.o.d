@@ -218,27 +218,31 @@ bench/CMakeFiles/micro_kernels.dir/micro_kernels.cc.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/span \
- /root/repo/src/cluster/network_model.h /root/repo/src/common/threading.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/span \
+ /root/repo/src/cluster/fault_injector.h \
+ /root/repo/src/cluster/network_model.h /root/repo/src/common/status.h \
+ /usr/include/c++/12/optional /root/repo/src/common/threading.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
- /root/repo/src/common/bitmap.h /root/repo/src/common/random.h \
- /root/repo/src/core/binned.h /usr/include/c++/12/optional \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/thread /root/repo/src/common/bitmap.h \
+ /root/repo/src/common/random.h /root/repo/src/core/binned.h \
  /root/repo/src/data/sparse_matrix.h /root/repo/src/data/types.h \
  /root/repo/src/sketch/candidate_splits.h \
- /root/repo/src/common/serialize.h /root/repo/src/common/status.h \
- /root/repo/src/data/dataset.h /root/repo/src/core/histogram.h \
- /root/repo/src/core/gradients.h /root/repo/src/core/node_indexer.h \
- /root/repo/src/data/synthetic.h /root/repo/src/partition/column_group.h \
+ /root/repo/src/common/serialize.h /root/repo/src/data/dataset.h \
+ /root/repo/src/core/histogram.h /root/repo/src/core/gradients.h \
+ /root/repo/src/core/node_indexer.h /root/repo/src/data/synthetic.h \
+ /root/repo/src/partition/column_group.h \
  /root/repo/src/sketch/quantile_summary.h

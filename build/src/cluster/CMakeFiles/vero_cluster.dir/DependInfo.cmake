@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/cluster/communicator.cc" "src/cluster/CMakeFiles/vero_cluster.dir/communicator.cc.o" "gcc" "src/cluster/CMakeFiles/vero_cluster.dir/communicator.cc.o.d"
+  "/root/repo/src/cluster/fault_injector.cc" "src/cluster/CMakeFiles/vero_cluster.dir/fault_injector.cc.o" "gcc" "src/cluster/CMakeFiles/vero_cluster.dir/fault_injector.cc.o.d"
   )
 
 # Targets to which this target links.

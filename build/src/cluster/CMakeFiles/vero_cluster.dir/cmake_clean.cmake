@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/vero_cluster.dir/communicator.cc.o"
   "CMakeFiles/vero_cluster.dir/communicator.cc.o.d"
+  "CMakeFiles/vero_cluster.dir/fault_injector.cc.o"
+  "CMakeFiles/vero_cluster.dir/fault_injector.cc.o.d"
   "libvero_cluster.a"
   "libvero_cluster.pdb"
 )

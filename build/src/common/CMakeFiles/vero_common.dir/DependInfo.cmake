@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/bitmap.cc" "src/common/CMakeFiles/vero_common.dir/bitmap.cc.o" "gcc" "src/common/CMakeFiles/vero_common.dir/bitmap.cc.o.d"
+  "/root/repo/src/common/crc32.cc" "src/common/CMakeFiles/vero_common.dir/crc32.cc.o" "gcc" "src/common/CMakeFiles/vero_common.dir/crc32.cc.o.d"
   "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/vero_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/vero_common.dir/logging.cc.o.d"
   "/root/repo/src/common/random.cc" "src/common/CMakeFiles/vero_common.dir/random.cc.o" "gcc" "src/common/CMakeFiles/vero_common.dir/random.cc.o.d"
   "/root/repo/src/common/status.cc" "src/common/CMakeFiles/vero_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/vero_common.dir/status.cc.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/vero_common.dir/bitmap.cc.o"
   "CMakeFiles/vero_common.dir/bitmap.cc.o.d"
+  "CMakeFiles/vero_common.dir/crc32.cc.o"
+  "CMakeFiles/vero_common.dir/crc32.cc.o.d"
   "CMakeFiles/vero_common.dir/logging.cc.o"
   "CMakeFiles/vero_common.dir/logging.cc.o.d"
   "CMakeFiles/vero_common.dir/random.cc.o"

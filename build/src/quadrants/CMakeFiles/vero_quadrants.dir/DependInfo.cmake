@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/quadrants/advisor.cc" "src/quadrants/CMakeFiles/vero_quadrants.dir/advisor.cc.o" "gcc" "src/quadrants/CMakeFiles/vero_quadrants.dir/advisor.cc.o.d"
+  "/root/repo/src/quadrants/checkpoint.cc" "src/quadrants/CMakeFiles/vero_quadrants.dir/checkpoint.cc.o" "gcc" "src/quadrants/CMakeFiles/vero_quadrants.dir/checkpoint.cc.o.d"
   "/root/repo/src/quadrants/dist_common.cc" "src/quadrants/CMakeFiles/vero_quadrants.dir/dist_common.cc.o" "gcc" "src/quadrants/CMakeFiles/vero_quadrants.dir/dist_common.cc.o.d"
   "/root/repo/src/quadrants/feature_parallel.cc" "src/quadrants/CMakeFiles/vero_quadrants.dir/feature_parallel.cc.o" "gcc" "src/quadrants/CMakeFiles/vero_quadrants.dir/feature_parallel.cc.o.d"
   "/root/repo/src/quadrants/qd1_trainer.cc" "src/quadrants/CMakeFiles/vero_quadrants.dir/qd1_trainer.cc.o" "gcc" "src/quadrants/CMakeFiles/vero_quadrants.dir/qd1_trainer.cc.o.d"

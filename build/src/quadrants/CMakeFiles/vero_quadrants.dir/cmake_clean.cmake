@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/vero_quadrants.dir/advisor.cc.o"
   "CMakeFiles/vero_quadrants.dir/advisor.cc.o.d"
+  "CMakeFiles/vero_quadrants.dir/checkpoint.cc.o"
+  "CMakeFiles/vero_quadrants.dir/checkpoint.cc.o.d"
   "CMakeFiles/vero_quadrants.dir/dist_common.cc.o"
   "CMakeFiles/vero_quadrants.dir/dist_common.cc.o.d"
   "CMakeFiles/vero_quadrants.dir/feature_parallel.cc.o"

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault_tolerance_test.cc" "tests/CMakeFiles/fault_tolerance_test.dir/fault_tolerance_test.cc.o" "gcc" "tests/CMakeFiles/fault_tolerance_test.dir/fault_tolerance_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quadrants/CMakeFiles/vero_quadrants.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/vero_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/vero_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vero_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/vero_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vero_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vero_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -301,24 +301,25 @@ tests/CMakeFiles/pipeline_test.dir/pipeline_test.cc.o: \
  /root/repo/src/data/types.h /root/repo/src/core/model_io.h \
  /root/repo/src/data/libsvm_io.h /root/repo/src/data/synthetic.h \
  /root/repo/src/quadrants/train_distributed.h \
- /root/repo/src/cluster/communicator.h \
+ /root/repo/src/cluster/communicator.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/cluster/fault_injector.h \
  /root/repo/src/cluster/network_model.h /root/repo/src/common/threading.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
- /root/repo/src/quadrants/dist_common.h /root/repo/src/core/gbdt_params.h \
- /root/repo/src/core/gradients.h /root/repo/src/core/histogram.h \
- /root/repo/src/core/loss.h /root/repo/src/core/split.h \
- /root/repo/src/sketch/candidate_splits.h /root/repo/src/core/trainer.h \
- /root/repo/src/partition/transform.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/thread /root/repo/src/quadrants/dist_common.h \
+ /root/repo/src/core/gbdt_params.h /root/repo/src/core/gradients.h \
+ /root/repo/src/core/histogram.h /root/repo/src/core/loss.h \
+ /root/repo/src/core/split.h /root/repo/src/sketch/candidate_splits.h \
+ /root/repo/src/core/trainer.h /root/repo/src/partition/transform.h \
  /root/repo/src/partition/column_group.h \
  /root/repo/src/partition/column_grouping.h \
  /root/repo/src/quadrants/quadrant.h \

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive targets under ThreadSanitizer and runs
+# the cluster / communicator / fault-tolerance test binaries. Races in the
+# simulated cluster substrate (barrier, collectives, fault injection,
+# recovery orchestration) show up here long before they corrupt an
+# experiment.
+#
+#   scripts/tsan_tests.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -DVERO_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" --target \
+  communicator_test communicator_stress_test fault_tolerance_test \
+  threading_test dist_trainer_test
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+for t in communicator_test communicator_stress_test fault_tolerance_test \
+         threading_test dist_trainer_test; do
+  echo "== TSan: $t =="
+  "$BUILD_DIR/tests/$t"
+done
+echo "All TSan test binaries passed."

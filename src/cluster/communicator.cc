@@ -11,6 +11,7 @@ namespace vero {
 Cluster::Cluster(int num_workers, NetworkModel model)
     : num_workers_(num_workers),
       model_(model),
+      dead_flags_(num_workers, 0),
       barrier_(static_cast<size_t>(num_workers)),
       ptrs_(num_workers, nullptr),
       mutable_ptrs_(num_workers, nullptr),
@@ -23,17 +24,81 @@ Cluster::Cluster(int num_workers, NetworkModel model)
   }
 }
 
-void Cluster::Run(const std::function<void(WorkerContext&)>& fn) {
+void Cluster::InstallFaultPlan(const FaultPlan& plan) {
+  if (plan.empty()) {
+    injector_.reset();
+  } else {
+    injector_ = std::make_unique<FaultInjector>(plan, num_workers_);
+  }
+}
+
+void Cluster::MarkDead(int rank) {
+  std::lock_guard<std::mutex> lock(dead_mu_);
+  dead_flags_[rank] = 1;
+}
+
+std::vector<int> Cluster::dead_ranks() const {
+  std::lock_guard<std::mutex> lock(dead_mu_);
+  std::vector<int> dead;
+  for (int r = 0; r < num_workers_; ++r) {
+    if (dead_flags_[r]) dead.push_back(r);
+  }
+  return dead;
+}
+
+std::vector<std::exception_ptr> Cluster::RunInternal(
+    const std::function<void(WorkerContext&)>& fn) {
+  std::vector<std::exception_ptr> errors(num_workers_);
   if (num_workers_ == 1) {
-    fn(*contexts_[0]);
-    return;
+    try {
+      fn(*contexts_[0]);
+    } catch (...) {
+      errors[0] = std::current_exception();
+    }
+    return errors;
   }
   std::vector<std::thread> threads;
   threads.reserve(num_workers_);
   for (int r = 0; r < num_workers_; ++r) {
-    threads.emplace_back([this, &fn, r] { fn(*contexts_[r]); });
+    threads.emplace_back([this, &fn, r, &errors] {
+      try {
+        fn(*contexts_[r]);
+      } catch (...) {
+        errors[r] = std::current_exception();
+        // A worker that unwinds is gone for good: break the rendezvous group
+        // so peers blocked on it fail fast instead of hitting the watchdog.
+        barrier_.Break();
+      }
+    });
   }
   for (auto& t : threads) t.join();
+  return errors;
+}
+
+void Cluster::Run(const std::function<void(WorkerContext&)>& fn) {
+  std::vector<std::exception_ptr> errors = RunInternal(fn);
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+std::vector<Status> Cluster::TryRun(
+    const std::function<void(WorkerContext&)>& fn) {
+  std::vector<std::exception_ptr> errors = RunInternal(fn);
+  std::vector<Status> statuses(num_workers_);
+  for (int r = 0; r < num_workers_; ++r) {
+    if (!errors[r]) continue;
+    try {
+      std::rethrow_exception(errors[r]);
+    } catch (const ClusterAbort& abort) {
+      statuses[r] = abort.status();
+    } catch (const std::exception& e) {
+      statuses[r] = Status::Internal(e.what());
+    } catch (...) {
+      statuses[r] = Status::Internal("unknown exception in worker thread");
+    }
+  }
+  return statuses;
 }
 
 const CommStats& Cluster::worker_stats(int rank) const {
@@ -67,18 +132,109 @@ void WorkerContext::Charge(uint64_t sent, uint64_t received) {
   stats_.sim_seconds += cluster_->model_.OpSeconds(sent, received);
 }
 
-void WorkerContext::Barrier() { cluster_->barrier_.ArriveAndWait(); }
+Status WorkerContext::Die(Status status) {
+  dead_ = true;
+  cluster_->MarkDead(rank_);
+  cluster_->barrier_.Break();
+  return status;
+}
+
+Status WorkerContext::Prepare(CollectiveOp op, FaultDecision* decision) {
+  if (dead_) {
+    return Status::Unavailable("worker " + std::to_string(rank_) +
+                               " has failed");
+  }
+  if (cluster_->injector_ != nullptr) {
+    *decision = cluster_->injector_->OnCollective(rank_, op);
+    if (decision->crash) {
+      return Die(Status::Unavailable(
+          "worker " + std::to_string(rank_) + " crashed (injected) at " +
+          std::string(CollectiveOpToString(op))));
+    }
+  }
+  return Status::OK();
+}
+
+Status WorkerContext::Rendezvous(bool* serial) {
+  *serial = false;
+  switch (cluster_->barrier_.ArriveAndWaitFor(
+      cluster_->collective_timeout_seconds_)) {
+    case BarrierWait::kSerial:
+      *serial = true;
+      return Status::OK();
+    case BarrierWait::kFollower:
+      return Status::OK();
+    case BarrierWait::kBroken:
+      return Status::Unavailable("worker " + std::to_string(rank_) +
+                                 ": rendezvous group broken by a failed peer");
+    case BarrierWait::kTimeout:
+      return Status::DeadlineExceeded(
+          "worker " + std::to_string(rank_) +
+          ": collective watchdog expired waiting for peers");
+  }
+  return Status::Internal("unreachable");
+}
+
+bool WorkerContext::InstrumentRendezvous() {
+  const BarrierWait result = cluster_->barrier_.ArriveAndWaitFor(
+      cluster_->collective_timeout_seconds_);
+  return result == BarrierWait::kSerial || result == BarrierWait::kFollower;
+}
+
+Status WorkerContext::ApplyFaults(const FaultDecision& decision, uint64_t sent,
+                                  uint64_t received) {
+  if (decision.delay_seconds > 0.0) {
+    // Straggler: only this worker loses time; the cluster-level critical
+    // path (MaxSimSeconds / InstrumentMax of per-round costs) propagates the
+    // stall to the round as a whole, exactly like a real slow link.
+    stats_.sim_seconds += decision.delay_seconds;
+    stats_.fault_delay_seconds += decision.delay_seconds;
+  }
+  if (decision.failed_attempts > 0) {
+    const RetryPolicy& retry = cluster_->injector_->retry_policy();
+    const int attempts = std::min(decision.failed_attempts,
+                                  retry.max_attempts);
+    double backoff = retry.backoff_seconds;
+    for (int i = 0; i < attempts; ++i) {
+      // A CRC/length-detected bad transfer costs a full retransmission of
+      // the op's volume plus the backoff before the retry.
+      stats_.bytes_sent += sent;
+      stats_.bytes_received += received;
+      stats_.retransmitted_bytes += sent > received ? sent : received;
+      stats_.num_retries += 1;
+      stats_.sim_seconds += backoff + cluster_->model_.OpSeconds(sent,
+                                                                received);
+      backoff *= retry.backoff_multiplier;
+    }
+    if (decision.failed_attempts > retry.max_attempts) {
+      return Die(Status::Unavailable(
+          "worker " + std::to_string(rank_) + ": transfer still corrupt after " +
+          std::to_string(retry.max_attempts) + " attempts"));
+    }
+  }
+  return Status::OK();
+}
+
+Status WorkerContext::Barrier() {
+  FaultDecision decision;
+  VERO_RETURN_IF_ERROR(Prepare(CollectiveOp::kBarrier, &decision));
+  if (world_size() > 1) {
+    bool serial = false;
+    VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  }
+  return ApplyFaults(decision, 0, 0);
+}
 
 double WorkerContext::InstrumentMax(double value) {
   const int w = world_size();
   if (w == 1) return value;
   cluster_->instrument_slots_[rank_] = value;
-  cluster_->barrier_.ArriveAndWait();
+  if (!InstrumentRendezvous()) return value;
   double max_v = cluster_->instrument_slots_[0];
   for (int r = 1; r < w; ++r) {
     max_v = std::max(max_v, cluster_->instrument_slots_[r]);
   }
-  cluster_->barrier_.ArriveAndWait();
+  InstrumentRendezvous();
   return max_v;
 }
 
@@ -86,10 +242,10 @@ double WorkerContext::InstrumentSum(double value) {
   const int w = world_size();
   if (w == 1) return value;
   cluster_->instrument_slots_[rank_] = value;
-  cluster_->barrier_.ArriveAndWait();
+  if (!InstrumentRendezvous()) return value;
   double sum = 0.0;
   for (int r = 0; r < w; ++r) sum += cluster_->instrument_slots_[r];
-  cluster_->barrier_.ArriveAndWait();
+  InstrumentRendezvous();
   return sum;
 }
 
@@ -103,12 +259,16 @@ size_t WorkerContext::SliceEnd(size_t n, int rank) const {
   return n * (rank + 1) / w;
 }
 
-void WorkerContext::AllReduceSum(std::span<double> data) {
+Status WorkerContext::AllReduceSum(std::span<double> data) {
+  FaultDecision decision;
+  VERO_RETURN_IF_ERROR(Prepare(CollectiveOp::kAllReduceSum, &decision));
   const int w = world_size();
-  if (w == 1) return;
+  if (w == 1) return ApplyFaults(decision, 0, 0);
   cluster_->mutable_ptrs_[rank_] = data.data();
   cluster_->sizes_[rank_] = data.size();
-  if (cluster_->barrier_.ArriveAndWait()) {
+  bool serial = false;
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  if (serial) {
     // Serial participant: sum everyone into the shared buffer.
     const size_t n = cluster_->sizes_[0];
     for (int r = 1; r < w; ++r) VERO_CHECK_EQ(cluster_->sizes_[r], n);
@@ -118,24 +278,29 @@ void WorkerContext::AllReduceSum(std::span<double> data) {
       for (size_t i = 0; i < n; ++i) cluster_->reduce_buffer_[i] += src[i];
     }
   }
-  cluster_->barrier_.ArriveAndWait();
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
   std::memcpy(data.data(), cluster_->reduce_buffer_.data(),
               data.size() * sizeof(double));
-  cluster_->barrier_.ArriveAndWait();
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
 
   // Ring all-reduce volume: each worker sends (and receives) the buffer
   // twice, minus its own 1/W share, in 2*(W-1) pipelined steps.
   const uint64_t bytes = data.size() * sizeof(double);
   const uint64_t wire = 2 * bytes * (w - 1) / w;
   Charge(wire, wire);
+  return ApplyFaults(decision, wire, wire);
 }
 
-void WorkerContext::ReduceScatterSum(std::span<double> data) {
+Status WorkerContext::ReduceScatterSum(std::span<double> data) {
+  FaultDecision decision;
+  VERO_RETURN_IF_ERROR(Prepare(CollectiveOp::kReduceScatterSum, &decision));
   const int w = world_size();
-  if (w == 1) return;
+  if (w == 1) return ApplyFaults(decision, 0, 0);
   cluster_->mutable_ptrs_[rank_] = data.data();
   cluster_->sizes_[rank_] = data.size();
-  if (cluster_->barrier_.ArriveAndWait()) {
+  bool serial = false;
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  if (serial) {
     const size_t n = cluster_->sizes_[0];
     for (int r = 1; r < w; ++r) VERO_CHECK_EQ(cluster_->sizes_[r], n);
     cluster_->reduce_buffer_.assign(n, 0.0);
@@ -144,29 +309,33 @@ void WorkerContext::ReduceScatterSum(std::span<double> data) {
       for (size_t i = 0; i < n; ++i) cluster_->reduce_buffer_[i] += src[i];
     }
   }
-  cluster_->barrier_.ArriveAndWait();
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
   const size_t begin = SliceBegin(data.size(), rank_);
   const size_t end = SliceEnd(data.size(), rank_);
   std::memcpy(data.data() + begin, cluster_->reduce_buffer_.data() + begin,
               (end - begin) * sizeof(double));
-  cluster_->barrier_.ArriveAndWait();
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
 
   // Ring reduce-scatter volume: (W-1)/W of the buffer per worker.
   const uint64_t bytes = data.size() * sizeof(double);
   const uint64_t wire = bytes * (w - 1) / w;
   Charge(wire, wire);
+  return ApplyFaults(decision, wire, wire);
 }
 
-void WorkerContext::AllGather(const std::vector<uint8_t>& mine,
-                              std::vector<std::vector<uint8_t>>* all) {
+Status WorkerContext::AllGather(const std::vector<uint8_t>& mine,
+                                std::vector<std::vector<uint8_t>>* all) {
+  FaultDecision decision;
+  VERO_RETURN_IF_ERROR(Prepare(CollectiveOp::kAllGather, &decision));
   const int w = world_size();
   all->assign(w, {});
   if (w == 1) {
     (*all)[0] = mine;
-    return;
+    return ApplyFaults(decision, 0, 0);
   }
   cluster_->ptrs_[rank_] = &mine;
-  cluster_->barrier_.ArriveAndWait();
+  bool serial = false;
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
   uint64_t received = 0;
   for (int r = 0; r < w; ++r) {
     const auto* src =
@@ -174,15 +343,20 @@ void WorkerContext::AllGather(const std::vector<uint8_t>& mine,
     (*all)[r] = *src;
     if (r != rank_) received += src->size();
   }
-  cluster_->barrier_.ArriveAndWait();
-  Charge(mine.size() * (w - 1), received);
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  const uint64_t sent = mine.size() * (w - 1);
+  Charge(sent, received);
+  return ApplyFaults(decision, sent, received);
 }
 
-void WorkerContext::Broadcast(std::vector<uint8_t>* data, int root) {
+Status WorkerContext::Broadcast(std::vector<uint8_t>* data, int root) {
+  FaultDecision decision;
+  VERO_RETURN_IF_ERROR(Prepare(CollectiveOp::kBroadcast, &decision));
   const int w = world_size();
-  if (w == 1) return;
+  if (w == 1) return ApplyFaults(decision, 0, 0);
   if (rank_ == root) cluster_->ptrs_[root] = data;
-  cluster_->barrier_.ArriveAndWait();
+  bool serial = false;
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
   const auto* src =
       static_cast<const std::vector<uint8_t>*>(cluster_->ptrs_[root]);
   uint64_t sent = 0, received = 0;
@@ -192,20 +366,24 @@ void WorkerContext::Broadcast(std::vector<uint8_t>* data, int root) {
     *data = *src;
     received = src->size();
   }
-  cluster_->barrier_.ArriveAndWait();
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
   Charge(sent, received);
+  return ApplyFaults(decision, sent, received);
 }
 
-void WorkerContext::Gather(const std::vector<uint8_t>& mine, int root,
-                           std::vector<std::vector<uint8_t>>* all) {
+Status WorkerContext::Gather(const std::vector<uint8_t>& mine, int root,
+                             std::vector<std::vector<uint8_t>>* all) {
+  FaultDecision decision;
+  VERO_RETURN_IF_ERROR(Prepare(CollectiveOp::kGather, &decision));
   const int w = world_size();
   all->clear();
   if (w == 1) {
     all->push_back(mine);
-    return;
+    return ApplyFaults(decision, 0, 0);
   }
   cluster_->ptrs_[rank_] = &mine;
-  cluster_->barrier_.ArriveAndWait();
+  bool serial = false;
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
   uint64_t sent = 0, received = 0;
   if (rank_ == root) {
     all->resize(w);
@@ -218,21 +396,25 @@ void WorkerContext::Gather(const std::vector<uint8_t>& mine, int root,
   } else {
     sent = mine.size();
   }
-  cluster_->barrier_.ArriveAndWait();
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
   Charge(sent, received);
+  return ApplyFaults(decision, sent, received);
 }
 
-void WorkerContext::AllToAll(std::vector<std::vector<uint8_t>> to_each,
-                             std::vector<std::vector<uint8_t>>* from_each) {
+Status WorkerContext::AllToAll(std::vector<std::vector<uint8_t>> to_each,
+                               std::vector<std::vector<uint8_t>>* from_each) {
+  FaultDecision decision;
+  VERO_RETURN_IF_ERROR(Prepare(CollectiveOp::kAllToAll, &decision));
   const int w = world_size();
   VERO_CHECK_EQ(static_cast<int>(to_each.size()), w);
   from_each->assign(w, {});
   if (w == 1) {
     (*from_each)[0] = std::move(to_each[0]);
-    return;
+    return ApplyFaults(decision, 0, 0);
   }
   cluster_->ptrs_[rank_] = &to_each;
-  cluster_->barrier_.ArriveAndWait();
+  bool serial = false;
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
   uint64_t sent = 0, received = 0;
   for (int r = 0; r < w; ++r) {
     const auto* src = static_cast<const std::vector<std::vector<uint8_t>>*>(
@@ -243,8 +425,9 @@ void WorkerContext::AllToAll(std::vector<std::vector<uint8_t>> to_each,
   for (int r = 0; r < w; ++r) {
     if (r != rank_) sent += to_each[r].size();
   }
-  cluster_->barrier_.ArriveAndWait();
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
   Charge(sent, received);
+  return ApplyFaults(decision, sent, received);
 }
 
 }  // namespace vero

@@ -2,18 +2,49 @@
 #define VERO_CLUSTER_COMMUNICATOR_H_
 
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "cluster/fault_injector.h"
 #include "cluster/network_model.h"
+#include "common/status.h"
 #include "common/threading.h"
 
 namespace vero {
 
 class Cluster;
+
+/// Exception used to unwind an SPMD function when a collective fails.
+/// Cluster::TryRun converts it back into the worker's Status; Cluster::Run
+/// rethrows it on the caller thread. Thrown by the VERO_COMM_OK macro below.
+class ClusterAbort : public std::exception {
+ public:
+  explicit ClusterAbort(Status status)
+      : status_(std::move(status)), what_(status_.ToString()) {}
+  const Status& status() const { return status_; }
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  Status status_;
+  std::string what_;
+};
+
+/// Aborts the calling SPMD function by throwing ClusterAbort when a
+/// collective returns a non-OK Status. Use at call sites inside trainers
+/// where there is no sensible local recovery; the status surfaces through
+/// Cluster::TryRun.
+#define VERO_COMM_OK(expr)                                        \
+  do {                                                            \
+    ::vero::Status _vero_comm_status = (expr);                    \
+    if (!_vero_comm_status.ok())                                  \
+      throw ::vero::ClusterAbort(std::move(_vero_comm_status));   \
+  } while (0)
 
 /// Per-worker handle to the simulated cluster: rank, collectives, and
 /// communication accounting. All collectives are SPMD — every worker of the
@@ -23,6 +54,13 @@ class Cluster;
 /// implementation would move (ring all-reduce / reduce-scatter, flat
 /// broadcast/gather), and simulated time follows the cluster's NetworkModel;
 /// the data itself moves through shared memory so results are exact.
+///
+/// Failure semantics: every collective returns a Status instead of
+/// deadlocking. kUnavailable means a participant (possibly this worker, via
+/// an injected fault) has failed and the cluster's rendezvous group is
+/// permanently broken; kDeadlineExceeded means this worker's watchdog
+/// expired waiting for a peer (SPMD violation or hung worker). After either,
+/// all further collectives on this cluster fail fast.
 class WorkerContext {
  public:
   int rank() const { return rank_; }
@@ -30,13 +68,13 @@ class WorkerContext {
 
   /// In-place element-wise sum across workers; everyone ends with the total.
   /// Accounting: ring all-reduce, 2 * bytes * (W-1)/W sent per worker.
-  void AllReduceSum(std::span<double> data);
+  Status AllReduceSum(std::span<double> data);
 
   /// In-place reduce-scatter: after the call, worker r's slice
   /// [SliceBegin(n, r), SliceEnd(n, r)) of `data` holds the element-wise
   /// sum; the rest of the buffer is unspecified.
   /// Accounting: ring reduce-scatter, bytes * (W-1)/W sent per worker.
-  void ReduceScatterSum(std::span<double> data);
+  Status ReduceScatterSum(std::span<double> data);
 
   /// Slice boundaries used by ReduceScatterSum (contiguous, near-equal).
   size_t SliceBegin(size_t n, int rank) const;
@@ -44,36 +82,41 @@ class WorkerContext {
 
   /// Every worker contributes `mine`; all receive all contributions indexed
   /// by rank. Accounting: each worker sends its buffer to W-1 peers.
-  void AllGather(const std::vector<uint8_t>& mine,
-                 std::vector<std::vector<uint8_t>>* all);
+  Status AllGather(const std::vector<uint8_t>& mine,
+                   std::vector<std::vector<uint8_t>>* all);
 
   /// Root's `data` is copied to everyone. Accounting: root sends
   /// bytes * (W-1); others receive bytes.
-  void Broadcast(std::vector<uint8_t>* data, int root);
+  Status Broadcast(std::vector<uint8_t>* data, int root);
 
   /// Every worker sends `mine` to root; root receives all (indexed by rank),
   /// others get an empty vector.
-  void Gather(const std::vector<uint8_t>& mine, int root,
-              std::vector<std::vector<uint8_t>>* all);
+  Status Gather(const std::vector<uint8_t>& mine, int root,
+                std::vector<std::vector<uint8_t>>* all);
 
   /// Personalized all-to-all: `to_each[r]` goes to worker r; returns
   /// `from_each[s]` = buffer sent by worker s to this worker.
   /// to_each must have world_size entries (self-entry is delivered free).
-  void AllToAll(std::vector<std::vector<uint8_t>> to_each,
-                std::vector<std::vector<uint8_t>>* from_each);
+  Status AllToAll(std::vector<std::vector<uint8_t>> to_each,
+                  std::vector<std::vector<uint8_t>>* from_each);
 
   /// Pure synchronization (no bytes charged).
-  void Barrier();
+  Status Barrier();
 
   /// Instrumentation-only reductions: rendezvous like a collective but
-  /// charge no bytes or simulated time. Used to combine per-worker timing
-  /// counters into cluster-level statistics without perturbing the
-  /// experiment.
+  /// charge no bytes or simulated time, and are invisible to the fault
+  /// injector's occurrence counting. If the rendezvous group is broken they
+  /// degrade to returning the local value instead of failing, so
+  /// measurement code needs no error handling.
   double InstrumentMax(double value);
   double InstrumentSum(double value);
 
   /// Communication counters accumulated by this worker so far.
   const CommStats& stats() const { return stats_; }
+
+  /// True once this worker has failed (injected crash or retry exhaustion).
+  /// All subsequent collectives return kUnavailable without rendezvousing.
+  bool failed() const { return dead_; }
 
  private:
   friend class Cluster;
@@ -81,14 +124,43 @@ class WorkerContext {
 
   void Charge(uint64_t sent, uint64_t received);
 
+  /// Consults the fault injector (if any) at the top of a collective.
+  /// Returns non-OK if this worker is already dead or crashes now.
+  Status Prepare(CollectiveOp op, FaultDecision* decision);
+
+  /// One failure-aware barrier phase. On success sets *serial for exactly
+  /// one participant per cycle; on breakage/timeout returns kUnavailable /
+  /// kDeadlineExceeded.
+  Status Rendezvous(bool* serial);
+
+  /// Instrument-channel rendezvous: true on success, false when the group
+  /// is broken (caller degrades to its local value).
+  bool InstrumentRendezvous();
+
+  /// Applies the post-transfer part of a fault decision: straggler delay and
+  /// detected-bad-transfer retries (each retry recharges the op's bytes and
+  /// backs off exponentially). Escalates to worker failure when the decision
+  /// exceeds the plan's retry budget. No-op for the default decision.
+  Status ApplyFaults(const FaultDecision& decision, uint64_t sent,
+                     uint64_t received);
+
+  /// Marks this worker dead, records it with the cluster, and breaks the
+  /// rendezvous group so peers fail fast instead of hanging.
+  Status Die(Status status);
+
   Cluster* cluster_;
   int rank_;
+  bool dead_ = false;
   CommStats stats_;
 };
 
 /// Simulated W-worker cluster. Each Run() spawns one thread per worker and
 /// executes the given SPMD function; collectives rendezvous through shared
 /// state owned here.
+///
+/// A cluster whose rendezvous group has been broken by a failure cannot be
+/// reused for further collectives; recovery paths build a fresh Cluster over
+/// the surviving workers.
 class Cluster {
  public:
   Cluster(int num_workers, NetworkModel model = NetworkModel::Lab1Gbps());
@@ -97,8 +169,34 @@ class Cluster {
   const NetworkModel& network_model() const { return model_; }
 
   /// Runs fn(context) on every worker; blocks until all finish. Contexts
-  /// (and their stats) persist across Run calls.
+  /// (and their stats) persist across Run calls. An exception escaping a
+  /// worker thread is captured and rethrown here on the caller thread (the
+  /// first one in rank order; others are dropped).
   void Run(const std::function<void(WorkerContext&)>& fn);
+
+  /// Like Run, but converts per-worker outcomes into Statuses instead of
+  /// rethrowing: OK for a clean return, the carried Status for ClusterAbort,
+  /// kInternal for any other exception. Never throws.
+  std::vector<Status> TryRun(const std::function<void(WorkerContext&)>& fn);
+
+  /// Installs a deterministic fault schedule consulted at every collective.
+  /// An empty plan uninstalls (the fault hooks are then zero-cost and the
+  /// byte/time accounting is bit-identical to a cluster without faults).
+  void InstallFaultPlan(const FaultPlan& plan);
+
+  /// Watchdog for collective rendezvous: a worker waiting longer than this
+  /// for its peers fails with kDeadlineExceeded (and breaks the group).
+  /// <= 0 disables the watchdog. Default 60 simulated-wall seconds.
+  void set_collective_timeout_seconds(double seconds) {
+    collective_timeout_seconds_ = seconds;
+  }
+  double collective_timeout_seconds() const {
+    return collective_timeout_seconds_;
+  }
+
+  /// Ranks that have failed (injected crash or retry exhaustion), in
+  /// increasing order. Survivors = all other ranks.
+  std::vector<int> dead_ranks() const;
 
   /// Stats of one worker / summed over workers.
   const CommStats& worker_stats(int rank) const;
@@ -112,9 +210,18 @@ class Cluster {
  private:
   friend class WorkerContext;
 
+  void MarkDead(int rank);
+  std::vector<std::exception_ptr> RunInternal(
+      const std::function<void(WorkerContext&)>& fn);
+
   const int num_workers_;
   const NetworkModel model_;
   std::vector<std::unique_ptr<WorkerContext>> contexts_;
+  std::unique_ptr<FaultInjector> injector_;
+  double collective_timeout_seconds_ = 60.0;
+
+  mutable std::mutex dead_mu_;
+  std::vector<uint8_t> dead_flags_;
 
   // Rendezvous state for collectives.
   Barrier barrier_;

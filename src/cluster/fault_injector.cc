@@ -1,0 +1,79 @@
+#include "cluster/fault_injector.h"
+
+#include "common/logging.h"
+
+namespace vero {
+
+const char* CollectiveOpToString(CollectiveOp op) {
+  switch (op) {
+    case CollectiveOp::kAllReduceSum:
+      return "AllReduceSum";
+    case CollectiveOp::kReduceScatterSum:
+      return "ReduceScatterSum";
+    case CollectiveOp::kAllGather:
+      return "AllGather";
+    case CollectiveOp::kBroadcast:
+      return "Broadcast";
+    case CollectiveOp::kGather:
+      return "Gather";
+    case CollectiveOp::kAllToAll:
+      return "AllToAll";
+    case CollectiveOp::kBarrier:
+      return "Barrier";
+    case CollectiveOp::kAny:
+      return "Any";
+  }
+  return "Unknown";
+}
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "Crash";
+    case FaultKind::kCorrupt:
+      return "Corrupt";
+    case FaultKind::kTruncate:
+      return "Truncate";
+    case FaultKind::kDelay:
+      return "Delay";
+  }
+  return "Unknown";
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int num_workers)
+    : plan_(plan), counters_(num_workers) {
+  for (const FaultEvent& e : plan_.events()) {
+    VERO_CHECK(e.rank >= 0 && e.rank < num_workers);
+    VERO_CHECK_GE(e.attempts, 0);
+    VERO_CHECK_GE(e.delay_seconds, 0.0);
+  }
+}
+
+FaultDecision FaultInjector::OnCollective(int rank, CollectiveOp op) {
+  RankCounters& c = counters_[rank];
+  const uint64_t op_index = c.per_op[static_cast<int>(op)]++;
+  const uint64_t any_index = c.any++;
+  FaultDecision decision;
+  for (const FaultEvent& e : plan_.events()) {
+    if (e.rank != rank) continue;
+    const bool match =
+        (e.op == CollectiveOp::kAny && e.occurrence == any_index) ||
+        (e.op == op && e.occurrence == op_index);
+    if (!match) continue;
+    switch (e.kind) {
+      case FaultKind::kCrash:
+        decision.crash = true;
+        break;
+      case FaultKind::kCorrupt:
+      case FaultKind::kTruncate:
+        decision.failed_attempts += e.attempts;
+        break;
+      case FaultKind::kDelay:
+        decision.delay_seconds += e.delay_seconds;
+        break;
+    }
+  }
+  return decision;
+}
+
+}  // namespace vero

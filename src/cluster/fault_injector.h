@@ -1,0 +1,156 @@
+#ifndef VERO_CLUSTER_FAULT_INJECTOR_H_
+#define VERO_CLUSTER_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vero {
+
+/// Collective operations a fault can be scheduled against. The values index
+/// per-op occurrence counters; kAny matches every operation type.
+enum class CollectiveOp {
+  kAllReduceSum = 0,
+  kReduceScatterSum = 1,
+  kAllGather = 2,
+  kBroadcast = 3,
+  kGather = 4,
+  kAllToAll = 5,
+  kBarrier = 6,
+  kAny = 7,
+};
+
+inline constexpr int kNumCollectiveOps = 7;
+
+const char* CollectiveOpToString(CollectiveOp op);
+
+/// What a scheduled fault does to the matched collective call.
+enum class FaultKind {
+  /// The worker dies before participating: it leaves the barrier group and
+  /// every survivor's next rendezvous fails with kUnavailable.
+  kCrash,
+  /// The payload arrives CRC-damaged `attempts` times; each detected-bad
+  /// transfer is retransmitted (bytes recharged) after exponential backoff.
+  /// Exceeding RetryPolicy::max_attempts escalates to a crash.
+  kCorrupt,
+  /// The payload arrives short `attempts` times; handled like kCorrupt
+  /// (length framing detects it, transfer is retried).
+  kTruncate,
+  /// Straggler: the worker's op is charged `delay_seconds` of extra
+  /// simulated time before proceeding (data still correct).
+  kDelay,
+};
+
+const char* FaultKindToString(FaultKind kind);
+
+/// One scheduled fault: fires on `rank`'s `occurrence`-th call (0-based)
+/// of collective type `op` (kAny counts calls of every type).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  int rank = 0;
+  CollectiveOp op = CollectiveOp::kAny;
+  /// 0-based index into the matching rank's sequence of matching calls.
+  uint64_t occurrence = 0;
+  /// kDelay: extra simulated seconds charged to the faulted worker.
+  double delay_seconds = 0.0;
+  /// kCorrupt/kTruncate: number of consecutive bad transfer attempts.
+  int attempts = 1;
+};
+
+/// Retry behavior for detected-bad transfers (corruption/truncation).
+struct RetryPolicy {
+  /// Bad attempts tolerated before the op gives up and the worker is
+  /// declared failed (kUnavailable).
+  int max_attempts = 3;
+  /// Backoff before retry i (0-based) is backoff_seconds * multiplier^i.
+  double backoff_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+};
+
+/// Deterministic schedule of faults for one Cluster. Builder-style:
+///
+///   FaultPlan plan;
+///   plan.Crash(/*rank=*/2, CollectiveOp::kAny, /*occurrence=*/40)
+///       .Delay(1, CollectiveOp::kAllReduceSum, 0, /*seconds=*/0.5);
+///   cluster.InstallFaultPlan(plan);
+///
+/// The schedule is positional, not random, so every failure test is exactly
+/// reproducible.
+class FaultPlan {
+ public:
+  FaultPlan& Crash(int rank, CollectiveOp op, uint64_t occurrence) {
+    events_.push_back({FaultKind::kCrash, rank, op, occurrence, 0.0, 0});
+    return *this;
+  }
+  FaultPlan& Corrupt(int rank, CollectiveOp op, uint64_t occurrence,
+                     int attempts = 1) {
+    events_.push_back(
+        {FaultKind::kCorrupt, rank, op, occurrence, 0.0, attempts});
+    return *this;
+  }
+  FaultPlan& Truncate(int rank, CollectiveOp op, uint64_t occurrence,
+                      int attempts = 1) {
+    events_.push_back(
+        {FaultKind::kTruncate, rank, op, occurrence, 0.0, attempts});
+    return *this;
+  }
+  FaultPlan& Delay(int rank, CollectiveOp op, uint64_t occurrence,
+                   double seconds) {
+    events_.push_back({FaultKind::kDelay, rank, op, occurrence, seconds, 0});
+    return *this;
+  }
+
+  FaultPlan& set_retry_policy(const RetryPolicy& policy) {
+    retry_ = policy;
+    return *this;
+  }
+
+  bool empty() const { return events_.empty(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+ private:
+  std::vector<FaultEvent> events_;
+  RetryPolicy retry_;
+};
+
+/// What the injector decided for one (rank, op) call.
+struct FaultDecision {
+  /// Worker dies before participating in this collective.
+  bool crash = false;
+  /// Number of detected-bad transfer attempts to simulate (each one
+  /// recharges the op's bytes and adds backoff). If this exceeds the retry
+  /// policy's max_attempts the op escalates to a failure.
+  int failed_attempts = 0;
+  /// Extra straggler seconds charged to this worker.
+  double delay_seconds = 0.0;
+};
+
+/// Matches FaultEvents against the per-rank stream of collective calls.
+/// Occurrence counters are per (rank, op) plus a per-rank any-op counter, so
+/// matching is deterministic and race-free: each worker thread only touches
+/// its own counters.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan, int num_workers);
+
+  /// Called by rank's thread at the top of every collective. Advances the
+  /// rank's occurrence counters and returns the combined decision of every
+  /// event that fires on this call.
+  FaultDecision OnCollective(int rank, CollectiveOp op);
+
+  const RetryPolicy& retry_policy() const { return plan_.retry_policy(); }
+
+ private:
+  struct RankCounters {
+    uint64_t per_op[kNumCollectiveOps] = {};
+    uint64_t any = 0;
+  };
+
+  FaultPlan plan_;
+  std::vector<RankCounters> counters_;
+};
+
+}  // namespace vero
+
+#endif  // VERO_CLUSTER_FAULT_INJECTOR_H_

@@ -42,12 +42,23 @@ struct CommStats {
   uint64_t num_ops = 0;
   /// Simulated network seconds under the cluster's NetworkModel.
   double sim_seconds = 0.0;
+  /// Fault-injection accounting (all zero on a failure-free run): bytes
+  /// re-sent because a transfer arrived corrupt/short, how many retries that
+  /// took, and straggler seconds added by injected delays. Retried bytes are
+  /// *also* counted in bytes_sent/bytes_received (they crossed the wire);
+  /// these fields isolate the overhead.
+  uint64_t retransmitted_bytes = 0;
+  uint64_t num_retries = 0;
+  double fault_delay_seconds = 0.0;
 
   CommStats& operator+=(const CommStats& other) {
     bytes_sent += other.bytes_sent;
     bytes_received += other.bytes_received;
     num_ops += other.num_ops;
     sim_seconds += other.sim_seconds;
+    retransmitted_bytes += other.retransmitted_bytes;
+    num_retries += other.num_retries;
+    fault_delay_seconds += other.fault_delay_seconds;
     return *this;
   }
   CommStats operator-(const CommStats& other) const {
@@ -56,6 +67,9 @@ struct CommStats {
     d.bytes_received = bytes_received - other.bytes_received;
     d.num_ops = num_ops - other.num_ops;
     d.sim_seconds = sim_seconds - other.sim_seconds;
+    d.retransmitted_bytes = retransmitted_bytes - other.retransmitted_bytes;
+    d.num_retries = num_retries - other.num_retries;
+    d.fault_delay_seconds = fault_delay_seconds - other.fault_delay_seconds;
     return d;
   }
 };

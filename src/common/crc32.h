@@ -1,0 +1,21 @@
+#ifndef VERO_COMMON_CRC32_H_
+#define VERO_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vero {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the same checksum
+/// used by zlib/gzip. Model files and training checkpoints append it as an
+/// integrity trailer so that bit flips and truncation are detected as
+/// kCorruption instead of being silently deserialized.
+uint32_t Crc32(const void* data, size_t size);
+
+/// Incremental form: pass the previous return value as `seed` to extend a
+/// running checksum (Crc32(data, n) == Crc32Extend(0, data, n)).
+uint32_t Crc32Extend(uint32_t seed, const void* data, size_t size);
+
+}  // namespace vero
+
+#endif  // VERO_COMMON_CRC32_H_

@@ -20,6 +20,12 @@ enum class StatusCode {
   kUnimplemented = 6,
   kInternal = 7,
   kResourceExhausted = 8,
+  /// An operation did not complete before its deadline (e.g. a collective
+  /// timed out waiting for a straggling or dead peer).
+  kDeadlineExceeded = 9,
+  /// A required participant or service is gone (e.g. a crashed worker);
+  /// retrying on the same cluster will not help.
+  kUnavailable = 10,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -62,6 +68,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

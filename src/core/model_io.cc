@@ -4,13 +4,17 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/crc32.h"
 #include "common/serialize.h"
 
 namespace vero {
 namespace {
 
 constexpr uint32_t kMagic = 0x5645524fu;  // "VERO"
-constexpr uint32_t kVersion = 1;
+// Version 2 appends a CRC-32 trailer over everything before it; version 1
+// (no trailer) is still readable.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kLegacyVersion = 1;
 
 }  // namespace
 
@@ -19,6 +23,7 @@ Status SaveModel(const GbdtModel& model, const std::string& path) {
   writer.WriteU32(kMagic);
   writer.WriteU32(kVersion);
   model.SerializeTo(&writer);
+  writer.WriteU32(Crc32(writer.data().data(), writer.size()));
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open " + path + " for writing");
   out.write(reinterpret_cast<const char*>(writer.data().data()),
@@ -36,14 +41,41 @@ StatusOr<GbdtModel> LoadModel(const std::string& path) {
   ByteReader reader(reinterpret_cast<const uint8_t*>(content.data()),
                     content.size());
   uint32_t magic = 0, version = 0;
-  VERO_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  if (!reader.ReadU32(&magic).ok() || !reader.ReadU32(&version).ok()) {
+    return Status::Corruption("model file too short: " + path);
+  }
   if (magic != kMagic) return Status::Corruption("bad magic in " + path);
-  VERO_RETURN_IF_ERROR(reader.ReadU32(&version));
-  if (version != kVersion) {
+  if (version != kVersion && version != kLegacyVersion) {
     return Status::Corruption("unsupported model version");
   }
+  size_t payload_end = content.size();
+  if (version == kVersion) {
+    if (content.size() < 12) {
+      return Status::Corruption("model file too short for CRC trailer");
+    }
+    payload_end = content.size() - sizeof(uint32_t);
+    ByteReader trailer(
+        reinterpret_cast<const uint8_t*>(content.data()) + payload_end,
+        sizeof(uint32_t));
+    uint32_t stored_crc = 0;
+    VERO_RETURN_IF_ERROR(trailer.ReadU32(&stored_crc));
+    if (Crc32(content.data(), payload_end) != stored_crc) {
+      return Status::Corruption("CRC mismatch in " + path);
+    }
+  }
   GbdtModel model;
-  VERO_RETURN_IF_ERROR(GbdtModel::Deserialize(&reader, &model));
+  Status s = GbdtModel::Deserialize(&reader, &model);
+  if (!s.ok()) {
+    // A short read means the file lied about its own length: corruption,
+    // not a range error.
+    if (s.code() == StatusCode::kOutOfRange) {
+      return Status::Corruption("truncated model file " + path);
+    }
+    return s;
+  }
+  if (reader.position() != payload_end) {
+    return Status::Corruption("trailing bytes in model file " + path);
+  }
   return model;
 }
 

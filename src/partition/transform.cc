@@ -99,7 +99,7 @@ CandidateSplits BuildDistributedCandidateSplits(
 
   cpu.Stop();
   std::vector<std::vector<uint8_t>> from_src;
-  ctx.AllToAll(std::move(to_dest), &from_src);
+  VERO_COMM_OK(ctx.AllToAll(std::move(to_dest), &from_src));
   cpu.Resume();
 
   // Step 1c: merge local sketches of each owned feature into global ones.
@@ -132,7 +132,7 @@ CandidateSplits BuildDistributedCandidateSplits(
   // per-feature counts that drive load-balanced grouping).
   cpu.Stop();
   std::vector<std::vector<uint8_t>> gathered;
-  ctx.Gather(owned_writer.data(), /*root=*/0, &gathered);
+  VERO_COMM_OK(ctx.Gather(owned_writer.data(), /*root=*/0, &gathered));
   cpu.Resume();
 
   std::vector<uint8_t> full_table;
@@ -157,7 +157,7 @@ CandidateSplits BuildDistributedCandidateSplits(
     full_table = writer.TakeData();
   }
   cpu.Stop();
-  ctx.Broadcast(&full_table, /*root=*/0);
+  VERO_COMM_OK(ctx.Broadcast(&full_table, /*root=*/0));
   cpu.Resume();
 
   ByteReader reader(full_table);
@@ -187,7 +187,7 @@ VerticalShard HorizontalToVertical(WorkerContext& ctx, const Dataset& shard,
     ByteWriter writer;
     writer.WriteU32(shard.num_instances());
     std::vector<std::vector<uint8_t>> all;
-    ctx.AllGather(writer.data(), &all);
+    VERO_COMM_OK(ctx.AllGather(writer.data(), &all));
     for (int r = 0; r < w; ++r) {
       ByteReader reader(all[r]);
       VERO_CHECK_OK(reader.ReadU32(&shard_rows[r]));
@@ -197,11 +197,27 @@ VerticalShard HorizontalToVertical(WorkerContext& ctx, const Dataset& shard,
   for (int r = 0; r < w; ++r) row_offsets[r + 1] = row_offsets[r] + shard_rows[r];
   result.num_instances = row_offsets[w];
 
-  // Steps 1-2: global candidate splits + per-feature counts.
+  // Steps 1-2: global candidate splits + per-feature counts. A checkpoint
+  // recovery supplies the split table directly; only the per-feature nonzero
+  // counts (the grouping signal) then need a small exchange.
   std::vector<uint64_t> feature_counts;
-  result.splits = BuildDistributedCandidateSplits(
-      ctx, shard, options.num_candidate_splits, options.sketch_entries,
-      &feature_counts, &result.stats.sketch_seconds);
+  if (options.precomputed_splits != nullptr) {
+    result.splits = *options.precomputed_splits;
+    std::vector<double> counts(d, 0.0);
+    const CsrMatrix& local = shard.matrix();
+    for (InstanceId i = 0; i < shard.num_instances(); ++i) {
+      for (FeatureId f : local.RowFeatures(i)) counts[f] += 1.0;
+    }
+    VERO_COMM_OK(ctx.AllReduceSum(counts));
+    feature_counts.resize(d);
+    for (uint32_t f = 0; f < d; ++f) {
+      feature_counts[f] = static_cast<uint64_t>(counts[f] + 0.5);
+    }
+  } else {
+    result.splits = BuildDistributedCandidateSplits(
+        ctx, shard, options.num_candidate_splits, options.sketch_entries,
+        &feature_counts, &result.stats.sketch_seconds);
+  }
 
   ThreadCpuTimer cpu;
 
@@ -295,7 +311,7 @@ VerticalShard HorizontalToVertical(WorkerContext& ctx, const Dataset& shard,
   const uint64_t bytes_before = ctx.stats().bytes_sent;
   const double sim_before_repart = ctx.stats().sim_seconds;
   std::vector<std::vector<uint8_t>> from_src;
-  ctx.AllToAll(std::move(to_dest), &from_src);
+  VERO_COMM_OK(ctx.AllToAll(std::move(to_dest), &from_src));
   result.stats.repartition_bytes_sent = ctx.stats().bytes_sent - bytes_before;
   result.stats.repartition_sim_seconds =
       ctx.stats().sim_seconds - sim_before_repart;
@@ -379,7 +395,7 @@ VerticalShard HorizontalToVertical(WorkerContext& ctx, const Dataset& shard,
     ByteWriter writer;
     writer.WriteVector(shard.labels());
     std::vector<std::vector<uint8_t>> gathered;
-    ctx.Gather(writer.data(), /*root=*/0, &gathered);
+    VERO_COMM_OK(ctx.Gather(writer.data(), /*root=*/0, &gathered));
     std::vector<uint8_t> all_labels;
     if (rank == 0) {
       std::vector<float> labels;
@@ -394,7 +410,7 @@ VerticalShard HorizontalToVertical(WorkerContext& ctx, const Dataset& shard,
       out.WriteVector(labels);
       all_labels = out.TakeData();
     }
-    ctx.Broadcast(&all_labels, /*root=*/0);
+    VERO_COMM_OK(ctx.Broadcast(&all_labels, /*root=*/0));
     ByteReader reader(all_labels);
     VERO_CHECK_OK(reader.ReadVector(&result.labels));
   }

@@ -38,6 +38,11 @@ struct TransformOptions {
   TransformEncoding encoding = TransformEncoding::kBlockified;
   /// Block-merge target after repartition (§4.2.3 reports < 5 in practice).
   size_t max_blocks = 5;
+  /// Recovery path: a candidate-split table restored from a checkpoint.
+  /// When set, HorizontalToVertical skips the sketch pipeline (steps 1-2)
+  /// and bins against this table, so recovered trees stay consistent with
+  /// the checkpointed forest. Not owned; must outlive the call.
+  const CandidateSplits* precomputed_splits = nullptr;
 };
 
 /// Cost breakdown of one worker's transformation, mirroring Table 5.

@@ -1,0 +1,105 @@
+#include "quadrants/checkpoint.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/crc32.h"
+#include "common/serialize.h"
+
+namespace vero {
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x56434b50u;  // "VCKP"
+constexpr uint32_t kCheckpointVersion = 1;
+
+}  // namespace
+
+std::vector<uint8_t> SerializeCheckpoint(const TrainCheckpoint& checkpoint) {
+  ByteWriter writer;
+  writer.WriteU32(kCheckpointMagic);
+  writer.WriteU32(kCheckpointVersion);
+  writer.WriteU32(checkpoint.trees_done);
+  writer.WriteU8(checkpoint.has_splits ? 1 : 0);
+  checkpoint.model.SerializeTo(&writer);
+  if (checkpoint.has_splits) checkpoint.splits.SerializeTo(&writer);
+  writer.WriteU32(Crc32(writer.data().data(), writer.size()));
+  return writer.TakeData();
+}
+
+Status DeserializeCheckpoint(const std::vector<uint8_t>& data,
+                             TrainCheckpoint* out) {
+  if (data.size() < 4 * sizeof(uint32_t) + 1) {
+    return Status::Corruption("checkpoint buffer too short");
+  }
+  const size_t payload_end = data.size() - sizeof(uint32_t);
+  {
+    ByteReader trailer(data.data() + payload_end, sizeof(uint32_t));
+    uint32_t stored_crc = 0;
+    VERO_RETURN_IF_ERROR(trailer.ReadU32(&stored_crc));
+    if (Crc32(data.data(), payload_end) != stored_crc) {
+      return Status::Corruption("checkpoint CRC mismatch");
+    }
+  }
+  ByteReader reader(data.data(), payload_end);
+  uint32_t magic = 0, version = 0;
+  VERO_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  if (magic != kCheckpointMagic) {
+    return Status::Corruption("bad checkpoint magic");
+  }
+  VERO_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (version != kCheckpointVersion) {
+    return Status::Corruption("unsupported checkpoint version");
+  }
+  TrainCheckpoint checkpoint;
+  VERO_RETURN_IF_ERROR(reader.ReadU32(&checkpoint.trees_done));
+  uint8_t has_splits = 0;
+  VERO_RETURN_IF_ERROR(reader.ReadU8(&has_splits));
+  if (has_splits > 1) {
+    return Status::Corruption("bad has_splits flag in checkpoint");
+  }
+  checkpoint.has_splits = has_splits != 0;
+  Status s = GbdtModel::Deserialize(&reader, &checkpoint.model);
+  if (!s.ok()) {
+    return s.code() == StatusCode::kOutOfRange
+               ? Status::Corruption("truncated checkpoint model")
+               : s;
+  }
+  if (checkpoint.has_splits) {
+    s = CandidateSplits::Deserialize(&reader, &checkpoint.splits);
+    if (!s.ok()) {
+      return s.code() == StatusCode::kOutOfRange
+                 ? Status::Corruption("truncated checkpoint splits")
+                 : s;
+    }
+  }
+  if (reader.position() != payload_end) {
+    return Status::Corruption("trailing bytes in checkpoint");
+  }
+  *out = std::move(checkpoint);
+  return Status::OK();
+}
+
+Status SaveCheckpoint(const TrainCheckpoint& checkpoint,
+                      const std::string& path) {
+  const std::vector<uint8_t> data = SerializeCheckpoint(checkpoint);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out.good()) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<TrainCheckpoint> LoadCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  std::vector<uint8_t> data(content.begin(), content.end());
+  TrainCheckpoint checkpoint;
+  VERO_RETURN_IF_ERROR(DeserializeCheckpoint(data, &checkpoint));
+  return checkpoint;
+}
+
+}  // namespace vero

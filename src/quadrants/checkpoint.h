@@ -1,0 +1,47 @@
+#ifndef VERO_QUADRANTS_CHECKPOINT_H_
+#define VERO_QUADRANTS_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/tree.h"
+#include "sketch/candidate_splits.h"
+
+namespace vero {
+
+/// Training state captured after a completed boosting round, sufficient to
+/// resume on a (possibly smaller) cluster without redoing finished work:
+/// the model prefix plus the candidate-split table the forest was binned
+/// against. Margins are not stored — they are recomputed from the model,
+/// which keeps checkpoints small (trees, not N x dims doubles).
+///
+/// Wire format (same framing discipline as model_io): magic "VCKP",
+/// version, payload, CRC-32 trailer over everything before the trailer.
+struct TrainCheckpoint {
+  uint32_t trees_done = 0;
+  GbdtModel model;
+  /// Candidate-split table used to bin the forest so far. Reusing it on
+  /// recovery skips the sketch pipeline (QD1/QD2) or transform steps 1-2
+  /// (QD3/QD4) and keeps recovered trees consistent with the prefix.
+  bool has_splits = false;
+  CandidateSplits splits;
+};
+
+/// Serializes `checkpoint` into a framed, CRC-protected byte buffer.
+std::vector<uint8_t> SerializeCheckpoint(const TrainCheckpoint& checkpoint);
+
+/// Parses a buffer produced by SerializeCheckpoint. Returns kCorruption for
+/// bad magic/version/CRC/framing, never crashes on malformed input.
+Status DeserializeCheckpoint(const std::vector<uint8_t>& data,
+                             TrainCheckpoint* out);
+
+/// File convenience wrappers.
+Status SaveCheckpoint(const TrainCheckpoint& checkpoint,
+                      const std::string& path);
+StatusOr<TrainCheckpoint> LoadCheckpoint(const std::string& path);
+
+}  // namespace vero
+
+#endif  // VERO_QUADRANTS_CHECKPOINT_H_

@@ -82,6 +82,13 @@ DistTrainerBase::DistTrainerBase(WorkerContext& ctx,
               options.params.min_split_gain),
       model_(task, num_classes, options.params.learning_rate) {}
 
+void DistTrainerBase::InitFromCheckpoint(const GbdtModel& model,
+                                         std::span<const double> margins) {
+  VERO_CHECK_EQ(margins.size(), margins_.size());
+  model_ = model;
+  std::copy(margins.begin(), margins.end(), margins_.begin());
+}
+
 void DistTrainerBase::Train(const Dataset* valid,
                             std::vector<TreeCost>* tree_costs,
                             std::vector<IterationStats>* curve,
@@ -92,17 +99,24 @@ void DistTrainerBase::Train(const Dataset* valid,
   tree_costs->clear();
   if (curve != nullptr) curve->clear();
 
+  // Resuming from a checkpointed prefix: keep its trees, continue the count.
+  const uint32_t start_tree = static_cast<uint32_t>(model_.num_trees());
+
   std::vector<double> valid_margins;
   if (valid != nullptr && ctx_.rank() == 0) {
-    valid_margins.assign(
-        static_cast<size_t>(valid->num_instances()) * dims_, 0.0);
+    if (start_tree > 0) {
+      valid_margins = model_.PredictDatasetMargins(*valid);
+    } else {
+      valid_margins.assign(
+          static_cast<size_t>(valid->num_instances()) * dims_, 0.0);
+    }
   }
   double elapsed = setup_sim_seconds;
   double best_metric = 0.0;
   bool best_metric_set = false;
   uint32_t rounds_since_best = 0;
 
-  for (uint32_t t = 0; t < params.num_trees; ++t) {
+  for (uint32_t t = start_tree; t < params.num_trees; ++t) {
     const double tree_sim_start = ctx_.stats().sim_seconds;
     TreeCost local;  // Thread-CPU seconds of this worker's phases.
     ThreadCpuTimer timer;
@@ -283,6 +297,15 @@ void DistTrainerBase::Train(const Dataset* valid,
         }
       }
       curve->push_back(stats);
+    }
+
+    // ---- Checkpoint (rank 0 only, no collectives) ----
+    // Sits after the cost/curve recording so a checkpoint's trees_done never
+    // exceeds the number of recorded cost entries, which the recovery path
+    // relies on when stitching the pre-failure prefix.
+    if (checkpoint_interval_ > 0 && checkpoint_sink_ && ctx_.rank() == 0 &&
+        (t + 1 - start_tree) % checkpoint_interval_ == 0) {
+      checkpoint_sink_(model_, t + 1);
     }
 
     // Early stopping: rank 0 owns the validation metric; every worker must

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "cluster/communicator.h"
@@ -22,12 +24,29 @@
 
 namespace vero {
 
+/// Per-round checkpoint policy for TrainDistributed.
+struct CheckpointOptions {
+  /// Checkpoint after every `interval` completed trees; 0 disables
+  /// checkpointing (a failure then restarts training from scratch on the
+  /// surviving workers).
+  uint32_t interval = 0;
+  /// Optional directory for on-disk checkpoints (empty keeps the latest
+  /// checkpoint in memory only). Files are written as <dir>/latest.vckp.
+  std::string dir;
+};
+
 /// Options for a distributed training run.
 struct DistTrainOptions {
   GbdtParams params;
   /// Transform settings (vertical quadrants; horizontal quadrants use only
   /// the sketch fields through the shared candidate-split pipeline).
   TransformOptions transform;
+  /// Checkpoint/recovery policy (used by TrainDistributed when the cluster
+  /// has a fault plan or real failures occur).
+  CheckpointOptions checkpoint;
+  /// How many times TrainDistributed rebuilds a smaller cluster and retries
+  /// after worker failures before giving up (0 = fail immediately).
+  int max_recovery_attempts = 1;
 };
 
 /// Cluster-level cost of one boosting round: compute phases are the maximum
@@ -67,8 +86,34 @@ struct TreeCostSummary {
 
 TreeCostSummary SummarizeTreeCosts(const std::vector<TreeCost>& costs);
 
+/// What failure handling cost a training run (all zero when failure-free).
+struct RecoveryStats {
+  /// Worker failures observed (injected crashes + retry exhaustions).
+  int failures_observed = 0;
+  /// Recovery rounds performed (cluster rebuilds).
+  int recovery_attempts = 0;
+  /// Trees restored from the last checkpoint instead of being retrained.
+  uint32_t trees_recovered = 0;
+  /// Trees trained (or retrained) after the first failure.
+  uint32_t trees_retrained = 0;
+  /// Workers in the final (surviving) cluster.
+  int final_world_size = 0;
+  /// Simulated seconds spent on recovery: state redistribution to the
+  /// survivors plus the recovery cluster's setup phase.
+  double recovery_seconds = 0.0;
+  /// Bytes moved to redistribute state (checkpoint, margins or raw shards)
+  /// onto the surviving workers.
+  uint64_t recovery_bytes = 0;
+};
+
 /// Result of a distributed training run.
 struct DistResult {
+  /// OK if training produced the full forest (possibly after recovery);
+  /// otherwise the first worker failure that could not be recovered from.
+  Status status;
+  /// Cost of surviving failures; all zero (except final_world_size) on a
+  /// failure-free run.
+  RecoveryStats recovery;
   GbdtModel model;
   std::vector<TreeCost> tree_costs;
   /// Max across workers of the peak histogram-pool bytes.
@@ -117,8 +162,27 @@ class DistTrainerBase {
 
   /// Runs all boosting rounds. `valid` (optional) is evaluated on rank 0
   /// after each round. Fills per-tree costs (identical on all ranks).
+  /// After InitFromCheckpoint the loop starts at the restored tree count
+  /// and only appends the missing trees.
   void Train(const Dataset* valid, std::vector<TreeCost>* tree_costs,
              std::vector<IterationStats>* curve, double setup_sim_seconds);
+
+  /// Arms per-round checkpointing: after every `interval` completed trees,
+  /// rank 0 invokes `sink` with the model-so-far. The sink must not run
+  /// collectives (only rank 0 calls it).
+  void EnableCheckpoints(
+      uint32_t interval,
+      std::function<void(const GbdtModel&, uint32_t trees_done)> sink) {
+    checkpoint_interval_ = interval;
+    checkpoint_sink_ = std::move(sink);
+  }
+
+  /// Seeds the trainer with an already-trained prefix: `model`'s trees are
+  /// adopted and `margins` replaces this worker's margin state (shard rows
+  /// for horizontal quadrants, all rows for vertical ones). Must be called
+  /// before Train.
+  void InitFromCheckpoint(const GbdtModel& model,
+                          std::span<const double> margins);
 
   const GbdtModel& model() const { return model_; }
   uint64_t peak_histogram_bytes() const { return pool_.PeakBytes(); }
@@ -202,6 +266,10 @@ class DistTrainerBase {
   std::vector<float> labels_;
   /// Global instance count N; subclasses must set this during construction.
   uint32_t num_global_instances_ = 0;
+
+  /// Checkpoint hook state (see EnableCheckpoints).
+  uint32_t checkpoint_interval_ = 0;
+  std::function<void(const GbdtModel&, uint32_t)> checkpoint_sink_;
 };
 
 /// Serialization helpers shared by the quadrant split exchanges.

@@ -81,7 +81,7 @@ std::vector<SplitCandidate> FeatureParallelTrainer::FindLayerSplits(
                                 owned_features_, splits_);
   }
   std::vector<std::vector<uint8_t>> all;
-  ctx_.AllGather(SerializeSplits(local), &all);
+  VERO_COMM_OK(ctx_.AllGather(SerializeSplits(local), &all));
   std::vector<SplitCandidate> best;
   for (const auto& buf : all) MergeBestSplits(DeserializeSplits(buf), &best);
   return best;

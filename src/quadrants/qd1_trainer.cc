@@ -41,7 +41,7 @@ GradStats Qd1Trainer::ComputeGradients() {
     raw[2 * k] = local[k].g;
     raw[2 * k + 1] = local[k].h;
   }
-  ctx_.AllReduceSum(raw);
+  VERO_COMM_OK(ctx_.AllReduceSum(raw));
   for (uint32_t k = 0; k < dims_; ++k) {
     local[k].g = raw[2 * k];
     local[k].h = raw[2 * k + 1];
@@ -90,7 +90,7 @@ std::vector<SplitCandidate> Qd1Trainer::FindLayerSplits(
     std::memcpy(buffer.data() + i * per_node, hist->raw_data(),
                 per_node * sizeof(double));
   }
-  ctx_.AllReduceSum(buffer);
+  VERO_COMM_OK(ctx_.AllReduceSum(buffer));
   std::vector<SplitCandidate> best(frontier.size());
   for (size_t i = 0; i < frontier.size(); ++i) {
     Histogram* hist = pool_.Get(frontier[i]);
@@ -140,7 +140,7 @@ void Qd1Trainer::ApplyLayerSplits(const std::vector<NodeId>& nodes,
   }
   for (NodeId node : nodes) slot_of_node_[node] = -1;
 
-  ctx_.AllReduceSum(counts);
+  VERO_COMM_OK(ctx_.AllReduceSum(counts));
   child_counts->resize(counts.size());
   for (size_t i = 0; i < counts.size(); ++i) {
     (*child_counts)[i] = static_cast<uint32_t>(counts[i] + 0.5);

@@ -44,7 +44,7 @@ GradStats Qd2Trainer::ComputeGradients() {
     raw[2 * k] = local[k].g;
     raw[2 * k + 1] = local[k].h;
   }
-  ctx_.AllReduceSum(raw);
+  VERO_COMM_OK(ctx_.AllReduceSum(raw));
   for (uint32_t k = 0; k < dims_; ++k) {
     local[k].g = raw[2 * k];
     local[k].h = raw[2 * k + 1];
@@ -108,7 +108,7 @@ std::vector<SplitCandidate> Qd2Trainer::FindLayerSplits(
     }
   }
   std::vector<std::vector<uint8_t>> from_src;
-  ctx_.AllToAll(std::move(to_dest), &from_src);
+  VERO_COMM_OK(ctx_.AllToAll(std::move(to_dest), &from_src));
 
   const size_t my_fb = ctx_.SliceBegin(d, rank);
   const size_t my_fe = ctx_.SliceEnd(d, rank);
@@ -139,7 +139,7 @@ std::vector<SplitCandidate> Qd2Trainer::FindLayerSplits(
 
   // Exchange local bests; everyone deterministically merges.
   std::vector<std::vector<uint8_t>> all;
-  ctx_.AllGather(SerializeSplits(local_best), &all);
+  VERO_COMM_OK(ctx_.AllGather(SerializeSplits(local_best), &all));
   std::vector<SplitCandidate> best;
   for (int r = 0; r < w; ++r) {
     MergeBestSplits(DeserializeSplits(all[r]), &best);
@@ -168,7 +168,7 @@ void Qd2Trainer::ApplyLayerSplits(const std::vector<NodeId>& nodes,
   }
   // Global child counts drive the shared subtraction schema (the "master
   // collects instance counts" step of §4.2.2).
-  ctx_.AllReduceSum(counts);
+  VERO_COMM_OK(ctx_.AllReduceSum(counts));
   child_counts->resize(counts.size());
   for (size_t i = 0; i < counts.size(); ++i) {
     (*child_counts)[i] = static_cast<uint32_t>(counts[i] + 0.5);

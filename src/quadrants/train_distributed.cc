@@ -1,9 +1,12 @@
 #include "quadrants/train_distributed.h"
 
+#include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "quadrants/checkpoint.h"
 #include "quadrants/feature_parallel.h"
 #include "quadrants/qd1_trainer.h"
 #include "quadrants/qd2_trainer.h"
@@ -24,6 +27,218 @@ struct WorkerOutput {
   TransformStats transform_stats;
 };
 
+// Latest checkpoint, written by rank 0's thread during an attempt and read
+// by the driver after the attempt joins.
+struct CheckpointStore {
+  CheckpointOptions options;
+  std::vector<uint8_t> latest;
+};
+
+// One training attempt's inputs. The first attempt runs fresh; recovery
+// attempts resume from a checkpoint (or restart) on a smaller cluster.
+struct AttemptConfig {
+  Quadrant quadrant = Quadrant::kQD1;
+  const DistTrainOptions* options = nullptr;
+  const Dataset* train = nullptr;
+  const Dataset* valid = nullptr;
+  Qd3IndexPolicy qd3_policy = Qd3IndexPolicy::kMixed;
+  /// Restored state to resume from (null = train from scratch).
+  const TrainCheckpoint* resume = nullptr;
+  /// Full N x dims margin matrix of the restored model (null iff !resume).
+  const std::vector<double>* resume_margins = nullptr;
+  /// Simulated seconds already elapsed (pre-failure prefix + recovery).
+  double elapsed_base = 0.0;
+  CheckpointStore* store = nullptr;
+};
+
+std::vector<Dataset> BuildHorizontalShards(const Dataset& train, int world) {
+  const uint32_t n = train.num_instances();
+  std::vector<Dataset> shards;
+  shards.reserve(world);
+  for (int r = 0; r < world; ++r) {
+    const auto [begin, end] = HorizontalRange(n, world, r);
+    shards.emplace_back(train.matrix().SliceRows(begin, end),
+                        std::vector<float>(train.labels().begin() + begin,
+                                           train.labels().begin() + end),
+                        train.task(), train.num_classes());
+  }
+  return shards;
+}
+
+// Runs the SPMD body of one attempt on `cluster`, filling `outputs` (one
+// entry per rank). Returns per-rank statuses from Cluster::TryRun.
+std::vector<Status> RunAttempt(Cluster& cluster,
+                               const std::vector<Dataset>& shards,
+                               const AttemptConfig& cfg,
+                               std::vector<WorkerOutput>* outputs) {
+  const Dataset& train = *cfg.train;
+  const DistTrainOptions& options = *cfg.options;
+  const Quadrant quadrant = cfg.quadrant;
+  const uint32_t n = train.num_instances();
+  const uint32_t dims =
+      train.task() == Task::kMultiClass ? train.num_classes() : 1;
+
+  return cluster.TryRun([&](WorkerContext& ctx) {
+    const int rank = ctx.rank();
+    const int w = ctx.world_size();
+    WorkerOutput& out = (*outputs)[rank];
+    ThreadCpuTimer setup_cpu;
+    const double sim_start = ctx.stats().sim_seconds;
+
+    std::unique_ptr<DistTrainerBase> trainer;
+    CandidateSplits splits;       // Storage for horizontal quadrants.
+    VerticalShard vertical;       // Storage for vertical quadrants.
+    const CandidateSplits* checkpoint_splits = nullptr;
+
+    switch (quadrant) {
+      case Quadrant::kQD1:
+      case Quadrant::kQD2: {
+        const Dataset& shard = shards[rank];
+        if (cfg.resume != nullptr && cfg.resume->has_splits) {
+          // Recovery: reuse the checkpointed split table; the sketch
+          // pipeline (and its communication) is skipped entirely.
+          splits = cfg.resume->splits;
+        } else {
+          double sketch_seconds = 0.0;
+          splits = BuildDistributedCandidateSplits(
+              ctx, shard, options.params.num_candidate_splits,
+              options.params.sketch_entries, nullptr, &sketch_seconds);
+        }
+        if (quadrant == Quadrant::kQD1) {
+          trainer = std::make_unique<Qd1Trainer>(ctx, options, shard, splits,
+                                                 n);
+        } else {
+          trainer = std::make_unique<Qd2Trainer>(ctx, options, shard, splits,
+                                                 n);
+        }
+        checkpoint_splits = &splits;
+        break;
+      }
+      case Quadrant::kQD3:
+      case Quadrant::kQD4: {
+        TransformOptions transform = options.transform;
+        transform.num_candidate_splits = options.params.num_candidate_splits;
+        transform.sketch_entries = options.params.sketch_entries;
+        if (cfg.resume != nullptr && cfg.resume->has_splits) {
+          transform.precomputed_splits = &cfg.resume->splits;
+        }
+        vertical = HorizontalToVertical(ctx, shards[rank], transform);
+        out.transform_stats = vertical.stats;
+        if (quadrant == Quadrant::kQD3) {
+          trainer = std::make_unique<Qd3Trainer>(ctx, options, train.task(),
+                                                 train.num_classes(),
+                                                 vertical, cfg.qd3_policy);
+        } else {
+          trainer = std::make_unique<Qd4VeroTrainer>(
+              ctx, options, train.task(), train.num_classes(), vertical);
+        }
+        checkpoint_splits = &vertical.splits;
+        break;
+      }
+      case Quadrant::kFeatureParallel: {
+        // No partitioning: every worker computes identical splits locally
+        // from its full copy (no sketch communication).
+        if (cfg.resume != nullptr && cfg.resume->has_splits) {
+          splits = cfg.resume->splits;
+        } else {
+          splits = ProposeCandidateSplits(
+              train, options.params.num_candidate_splits,
+              options.params.sketch_entries);
+        }
+        trainer = std::make_unique<FeatureParallelTrainer>(ctx, options,
+                                                           train, splits);
+        checkpoint_splits = &splits;
+        break;
+      }
+    }
+
+    if (cfg.resume != nullptr) {
+      // Seed the restored prefix: trees plus this worker's margin slice
+      // (shard rows for horizontal layouts, all rows for vertical / FP).
+      const std::vector<double>& full = *cfg.resume_margins;
+      const bool horizontal =
+          quadrant == Quadrant::kQD1 || quadrant == Quadrant::kQD2;
+      if (horizontal) {
+        const auto [begin, end] = HorizontalRange(n, w, rank);
+        trainer->InitFromCheckpoint(
+            cfg.resume->model,
+            std::span<const double>(full.data() +
+                                        static_cast<size_t>(begin) * dims,
+                                    static_cast<size_t>(end - begin) * dims));
+      } else {
+        trainer->InitFromCheckpoint(cfg.resume->model, full);
+      }
+    }
+
+    if (cfg.store != nullptr && cfg.store->options.interval > 0 &&
+        rank == 0) {
+      CheckpointStore* store = cfg.store;
+      trainer->EnableCheckpoints(
+          store->options.interval,
+          [store, checkpoint_splits](const GbdtModel& model,
+                                     uint32_t trees_done) {
+            TrainCheckpoint checkpoint;
+            checkpoint.trees_done = trees_done;
+            checkpoint.model = model;
+            checkpoint.has_splits = true;
+            checkpoint.splits = *checkpoint_splits;
+            store->latest = SerializeCheckpoint(checkpoint);
+            if (!store->options.dir.empty()) {
+              const Status s = SaveCheckpoint(
+                  checkpoint, store->options.dir + "/latest.vckp");
+              if (!s.ok()) {
+                VERO_LOG(Warning)
+                    << "checkpoint write failed: " << s.ToString();
+              }
+            }
+          });
+    }
+
+    setup_cpu.Stop();
+    const double setup_comm = ctx.stats().sim_seconds - sim_start;
+    out.setup_seconds =
+        ctx.InstrumentMax(setup_cpu.Seconds()) + ctx.InstrumentMax(setup_comm);
+    const uint64_t bytes_after_setup = ctx.stats().bytes_sent;
+
+    trainer->Train(cfg.valid, &out.tree_costs, &out.curve,
+                   cfg.elapsed_base + out.setup_seconds);
+    out.train_bytes_sent = ctx.stats().bytes_sent - bytes_after_setup;
+    out.peak_histogram_bytes = trainer->peak_histogram_bytes();
+    out.data_bytes = trainer->DataBytes();
+    if (rank == 0) out.model = trainer->model();
+  });
+}
+
+Status FirstError(const std::vector<Status>& statuses) {
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+void FoldWorkerOutputs(const std::vector<WorkerOutput>& outputs,
+                       DistResult* result) {
+  for (const WorkerOutput& out : outputs) {
+    result->peak_histogram_bytes =
+        std::max(result->peak_histogram_bytes, out.peak_histogram_bytes);
+    result->data_bytes = std::max(result->data_bytes, out.data_bytes);
+    result->train_bytes_sent += out.train_bytes_sent;
+  }
+}
+
+// Approximate on-the-wire size of one horizontal shard: CSR entries (4-byte
+// feature id + 8-byte value) plus labels. Used to cost a from-scratch
+// redistribution when no checkpoint exists.
+uint64_t ShardWireBytes(const Dataset& shard) {
+  uint64_t bytes = 0;
+  const CsrMatrix& m = shard.matrix();
+  for (InstanceId i = 0; i < shard.num_instances(); ++i) {
+    bytes += m.RowFeatures(i).size() * (sizeof(FeatureId) + sizeof(double));
+  }
+  bytes += static_cast<uint64_t>(shard.num_instances()) * sizeof(float);
+  return bytes;
+}
+
 }  // namespace
 
 DistResult TrainDistributed(Cluster& cluster, const Dataset& train,
@@ -33,105 +248,152 @@ DistResult TrainDistributed(Cluster& cluster, const Dataset& train,
                             Qd3IndexPolicy qd3_policy) {
   VERO_CHECK_OK(options.params.Validate());
   const int w = cluster.num_workers();
-  const uint32_t n = train.num_instances();
+  const bool sharded = quadrant != Quadrant::kFeatureParallel;
+
+  CheckpointStore store;
+  store.options = options.checkpoint;
 
   // Horizontal shards in rank order (the layout loaded from HDFS in §4.2.1).
   std::vector<Dataset> shards;
-  if (quadrant != Quadrant::kFeatureParallel) {
-    shards.reserve(w);
-    for (int r = 0; r < w; ++r) {
-      const auto [begin, end] = HorizontalRange(n, w, r);
-      shards.emplace_back(train.matrix().SliceRows(begin, end),
-                          std::vector<float>(train.labels().begin() + begin,
-                                             train.labels().begin() + end),
-                          train.task(), train.num_classes());
-    }
-  }
+  if (sharded) shards = BuildHorizontalShards(train, w);
 
   cluster.ResetStats();
   std::vector<WorkerOutput> outputs(w);
-
-  cluster.Run([&](WorkerContext& ctx) {
-    const int rank = ctx.rank();
-    WorkerOutput& out = outputs[rank];
-    ThreadCpuTimer setup_cpu;
-    const double sim_start = ctx.stats().sim_seconds;
-
-    std::unique_ptr<DistTrainerBase> trainer;
-    CandidateSplits splits;       // Storage for horizontal quadrants.
-    VerticalShard vertical;       // Storage for vertical quadrants.
-
-    switch (quadrant) {
-      case Quadrant::kQD1:
-      case Quadrant::kQD2: {
-        const Dataset& shard = shards[rank];
-        double sketch_seconds = 0.0;
-        splits = BuildDistributedCandidateSplits(
-            ctx, shard, options.params.num_candidate_splits,
-            options.params.sketch_entries, nullptr, &sketch_seconds);
-        if (quadrant == Quadrant::kQD1) {
-          trainer = std::make_unique<Qd1Trainer>(ctx, options, shard, splits,
-                                                 n);
-        } else {
-          trainer = std::make_unique<Qd2Trainer>(ctx, options, shard, splits,
-                                                 n);
-        }
-        break;
-      }
-      case Quadrant::kQD3:
-      case Quadrant::kQD4: {
-        TransformOptions transform = options.transform;
-        transform.num_candidate_splits = options.params.num_candidate_splits;
-        transform.sketch_entries = options.params.sketch_entries;
-        vertical = HorizontalToVertical(ctx, shards[rank], transform);
-        out.transform_stats = vertical.stats;
-        if (quadrant == Quadrant::kQD3) {
-          trainer = std::make_unique<Qd3Trainer>(ctx, options, train.task(),
-                                                 train.num_classes(),
-                                                 vertical, qd3_policy);
-        } else {
-          trainer = std::make_unique<Qd4VeroTrainer>(
-              ctx, options, train.task(), train.num_classes(), vertical);
-        }
-        break;
-      }
-      case Quadrant::kFeatureParallel: {
-        // No partitioning: every worker computes identical splits locally
-        // from its full copy (no sketch communication).
-        splits = ProposeCandidateSplits(train,
-                                        options.params.num_candidate_splits,
-                                        options.params.sketch_entries);
-        trainer = std::make_unique<FeatureParallelTrainer>(ctx, options,
-                                                           train, splits);
-        break;
-      }
-    }
-
-    setup_cpu.Stop();
-    const double setup_comm = ctx.stats().sim_seconds - sim_start;
-    out.setup_seconds =
-        ctx.InstrumentMax(setup_cpu.Seconds()) + ctx.InstrumentMax(setup_comm);
-    const uint64_t bytes_after_setup = ctx.stats().bytes_sent;
-
-    trainer->Train(valid, &out.tree_costs, &out.curve, out.setup_seconds);
-    out.train_bytes_sent = ctx.stats().bytes_sent - bytes_after_setup;
-    out.peak_histogram_bytes = trainer->peak_histogram_bytes();
-    out.data_bytes = trainer->DataBytes();
-    if (rank == 0) out.model = trainer->model();
-  });
+  AttemptConfig cfg;
+  cfg.quadrant = quadrant;
+  cfg.options = &options;
+  cfg.train = &train;
+  cfg.valid = valid;
+  cfg.qd3_policy = qd3_policy;
+  cfg.store = &store;
+  Status error = FirstError(RunAttempt(cluster, shards, cfg, &outputs));
 
   DistResult result;
-  result.model = std::move(outputs[0].model);
-  result.tree_costs = std::move(outputs[0].tree_costs);
-  result.curve = std::move(outputs[0].curve);
-  result.setup_seconds = outputs[0].setup_seconds;
-  result.transform_stats = outputs[0].transform_stats;
-  for (const WorkerOutput& out : outputs) {
-    result.peak_histogram_bytes =
-        std::max(result.peak_histogram_bytes, out.peak_histogram_bytes);
-    result.data_bytes = std::max(result.data_bytes, out.data_bytes);
-    result.train_bytes_sent += out.train_bytes_sent;
+  if (error.ok()) {
+    result.model = std::move(outputs[0].model);
+    result.tree_costs = std::move(outputs[0].tree_costs);
+    result.curve = std::move(outputs[0].curve);
+    result.setup_seconds = outputs[0].setup_seconds;
+    result.transform_stats = outputs[0].transform_stats;
+    FoldWorkerOutputs(outputs, &result);
+    result.recovery.final_world_size = w;
+    return result;
   }
+
+  // ---- Recovery ----------------------------------------------------------
+  // The failed cluster's rendezvous group is permanently broken; training
+  // continues on a fresh, smaller cluster over the surviving workers,
+  // resuming from the last checkpoint when one exists.
+  std::vector<int> dead = cluster.dead_ranks();
+  result.recovery.failures_observed = static_cast<int>(dead.size());
+  int survivors = w - static_cast<int>(dead.size());
+  // Stats of the pre-failure attempt, for prefix stitching (rank 0 recorded
+  // every completed round before any checkpoint covering it).
+  const double first_setup_seconds = outputs[0].setup_seconds;
+  const TransformStats first_transform_stats = outputs[0].transform_stats;
+  const std::vector<TreeCost> first_costs = std::move(outputs[0].tree_costs);
+  const std::vector<IterationStats> first_curve =
+      std::move(outputs[0].curve);
+
+  while (result.recovery.recovery_attempts < options.max_recovery_attempts &&
+         survivors >= 1) {
+    ++result.recovery.recovery_attempts;
+
+    TrainCheckpoint restored;
+    bool have_checkpoint = false;
+    if (!store.latest.empty()) {
+      have_checkpoint =
+          DeserializeCheckpoint(store.latest, &restored).ok() &&
+          restored.trees_done > 0;
+    }
+
+    // Cost of getting the survivors ready: ship the checkpoint to each of
+    // them (margins are recomputed locally from the model), or — with no
+    // checkpoint — re-read the dead workers' raw shards from the replicated
+    // store and ship them across the survivors.
+    uint64_t redistribution_bytes = 0;
+    if (have_checkpoint) {
+      redistribution_bytes =
+          static_cast<uint64_t>(store.latest.size()) * survivors;
+    } else if (sharded) {
+      for (int r : dead) {
+        if (r < static_cast<int>(shards.size())) {
+          redistribution_bytes += ShardWireBytes(shards[r]);
+        }
+      }
+    }
+    const double redistribution_seconds =
+        cluster.network_model().OpSeconds(redistribution_bytes, 0);
+    result.recovery.recovery_bytes += redistribution_bytes;
+    result.recovery.recovery_seconds += redistribution_seconds;
+
+    const uint32_t trees_recovered =
+        have_checkpoint ? restored.trees_done : 0;
+    std::vector<double> resume_margins;
+    if (have_checkpoint) {
+      resume_margins = restored.model.PredictDatasetMargins(train);
+    }
+
+    // Simulated time already on the clock when the recovery run starts.
+    double elapsed_base = first_setup_seconds + redistribution_seconds;
+    for (uint32_t t = 0; t < trees_recovered && t < first_costs.size(); ++t) {
+      elapsed_base += first_costs[t].total_seconds();
+    }
+
+    Cluster recovery_cluster(survivors, cluster.network_model());
+    recovery_cluster.set_collective_timeout_seconds(
+        cluster.collective_timeout_seconds());
+    std::vector<Dataset> recovery_shards;
+    if (sharded) recovery_shards = BuildHorizontalShards(train, survivors);
+    std::vector<WorkerOutput> recovery_outputs(survivors);
+
+    AttemptConfig recovery_cfg = cfg;
+    recovery_cfg.resume = have_checkpoint ? &restored : nullptr;
+    recovery_cfg.resume_margins = have_checkpoint ? &resume_margins : nullptr;
+    recovery_cfg.elapsed_base = elapsed_base;
+    error = FirstError(RunAttempt(recovery_cluster, recovery_shards,
+                                  recovery_cfg, &recovery_outputs));
+    if (!error.ok()) {
+      const std::vector<int> newly_dead = recovery_cluster.dead_ranks();
+      result.recovery.failures_observed +=
+          static_cast<int>(newly_dead.size());
+      survivors -= static_cast<int>(newly_dead.size());
+      if (newly_dead.empty()) break;  // Unrecoverable (timeout/internal).
+      continue;
+    }
+
+    // Stitch the pre-failure prefix (rounds covered by the checkpoint) with
+    // the recovery run's suffix.
+    result.model = std::move(recovery_outputs[0].model);
+    result.tree_costs.assign(
+        first_costs.begin(),
+        first_costs.begin() +
+            std::min<size_t>(trees_recovered, first_costs.size()));
+    result.tree_costs.insert(result.tree_costs.end(),
+                             recovery_outputs[0].tree_costs.begin(),
+                             recovery_outputs[0].tree_costs.end());
+    result.curve.assign(
+        first_curve.begin(),
+        first_curve.begin() +
+            std::min<size_t>(trees_recovered, first_curve.size()));
+    result.curve.insert(result.curve.end(),
+                        recovery_outputs[0].curve.begin(),
+                        recovery_outputs[0].curve.end());
+    result.setup_seconds = first_setup_seconds;
+    result.transform_stats = first_transform_stats;
+    FoldWorkerOutputs(recovery_outputs, &result);
+    result.recovery.trees_recovered = trees_recovered;
+    result.recovery.trees_retrained = static_cast<uint32_t>(
+        recovery_outputs[0].tree_costs.size());
+    result.recovery.final_world_size = survivors;
+    // The recovery cluster's setup phase (rebuilding stores / re-binning on
+    // the survivors) is part of what the failure cost.
+    result.recovery.recovery_seconds += recovery_outputs[0].setup_seconds;
+    return result;
+  }
+
+  result.status = error;
+  result.recovery.final_world_size = survivors;
   return result;
 }
 

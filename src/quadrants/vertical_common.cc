@@ -51,7 +51,7 @@ std::vector<SplitCandidate> VerticalTrainerBase::FindLayerSplits(
   if (MasterCoordinatesSplits()) {
     // Vero: master gathers local bests, resolves, broadcasts the winners.
     std::vector<std::vector<uint8_t>> gathered;
-    ctx_.Gather(SerializeSplits(local), /*root=*/0, &gathered);
+    VERO_COMM_OK(ctx_.Gather(SerializeSplits(local), /*root=*/0, &gathered));
     std::vector<uint8_t> decision;
     if (ctx_.rank() == 0) {
       for (const auto& buf : gathered) {
@@ -59,12 +59,12 @@ std::vector<SplitCandidate> VerticalTrainerBase::FindLayerSplits(
       }
       decision = SerializeSplits(best);
     }
-    ctx_.Broadcast(&decision, /*root=*/0);
+    VERO_COMM_OK(ctx_.Broadcast(&decision, /*root=*/0));
     best = DeserializeSplits(decision);
   } else {
     // Yggdrasil: all workers exchange local bests and resolve locally.
     std::vector<std::vector<uint8_t>> all;
-    ctx_.AllGather(SerializeSplits(local), &all);
+    VERO_COMM_OK(ctx_.AllGather(SerializeSplits(local), &all));
     for (const auto& buf : all) {
       MergeBestSplits(DeserializeSplits(buf), &best);
     }
@@ -108,7 +108,7 @@ void VerticalTrainerBase::ApplyLayerSplits(
         go_left.SerializeTo(&payload);
       }
     }
-    ctx_.Broadcast(&payload, owner);
+    VERO_COMM_OK(ctx_.Broadcast(&payload, owner));
     payload_by_owner[owner] = std::move(payload);
   }
 

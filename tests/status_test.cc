@@ -29,6 +29,18 @@ TEST(StatusTest, AllConstructorsMapToCodes) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusTest, FailureCodesAreNotOk) {
+  EXPECT_FALSE(Status::DeadlineExceeded("slow peer").ok());
+  EXPECT_FALSE(Status::Unavailable("dead peer").ok());
+  EXPECT_EQ(Status::DeadlineExceeded("slow peer").ToString(),
+            "DeadlineExceeded: slow peer");
+  EXPECT_EQ(Status::Unavailable("dead peer").ToString(),
+            "Unavailable: dead peer");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -40,6 +52,9 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
 TEST(StatusCodeTest, NamesAreStable) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
 }
 
 TEST(StatusOrTest, HoldsValue) {
