@@ -2,9 +2,86 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+
+#include "common/logging.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 namespace vero {
 namespace bench {
+namespace {
+
+// Short filesystem-friendly tag for per-run trace filenames.
+const char* QuadrantTag(Quadrant q) {
+  switch (q) {
+    case Quadrant::kQD1:
+      return "qd1";
+    case Quadrant::kQD2:
+      return "qd2";
+    case Quadrant::kQD3:
+      return "qd3";
+    case Quadrant::kQD4:
+      return "qd4";
+    case Quadrant::kFeatureParallel:
+      return "fp";
+  }
+  return "unknown";
+}
+
+// State behind --report / --trace-dir; one report entry per RunQuadrant.
+struct BenchObsState {
+  std::string report_path;
+  std::string trace_dir;
+  int run_counter = 0;
+  std::vector<std::string> run_reports;  // serialized RunReport objects
+};
+
+BenchObsState& ObsState() {
+  static BenchObsState* state = new BenchObsState();
+  return *state;
+}
+
+bool ObsRequested() {
+  const BenchObsState& s = ObsState();
+  return obs::kObsEnabled &&
+         (!s.report_path.empty() || !s.trace_dir.empty());
+}
+
+void FlushBenchReport() {
+  BenchObsState& s = ObsState();
+  if (s.report_path.empty()) return;
+  std::ofstream out(s.report_path, std::ios::binary);
+  if (!out) {
+    VERO_LOG(Warning) << "cannot write bench report: " << s.report_path;
+    return;
+  }
+  out << "{\"schema\":\"vero.bench_report.v1\",\"runs\":[";
+  for (size_t i = 0; i < s.run_reports.size(); ++i) {
+    if (i > 0) out << ",";
+    out << s.run_reports[i];
+  }
+  out << "]}\n";
+}
+
+}  // namespace
+
+void InitBench(int argc, char** argv) {
+  BenchObsState& s = ObsState();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--report" && i + 1 < argc) {
+      s.report_path = argv[++i];
+    } else if (arg == "--trace-dir" && i + 1 < argc) {
+      s.trace_dir = argv[++i];
+    }
+  }
+  if (!s.report_path.empty()) std::atexit(FlushBenchReport);
+  if (!obs::kObsEnabled && (!s.report_path.empty() || !s.trace_dir.empty())) {
+    VERO_LOG(Warning) << "--report/--trace-dir ignored: built with "
+                         "VERO_DISABLE_OBS";
+  }
+}
 
 double Scale() {
   static const double scale = [] {
@@ -77,8 +154,37 @@ DistResult RunQuadrant(const Dataset& train, Quadrant quadrant, int workers,
   DistTrainOptions options;
   options.params = params;
   options.transform.encoding = encoding;
-  return TrainDistributed(cluster, train, quadrant, options, valid,
-                          qd3_policy);
+  if (!ObsRequested()) {
+    return TrainDistributed(cluster, train, quadrant, options, valid,
+                            qd3_policy);
+  }
+
+  BenchObsState& s = ObsState();
+  obs::ObsOptions obs_options;
+  obs_options.trace = !s.trace_dir.empty();
+  obs::RunObserver observer(obs_options);
+  cluster.AttachObserver(&observer);
+  DistResult result = TrainDistributed(cluster, train, quadrant, options,
+                                       valid, qd3_policy);
+
+  char label[64];
+  std::snprintf(label, sizeof(label), "run%03d-%s-w%d", s.run_counter++,
+                QuadrantTag(quadrant), workers);
+  result.report.label = label;
+  if (observer.trace_enabled()) {
+    const std::string path =
+        s.trace_dir + "/" + label + ".trace.json";
+    const Status status = observer.trace().WriteChromeJson(path);
+    if (status.ok()) {
+      result.report.trace_path = path;
+    } else {
+      VERO_LOG(Warning) << "trace export failed: " << status.ToString();
+    }
+  }
+  if (!s.report_path.empty()) {
+    s.run_reports.push_back(result.report.ToJson());
+  }
+  return result;
 }
 
 std::string FormatBytes(double bytes) {

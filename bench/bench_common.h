@@ -14,6 +14,14 @@
 namespace vero {
 namespace bench {
 
+/// Parses the shared bench flags and arms the run-report machinery:
+///   --report <out.json>   collect one RunReport per RunQuadrant call and
+///                         write a "vero.bench_report.v1" JSON file at exit
+///   --trace-dir <dir>     also record per-phase / per-collective traces and
+///                         write one Chrome trace JSON per run into <dir>
+/// Unknown arguments are ignored. Call first thing in main().
+void InitBench(int argc, char** argv);
+
 /// Global instance-count multiplier, read from VERO_SCALE (default 1.0).
 /// Benches are sized for a single-core CI box at scale 1; raise the scale on
 /// bigger machines to stress absolute numbers (shapes hold at any scale).

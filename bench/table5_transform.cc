@@ -97,4 +97,7 @@ void Main() {
 }  // namespace bench
 }  // namespace vero
 
-int main() { vero::bench::Main(); }
+int main(int argc, char** argv) {
+  vero::bench::InitBench(argc, argv);
+  vero::bench::Main();
+}

@@ -5,8 +5,31 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 namespace vero {
+
+/// Metric handles resolved once at AttachObserver time. Per-op counters are
+/// indexed by the CollectiveOp value so the hot path is one array index and
+/// one integer add per update.
+struct WorkerContext::ObsHandles {
+  obs::Counter* op_count[kNumCollectiveOps] = {};
+  obs::Counter* op_bytes_sent[kNumCollectiveOps] = {};
+  obs::Counter* op_bytes_received[kNumCollectiveOps] = {};
+  obs::Counter* retries = nullptr;
+  obs::Counter* retransmitted_bytes = nullptr;
+  obs::Counter* watchdog_timeouts = nullptr;
+  obs::Counter* rendezvous_broken = nullptr;
+  obs::HistogramMetric* straggler_seconds = nullptr;
+  obs::HistogramMetric* op_sim_seconds = nullptr;
+};
+
+WorkerContext::WorkerContext(Cluster* cluster, int rank)
+    : cluster_(cluster), rank_(rank) {}
+
+WorkerContext::~WorkerContext() = default;
 
 Cluster::Cluster(int num_workers, NetworkModel model)
     : num_workers_(num_workers),
@@ -32,6 +55,36 @@ void Cluster::InstallFaultPlan(const FaultPlan& plan) {
   }
 }
 
+void Cluster::AttachObserver(obs::RunObserver* observer) {
+  if constexpr (!obs::kObsEnabled) return;
+  observer_ = observer;
+  if (observer == nullptr) return;
+  for (auto& ctx : contexts_) ctx->AttachObs(observer);
+}
+
+void WorkerContext::AttachObs(obs::RunObserver* observer) {
+  trace_ = observer->trace_enabled() ? observer->trace().CreateBuffer(rank_)
+                                     : nullptr;
+  metrics_ = observer->metrics().CreateShard();
+  obs_handles_ = std::make_unique<ObsHandles>();
+  for (int op = 0; op < kNumCollectiveOps; ++op) {
+    std::string base = "comm.";
+    base += CollectiveOpToString(static_cast<CollectiveOp>(op));
+    obs_handles_->op_count[op] = metrics_->counter(base + ".ops");
+    obs_handles_->op_bytes_sent[op] = metrics_->counter(base + ".bytes_sent");
+    obs_handles_->op_bytes_received[op] =
+        metrics_->counter(base + ".bytes_received");
+  }
+  obs_handles_->retries = metrics_->counter("comm.retries");
+  obs_handles_->retransmitted_bytes =
+      metrics_->counter("comm.retransmitted_bytes");
+  obs_handles_->watchdog_timeouts = metrics_->counter("comm.watchdog_timeouts");
+  obs_handles_->rendezvous_broken = metrics_->counter("comm.rendezvous_broken");
+  obs_handles_->straggler_seconds =
+      metrics_->histogram("comm.straggler_seconds");
+  obs_handles_->op_sim_seconds = metrics_->histogram("comm.op_sim_seconds");
+}
+
 void Cluster::MarkDead(int rank) {
   std::lock_guard<std::mutex> lock(dead_mu_);
   dead_flags_[rank] = 1;
@@ -51,6 +104,7 @@ std::vector<std::exception_ptr> Cluster::RunInternal(
   std::vector<std::exception_ptr> errors(num_workers_);
   if (num_workers_ == 1) {
     try {
+      ScopedLogRank log_rank(0);
       fn(*contexts_[0]);
     } catch (...) {
       errors[0] = std::current_exception();
@@ -61,6 +115,7 @@ std::vector<std::exception_ptr> Cluster::RunInternal(
   threads.reserve(num_workers_);
   for (int r = 0; r < num_workers_; ++r) {
     threads.emplace_back([this, &fn, r, &errors] {
+      ScopedLogRank log_rank(r);
       try {
         fn(*contexts_[r]);
       } catch (...) {
@@ -125,11 +180,19 @@ void Cluster::ResetStats() {
 
 int WorkerContext::world_size() const { return cluster_->num_workers_; }
 
-void WorkerContext::Charge(uint64_t sent, uint64_t received) {
+void WorkerContext::Charge(CollectiveOp op, uint64_t sent, uint64_t received) {
   stats_.bytes_sent += sent;
   stats_.bytes_received += received;
   stats_.num_ops += 1;
   stats_.sim_seconds += cluster_->model_.OpSeconds(sent, received);
+  if constexpr (obs::kObsEnabled) {
+    if (obs_handles_ != nullptr) {
+      const int i = static_cast<int>(op);
+      obs_handles_->op_count[i]->Increment();
+      obs_handles_->op_bytes_sent[i]->Add(sent);
+      obs_handles_->op_bytes_received[i]->Add(received);
+    }
+  }
 }
 
 Status WorkerContext::Die(Status status) {
@@ -143,6 +206,13 @@ Status WorkerContext::Prepare(CollectiveOp op, FaultDecision* decision) {
   if (dead_) {
     return Status::Unavailable("worker " + std::to_string(rank_) +
                                " has failed");
+  }
+  if constexpr (obs::kObsEnabled) {
+    // Open the collective's span: ApplyFaults (the tail of every collective)
+    // closes it. Reads only; the accounting below is untouched.
+    op_sim_begin_ = stats_.sim_seconds;
+    op_bytes_begin_ = stats_.bytes_sent;
+    if (trace_ != nullptr) op_wall_begin_us_ = trace_->NowUs();
   }
   if (cluster_->injector_ != nullptr) {
     *decision = cluster_->injector_->OnCollective(rank_, op);
@@ -165,9 +235,11 @@ Status WorkerContext::Rendezvous(bool* serial) {
     case BarrierWait::kFollower:
       return Status::OK();
     case BarrierWait::kBroken:
+      if (obs_handles_ != nullptr) obs_handles_->rendezvous_broken->Increment();
       return Status::Unavailable("worker " + std::to_string(rank_) +
                                  ": rendezvous group broken by a failed peer");
     case BarrierWait::kTimeout:
+      if (obs_handles_ != nullptr) obs_handles_->watchdog_timeouts->Increment();
       return Status::DeadlineExceeded(
           "worker " + std::to_string(rank_) +
           ": collective watchdog expired waiting for peers");
@@ -181,7 +253,8 @@ bool WorkerContext::InstrumentRendezvous() {
   return result == BarrierWait::kSerial || result == BarrierWait::kFollower;
 }
 
-Status WorkerContext::ApplyFaults(const FaultDecision& decision, uint64_t sent,
+Status WorkerContext::ApplyFaults(CollectiveOp op,
+                                  const FaultDecision& decision, uint64_t sent,
                                   uint64_t received) {
   if (decision.delay_seconds > 0.0) {
     // Straggler: only this worker loses time; the cluster-level critical
@@ -189,7 +262,11 @@ Status WorkerContext::ApplyFaults(const FaultDecision& decision, uint64_t sent,
     // stall to the round as a whole, exactly like a real slow link.
     stats_.sim_seconds += decision.delay_seconds;
     stats_.fault_delay_seconds += decision.delay_seconds;
+    if (obs_handles_ != nullptr) {
+      obs_handles_->straggler_seconds->Observe(decision.delay_seconds);
+    }
   }
+  Status status = Status::OK();
   if (decision.failed_attempts > 0) {
     const RetryPolicy& retry = cluster_->injector_->retry_policy();
     const int attempts = std::min(decision.failed_attempts,
@@ -206,13 +283,46 @@ Status WorkerContext::ApplyFaults(const FaultDecision& decision, uint64_t sent,
                                                                 received);
       backoff *= retry.backoff_multiplier;
     }
+    if (obs_handles_ != nullptr && attempts > 0) {
+      const int i = static_cast<int>(op);
+      const uint64_t n = static_cast<uint64_t>(attempts);
+      obs_handles_->retries->Add(n);
+      obs_handles_->retransmitted_bytes->Add(
+          n * (sent > received ? sent : received));
+      // Mirror the recharged volume into the per-op byte counters so the
+      // registry's per-op sums keep adding up to stats().bytes_sent /
+      // bytes_received exactly.
+      obs_handles_->op_bytes_sent[i]->Add(n * sent);
+      obs_handles_->op_bytes_received[i]->Add(n * received);
+    }
     if (decision.failed_attempts > retry.max_attempts) {
-      return Die(Status::Unavailable(
+      status = Die(Status::Unavailable(
           "worker " + std::to_string(rank_) + ": transfer still corrupt after " +
           std::to_string(retry.max_attempts) + " attempts"));
     }
   }
-  return Status::OK();
+  // Every collective — including one that just killed this worker — ends
+  // here, so this is the single place its span gets closed.
+  if constexpr (obs::kObsEnabled) {
+    if (obs_handles_ != nullptr) {
+      obs_handles_->op_sim_seconds->Observe(stats_.sim_seconds -
+                                            op_sim_begin_);
+    }
+    if (trace_ != nullptr) {
+      obs::TraceEvent ev;
+      ev.name = CollectiveOpToString(op);
+      ev.category = "collective";
+      ev.tree = trace_->tree();
+      ev.layer = trace_->layer();
+      ev.wall_begin_us = op_wall_begin_us_;
+      ev.wall_end_us = trace_->NowUs();
+      ev.sim_begin_s = op_sim_begin_;
+      ev.sim_end_s = stats_.sim_seconds;
+      ev.bytes = stats_.bytes_sent - op_bytes_begin_;
+      trace_->Record(ev);
+    }
+  }
+  return status;
 }
 
 Status WorkerContext::Barrier() {
@@ -222,7 +332,7 @@ Status WorkerContext::Barrier() {
     bool serial = false;
     VERO_RETURN_IF_ERROR(Rendezvous(&serial));
   }
-  return ApplyFaults(decision, 0, 0);
+  return ApplyFaults(CollectiveOp::kBarrier, decision, 0, 0);
 }
 
 double WorkerContext::InstrumentMax(double value) {
@@ -263,7 +373,7 @@ Status WorkerContext::AllReduceSum(std::span<double> data) {
   FaultDecision decision;
   VERO_RETURN_IF_ERROR(Prepare(CollectiveOp::kAllReduceSum, &decision));
   const int w = world_size();
-  if (w == 1) return ApplyFaults(decision, 0, 0);
+  if (w == 1) return ApplyFaults(CollectiveOp::kAllReduceSum, decision, 0, 0);
   cluster_->mutable_ptrs_[rank_] = data.data();
   cluster_->sizes_[rank_] = data.size();
   bool serial = false;
@@ -287,15 +397,15 @@ Status WorkerContext::AllReduceSum(std::span<double> data) {
   // twice, minus its own 1/W share, in 2*(W-1) pipelined steps.
   const uint64_t bytes = data.size() * sizeof(double);
   const uint64_t wire = 2 * bytes * (w - 1) / w;
-  Charge(wire, wire);
-  return ApplyFaults(decision, wire, wire);
+  Charge(CollectiveOp::kAllReduceSum, wire, wire);
+  return ApplyFaults(CollectiveOp::kAllReduceSum, decision, wire, wire);
 }
 
 Status WorkerContext::ReduceScatterSum(std::span<double> data) {
   FaultDecision decision;
   VERO_RETURN_IF_ERROR(Prepare(CollectiveOp::kReduceScatterSum, &decision));
   const int w = world_size();
-  if (w == 1) return ApplyFaults(decision, 0, 0);
+  if (w == 1) return ApplyFaults(CollectiveOp::kReduceScatterSum, decision, 0, 0);
   cluster_->mutable_ptrs_[rank_] = data.data();
   cluster_->sizes_[rank_] = data.size();
   bool serial = false;
@@ -319,8 +429,8 @@ Status WorkerContext::ReduceScatterSum(std::span<double> data) {
   // Ring reduce-scatter volume: (W-1)/W of the buffer per worker.
   const uint64_t bytes = data.size() * sizeof(double);
   const uint64_t wire = bytes * (w - 1) / w;
-  Charge(wire, wire);
-  return ApplyFaults(decision, wire, wire);
+  Charge(CollectiveOp::kReduceScatterSum, wire, wire);
+  return ApplyFaults(CollectiveOp::kReduceScatterSum, decision, wire, wire);
 }
 
 Status WorkerContext::AllGather(const std::vector<uint8_t>& mine,
@@ -331,7 +441,7 @@ Status WorkerContext::AllGather(const std::vector<uint8_t>& mine,
   all->assign(w, {});
   if (w == 1) {
     (*all)[0] = mine;
-    return ApplyFaults(decision, 0, 0);
+    return ApplyFaults(CollectiveOp::kAllGather, decision, 0, 0);
   }
   cluster_->ptrs_[rank_] = &mine;
   bool serial = false;
@@ -345,15 +455,15 @@ Status WorkerContext::AllGather(const std::vector<uint8_t>& mine,
   }
   VERO_RETURN_IF_ERROR(Rendezvous(&serial));
   const uint64_t sent = mine.size() * (w - 1);
-  Charge(sent, received);
-  return ApplyFaults(decision, sent, received);
+  Charge(CollectiveOp::kAllGather, sent, received);
+  return ApplyFaults(CollectiveOp::kAllGather, decision, sent, received);
 }
 
 Status WorkerContext::Broadcast(std::vector<uint8_t>* data, int root) {
   FaultDecision decision;
   VERO_RETURN_IF_ERROR(Prepare(CollectiveOp::kBroadcast, &decision));
   const int w = world_size();
-  if (w == 1) return ApplyFaults(decision, 0, 0);
+  if (w == 1) return ApplyFaults(CollectiveOp::kBroadcast, decision, 0, 0);
   if (rank_ == root) cluster_->ptrs_[root] = data;
   bool serial = false;
   VERO_RETURN_IF_ERROR(Rendezvous(&serial));
@@ -367,8 +477,8 @@ Status WorkerContext::Broadcast(std::vector<uint8_t>* data, int root) {
     received = src->size();
   }
   VERO_RETURN_IF_ERROR(Rendezvous(&serial));
-  Charge(sent, received);
-  return ApplyFaults(decision, sent, received);
+  Charge(CollectiveOp::kBroadcast, sent, received);
+  return ApplyFaults(CollectiveOp::kBroadcast, decision, sent, received);
 }
 
 Status WorkerContext::Gather(const std::vector<uint8_t>& mine, int root,
@@ -379,7 +489,7 @@ Status WorkerContext::Gather(const std::vector<uint8_t>& mine, int root,
   all->clear();
   if (w == 1) {
     all->push_back(mine);
-    return ApplyFaults(decision, 0, 0);
+    return ApplyFaults(CollectiveOp::kGather, decision, 0, 0);
   }
   cluster_->ptrs_[rank_] = &mine;
   bool serial = false;
@@ -397,8 +507,8 @@ Status WorkerContext::Gather(const std::vector<uint8_t>& mine, int root,
     sent = mine.size();
   }
   VERO_RETURN_IF_ERROR(Rendezvous(&serial));
-  Charge(sent, received);
-  return ApplyFaults(decision, sent, received);
+  Charge(CollectiveOp::kGather, sent, received);
+  return ApplyFaults(CollectiveOp::kGather, decision, sent, received);
 }
 
 Status WorkerContext::AllToAll(std::vector<std::vector<uint8_t>> to_each,
@@ -410,7 +520,7 @@ Status WorkerContext::AllToAll(std::vector<std::vector<uint8_t>> to_each,
   from_each->assign(w, {});
   if (w == 1) {
     (*from_each)[0] = std::move(to_each[0]);
-    return ApplyFaults(decision, 0, 0);
+    return ApplyFaults(CollectiveOp::kAllToAll, decision, 0, 0);
   }
   cluster_->ptrs_[rank_] = &to_each;
   bool serial = false;
@@ -426,8 +536,8 @@ Status WorkerContext::AllToAll(std::vector<std::vector<uint8_t>> to_each,
     if (r != rank_) sent += to_each[r].size();
   }
   VERO_RETURN_IF_ERROR(Rendezvous(&serial));
-  Charge(sent, received);
-  return ApplyFaults(decision, sent, received);
+  Charge(CollectiveOp::kAllToAll, sent, received);
+  return ApplyFaults(CollectiveOp::kAllToAll, decision, sent, received);
 }
 
 }  // namespace vero

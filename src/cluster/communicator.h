@@ -18,6 +18,12 @@
 
 namespace vero {
 
+namespace obs {
+class MetricsShard;
+class RunObserver;
+class TraceBuffer;
+}  // namespace obs
+
 class Cluster;
 
 /// Exception used to unwind an SPMD function when a collective fails.
@@ -63,6 +69,9 @@ class ClusterAbort : public std::exception {
 /// all further collectives on this cluster fail fast.
 class WorkerContext {
  public:
+  // Out-of-line: the unique_ptr<ObsHandles> member needs the complete type.
+  ~WorkerContext();
+
   int rank() const { return rank_; }
   int world_size() const;
 
@@ -114,15 +123,27 @@ class WorkerContext {
   /// Communication counters accumulated by this worker so far.
   const CommStats& stats() const { return stats_; }
 
+  /// Observability handles, null unless an observer is attached to the
+  /// cluster (and tracing enabled, for the buffer). Trainers record phase
+  /// spans into the buffer and custom metrics into the shard; the
+  /// communicator itself records per-collective spans and counters.
+  obs::TraceBuffer* trace_buffer() const { return trace_; }
+  obs::MetricsShard* metrics_shard() const { return metrics_; }
+
   /// True once this worker has failed (injected crash or retry exhaustion).
   /// All subsequent collectives return kUnavailable without rendezvousing.
   bool failed() const { return dead_; }
 
  private:
   friend class Cluster;
-  WorkerContext(Cluster* cluster, int rank) : cluster_(cluster), rank_(rank) {}
+  WorkerContext(Cluster* cluster, int rank);
 
-  void Charge(uint64_t sent, uint64_t received);
+  /// Connects this worker to the run's observer: creates its trace buffer /
+  /// metrics shard and pre-resolves the per-collective-op counter handles so
+  /// the hot path never does a name lookup.
+  void AttachObs(obs::RunObserver* observer);
+
+  void Charge(CollectiveOp op, uint64_t sent, uint64_t received);
 
   /// Consults the fault injector (if any) at the top of a collective.
   /// Returns non-OK if this worker is already dead or crashes now.
@@ -140,9 +161,10 @@ class WorkerContext {
   /// Applies the post-transfer part of a fault decision: straggler delay and
   /// detected-bad-transfer retries (each retry recharges the op's bytes and
   /// backs off exponentially). Escalates to worker failure when the decision
-  /// exceeds the plan's retry budget. No-op for the default decision.
-  Status ApplyFaults(const FaultDecision& decision, uint64_t sent,
-                     uint64_t received);
+  /// exceeds the plan's retry budget. Also closes the collective's trace
+  /// span (every successful collective ends here).
+  Status ApplyFaults(CollectiveOp op, const FaultDecision& decision,
+                     uint64_t sent, uint64_t received);
 
   /// Marks this worker dead, records it with the cluster, and breaks the
   /// rendezvous group so peers fail fast instead of hanging.
@@ -152,6 +174,17 @@ class WorkerContext {
   int rank_;
   bool dead_ = false;
   CommStats stats_;
+
+  /// Pre-resolved metric handles (one lookup at attach time, plain adds on
+  /// the hot path). Indexed by CollectiveOp value for the per-op counters.
+  struct ObsHandles;
+  obs::TraceBuffer* trace_ = nullptr;
+  obs::MetricsShard* metrics_ = nullptr;
+  std::unique_ptr<ObsHandles> obs_handles_;
+  /// Span-in-flight state set by Prepare, consumed by ApplyFaults.
+  double op_sim_begin_ = 0.0;
+  int64_t op_wall_begin_us_ = 0;
+  uint64_t op_bytes_begin_ = 0;
 };
 
 /// Simulated W-worker cluster. Each Run() spawns one thread per worker and
@@ -183,6 +216,16 @@ class Cluster {
   /// An empty plan uninstalls (the fault hooks are then zero-cost and the
   /// byte/time accounting is bit-identical to a cluster without faults).
   void InstallFaultPlan(const FaultPlan& plan);
+
+  /// Attaches a run observer: every worker gets a metrics shard (and, when
+  /// the observer has tracing enabled, a trace buffer), and the collectives
+  /// start recording per-op spans / counters. Must be called before Run;
+  /// the observer must outlive the cluster. Recording never changes the
+  /// byte / simulated-time accounting, and a cluster without an observer is
+  /// bit-identical to one that never had the hooks. Compiled to a no-op
+  /// under VERO_OBS_DISABLED.
+  void AttachObserver(obs::RunObserver* observer);
+  obs::RunObserver* observer() const { return observer_; }
 
   /// Watchdog for collective rendezvous: a worker waiting longer than this
   /// for its peers fails with kDeadlineExceeded (and breaks the group).
@@ -218,6 +261,7 @@ class Cluster {
   const NetworkModel model_;
   std::vector<std::unique_ptr<WorkerContext>> contexts_;
   std::unique_ptr<FaultInjector> injector_;
+  obs::RunObserver* observer_ = nullptr;
   double collective_timeout_seconds_ = 60.0;
 
   mutable std::mutex dead_mu_;

@@ -1,13 +1,15 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
-#include <mutex>
 
 namespace vero {
 namespace {
 
 std::atomic<int> g_min_level{-1};  // -1 means "not initialized yet".
+
+thread_local int t_log_rank = -1;
 
 int InitialLevel() {
   const char* env = std::getenv("VERO_LOG_LEVEL");
@@ -34,11 +36,6 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-std::mutex& EmitMutex() {
-  static std::mutex m;
-  return m;
-}
-
 }  // namespace
 
 LogLevel MinLogLevel() {
@@ -54,21 +51,46 @@ void SetMinLogLevel(LogLevel level) {
   g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+void SetThreadLogRank(int rank) { t_log_rank = rank; }
+
+int ThreadLogRank() { return t_log_rank; }
+
 namespace internal {
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
+std::string FormatLogPrefix(LogLevel level, const char* file, int line,
+                            int rank) {
   const char* base = file;
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  std::string prefix = "[";
+  prefix += LevelName(level);
+  if (rank >= 0) {
+    prefix += " rk";
+    prefix += std::to_string(rank);
+  }
+  prefix += " ";
+  prefix += base;
+  prefix += ":";
+  prefix += std::to_string(line);
+  prefix += "] ";
+  return prefix;
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << FormatLogPrefix(level, file, line, t_log_rank);
 }
 
 LogMessage::~LogMessage() {
   if (level_ >= MinLogLevel() || level_ == LogLevel::kFatal) {
-    std::lock_guard<std::mutex> lock(EmitMutex());
-    std::cerr << stream_.str() << std::endl;
+    // One fwrite per line: stdio locks the stream internally, so concurrent
+    // worker threads cannot interleave partial lines the way two
+    // `stream << text << '\n'` sequences can.
+    std::string line = stream_.str();
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

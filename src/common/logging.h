@@ -17,7 +17,35 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 
 LogLevel MinLogLevel();
 void SetMinLogLevel(LogLevel level);
 
+/// Worker-rank prefix for log lines emitted from cluster worker threads.
+/// Cluster::Run tags each worker thread with its rank; every VERO_LOG line
+/// from that thread then carries an "rk<rank>" marker so interleaved
+/// multi-worker output stays attributable. -1 (the default) means "no rank".
+void SetThreadLogRank(int rank);
+int ThreadLogRank();
+
+/// Sets the calling thread's log rank for the current scope and restores
+/// the previous value on destruction.
+class ScopedLogRank {
+ public:
+  explicit ScopedLogRank(int rank) : previous_(ThreadLogRank()) {
+    SetThreadLogRank(rank);
+  }
+  ~ScopedLogRank() { SetThreadLogRank(previous_); }
+
+  ScopedLogRank(const ScopedLogRank&) = delete;
+  ScopedLogRank& operator=(const ScopedLogRank&) = delete;
+
+ private:
+  int previous_;
+};
+
 namespace internal {
+
+/// Builds the "[<level> rk<rank> <file>:<line>] " line prefix (rank segment
+/// omitted when the thread has no rank). Exposed for tests.
+std::string FormatLogPrefix(LogLevel level, const char* file, int line,
+                            int rank);
 
 /// Accumulates one log line and emits it (to stderr) on destruction.
 /// kFatal aborts the process after emitting.

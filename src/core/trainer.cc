@@ -15,6 +15,7 @@
 #include "core/loss.h"
 #include "core/node_indexer.h"
 #include "core/split.h"
+#include "obs/trace.h"
 #include "sketch/candidate_splits.h"
 
 namespace vero {
@@ -297,7 +298,11 @@ StatusOr<GbdtModel> Trainer::Train(const Dataset& train, const Dataset* valid,
   uint32_t rounds_since_best = 0;
 
   for (uint32_t t = 0; t < params_.num_trees; ++t) {
-    loss->ComputeGradients(train.labels(), margins, 0, n, &grads);
+    if (trace_ != nullptr) trace_->SetContext(static_cast<int32_t>(t), -1);
+    {
+      obs::PhaseSpan span(trace_, "gradient");
+      loss->ComputeGradients(train.labels(), margins, 0, n, &grads);
+    }
 
     // ---- Sampling ------------------------------------------------------
     if (row_sampling) {
@@ -329,9 +334,12 @@ StatusOr<GbdtModel> Trainer::Train(const Dataset& train, const Dataset* valid,
     TreeGrower grower(params_, store, splits, all_features, grads,
                       col_sampling ? &mask : nullptr, &pool, &partition,
                       &report_);
+    obs::PhaseSpan grow_span(trace_, "grow-tree");
     Tree tree = grower.Grow(root_stats);
+    grow_span.Close();
 
     // ---- Update margins --------------------------------------------------
+    obs::PhaseSpan margin_span(trace_, "margin-update");
     if (row_sampling) {
       // Out-of-sample rows must be routed through the finished tree.
       const CsrMatrix& m = train.matrix();
@@ -353,6 +361,7 @@ StatusOr<GbdtModel> Trainer::Train(const Dataset& train, const Dataset* valid,
         }
       }
     }
+    margin_span.Close();
     model.AddTree(std::move(tree));
 
     // ---- Reporting / early stopping --------------------------------------
@@ -399,6 +408,7 @@ StatusOr<GbdtModel> Trainer::Train(const Dataset& train, const Dataset* valid,
     }
   }
 
+  if (trace_ != nullptr) trace_->SetContext(-1, -1);
   report_.total_seconds = total_timer.Seconds();
   report_.peak_histogram_bytes = pool.PeakBytes();
   return model;

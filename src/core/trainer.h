@@ -13,6 +13,10 @@
 
 namespace vero {
 
+namespace obs {
+class TraceBuffer;
+}  // namespace obs
+
 /// Per-boosting-round progress, fed to the iteration callback (this is what
 /// the convergence-curve benches record, mirroring Figure 11/12).
 struct IterationStats {
@@ -63,9 +67,15 @@ class Trainer {
   /// Cost counters of the most recent Train call.
   const TrainReport& report() const { return report_; }
 
+  /// Optional: record per-round trace spans (gradient / grow-tree /
+  /// margin-update) into `buffer`. The buffer must outlive Train; null (the
+  /// default) records nothing.
+  void set_trace_buffer(obs::TraceBuffer* buffer) { trace_ = buffer; }
+
  private:
   GbdtParams params_;
   TrainReport report_;
+  obs::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace vero

@@ -1,0 +1,128 @@
+#ifndef VERO_OBS_JSON_WRITER_H_
+#define VERO_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vero {
+namespace obs {
+
+/// Minimal streaming JSON writer used by the trace / report exporters.
+/// Handles comma placement and string escaping; the caller is responsible
+/// for balanced Begin/End calls. Doubles are emitted with %.17g so values
+/// round-trip exactly (the report schema promises stable numbers).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject() {
+    Separate();
+    os_ << '{';
+    stack_.push_back(false);
+  }
+  void EndObject() {
+    stack_.pop_back();
+    os_ << '}';
+  }
+  void BeginArray() {
+    Separate();
+    os_ << '[';
+    stack_.push_back(false);
+  }
+  void EndArray() {
+    stack_.pop_back();
+    os_ << ']';
+  }
+
+  void Key(std::string_view key) {
+    Separate();
+    WriteEscaped(key);
+    os_ << ':';
+    key_pending_ = true;
+  }
+
+  void String(std::string_view value) {
+    Separate();
+    WriteEscaped(value);
+  }
+  void Bool(bool value) {
+    Separate();
+    os_ << (value ? "true" : "false");
+  }
+  void Int(int64_t value) {
+    Separate();
+    os_ << value;
+  }
+  void UInt(uint64_t value) {
+    Separate();
+    os_ << value;
+  }
+  void Double(double value) {
+    Separate();
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    os_ << buf;
+  }
+
+ private:
+  /// Emits the comma before a new value/key when needed and marks the
+  /// enclosing container as non-empty.
+  void Separate() {
+    if (key_pending_) {
+      key_pending_ = false;
+      return;  // Value directly follows its key.
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) os_ << ',';
+      stack_.back() = true;
+    }
+  }
+
+  void WriteEscaped(std::string_view s) {
+    os_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          os_ << "\\\"";
+          break;
+        case '\\':
+          os_ << "\\\\";
+          break;
+        case '\n':
+          os_ << "\\n";
+          break;
+        case '\r':
+          os_ << "\\r";
+          break;
+        case '\t':
+          os_ << "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<bool> stack_;  // Per open container: "has emitted an element".
+  bool key_pending_ = false;
+};
+
+}  // namespace obs
+}  // namespace vero
+
+#endif  // VERO_OBS_JSON_WRITER_H_

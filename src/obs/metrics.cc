@@ -1,0 +1,143 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vero {
+namespace obs {
+
+const char* MetricKindToString(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+const MetricsSnapshot::Entry* MetricsSnapshot::Find(
+    std::string_view name) const {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const Entry& e, std::string_view n) { return e.name < n; });
+  if (it == entries.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  const Entry* entry = Find(name);
+  return entry != nullptr && entry->kind == MetricKind::kCounter
+             ? entry->counter
+             : 0;
+}
+
+MetricsShard::Cell* MetricsShard::GetOrCreate(const std::string& name,
+                                              MetricKind kind) {
+  auto it = cells_.find(name);
+  if (it == cells_.end()) {
+    it = cells_.emplace(name, std::make_unique<Cell>(Cell{kind, {}, {}, {}}))
+             .first;
+  }
+  VERO_CHECK(it->second->kind == kind)
+      << "metric '" << name << "' registered as "
+      << MetricKindToString(it->second->kind) << ", requested as "
+      << MetricKindToString(kind);
+  return it->second.get();
+}
+
+Counter* MetricsShard::counter(const std::string& name) {
+  return &GetOrCreate(name, MetricKind::kCounter)->counter;
+}
+
+Gauge* MetricsShard::gauge(const std::string& name) {
+  return &GetOrCreate(name, MetricKind::kGauge)->gauge;
+}
+
+HistogramMetric* MetricsShard::histogram(const std::string& name) {
+  return &GetOrCreate(name, MetricKind::kHistogram)->histogram;
+}
+
+MetricsShard* MetricsRegistry::CreateShard() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.emplace_back(new MetricsShard());
+  return shards_.back().get();
+}
+
+MetricsSnapshot MetricsRegistry::Merged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Keyed map keeps the snapshot sorted by name, the order the report
+  // schema promises.
+  std::map<std::string, MetricsSnapshot::Entry> merged;
+  for (const auto& shard : shards_) {
+    for (const auto& [name, cell] : shard->cells_) {
+      auto it = merged.find(name);
+      if (it == merged.end()) {
+        MetricsSnapshot::Entry entry;
+        entry.name = name;
+        entry.kind = cell->kind;
+        if (cell->kind == MetricKind::kHistogram) {
+          entry.min = std::numeric_limits<double>::infinity();
+          entry.max = -std::numeric_limits<double>::infinity();
+        }
+        it = merged.emplace(name, std::move(entry)).first;
+      }
+      MetricsSnapshot::Entry& entry = it->second;
+      VERO_CHECK(entry.kind == cell->kind)
+          << "metric '" << name << "' has kind "
+          << MetricKindToString(cell->kind) << " in one shard and "
+          << MetricKindToString(entry.kind) << " in another";
+      switch (cell->kind) {
+        case MetricKind::kCounter:
+          entry.counter += cell->counter.value();
+          break;
+        case MetricKind::kGauge:
+          if (cell->gauge.is_set()) {
+            entry.gauge = entry.count == 0
+                              ? cell->gauge.value()
+                              : std::max(entry.gauge, cell->gauge.value());
+            entry.count = 1;  // Reused as "any shard set this gauge".
+          }
+          break;
+        case MetricKind::kHistogram:
+          entry.count += cell->histogram.count();
+          entry.sum += cell->histogram.sum();
+          if (cell->histogram.count() > 0) {
+            entry.min = std::min(entry.min, cell->histogram.min());
+            entry.max = std::max(entry.max, cell->histogram.max());
+          }
+          break;
+      }
+    }
+  }
+  MetricsSnapshot snapshot;
+  snapshot.entries.reserve(merged.size());
+  for (auto& [name, entry] : merged) {
+    if (entry.kind == MetricKind::kGauge) {
+      entry.count = 0;  // Internal "set" marker, not part of the snapshot.
+    }
+    if (entry.kind == MetricKind::kHistogram && entry.count == 0) {
+      entry.min = 0.0;
+      entry.max = 0.0;
+    }
+    snapshot.entries.push_back(std::move(entry));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    for (const auto& [name, cell] : shard->cells_) {
+      cell->counter.Reset();
+      cell->gauge.Reset();
+      cell->histogram.Reset();
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace vero

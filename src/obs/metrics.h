@@ -1,0 +1,161 @@
+#ifndef VERO_OBS_METRICS_H_
+#define VERO_OBS_METRICS_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vero {
+namespace obs {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* MetricKindToString(MetricKind kind);
+
+/// Monotonic event / byte count. Shard-local, so Add is a plain integer add.
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_ += delta; }
+  void Increment() { ++value_; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Point-in-time level. Merging across shards keeps the maximum, which is
+/// the cluster-level semantics for peaks (histogram-pool high-water mark,
+/// stored data bytes).
+class Gauge {
+ public:
+  void Set(double value) {
+    value_ = value;
+    set_ = true;
+  }
+  void SetMax(double value) {
+    if (!set_ || value > value_) Set(value);
+  }
+  double value() const { return value_; }
+  bool is_set() const { return set_; }
+  void Reset() {
+    value_ = 0.0;
+    set_ = false;
+  }
+
+ private:
+  double value_ = 0.0;
+  bool set_ = false;
+};
+
+/// Distribution summary (count / sum / min / max). Used for durations —
+/// checkpoint latency, straggler delays — where both the total and the
+/// extremes matter.
+class HistogramMetric {
+ public:
+  void Observe(double value) {
+    ++count_;
+    sum_ += value;
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  void Reset() {
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+  }
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Point-in-time view of every metric, merged across shards and sorted by
+/// name (the report JSON schema promises that ordering).
+struct MetricsSnapshot {
+  struct Entry {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    uint64_t counter = 0;  ///< kCounter: summed value.
+    double gauge = 0.0;    ///< kGauge: max across shards.
+    // kHistogram: merged distribution.
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  std::vector<Entry> entries;
+
+  const Entry* Find(std::string_view name) const;
+  /// Convenience: counter value by name (0 when absent).
+  uint64_t CounterValue(std::string_view name) const;
+};
+
+/// One worker's private metric cells. Lookups get-or-create by name; the
+/// returned typed handles are stable for the shard's lifetime, so hot paths
+/// resolve a handle once and then pay a single add per update with no
+/// locking (each shard has exactly one writer thread).
+class MetricsShard {
+ public:
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  HistogramMetric* histogram(const std::string& name);
+
+ private:
+  friend class MetricsRegistry;
+
+  struct Cell {
+    MetricKind kind;
+    Counter counter;
+    Gauge gauge;
+    HistogramMetric histogram;
+  };
+
+  Cell* GetOrCreate(const std::string& name, MetricKind kind);
+
+  // std::map keeps per-shard iteration order deterministic for merging.
+  std::map<std::string, std::unique_ptr<Cell>> cells_;
+};
+
+/// Run-level registry: hands out per-worker shards during setup (locked,
+/// cold) and merges them into a snapshot once the run is quiescent.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers a new single-writer shard; the pointer stays valid for the
+  /// registry's lifetime.
+  MetricsShard* CreateShard();
+
+  /// Merged view of all shards: counters sum, gauges keep the max, and
+  /// histograms combine count/sum/min/max. Call only when no worker thread
+  /// is writing.
+  MetricsSnapshot Merged() const;
+
+  /// Zeroes every metric in every shard (handles stay valid).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<MetricsShard>> shards_;
+};
+
+}  // namespace obs
+}  // namespace vero
+
+#endif  // VERO_OBS_METRICS_H_

@@ -1,0 +1,140 @@
+#include "obs/report.h"
+
+#include <sstream>
+
+#include "obs/json_writer.h"
+
+namespace vero {
+namespace obs {
+
+TraceBuffer* RunObserver::driver_buffer() {
+  if (!trace_enabled()) return nullptr;
+  std::lock_guard<std::mutex> lock(driver_mu_);
+  if (driver_buffer_ == nullptr) {
+    driver_buffer_ = trace_.CreateBuffer(/*rank=*/-1);
+  }
+  return driver_buffer_;
+}
+
+MetricsShard* RunObserver::driver_shard() {
+  std::lock_guard<std::mutex> lock(driver_mu_);
+  if (driver_shard_ == nullptr) {
+    driver_shard_ = metrics_.CreateShard();
+  }
+  return driver_shard_;
+}
+
+namespace {
+
+void AppendMetrics(JsonWriter* w, const MetricsSnapshot& snapshot) {
+  w->BeginObject();
+  for (const MetricsSnapshot::Entry& entry : snapshot.entries) {
+    w->Key(entry.name);
+    w->BeginObject();
+    w->Key("kind");
+    w->String(MetricKindToString(entry.kind));
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        w->Key("value");
+        w->UInt(entry.counter);
+        break;
+      case MetricKind::kGauge:
+        w->Key("value");
+        w->Double(entry.gauge);
+        break;
+      case MetricKind::kHistogram:
+        w->Key("count");
+        w->UInt(entry.count);
+        w->Key("sum");
+        w->Double(entry.sum);
+        w->Key("min");
+        w->Double(entry.min);
+        w->Key("max");
+        w->Double(entry.max);
+        break;
+    }
+    w->EndObject();
+  }
+  w->EndObject();
+}
+
+}  // namespace
+
+void RunReport::AppendJson(std::ostream& os) const {
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("schema");
+  w.String("vero.run_report.v1");
+  w.Key("label");
+  w.String(label);
+  w.Key("quadrant");
+  w.String(quadrant);
+  w.Key("workers");
+  w.Int(workers);
+  w.Key("trees");
+  w.UInt(trees);
+  w.Key("train_seconds");
+  w.Double(train_seconds);
+  w.Key("comp_seconds");
+  w.Double(comp_seconds);
+  w.Key("comm_seconds");
+  w.Double(comm_seconds);
+  w.Key("setup_seconds");
+  w.Double(setup_seconds);
+  w.Key("phases");
+  w.BeginObject();
+  w.Key("gradient");
+  w.Double(phases.gradient);
+  w.Key("hist");
+  w.Double(phases.hist);
+  w.Key("find_split");
+  w.Double(phases.find_split);
+  w.Key("node_split");
+  w.Double(phases.node_split);
+  w.Key("other");
+  w.Double(phases.other);
+  w.Key("comm");
+  w.Double(phases.comm);
+  w.EndObject();
+  w.Key("train_bytes_sent");
+  w.UInt(train_bytes_sent);
+  w.Key("peak_histogram_bytes");
+  w.UInt(peak_histogram_bytes);
+  w.Key("data_bytes");
+  w.UInt(data_bytes);
+  w.Key("wasted_bytes");
+  w.UInt(wasted_bytes);
+  w.Key("wasted_seconds");
+  w.Double(wasted_seconds);
+  w.Key("recovery");
+  w.BeginObject();
+  w.Key("failures_observed");
+  w.Int(recovery.failures_observed);
+  w.Key("recovery_attempts");
+  w.Int(recovery.recovery_attempts);
+  w.Key("trees_recovered");
+  w.UInt(recovery.trees_recovered);
+  w.Key("trees_retrained");
+  w.UInt(recovery.trees_retrained);
+  w.Key("final_world_size");
+  w.Int(recovery.final_world_size);
+  w.Key("recovery_seconds");
+  w.Double(recovery.recovery_seconds);
+  w.Key("recovery_bytes");
+  w.UInt(recovery.recovery_bytes);
+  w.EndObject();
+  w.Key("metrics");
+  AppendMetrics(&w, metrics);
+  w.Key("trace_path");
+  w.String(trace_path);
+  w.EndObject();
+}
+
+std::string RunReport::ToJson() const {
+  std::ostringstream os;
+  AppendJson(os);
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace vero

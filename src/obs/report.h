@@ -1,0 +1,117 @@
+#ifndef VERO_OBS_REPORT_H_
+#define VERO_OBS_REPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vero {
+namespace obs {
+
+/// What to collect for one run. Metrics are cheap (per-worker counter adds)
+/// and on by default whenever an observer is attached; tracing buffers every
+/// phase / collective span and is opt-in.
+struct ObsOptions {
+  bool trace = false;
+};
+
+/// Bundles the per-run trace recorder and metrics registry. Owned by the
+/// caller (bench harness / test) and attached to one or more Clusters —
+/// recovery clusters re-attach the same observer, so a run's observability
+/// survives worker failures.
+class RunObserver {
+ public:
+  explicit RunObserver(ObsOptions options = {}) : options_(options) {}
+
+  RunObserver(const RunObserver&) = delete;
+  RunObserver& operator=(const RunObserver&) = delete;
+
+  const ObsOptions& options() const { return options_; }
+  bool trace_enabled() const { return kObsEnabled && options_.trace; }
+
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Buffer / shard for the driver thread (the code orchestrating attempts
+  /// outside any worker), created lazily and reused.
+  TraceBuffer* driver_buffer();
+  MetricsShard* driver_shard();
+
+ private:
+  ObsOptions options_;
+  TraceRecorder trace_;
+  MetricsRegistry metrics_;
+  std::mutex driver_mu_;
+  TraceBuffer* driver_buffer_ = nullptr;
+  MetricsShard* driver_shard_ = nullptr;
+};
+
+/// Machine-readable summary of one distributed training run: headline cost
+/// numbers, per-phase totals, goodput, recovery cost, and the merged metric
+/// snapshot. Serialized with the stable "vero.run_report.v1" JSON schema
+/// (documented in docs/observability.md); benches collect one per run under
+/// --report so figure/table outputs are scriptable.
+struct RunReport {
+  bool enabled = false;
+
+  std::string label;     ///< Harness-assigned run id (may be empty).
+  std::string quadrant;  ///< QuadrantToString of the trained quadrant.
+  int workers = 0;       ///< Initial cluster size.
+  uint32_t trees = 0;    ///< Trees in the final model.
+
+  /// Modeled seconds (sum over trees of max-comp + max-comm).
+  double train_seconds = 0.0;
+  double comp_seconds = 0.0;
+  double comm_seconds = 0.0;
+  double setup_seconds = 0.0;
+
+  /// Per-phase totals, summed over trees of the cluster-level (max across
+  /// workers) per-round cost — the Fig. 10 decomposition.
+  struct Phases {
+    double gradient = 0.0;
+    double hist = 0.0;
+    double find_split = 0.0;
+    double node_split = 0.0;
+    double other = 0.0;
+    double comm = 0.0;
+  } phases;
+
+  uint64_t train_bytes_sent = 0;
+  uint64_t peak_histogram_bytes = 0;
+  uint64_t data_bytes = 0;
+
+  /// Goodput: work thrown away by failed attempts (zero on clean runs).
+  uint64_t wasted_bytes = 0;
+  double wasted_seconds = 0.0;
+
+  struct Recovery {
+    int failures_observed = 0;
+    int recovery_attempts = 0;
+    uint32_t trees_recovered = 0;
+    uint32_t trees_retrained = 0;
+    int final_world_size = 0;
+    double recovery_seconds = 0.0;
+    uint64_t recovery_bytes = 0;
+  } recovery;
+
+  MetricsSnapshot metrics;
+
+  /// Where the run's Chrome trace JSON was written ("" = not exported).
+  std::string trace_path;
+
+  void AppendJson(std::ostream& os) const;
+  std::string ToJson() const;
+};
+
+}  // namespace obs
+}  // namespace vero
+
+#endif  // VERO_OBS_REPORT_H_

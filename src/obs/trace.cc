@@ -1,0 +1,99 @@
+#include "obs/trace.h"
+
+#include <fstream>
+
+#include "obs/json_writer.h"
+
+namespace vero {
+namespace obs {
+
+TraceBuffer* TraceRecorder::CreateBuffer(int rank) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.emplace_back(new TraceBuffer(this, rank));
+  return buffers_.back().get();
+}
+
+std::vector<TraceEvent> TraceRecorder::MergedEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> merged;
+  size_t total = 0;
+  for (const auto& b : buffers_) total += b->events_.size();
+  merged.reserve(total);
+  for (const auto& b : buffers_) {
+    merged.insert(merged.end(), b->events_.begin(), b->events_.end());
+  }
+  return merged;
+}
+
+size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& b : buffers_) total += b->events_.size();
+  return total;
+}
+
+void TraceRecorder::ExportChromeJson(std::ostream& os) const {
+  const std::vector<TraceEvent> events = MergedEvents();
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const TraceEvent& ev : events) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(ev.name);
+    w.Key("cat");
+    w.String(ev.category);
+    w.Key("ph");
+    w.String("X");
+    w.Key("ts");
+    w.Int(ev.wall_begin_us);
+    w.Key("dur");
+    w.Int(ev.wall_end_us - ev.wall_begin_us);
+    w.Key("pid");
+    w.Int(0);
+    // Perfetto renders one track per tid; map the driver (-1) onto its own
+    // track above the workers.
+    w.Key("tid");
+    w.Int(ev.rank < 0 ? 1000 : ev.rank);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("rank");
+    w.Int(ev.rank);
+    w.Key("tree");
+    w.Int(ev.tree);
+    w.Key("layer");
+    w.Int(ev.layer);
+    w.Key("sim_begin");
+    w.Double(ev.sim_begin_s);
+    w.Key("sim_end");
+    w.Double(ev.sim_end_s);
+    w.Key("cpu_seconds");
+    w.Double(ev.cpu_seconds);
+    w.Key("bytes");
+    w.UInt(ev.bytes);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  os << "\n";
+}
+
+Status TraceRecorder::WriteChromeJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError("cannot open trace file for writing: " + path);
+  }
+  ExportChromeJson(out);
+  out.flush();
+  if (!out) {
+    return Status::IOError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace vero

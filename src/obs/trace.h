@@ -1,0 +1,202 @@
+#ifndef VERO_OBS_TRACE_H_
+#define VERO_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace vero {
+namespace obs {
+
+/// Compile-time kill switch for the observability layer. Building with
+/// -DVERO_OBS_DISABLED (cmake -DVERO_DISABLE_OBS=ON) turns the trace macros
+/// into nothing and makes Cluster::AttachObserver a no-op, so instrumented
+/// code paths carry zero overhead beyond an always-false pointer check.
+#ifdef VERO_OBS_DISABLED
+inline constexpr bool kObsEnabled = false;
+#else
+inline constexpr bool kObsEnabled = true;
+#endif
+
+/// One closed span. Wall stamps are microseconds since the recorder's epoch
+/// (steady clock, NOT deterministic); sim stamps are simulated-cluster
+/// seconds (deterministic across identical seeded runs, -1 when the span has
+/// no simulated clock); cpu_seconds is thread-CPU time inside the span.
+struct TraceEvent {
+  const char* name = "";      ///< Static-lifetime phase / collective name.
+  const char* category = "";  ///< "phase", "collective", or "driver".
+  int rank = -1;              ///< Worker rank; -1 for the driver thread.
+  int32_t tree = -1;          ///< Boosting round, -1 outside training.
+  int32_t layer = -1;         ///< Tree layer, -1 outside layer loops.
+  int64_t wall_begin_us = 0;
+  int64_t wall_end_us = 0;
+  double sim_begin_s = -1.0;
+  double sim_end_s = -1.0;
+  double cpu_seconds = 0.0;
+  uint64_t bytes = 0;  ///< Bytes sent inside the span (collectives).
+};
+
+class TraceRecorder;
+
+/// Single-writer event sink. Each worker thread owns exactly one buffer, so
+/// recording a span is a plain vector push with no synchronization — the
+/// "lock-cheap" property the trainers rely on. Buffers are merged by the
+/// recorder once the run is quiescent.
+class TraceBuffer {
+ public:
+  int rank() const { return rank_; }
+
+  /// Attribution for spans recorded until the next call; collectives pick
+  /// these up so communication nests under the right tree / layer.
+  void SetContext(int32_t tree, int32_t layer) {
+    tree_ = tree;
+    layer_ = layer;
+  }
+  int32_t tree() const { return tree_; }
+  int32_t layer() const { return layer_; }
+
+  /// Appends a closed event (rank is filled in from the buffer).
+  void Record(TraceEvent event) {
+    event.rank = rank_;
+    events_.push_back(event);
+  }
+
+  /// Wall microseconds since the owning recorder's epoch.
+  int64_t NowUs() const;
+
+ private:
+  friend class TraceRecorder;
+  TraceBuffer(const TraceRecorder* recorder, int rank)
+      : recorder_(recorder), rank_(rank) {}
+
+  const TraceRecorder* recorder_;
+  int rank_;
+  int32_t tree_ = -1;
+  int32_t layer_ = -1;
+  std::vector<TraceEvent> events_;
+};
+
+/// Owns the per-thread TraceBuffers of one run and exports the merged span
+/// stream as Chrome trace-event JSON (load in chrome://tracing or Perfetto).
+/// CreateBuffer is thread-safe; merging/export must happen after all worker
+/// threads have joined.
+class TraceRecorder {
+ public:
+  TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Registers a new single-writer buffer for `rank` (-1 = driver). The
+  /// returned pointer stays valid for the recorder's lifetime.
+  TraceBuffer* CreateBuffer(int rank);
+
+  int64_t NowUs() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// All events, buffers concatenated in creation order (rank order for a
+  /// cluster run), insertion order within a buffer. Deterministic for
+  /// seeded runs up to the wall / cpu fields.
+  std::vector<TraceEvent> MergedEvents() const;
+
+  size_t event_count() const;
+
+  /// Chrome trace-event JSON ("traceEvents" array of ph:"X" complete
+  /// events; tid = rank, deterministic fields duplicated under args).
+  void ExportChromeJson(std::ostream& os) const;
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+};
+
+inline int64_t TraceBuffer::NowUs() const { return recorder_->NowUs(); }
+
+/// RAII span that always measures (wall + thread-CPU + optional simulated
+/// clock) and records into `buffer` when tracing is on. Close() returns the
+/// measured thread-CPU seconds so instrumented code can use the *same*
+/// measurement for its cost accounting — trace totals then match TreeCost
+/// by construction instead of within sampling error.
+class PhaseSpan {
+ public:
+  /// `sim_clock` (optional) is sampled at open/close; point it at the
+  /// worker's CommStats::sim_seconds for deterministic sim stamps.
+  PhaseSpan(TraceBuffer* buffer, const char* name,
+            const double* sim_clock = nullptr)
+      : buffer_(buffer), sim_clock_(sim_clock) {
+    event_.name = name;
+    event_.category = "phase";
+    if (buffer_ != nullptr) {
+      event_.wall_begin_us = buffer_->NowUs();
+      if (sim_clock_ != nullptr) event_.sim_begin_s = *sim_clock_;
+    }
+  }
+
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+  /// Overrides the default "phase" category (e.g. "driver" for spans
+  /// recorded by the orchestration thread).
+  void set_category(const char* category) { event_.category = category; }
+
+  /// Stops the span, records it, and returns its thread-CPU seconds.
+  double Close() {
+    cpu_.Stop();
+    const double seconds = cpu_.Seconds();
+    if (!closed_) {
+      closed_ = true;
+      if (buffer_ != nullptr) {
+        event_.cpu_seconds = seconds;
+        event_.wall_end_us = buffer_->NowUs();
+        if (sim_clock_ != nullptr) event_.sim_end_s = *sim_clock_;
+        event_.tree = buffer_->tree();
+        event_.layer = buffer_->layer();
+        buffer_->Record(event_);
+      }
+    }
+    return seconds;
+  }
+
+  ~PhaseSpan() {
+    if (!closed_) Close();
+  }
+
+ private:
+  TraceBuffer* buffer_;
+  const double* sim_clock_;
+  TraceEvent event_;
+  ThreadCpuTimer cpu_;
+  bool closed_ = false;
+};
+
+}  // namespace obs
+}  // namespace vero
+
+/// Scoped span that compiles away entirely under VERO_OBS_DISABLED. Use for
+/// purely observational spans; code that feeds measurements into cost
+/// accounting uses PhaseSpan directly (the measurement must survive even
+/// with tracing off).
+#ifdef VERO_OBS_DISABLED
+#define VERO_TRACE_SCOPE(buffer, name, sim_clock)
+#else
+#define VERO_TRACE_SCOPE_CAT2(a, b) a##b
+#define VERO_TRACE_SCOPE_CAT(a, b) VERO_TRACE_SCOPE_CAT2(a, b)
+#define VERO_TRACE_SCOPE(buffer, name, sim_clock)              \
+  ::vero::obs::PhaseSpan VERO_TRACE_SCOPE_CAT(_vero_span_,     \
+                                              __LINE__)(      \
+      (buffer), (name), (sim_clock))
+#endif
+
+#endif  // VERO_OBS_TRACE_H_

@@ -7,6 +7,7 @@
 #include "common/serialize.h"
 #include "common/timer.h"
 #include "core/metrics.h"
+#include "obs/trace.h"
 
 namespace vero {
 
@@ -21,6 +22,7 @@ TreeCostSummary SummarizeTreeCosts(const std::vector<TreeCost>& costs) {
   summary.mean.node_split_seconds /= n;
   summary.mean.other_seconds /= n;
   summary.mean.comm_seconds /= n;
+  summary.mean.bytes_sent /= costs.size();
   if (costs.size() > 1) {
     double comp_var = 0.0, comm_var = 0.0;
     for (const TreeCost& c : costs) {
@@ -116,21 +118,29 @@ void DistTrainerBase::Train(const Dataset* valid,
   bool best_metric_set = false;
   uint32_t rounds_since_best = 0;
 
+  // Null unless an observer with tracing is attached; PhaseSpan measures
+  // either way, so the cost accounting below is identical in both modes.
+  obs::TraceBuffer* tb = ctx_.trace_buffer();
+  const double* sim_clock = &ctx_.stats().sim_seconds;
+
   for (uint32_t t = start_tree; t < params.num_trees; ++t) {
     const double tree_sim_start = ctx_.stats().sim_seconds;
+    const uint64_t tree_bytes_start = ctx_.stats().bytes_sent;
+    if (tb != nullptr) tb->SetContext(static_cast<int32_t>(t), -1);
     TreeCost local;  // Thread-CPU seconds of this worker's phases.
-    ThreadCpuTimer timer;
 
     // ---- Gradients ----
-    timer.Restart();
-    const GradStats root_stats = ComputeGradients();
-    timer.Stop();
-    local.gradient_seconds = timer.Seconds();
+    {
+      obs::PhaseSpan span(tb, "gradient", sim_clock);
+      const GradStats root_stats = ComputeGradients();
+      local.gradient_seconds = span.Close();
 
-    InitTreeIndexes();
-    node_stats_.assign(max_nodes, GradStats{});
-    node_counts_.assign(max_nodes, 0);
-    node_stats_[0] = root_stats;
+      InitTreeIndexes();
+      node_stats_.assign(max_nodes, GradStats{});
+      node_counts_.assign(max_nodes, 0);
+      node_stats_[0] = root_stats;
+    }
+
     VERO_CHECK_GT(num_global_instances_, 0u);
     node_counts_[0] = num_global_instances_;
 
@@ -143,10 +153,13 @@ void DistTrainerBase::Train(const Dataset* valid,
     for (uint32_t depth = 0; depth < num_layers && !frontier.empty();
          ++depth) {
       const bool last_layer = (depth + 1 == num_layers);
+      if (tb != nullptr) {
+        tb->SetContext(static_cast<int32_t>(t), static_cast<int32_t>(depth));
+      }
       // ---- Histogram construction ----
       // Nodes on the last layer become leaves unconditionally, so their
       // histograms are never consulted; skip building them.
-      timer.Restart();
+      obs::PhaseSpan hist_span(tb, "hist-build", sim_clock);
       if (!last_layer) {
         std::vector<BuildTask> tasks;
         if (depth == 0) {
@@ -170,11 +183,10 @@ void DistTrainerBase::Train(const Dataset* valid,
           if (task.parent != kInvalidNode) pool_.Release(task.parent);
         }
       }
-      timer.Stop();
-      local.hist_seconds += timer.Seconds();
+      local.hist_seconds += hist_span.Close();
 
       // ---- Split finding ----
-      timer.Restart();
+      obs::PhaseSpan find_span(tb, "find-split", sim_clock);
       std::vector<SplitCandidate> best;
       if (!last_layer) {
         best = FindLayerSplits(frontier);
@@ -197,11 +209,10 @@ void DistTrainerBase::Train(const Dataset* valid,
           pool_.Release(node);
         }
       }
-      timer.Stop();
-      local.find_split_seconds += timer.Seconds();
+      local.find_split_seconds += find_span.Close();
 
       // ---- Node splitting ----
-      timer.Restart();
+      obs::PhaseSpan split_span(tb, "node-split", sim_clock);
       pairs.clear();
       std::vector<NodeId> next_frontier;
       if (!split_nodes.empty()) {
@@ -229,24 +240,27 @@ void DistTrainerBase::Train(const Dataset* valid,
           for (NodeId node : split_nodes) pool_.Release(node);
         }
       }
-      timer.Stop();
-      local.node_split_seconds += timer.Seconds();
+      local.node_split_seconds += split_span.Close();
       frontier = std::move(next_frontier);
     }
+    if (tb != nullptr) tb->SetContext(static_cast<int32_t>(t), -1);
     for (NodeId node = 0; node < static_cast<NodeId>(max_nodes); ++node) {
       pool_.Release(node);
     }
 
     // ---- Margin update ----
-    timer.Restart();
-    UpdateMargins(tree);
-    timer.Stop();
-    local.other_seconds = timer.Seconds();
+    {
+      obs::PhaseSpan span(tb, "margin-update", sim_clock);
+      UpdateMargins(tree);
+      local.other_seconds = span.Close();
+    }
 
     model_.AddTree(std::move(tree));
 
     // ---- Cluster-level cost of this round ----
     const double my_comm = ctx_.stats().sim_seconds - tree_sim_start;
+    const double my_bytes =
+        static_cast<double>(ctx_.stats().bytes_sent - tree_bytes_start);
     TreeCost cost;
     cost.gradient_seconds = ctx_.InstrumentMax(local.gradient_seconds);
     cost.hist_seconds = ctx_.InstrumentMax(local.hist_seconds);
@@ -254,6 +268,8 @@ void DistTrainerBase::Train(const Dataset* valid,
     cost.node_split_seconds = ctx_.InstrumentMax(local.node_split_seconds);
     cost.other_seconds = ctx_.InstrumentMax(local.other_seconds);
     cost.comm_seconds = ctx_.InstrumentMax(my_comm);
+    cost.bytes_sent =
+        static_cast<uint64_t>(std::llround(ctx_.InstrumentSum(my_bytes)));
     tree_costs->push_back(cost);
     elapsed += cost.total_seconds();
 
@@ -305,6 +321,7 @@ void DistTrainerBase::Train(const Dataset* valid,
     // relies on when stitching the pre-failure prefix.
     if (checkpoint_interval_ > 0 && checkpoint_sink_ && ctx_.rank() == 0 &&
         (t + 1 - start_tree) % checkpoint_interval_ == 0) {
+      obs::PhaseSpan span(tb, "checkpoint", sim_clock);
       checkpoint_sink_(model_, t + 1);
     }
 
@@ -320,6 +337,7 @@ void DistTrainerBase::Train(const Dataset* valid,
       if (ctx_.InstrumentMax(stop_flag) > 0.5) break;
     }
   }
+  if (tb != nullptr) tb->SetContext(-1, -1);
 }
 
 }  // namespace vero

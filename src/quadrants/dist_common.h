@@ -18,6 +18,7 @@
 #include "core/trainer.h"
 #include "core/tree.h"
 #include "data/dataset.h"
+#include "obs/report.h"
 #include "partition/transform.h"
 #include "quadrants/quadrant.h"
 #include "sketch/candidate_splits.h"
@@ -59,6 +60,8 @@ struct TreeCost {
   double node_split_seconds = 0.0;
   double other_seconds = 0.0;
   double comm_seconds = 0.0;
+  /// Cluster-wide bytes sent during the round (sum across workers).
+  uint64_t bytes_sent = 0;
 
   double comp_seconds() const {
     return gradient_seconds + hist_seconds + find_split_seconds +
@@ -73,6 +76,7 @@ struct TreeCost {
     node_split_seconds += o.node_split_seconds;
     other_seconds += o.other_seconds;
     comm_seconds += o.comm_seconds;
+    bytes_sent += o.bytes_sent;
     return *this;
   }
 };
@@ -129,6 +133,15 @@ struct DistResult {
   TransformStats transform_stats;
   /// Per-iteration curve recorded on rank 0 (elapsed uses simulated time).
   std::vector<IterationStats> curve;
+  /// Goodput accounting: communication bytes and modeled seconds spent on
+  /// attempts whose work was later discarded (trees lost to a failure that
+  /// a checkpoint did not cover, plus the wasted setup of failed attempts).
+  /// Zero on failure-free runs.
+  uint64_t wasted_bytes = 0;
+  double wasted_seconds = 0.0;
+  /// Machine-readable run summary (filled when an observer was attached;
+  /// `report.enabled` is false otherwise). See obs::RunReport.
+  obs::RunReport report;
 
   /// Sum over trees of max-comp + max-comm: the modeled training time.
   double TrainSeconds() const {

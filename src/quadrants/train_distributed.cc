@@ -1,11 +1,15 @@
 #include "quadrants/train_distributed.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "quadrants/checkpoint.h"
 #include "quadrants/feature_parallel.h"
 #include "quadrants/qd1_trainer.h"
@@ -24,6 +28,9 @@ struct WorkerOutput {
   uint64_t data_bytes = 0;
   uint64_t train_bytes_sent = 0;
   double setup_seconds = 0.0;
+  /// Cluster-wide bytes sent during setup (sketch / transform pipeline);
+  /// identical on every rank (InstrumentSum).
+  uint64_t setup_bytes_sent = 0;
   TransformStats transform_stats;
 };
 
@@ -84,6 +91,7 @@ std::vector<Status> RunAttempt(Cluster& cluster,
     WorkerOutput& out = (*outputs)[rank];
     ThreadCpuTimer setup_cpu;
     const double sim_start = ctx.stats().sim_seconds;
+    const uint64_t bytes_start = ctx.stats().bytes_sent;
 
     std::unique_ptr<DistTrainerBase> trainer;
     CandidateSplits splits;       // Storage for horizontal quadrants.
@@ -173,10 +181,21 @@ std::vector<Status> RunAttempt(Cluster& cluster,
     if (cfg.store != nullptr && cfg.store->options.interval > 0 &&
         rank == 0) {
       CheckpointStore* store = cfg.store;
+      // Resolve the checkpoint metric handles once; the sink then records a
+      // size / count / latency sample per checkpoint on rank 0's shard.
+      obs::Counter* ckpt_bytes = nullptr;
+      obs::Counter* ckpt_count = nullptr;
+      obs::HistogramMetric* ckpt_latency = nullptr;
+      if (obs::MetricsShard* shard = ctx.metrics_shard()) {
+        ckpt_bytes = shard->counter("checkpoint.bytes");
+        ckpt_count = shard->counter("checkpoint.count");
+        ckpt_latency = shard->histogram("checkpoint.latency_seconds");
+      }
       trainer->EnableCheckpoints(
           store->options.interval,
-          [store, checkpoint_splits](const GbdtModel& model,
-                                     uint32_t trees_done) {
+          [store, checkpoint_splits, ckpt_bytes, ckpt_count, ckpt_latency](
+              const GbdtModel& model, uint32_t trees_done) {
+            WallTimer latency;
             TrainCheckpoint checkpoint;
             checkpoint.trees_done = trees_done;
             checkpoint.model = model;
@@ -191,6 +210,11 @@ std::vector<Status> RunAttempt(Cluster& cluster,
                     << "checkpoint write failed: " << s.ToString();
               }
             }
+            if (ckpt_count != nullptr) {
+              ckpt_count->Increment();
+              ckpt_bytes->Add(store->latest.size());
+              ckpt_latency->Observe(latency.Seconds());
+            }
           });
     }
 
@@ -199,6 +223,9 @@ std::vector<Status> RunAttempt(Cluster& cluster,
     out.setup_seconds =
         ctx.InstrumentMax(setup_cpu.Seconds()) + ctx.InstrumentMax(setup_comm);
     const uint64_t bytes_after_setup = ctx.stats().bytes_sent;
+    out.setup_bytes_sent = static_cast<uint64_t>(std::llround(
+        ctx.InstrumentSum(static_cast<double>(bytes_after_setup -
+                                              bytes_start))));
 
     trainer->Train(cfg.valid, &out.tree_costs, &out.curve,
                    cfg.elapsed_base + out.setup_seconds);
@@ -239,13 +266,13 @@ uint64_t ShardWireBytes(const Dataset& shard) {
   return bytes;
 }
 
-}  // namespace
-
-DistResult TrainDistributed(Cluster& cluster, const Dataset& train,
-                            Quadrant quadrant,
-                            const DistTrainOptions& options,
-                            const Dataset* valid,
-                            Qd3IndexPolicy qd3_policy) {
+// The training/recovery loop proper; the public TrainDistributed wraps it to
+// fill the run report once the clusters are quiescent.
+DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
+                                Quadrant quadrant,
+                                const DistTrainOptions& options,
+                                const Dataset* valid,
+                                Qd3IndexPolicy qd3_policy) {
   VERO_CHECK_OK(options.params.Validate());
   const int w = cluster.num_workers();
   const bool sharded = quadrant != Quadrant::kFeatureParallel;
@@ -295,9 +322,51 @@ DistResult TrainDistributed(Cluster& cluster, const Dataset& train,
   const std::vector<IterationStats> first_curve =
       std::move(outputs[0].curve);
 
+  obs::RunObserver* observer = cluster.observer();
+  obs::TraceBuffer* driver_tb =
+      observer != nullptr ? observer->driver_buffer() : nullptr;
+  obs::MetricsShard* driver_shard =
+      observer != nullptr ? observer->driver_shard() : nullptr;
+  if (driver_shard != nullptr) {
+    driver_shard->counter("recovery.failures_observed")->Add(dead.size());
+  }
+
+  // Goodput bookkeeping: the attempt that just failed, pending its waste
+  // charge. A failed attempt's communication and modeled time count as
+  // wasted except for the trees a later attempt resumes from (via
+  // checkpoint); its setup is wasted only when nothing at all was kept.
+  // The round in flight at the moment of failure was never recorded as a
+  // completed cost, so it is deliberately omitted.
+  std::vector<TreeCost> prev_costs = first_costs;
+  uint32_t prev_start_tree = 0;
+  double prev_setup_seconds = first_setup_seconds;
+  uint64_t prev_setup_bytes = outputs[0].setup_bytes_sent;
+  auto charge_wasted = [&result](const std::vector<TreeCost>& costs,
+                                 uint32_t start_tree, uint32_t trees_kept,
+                                 double setup_seconds, uint64_t setup_bytes) {
+    const uint32_t kept =
+        trees_kept > start_tree
+            ? std::min<uint32_t>(trees_kept - start_tree,
+                                 static_cast<uint32_t>(costs.size()))
+            : 0;
+    for (size_t t = kept; t < costs.size(); ++t) {
+      result.wasted_seconds += costs[t].total_seconds();
+      result.wasted_bytes += costs[t].bytes_sent;
+    }
+    if (kept == 0) {
+      result.wasted_seconds += setup_seconds;
+      result.wasted_bytes += setup_bytes;
+    }
+  };
+
   while (result.recovery.recovery_attempts < options.max_recovery_attempts &&
          survivors >= 1) {
     ++result.recovery.recovery_attempts;
+    obs::PhaseSpan recovery_span(driver_tb, "recovery", nullptr);
+    recovery_span.set_category("driver");
+    if (driver_shard != nullptr) {
+      driver_shard->counter("recovery.attempts")->Increment();
+    }
 
     TrainCheckpoint restored;
     bool have_checkpoint = false;
@@ -326,9 +395,19 @@ DistResult TrainDistributed(Cluster& cluster, const Dataset& train,
         cluster.network_model().OpSeconds(redistribution_bytes, 0);
     result.recovery.recovery_bytes += redistribution_bytes;
     result.recovery.recovery_seconds += redistribution_seconds;
+    if (driver_shard != nullptr) {
+      driver_shard->counter("recovery.redistribution_bytes")
+          ->Add(redistribution_bytes);
+      driver_shard->histogram("recovery.redistribution_seconds")
+          ->Observe(redistribution_seconds);
+    }
 
     const uint32_t trees_recovered =
         have_checkpoint ? restored.trees_done : 0;
+    // Now that we know how much of the failed attempt survives through the
+    // checkpoint, charge the rest of it as waste.
+    charge_wasted(prev_costs, prev_start_tree, trees_recovered,
+                  prev_setup_seconds, prev_setup_bytes);
     std::vector<double> resume_margins;
     if (have_checkpoint) {
       resume_margins = restored.model.PredictDatasetMargins(train);
@@ -343,6 +422,9 @@ DistResult TrainDistributed(Cluster& cluster, const Dataset& train,
     Cluster recovery_cluster(survivors, cluster.network_model());
     recovery_cluster.set_collective_timeout_seconds(
         cluster.collective_timeout_seconds());
+    // Same observer as the failed cluster: the run's trace / metrics keep
+    // accumulating across recovery attempts.
+    recovery_cluster.AttachObserver(observer);
     std::vector<Dataset> recovery_shards;
     if (sharded) recovery_shards = BuildHorizontalShards(train, survivors);
     std::vector<WorkerOutput> recovery_outputs(survivors);
@@ -358,6 +440,17 @@ DistResult TrainDistributed(Cluster& cluster, const Dataset& train,
       result.recovery.failures_observed +=
           static_cast<int>(newly_dead.size());
       survivors -= static_cast<int>(newly_dead.size());
+      if (driver_shard != nullptr) {
+        driver_shard->counter("recovery.failures_observed")
+            ->Add(newly_dead.size());
+      }
+      // This attempt becomes the pending failed attempt; the next iteration
+      // (or the final-failure path) charges its waste once the amount kept
+      // through checkpoints is known.
+      prev_costs = std::move(recovery_outputs[0].tree_costs);
+      prev_start_tree = trees_recovered;
+      prev_setup_seconds = recovery_outputs[0].setup_seconds;
+      prev_setup_bytes = recovery_outputs[0].setup_bytes_sent;
       if (newly_dead.empty()) break;  // Unrecoverable (timeout/internal).
       continue;
     }
@@ -392,8 +485,64 @@ DistResult TrainDistributed(Cluster& cluster, const Dataset& train,
     return result;
   }
 
+  // The run failed outright: nothing from the last failed attempt was kept.
+  charge_wasted(prev_costs, prev_start_tree, 0, prev_setup_seconds,
+                prev_setup_bytes);
   result.status = error;
   result.recovery.final_world_size = survivors;
+  return result;
+}
+
+}  // namespace
+
+DistResult TrainDistributed(Cluster& cluster, const Dataset& train,
+                            Quadrant quadrant,
+                            const DistTrainOptions& options,
+                            const Dataset* valid,
+                            Qd3IndexPolicy qd3_policy) {
+  DistResult result = TrainDistributedImpl(cluster, train, quadrant, options,
+                                           valid, qd3_policy);
+  if constexpr (obs::kObsEnabled) {
+    obs::RunObserver* observer = cluster.observer();
+    if (observer != nullptr) {
+      if (obs::MetricsShard* shard = observer->driver_shard()) {
+        shard->gauge("train.peak_histogram_bytes")
+            ->SetMax(static_cast<double>(result.peak_histogram_bytes));
+        shard->gauge("train.data_bytes")
+            ->SetMax(static_cast<double>(result.data_bytes));
+      }
+      obs::RunReport& report = result.report;
+      report.enabled = true;
+      report.quadrant = QuadrantToString(quadrant);
+      report.workers = cluster.num_workers();
+      report.trees = static_cast<uint32_t>(result.model.num_trees());
+      report.train_seconds = result.TrainSeconds();
+      report.comp_seconds = result.TotalCompSeconds();
+      report.comm_seconds = result.TotalCommSeconds();
+      report.setup_seconds = result.setup_seconds;
+      for (const TreeCost& c : result.tree_costs) {
+        report.phases.gradient += c.gradient_seconds;
+        report.phases.hist += c.hist_seconds;
+        report.phases.find_split += c.find_split_seconds;
+        report.phases.node_split += c.node_split_seconds;
+        report.phases.other += c.other_seconds;
+        report.phases.comm += c.comm_seconds;
+      }
+      report.train_bytes_sent = result.train_bytes_sent;
+      report.peak_histogram_bytes = result.peak_histogram_bytes;
+      report.data_bytes = result.data_bytes;
+      report.wasted_bytes = result.wasted_bytes;
+      report.wasted_seconds = result.wasted_seconds;
+      report.recovery.failures_observed = result.recovery.failures_observed;
+      report.recovery.recovery_attempts = result.recovery.recovery_attempts;
+      report.recovery.trees_recovered = result.recovery.trees_recovered;
+      report.recovery.trees_retrained = result.recovery.trees_retrained;
+      report.recovery.final_world_size = result.recovery.final_world_size;
+      report.recovery.recovery_seconds = result.recovery.recovery_seconds;
+      report.recovery.recovery_bytes = result.recovery.recovery_bytes;
+      report.metrics = observer->metrics().Merged();
+    }
+  }
   return result;
 }
 
