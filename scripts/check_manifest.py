@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Validates the on-disk checkpoint-manifest schema (docs/fault_tolerance.md).
+
+Two modes:
+
+  check_manifest.py CHECKPOINT_DIR
+      Validate an existing rotated checkpoint directory: parse MANIFEST.vckm
+      against the documented wire format (magic "VCKM", version 1, entry
+      table, CRC-32 trailer), then cross-check every listed chain file's
+      existence, size, and whole-file CRC, plus the latest.vckp alias.
+
+  check_manifest.py --emitter PATH/TO/checkpoint_rotation_test
+      Drive the checkpoint_rotation_test gtest binary twice
+      (--gtest_filter=ManifestEmit* with VERO_CKPT_EMIT_DIR pointing at
+      fresh temp dirs), validate both emitted directories, and require the
+      deterministic projection (file names, trees_done, sizes, CRCs) to be
+      identical across the two runs. Registered as the check_manifest ctest,
+      mirroring check_trace.
+
+This is an independent reimplementation of the reader: it shares no code
+with src/quadrants/checkpoint.cc, so it catches accidental format drift
+that a C++ round-trip test cannot. Exits non-zero on the first violation.
+"""
+
+import argparse
+import os
+import struct
+import subprocess
+import sys
+import tempfile
+import zlib
+
+MANIFEST_MAGIC = 0x56434B4D  # "VCKM"
+CHECKPOINT_MAGIC = 0x56434B50  # "VCKP"
+VERSION = 1
+MANIFEST_NAME = "MANIFEST.vckm"
+LATEST_NAME = "latest.vckp"
+
+
+def fail(msg):
+    print(f"check_manifest: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+class Reader:
+    """Bounds-checked little-endian cursor over one file's bytes."""
+
+    def __init__(self, data, where):
+        self.data = data
+        self.pos = 0
+        self.where = where
+
+    def take(self, n, what):
+        require(self.pos + n <= len(self.data),
+                f"{self.where}: truncated reading {what} "
+                f"(need {n} bytes at offset {self.pos}, "
+                f"have {len(self.data)})")
+        out = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+    def u32(self, what):
+        return struct.unpack("<I", self.take(4, what))[0]
+
+    def u64(self, what):
+        return struct.unpack("<Q", self.take(8, what))[0]
+
+    def string(self, what):
+        n = self.u32(f"{what} length")
+        require(n <= len(self.data) - self.pos,
+                f"{self.where}: {what} length {n} overruns file")
+        return self.take(n, what).decode("utf-8", errors="strict")
+
+
+def parse_manifest(path):
+    """Parses MANIFEST.vckm; returns the entry list (oldest first)."""
+    with open(path, "rb") as f:
+        data = f.read()
+    r = Reader(data, path)
+    require(r.u32("magic") == MANIFEST_MAGIC, f"{path}: bad magic")
+    require(r.u32("version") == VERSION, f"{path}: unsupported version")
+    count = r.u32("entry count")
+    entries = []
+    for i in range(count):
+        what = f"entry[{i}]"
+        entries.append({
+            "file": r.string(f"{what} file"),
+            "trees_done": r.u32(f"{what} trees_done"),
+            "bytes": r.u64(f"{what} bytes"),
+            "crc32": r.u32(f"{what} crc32"),
+        })
+    trailer = r.u32("CRC trailer")
+    require(r.pos == len(data),
+            f"{path}: {len(data) - r.pos} trailing bytes after CRC trailer")
+    computed = zlib.crc32(data[:len(data) - 4]) & 0xFFFFFFFF
+    require(trailer == computed,
+            f"{path}: CRC trailer {trailer:#010x} != computed "
+            f"{computed:#010x}")
+    return entries
+
+
+def check_chain_file(path):
+    """Validates one chain file's framing: magic, version, own CRC trailer."""
+    with open(path, "rb") as f:
+        data = f.read()
+    require(len(data) >= 12, f"{path}: too short to be a checkpoint")
+    magic, version = struct.unpack_from("<II", data, 0)
+    require(magic == CHECKPOINT_MAGIC, f"{path}: bad checkpoint magic")
+    require(version == VERSION, f"{path}: unsupported checkpoint version")
+    (trailer,) = struct.unpack_from("<I", data, len(data) - 4)
+    computed = zlib.crc32(data[:len(data) - 4]) & 0xFFFFFFFF
+    require(trailer == computed, f"{path}: checkpoint CRC trailer mismatch")
+    return data
+
+
+def check_dir(dir_path):
+    """Validates a checkpoint directory; returns its projection."""
+    require(os.path.isdir(dir_path), f"{dir_path}: not a directory")
+    manifest_path = os.path.join(dir_path, MANIFEST_NAME)
+    require(os.path.exists(manifest_path), f"missing {manifest_path}")
+    entries = parse_manifest(manifest_path)
+    require(len(entries) > 0, f"{manifest_path}: empty manifest")
+
+    prev_index = -1
+    for entry in entries:
+        name = entry["file"]
+        where = f"{manifest_path}: entry {name!r}"
+        require(name.startswith("ckpt-") and name.endswith(".vckp")
+                and len(name) == 16,
+                f"{where}: not a chain file name")
+        index = int(name[5:11])
+        require(index > prev_index,
+                f"{where}: chain indices not strictly increasing")
+        prev_index = index
+
+        path = os.path.join(dir_path, name)
+        require(os.path.exists(path), f"{where}: listed file missing")
+        data = check_chain_file(path)
+        require(len(data) == entry["bytes"],
+                f"{where}: size {len(data)} != manifest {entry['bytes']}")
+        whole_crc = zlib.crc32(data) & 0xFFFFFFFF
+        require(whole_crc == entry["crc32"],
+                f"{where}: whole-file CRC {whole_crc:#010x} != manifest "
+                f"{entry['crc32']:#010x}")
+
+    # The alias duplicates the newest committed chain file byte-for-byte.
+    latest_path = os.path.join(dir_path, LATEST_NAME)
+    require(os.path.exists(latest_path), f"missing {latest_path}")
+    with open(os.path.join(dir_path, entries[-1]["file"]), "rb") as f:
+        newest = f.read()
+    with open(latest_path, "rb") as f:
+        alias = f.read()
+    require(alias == newest,
+            f"{latest_path}: alias differs from newest chain file "
+            f"{entries[-1]['file']}")
+
+    return [(e["file"], e["trees_done"], e["bytes"], e["crc32"])
+            for e in entries]
+
+
+def run_emitter(binary):
+    """Runs ManifestEmit* into a fresh dir; returns the directory path."""
+    out_dir = tempfile.mkdtemp(prefix="vero_ckpt_emit_")
+    env = dict(os.environ, VERO_CKPT_EMIT_DIR=out_dir)
+    cmd = [binary, "--gtest_filter=ManifestEmit*"]
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        fail(f"emitter {' '.join(cmd)} exited {proc.returncode}")
+    return out_dir
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*",
+                        help="checkpoint directory to validate")
+    parser.add_argument("--emitter", metavar="CHECKPOINT_ROTATION_TEST",
+                        help="checkpoint_rotation_test binary to drive")
+    args = parser.parse_args()
+
+    if args.emitter:
+        proj_a = check_dir(run_emitter(args.emitter))
+        proj_b = check_dir(run_emitter(args.emitter))
+        require(proj_a == proj_b,
+                "deterministic manifest projection differs between two "
+                "identical runs")
+        print(f"check_manifest: OK ({len(proj_a)} chain entries, projection "
+              "stable across 2 runs)")
+        return
+
+    if not args.paths:
+        parser.error("need a checkpoint directory or --emitter")
+    total = 0
+    for path in args.paths:
+        total += len(check_dir(path))
+    print(f"check_manifest: OK ({total} chain entries across "
+          f"{len(args.paths)} dir(s))")
+
+
+if __name__ == "__main__":
+    main()

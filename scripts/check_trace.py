@@ -28,7 +28,8 @@ import tempfile
 
 PHASE_NAMES = {
     "gradient", "hist-build", "find-split", "node-split", "margin-update",
-    "grow-tree", "checkpoint", "recovery",
+    "grow-tree", "checkpoint", "checkpoint-snapshot", "recovery", "rejoin",
+    "sketch-build", "transform-encode", "transform-decode", "label-broadcast",
 }
 COLLECTIVE_NAMES = {
     "AllReduceSum", "ReduceScatterSum", "AllGather", "Broadcast", "Gather",
@@ -139,8 +140,8 @@ def check_run_report(doc, where):
     recovery = doc.get("recovery")
     require(isinstance(recovery, dict), f"{where}: missing recovery object")
     for name in ("failures_observed", "recovery_attempts", "trees_recovered",
-                 "trees_retrained", "final_world_size", "recovery_seconds",
-                 "recovery_bytes"):
+                 "trees_retrained", "final_world_size", "rejoined_workers",
+                 "rendezvous_failures", "recovery_seconds", "recovery_bytes"):
         require(name in recovery, f"{where}: recovery missing {name}")
 
     metrics = doc.get("metrics")

@@ -51,8 +51,15 @@ void Cluster::InstallFaultPlan(const FaultPlan& plan) {
   if (plan.empty()) {
     injector_.reset();
   } else {
-    injector_ = std::make_unique<FaultInjector>(plan, num_workers_);
+    injector_ = std::make_shared<FaultInjector>(plan, num_workers_);
   }
+}
+
+void Cluster::AdoptFaultInjector(std::shared_ptr<FaultInjector> injector) {
+  if (injector != nullptr) {
+    VERO_CHECK_GE(injector->num_workers(), num_workers_);
+  }
+  injector_ = std::move(injector);
 }
 
 void Cluster::AttachObserver(obs::RunObserver* observer) {
@@ -215,7 +222,7 @@ Status WorkerContext::Prepare(CollectiveOp op, FaultDecision* decision) {
     if (trace_ != nullptr) op_wall_begin_us_ = trace_->NowUs();
   }
   if (cluster_->injector_ != nullptr) {
-    *decision = cluster_->injector_->OnCollective(rank_, op);
+    *decision = cluster_->injector_->OnCollective(rank_, op, fault_phase_);
     if (decision->crash) {
       return Die(Status::Unavailable(
           "worker " + std::to_string(rank_) + " crashed (injected) at " +

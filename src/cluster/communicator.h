@@ -134,6 +134,12 @@ class WorkerContext {
   /// All subsequent collectives return kUnavailable without rendezvousing.
   bool failed() const { return dead_; }
 
+  /// Announces the phase this worker is in; phase-tagged FaultEvents count
+  /// occurrences only among collectives issued under the matching phase.
+  /// Purely a fault-injection label — no accounting effect.
+  void set_fault_phase(FaultPhase phase) { fault_phase_ = phase; }
+  FaultPhase fault_phase() const { return fault_phase_; }
+
  private:
   friend class Cluster;
   WorkerContext(Cluster* cluster, int rank);
@@ -173,6 +179,7 @@ class WorkerContext {
   Cluster* cluster_;
   int rank_;
   bool dead_ = false;
+  FaultPhase fault_phase_ = FaultPhase::kAnyPhase;
   CommStats stats_;
 
   /// Pre-resolved metric handles (one lookup at attach time, plain adds on
@@ -217,6 +224,19 @@ class Cluster {
   /// byte/time accounting is bit-identical to a cluster without faults).
   void InstallFaultPlan(const FaultPlan& plan);
 
+  /// Shares an existing injector (occurrence counters included) with this
+  /// cluster. Elastic recovery uses this so a plan installed on the original
+  /// cluster keeps matching — and never re-fires already-fired events —
+  /// across the rebuilt cluster incarnations. The injector must have been
+  /// created for at least this many workers. Null detaches.
+  void AdoptFaultInjector(std::shared_ptr<FaultInjector> injector);
+
+  /// The installed injector (counters and all), for handing to a successor
+  /// cluster via AdoptFaultInjector. Null when no plan is installed.
+  std::shared_ptr<FaultInjector> shared_fault_injector() const {
+    return injector_;
+  }
+
   /// Attaches a run observer: every worker gets a metrics shard (and, when
   /// the observer has tracing enabled, a trace buffer), and the collectives
   /// start recording per-op spans / counters. Must be called before Run;
@@ -260,7 +280,7 @@ class Cluster {
   const int num_workers_;
   const NetworkModel model_;
   std::vector<std::unique_ptr<WorkerContext>> contexts_;
-  std::unique_ptr<FaultInjector> injector_;
+  std::shared_ptr<FaultInjector> injector_;
   obs::RunObserver* observer_ = nullptr;
   double collective_timeout_seconds_ = 60.0;
 

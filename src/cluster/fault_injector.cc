@@ -40,6 +40,20 @@ const char* FaultKindToString(FaultKind kind) {
   return "Unknown";
 }
 
+const char* FaultPhaseToString(FaultPhase phase) {
+  switch (phase) {
+    case FaultPhase::kAnyPhase:
+      return "AnyPhase";
+    case FaultPhase::kSetup:
+      return "Setup";
+    case FaultPhase::kTrain:
+      return "Train";
+    case FaultPhase::kRecovery:
+      return "Recovery";
+  }
+  return "Unknown";
+}
+
 FaultInjector::FaultInjector(const FaultPlan& plan, int num_workers)
     : plan_(plan), counters_(num_workers) {
   for (const FaultEvent& e : plan_.events()) {
@@ -49,16 +63,28 @@ FaultInjector::FaultInjector(const FaultPlan& plan, int num_workers)
   }
 }
 
-FaultDecision FaultInjector::OnCollective(int rank, CollectiveOp op) {
+FaultDecision FaultInjector::OnCollective(int rank, CollectiveOp op,
+                                          FaultPhase phase) {
   RankCounters& c = counters_[rank];
+  const int phase_index = static_cast<int>(phase);
   const uint64_t op_index = c.per_op[static_cast<int>(op)]++;
   const uint64_t any_index = c.any++;
+  const uint64_t phase_op_index =
+      c.phase_per_op[phase_index][static_cast<int>(op)]++;
+  const uint64_t phase_any_index = c.phase_any[phase_index]++;
   FaultDecision decision;
   for (const FaultEvent& e : plan_.events()) {
     if (e.rank != rank) continue;
-    const bool match =
-        (e.op == CollectiveOp::kAny && e.occurrence == any_index) ||
-        (e.op == op && e.occurrence == op_index);
+    bool match;
+    if (e.phase == FaultPhase::kAnyPhase) {
+      match = (e.op == CollectiveOp::kAny && e.occurrence == any_index) ||
+              (e.op == op && e.occurrence == op_index);
+    } else if (e.phase == phase) {
+      match = (e.op == CollectiveOp::kAny && e.occurrence == phase_any_index) ||
+              (e.op == op && e.occurrence == phase_op_index);
+    } else {
+      match = false;
+    }
     if (!match) continue;
     switch (e.kind) {
       case FaultKind::kCrash:

@@ -43,8 +43,29 @@ enum class FaultKind {
 
 const char* FaultKindToString(FaultKind kind);
 
+/// Training phase a fault can be restricted to. Workers announce their
+/// current phase (WorkerContext::set_fault_phase); an event tagged with a
+/// specific phase counts occurrences only among collectives issued while the
+/// worker is in that phase. kAnyPhase preserves the original global
+/// occurrence counting, so existing plans are unaffected.
+enum class FaultPhase {
+  kAnyPhase = 0,
+  /// Attempt setup: sharding, sketch build, horizontal->vertical transform.
+  kSetup = 1,
+  /// The boosting round loop.
+  kTrain = 2,
+  /// Recovery/rejoin rendezvous collectives between attempts.
+  kRecovery = 3,
+};
+
+inline constexpr int kNumFaultPhases = 4;
+
+const char* FaultPhaseToString(FaultPhase phase);
+
 /// One scheduled fault: fires on `rank`'s `occurrence`-th call (0-based)
-/// of collective type `op` (kAny counts calls of every type).
+/// of collective type `op` (kAny counts calls of every type). When `phase`
+/// is not kAnyPhase, only calls issued while the worker is in that phase
+/// are counted toward `occurrence`.
 struct FaultEvent {
   FaultKind kind = FaultKind::kCrash;
   int rank = 0;
@@ -55,6 +76,8 @@ struct FaultEvent {
   double delay_seconds = 0.0;
   /// kCorrupt/kTruncate: number of consecutive bad transfer attempts.
   int attempts = 1;
+  /// Phase filter; kAnyPhase matches calls from every phase.
+  FaultPhase phase = FaultPhase::kAnyPhase;
 };
 
 /// Retry behavior for detected-bad transfers (corruption/truncation).
@@ -78,25 +101,31 @@ struct RetryPolicy {
 /// reproducible.
 class FaultPlan {
  public:
-  FaultPlan& Crash(int rank, CollectiveOp op, uint64_t occurrence) {
-    events_.push_back({FaultKind::kCrash, rank, op, occurrence, 0.0, 0});
+  FaultPlan& Crash(int rank, CollectiveOp op, uint64_t occurrence,
+                   FaultPhase phase = FaultPhase::kAnyPhase) {
+    events_.push_back(
+        {FaultKind::kCrash, rank, op, occurrence, 0.0, 0, phase});
     return *this;
   }
   FaultPlan& Corrupt(int rank, CollectiveOp op, uint64_t occurrence,
-                     int attempts = 1) {
+                     int attempts = 1,
+                     FaultPhase phase = FaultPhase::kAnyPhase) {
     events_.push_back(
-        {FaultKind::kCorrupt, rank, op, occurrence, 0.0, attempts});
+        {FaultKind::kCorrupt, rank, op, occurrence, 0.0, attempts, phase});
     return *this;
   }
   FaultPlan& Truncate(int rank, CollectiveOp op, uint64_t occurrence,
-                      int attempts = 1) {
+                      int attempts = 1,
+                      FaultPhase phase = FaultPhase::kAnyPhase) {
     events_.push_back(
-        {FaultKind::kTruncate, rank, op, occurrence, 0.0, attempts});
+        {FaultKind::kTruncate, rank, op, occurrence, 0.0, attempts, phase});
     return *this;
   }
   FaultPlan& Delay(int rank, CollectiveOp op, uint64_t occurrence,
-                   double seconds) {
-    events_.push_back({FaultKind::kDelay, rank, op, occurrence, seconds, 0});
+                   double seconds,
+                   FaultPhase phase = FaultPhase::kAnyPhase) {
+    events_.push_back(
+        {FaultKind::kDelay, rank, op, occurrence, seconds, 0, phase});
     return *this;
   }
 
@@ -129,22 +158,37 @@ struct FaultDecision {
 /// Matches FaultEvents against the per-rank stream of collective calls.
 /// Occurrence counters are per (rank, op) plus a per-rank any-op counter, so
 /// matching is deterministic and race-free: each worker thread only touches
-/// its own counters.
+/// its own counters. Phase-tagged events use a separate bank of counters
+/// advanced only while the worker is in the matching phase, so a kSetup
+/// occurrence index is stable regardless of how much training preceded it.
+///
+/// An injector may outlive the Cluster it was installed on: elastic
+/// recovery shares one injector across successive cluster incarnations so
+/// occurrence counters keep advancing and already-fired events never
+/// re-fire (Cluster::AdoptFaultInjector).
 class FaultInjector {
  public:
   explicit FaultInjector(const FaultPlan& plan, int num_workers);
 
   /// Called by rank's thread at the top of every collective. Advances the
   /// rank's occurrence counters and returns the combined decision of every
-  /// event that fires on this call.
-  FaultDecision OnCollective(int rank, CollectiveOp op);
+  /// event that fires on this call. `phase` is the worker's announced
+  /// current phase.
+  FaultDecision OnCollective(int rank, CollectiveOp op,
+                             FaultPhase phase = FaultPhase::kAnyPhase);
 
   const RetryPolicy& retry_policy() const { return plan_.retry_policy(); }
+
+  int num_workers() const { return static_cast<int>(counters_.size()); }
 
  private:
   struct RankCounters {
     uint64_t per_op[kNumCollectiveOps] = {};
     uint64_t any = 0;
+    /// Occurrence streams restricted to a single phase; [kAnyPhase] is
+    /// unused (kAnyPhase events read the global counters above).
+    uint64_t phase_per_op[kNumFaultPhases][kNumCollectiveOps] = {};
+    uint64_t phase_any[kNumFaultPhases] = {};
   };
 
   FaultPlan plan_;

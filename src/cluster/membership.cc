@@ -1,0 +1,59 @@
+#include "cluster/membership.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vero {
+
+std::string Membership::ToString() const {
+  std::string out = "world=" + std::to_string(world) + " map=[";
+  for (int r = 0; r < world; ++r) {
+    if (r > 0) out += ",";
+    out += prev_rank[r] == kPrevNone ? std::string("new")
+                                     : std::to_string(prev_rank[r]);
+  }
+  out += "]";
+  return out;
+}
+
+Membership InitialMembership(int world) {
+  VERO_CHECK_GT(world, 0);
+  Membership m;
+  m.world = world;
+  m.prev_rank.resize(world);
+  for (int r = 0; r < world; ++r) m.prev_rank[r] = r;
+  return m;
+}
+
+Membership NextMembership(const Membership& current,
+                          const std::vector<int>& dead, bool elastic) {
+  VERO_CHECK(std::is_sorted(dead.begin(), dead.end()));
+  Membership next;
+  if (elastic) {
+    // Survivors keep their identity ranks; replacements take the dead
+    // slots, so every shard assignment of the incarnation stays put.
+    next.world = current.world;
+    next.prev_rank.resize(current.world);
+    for (int r = 0; r < current.world; ++r) {
+      if (std::binary_search(dead.begin(), dead.end(), r)) {
+        next.prev_rank[r] = Membership::kPrevNone;
+        next.rejoined.push_back(r);
+      } else {
+        next.prev_rank[r] = r;
+      }
+    }
+    VERO_CHECK_GT(next.world - static_cast<int>(next.rejoined.size()), 0);
+  } else {
+    // Degraded mode: survivors compact into the low ranks in rank order.
+    for (int r = 0; r < current.world; ++r) {
+      if (std::binary_search(dead.begin(), dead.end(), r)) continue;
+      next.prev_rank.push_back(r);
+    }
+    next.world = static_cast<int>(next.prev_rank.size());
+    VERO_CHECK_GT(next.world, 0);
+  }
+  return next;
+}
+
+}  // namespace vero

@@ -1,0 +1,56 @@
+#ifndef VERO_CLUSTER_MEMBERSHIP_H_
+#define VERO_CLUSTER_MEMBERSHIP_H_
+
+#include <string>
+#include <vector>
+
+namespace vero {
+
+/// Rank mapping for one cluster incarnation of the elastic recovery loop.
+///
+/// Each training attempt runs on its own Cluster whose ranks are dense
+/// [0, world). The membership records, for every new rank, which rank of the
+/// *previous* incarnation it continues (so survivors can keep their data
+/// shard) or kPrevNone when the slot is filled by a re-joining replacement
+/// worker that must be re-seeded from scratch (fresh shard + latest
+/// checkpoint).
+struct Membership {
+  static constexpr int kPrevNone = -1;
+
+  /// World size of this incarnation.
+  int world = 0;
+  /// prev_rank[r] = rank in the previous incarnation that new rank r
+  /// continues, or kPrevNone for a replacement worker.
+  std::vector<int> prev_rank;
+
+  /// New ranks occupied by replacement workers (prev_rank == kPrevNone),
+  /// increasing order.
+  std::vector<int> rejoined;
+
+  bool IsRejoin(int rank) const {
+    return prev_rank[rank] == kPrevNone;
+  }
+
+  std::string ToString() const;
+};
+
+/// The identity membership for a fresh W-worker cluster: world = W,
+/// prev_rank[r] = r, nothing rejoined.
+Membership InitialMembership(int world);
+
+/// Computes the next incarnation after `dead` ranks of `current` failed.
+///
+/// With `elastic` true the world stays at current.world: survivors keep
+/// their identity ranks (so their data shards stay aligned and nothing is
+/// reshipped to them) and replacement workers occupy exactly the dead slots
+/// (they appear in `rejoined` and are re-seeded with that slot's shard plus
+/// the latest checkpoint). With `elastic` false, survivors keep their
+/// relative order and compact into the low ranks; the world shrinks to the
+/// survivor count (PR 1 degraded mode). `dead` ranks index the *current*
+/// incarnation and must be sorted ascending.
+Membership NextMembership(const Membership& current,
+                          const std::vector<int>& dead, bool elastic);
+
+}  // namespace vero
+
+#endif  // VERO_CLUSTER_MEMBERSHIP_H_

@@ -118,6 +118,10 @@ void RunReport::AppendJson(std::ostream& os) const {
   w.UInt(recovery.trees_retrained);
   w.Key("final_world_size");
   w.Int(recovery.final_world_size);
+  w.Key("rejoined_workers");
+  w.Int(recovery.rejoined_workers);
+  w.Key("rendezvous_failures");
+  w.Int(recovery.rendezvous_failures);
   w.Key("recovery_seconds");
   w.Double(recovery.recovery_seconds);
   w.Key("recovery_bytes");

@@ -98,6 +98,8 @@ struct RunReport {
     uint32_t trees_recovered = 0;
     uint32_t trees_retrained = 0;
     int final_world_size = 0;
+    int rejoined_workers = 0;
+    int rendezvous_failures = 0;
     double recovery_seconds = 0.0;
     uint64_t recovery_bytes = 0;
   } recovery;

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/serialize.h"
 #include "common/timer.h"
+#include "obs/trace.h"
 #include "sketch/quantile_summary.h"
 
 namespace vero {
@@ -70,6 +71,11 @@ CandidateSplits BuildDistributedCandidateSplits(
   const int rank = ctx.rank();
   const uint32_t d = shard.num_features();
   ThreadCpuTimer cpu;
+  // Setup-pipeline span (closed on return); tree/layer stay -1 so round
+  // accounting is unaffected. PhaseSpan measures whether or not a trace
+  // buffer is attached, keeping accounting identical in both modes.
+  obs::PhaseSpan sketch_span(ctx.trace_buffer(), "sketch-build",
+                             &ctx.stats().sim_seconds);
 
   // Step 1a: local per-feature sketches from this worker's rows.
   std::vector<QuantileSketch> sketches(d, QuantileSketch(sketch_entries));
@@ -220,6 +226,9 @@ VerticalShard HorizontalToVertical(WorkerContext& ctx, const Dataset& shard,
   }
 
   ThreadCpuTimer cpu;
+  obs::TraceBuffer* tb = ctx.trace_buffer();
+  const double* sim_clock = &ctx.stats().sim_seconds;
+  obs::PhaseSpan encode_span(tb, "transform-encode", sim_clock);
 
   // Step 3a: column grouping (deterministic given the gathered counts, so
   // every worker computes the same assignment locally).
@@ -304,6 +313,7 @@ VerticalShard HorizontalToVertical(WorkerContext& ctx, const Dataset& shard,
   }
   cpu.Stop();
   result.stats.encode_seconds = cpu.Seconds();
+  encode_span.Close();
   cpu.Restart();
   cpu.Stop();
 
@@ -316,6 +326,7 @@ VerticalShard HorizontalToVertical(WorkerContext& ctx, const Dataset& shard,
   result.stats.repartition_sim_seconds =
       ctx.stats().sim_seconds - sim_before_repart;
   cpu.Resume();
+  obs::PhaseSpan decode_span(tb, "transform-decode", sim_clock);
 
   // Decode: one block per source worker, ordered by source rank so the
   // blocks tile [0, N) in order (step 4's sort by original worker id).
@@ -388,8 +399,10 @@ VerticalShard HorizontalToVertical(WorkerContext& ctx, const Dataset& shard,
   result.data.MergeBlocks(options.max_blocks);
   cpu.Stop();
   result.stats.decode_seconds = cpu.Seconds();
+  decode_span.Close();
 
   // Step 5: broadcast instance labels (master collects, then broadcasts).
+  obs::PhaseSpan label_span(tb, "label-broadcast", sim_clock);
   const double sim_before_labels = ctx.stats().sim_seconds;
   {
     ByteWriter writer;

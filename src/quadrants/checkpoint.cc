@@ -1,16 +1,24 @@
 #include "quadrants/checkpoint.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "common/crc32.h"
 #include "common/serialize.h"
+#include "obs/metrics.h"
 
 namespace vero {
 namespace {
 
-constexpr uint32_t kCheckpointMagic = 0x56434b50u;  // "VCKP"
+constexpr uint32_t kCheckpointMagic = 0x56434b50u;   // "VCKP"
 constexpr uint32_t kCheckpointVersion = 1;
+constexpr uint32_t kManifestMagic = 0x56434b4du;     // "VCKM"
+constexpr uint32_t kManifestVersion = 1;
 
 }  // namespace
 
@@ -102,4 +110,339 @@ StatusOr<TrainCheckpoint> LoadCheckpoint(const std::string& path) {
   return checkpoint;
 }
 
+// ---------------------------------------------------------------------------
+// Manifest.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  out->assign(content.begin(), content.end());
+  return Status::OK();
+}
+
+/// Write-to-temp + atomic rename; a crash mid-write leaves the destination
+/// untouched (or a stray .tmp sibling that later commits simply overwrite).
+Status AtomicWriteFile(const std::string& path,
+                       const std::vector<uint8_t>& data) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp + " for writing");
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out.good()) return Status::IOError("write failed for " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("rename " + tmp + " -> " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+std::string ChainFileName(uint32_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ckpt-%06u.vckp", index);
+  return buf;
+}
+
+/// Parses the NNNNNN out of "ckpt-NNNNNN.vckp"; -1 for anything else.
+int64_t ChainFileIndex(const std::string& name) {
+  constexpr const char* kPrefix = "ckpt-";
+  constexpr const char* kSuffix = ".vckp";
+  if (name.size() != 16) return -1;
+  if (name.compare(0, 5, kPrefix) != 0) return -1;
+  if (name.compare(11, 5, kSuffix) != 0) return -1;
+  int64_t index = 0;
+  for (int i = 5; i < 11; ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    index = index * 10 + (name[i] - '0');
+  }
+  return index;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeManifest(const CheckpointManifest& manifest) {
+  ByteWriter writer;
+  writer.WriteU32(kManifestMagic);
+  writer.WriteU32(kManifestVersion);
+  writer.WriteU32(static_cast<uint32_t>(manifest.entries.size()));
+  for (const ManifestEntry& e : manifest.entries) {
+    writer.WriteString(e.file);
+    writer.WriteU32(e.trees_done);
+    writer.WriteU64(e.bytes);
+    writer.WriteU32(e.crc32);
+  }
+  writer.WriteU32(Crc32(writer.data().data(), writer.size()));
+  return writer.TakeData();
+}
+
+Status DeserializeManifest(const std::vector<uint8_t>& data,
+                           CheckpointManifest* out) {
+  if (data.size() < 4 * sizeof(uint32_t)) {
+    return Status::Corruption("manifest buffer too short");
+  }
+  const size_t payload_end = data.size() - sizeof(uint32_t);
+  {
+    ByteReader trailer(data.data() + payload_end, sizeof(uint32_t));
+    uint32_t stored_crc = 0;
+    VERO_RETURN_IF_ERROR(trailer.ReadU32(&stored_crc));
+    if (Crc32(data.data(), payload_end) != stored_crc) {
+      return Status::Corruption("manifest CRC mismatch");
+    }
+  }
+  ByteReader reader(data.data(), payload_end);
+  uint32_t magic = 0, version = 0, count = 0;
+  VERO_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  if (magic != kManifestMagic) return Status::Corruption("bad manifest magic");
+  VERO_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (version != kManifestVersion) {
+    return Status::Corruption("unsupported manifest version");
+  }
+  VERO_RETURN_IF_ERROR(reader.ReadU32(&count));
+  CheckpointManifest manifest;
+  manifest.entries.reserve(std::min<uint32_t>(count, 1024));
+  for (uint32_t i = 0; i < count; ++i) {
+    ManifestEntry e;
+    Status s = reader.ReadString(&e.file);
+    if (s.ok()) s = reader.ReadU32(&e.trees_done);
+    if (s.ok()) s = reader.ReadU64(&e.bytes);
+    if (s.ok()) s = reader.ReadU32(&e.crc32);
+    if (!s.ok()) {
+      return s.code() == StatusCode::kOutOfRange
+                 ? Status::Corruption("truncated manifest entry")
+                 : s;
+    }
+    manifest.entries.push_back(std::move(e));
+  }
+  if (reader.position() != payload_end) {
+    return Status::Corruption("trailing bytes in manifest");
+  }
+  *out = std::move(manifest);
+  return Status::OK();
+}
+
+Status SaveManifest(const CheckpointManifest& manifest,
+                    const std::string& path) {
+  return AtomicWriteFile(path, SerializeManifest(manifest));
+}
+
+StatusOr<CheckpointManifest> LoadManifest(const std::string& path) {
+  std::vector<uint8_t> data;
+  VERO_RETURN_IF_ERROR(ReadFileBytes(path, &data));
+  CheckpointManifest manifest;
+  VERO_RETURN_IF_ERROR(DeserializeManifest(data, &manifest));
+  return manifest;
+}
+
+StatusOr<TrainCheckpoint> LoadLatestCheckpoint(const std::string& dir) {
+  bool had_candidate = false;
+
+  // Manifest path: newest entry first, size + whole-file CRC cross-checked
+  // before the (also CRC-framed) payload is parsed.
+  StatusOr<CheckpointManifest> manifest =
+      LoadManifest(dir + "/" + kManifestFileName);
+  if (manifest.ok()) {
+    const std::vector<ManifestEntry>& entries = manifest.value().entries;
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+      had_candidate = true;
+      std::vector<uint8_t> data;
+      if (!ReadFileBytes(dir + "/" + it->file, &data).ok()) continue;
+      if (data.size() != it->bytes) continue;
+      if (Crc32(data.data(), data.size()) != it->crc32) continue;
+      TrainCheckpoint checkpoint;
+      if (!DeserializeCheckpoint(data, &checkpoint).ok()) continue;
+      return checkpoint;
+    }
+  }
+
+  // Fallback: the manifest is damaged/missing or every listed entry was
+  // bad. Scan the directory for chain files (newest index first), then the
+  // latest.vckp alias.
+  std::vector<std::pair<int64_t, std::string>> chain;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    const int64_t index = ChainFileIndex(name);
+    if (index >= 0) chain.emplace_back(index, name);
+  }
+  std::sort(chain.begin(), chain.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  chain.emplace_back(-1, "latest.vckp");
+  for (const auto& [index, name] : chain) {
+    const std::string path = dir + "/" + name;
+    if (!std::filesystem::exists(path, ec)) continue;
+    had_candidate = true;
+    StatusOr<TrainCheckpoint> loaded = LoadCheckpoint(path);
+    if (loaded.ok()) return std::move(loaded).value();
+  }
+
+  if (had_candidate) {
+    return Status::Corruption("no valid checkpoint survives in " + dir);
+  }
+  return Status::NotFound("no checkpoint files in " + dir);
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointWriter.
+// ---------------------------------------------------------------------------
+
+CheckpointWriter::CheckpointWriter(Options options, Metrics metrics)
+    : options_(std::move(options)), metrics_(metrics) {
+  if (!options_.dir.empty()) {
+    // Adopt a pre-existing chain so rotation/GC and numbering continue
+    // rather than clobbering files from an earlier incarnation.
+    StatusOr<CheckpointManifest> existing =
+        LoadManifest(options_.dir + "/" + kManifestFileName);
+    if (existing.ok()) {
+      manifest_ = std::move(existing).value();
+      for (const ManifestEntry& e : manifest_.entries) {
+        const int64_t index = ChainFileIndex(e.file);
+        if (index >= 0 && index + 1 > next_index_) {
+          next_index_ = static_cast<uint32_t>(index + 1);
+        }
+      }
+    }
+  }
+  if (options_.async) {
+    worker_ = std::thread([this] { WriterLoop(); });
+  }
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  if (worker_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+}
+
+void CheckpointWriter::Submit(const GbdtModel& model, uint32_t trees_done,
+                              const CandidateSplits* splits) {
+  TrainCheckpoint snapshot;
+  snapshot.trees_done = trees_done;
+  snapshot.model = model;
+  if (splits != nullptr) {
+    snapshot.has_splits = true;
+    snapshot.splits = *splits;
+  }
+  if (!options_.async) {
+    CommitSnapshot(std::move(snapshot));
+    return;
+  }
+  {
+    // Double buffer: the slot holds at most one snapshot; a newer Submit
+    // while the writer is busy replaces it (newest wins).
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_ = std::move(snapshot);
+  }
+  cv_.notify_all();
+}
+
+void CheckpointWriter::Flush() {
+  if (!options_.async) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !pending_.has_value() && !writing_; });
+}
+
+std::optional<TrainCheckpoint> CheckpointWriter::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_;
+}
+
+Status CheckpointWriter::write_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_status_;
+}
+
+void CheckpointWriter::RecordError(Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (write_status_.ok()) write_status_ = std::move(status);
+}
+
+void CheckpointWriter::WriterLoop() {
+  for (;;) {
+    TrainCheckpoint snapshot;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return pending_.has_value() || stop_; });
+      if (!pending_.has_value()) break;  // stop_ set and slot drained
+      snapshot = std::move(*pending_);
+      pending_.reset();
+      writing_ = true;
+    }
+    CommitSnapshot(std::move(snapshot));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      writing_ = false;
+    }
+    cv_.notify_all();
+  }
+}
+
+void CheckpointWriter::CommitSnapshot(TrainCheckpoint snapshot) {
+  const auto wall_begin = std::chrono::steady_clock::now();
+  const std::vector<uint8_t> data = SerializeCheckpoint(snapshot);
+  if (!options_.dir.empty()) {
+    const std::string name = ChainFileName(next_index_++);
+    Status s = AtomicWriteFile(options_.dir + "/" + name, data);
+    if (s.ok()) {
+      // Refresh the alias the simple single-file loader looks for.
+      s = AtomicWriteFile(options_.dir + "/latest.vckp", data);
+    }
+    if (s.ok()) {
+      ManifestEntry entry;
+      entry.file = name;
+      entry.trees_done = snapshot.trees_done;
+      entry.bytes = data.size();
+      entry.crc32 = Crc32(data.data(), data.size());
+      manifest_.entries.push_back(std::move(entry));
+      // GC: drop chain files beyond keep_last_n (manifest order is oldest
+      // first). The manifest commits after the deletes, so a crash between
+      // them only leaves unreferenced files, never dangling entries.
+      if (options_.keep_last_n > 0 &&
+          manifest_.entries.size() > options_.keep_last_n) {
+        const size_t drop = manifest_.entries.size() - options_.keep_last_n;
+        for (size_t i = 0; i < drop; ++i) {
+          std::error_code ec;
+          std::filesystem::remove(
+              options_.dir + "/" + manifest_.entries[i].file, ec);
+          if (metrics_.rotated_deleted != nullptr) {
+            metrics_.rotated_deleted->Increment();
+          }
+        }
+        manifest_.entries.erase(manifest_.entries.begin(),
+                                manifest_.entries.begin() +
+                                    static_cast<ptrdiff_t>(drop));
+      }
+      s = SaveManifest(manifest_, options_.dir + "/" + kManifestFileName);
+    }
+    if (!s.ok()) RecordError(std::move(s));
+  }
+  if (metrics_.count != nullptr) metrics_.count->Increment();
+  if (metrics_.bytes != nullptr) metrics_.bytes->Add(data.size());
+  if (metrics_.write_seconds != nullptr) {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - wall_begin;
+    metrics_.write_seconds->Observe(elapsed.count());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    latest_ = std::move(snapshot);
+  }
+}
+
 }  // namespace vero
+

@@ -1,8 +1,13 @@
 #ifndef VERO_QUADRANTS_CHECKPOINT_H_
 #define VERO_QUADRANTS_CHECKPOINT_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -10,6 +15,11 @@
 #include "sketch/candidate_splits.h"
 
 namespace vero {
+
+namespace obs {
+class Counter;
+class HistogramMetric;
+}  // namespace obs
 
 /// Training state captured after a completed boosting round, sufficient to
 /// resume on a (possibly smaller) cluster without redoing finished work:
@@ -41,6 +51,139 @@ Status DeserializeCheckpoint(const std::vector<uint8_t>& data,
 Status SaveCheckpoint(const TrainCheckpoint& checkpoint,
                       const std::string& path);
 StatusOr<TrainCheckpoint> LoadCheckpoint(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Rotated checkpoint chain: manifest + background writer.
+// ---------------------------------------------------------------------------
+
+/// One committed checkpoint of the rotated chain, as recorded in the
+/// manifest. `crc32` covers the entire chain file (including the file's own
+/// CRC trailer), so the manifest can detect file damage without parsing.
+struct ManifestEntry {
+  std::string file;  ///< Basename within the checkpoint dir.
+  uint32_t trees_done = 0;
+  uint64_t bytes = 0;
+  uint32_t crc32 = 0;
+};
+
+/// Index of the on-disk chain, oldest entry first. Serialized with the same
+/// framing discipline as checkpoints (magic "VCKM", version, CRC trailer)
+/// and committed via write-to-temp + atomic rename, so a crash mid-write
+/// leaves either the old or the new manifest, never a torn one.
+struct CheckpointManifest {
+  std::vector<ManifestEntry> entries;
+};
+
+std::vector<uint8_t> SerializeManifest(const CheckpointManifest& manifest);
+Status DeserializeManifest(const std::vector<uint8_t>& data,
+                           CheckpointManifest* out);
+
+/// Atomic save (temp + rename) / load of the manifest file.
+Status SaveManifest(const CheckpointManifest& manifest,
+                    const std::string& path);
+StatusOr<CheckpointManifest> LoadManifest(const std::string& path);
+
+/// Name of the manifest file inside a checkpoint directory.
+inline constexpr const char* kManifestFileName = "MANIFEST.vckm";
+
+/// Recovers the newest restorable checkpoint from `dir`. Walks the manifest
+/// newest-to-oldest, cross-checking each entry's size and CRC before
+/// parsing; on manifest damage (or when every listed entry is bad) falls
+/// back to scanning the directory for chain files and the latest.vckp
+/// alias. Returns kNotFound when the directory holds no checkpoint files at
+/// all, kCorruption when candidates exist but none survives validation.
+/// Never crashes on malformed input.
+StatusOr<TrainCheckpoint> LoadLatestCheckpoint(const std::string& dir);
+
+/// Double-buffered checkpoint writer with rotation/GC.
+///
+/// Submit() captures a snapshot (model + split-table copy) of the state to
+/// persist. In synchronous mode the serialization, chain-file write,
+/// manifest commit, and GC all happen inline; in async mode Submit returns
+/// after the copy and a background thread does the rest, keeping file IO off
+/// the boosting round's critical path. Under backpressure (a new Submit
+/// while the previous snapshot is still being written) the pending snapshot
+/// is replaced — newest wins — so the writer never queues unboundedly and
+/// the durable state is always some fully committed round.
+///
+/// Thread contract: Submit may be called from any single thread at a time
+/// (rank 0 of the running attempt); Latest()/Flush() are safe from the
+/// driver thread. Metric handles, when provided, are touched only while a
+/// write commits, always by exactly one thread at a time.
+class CheckpointWriter {
+ public:
+  struct Options {
+    /// Directory for the rotated chain; empty keeps checkpoints in memory
+    /// only (Latest() still works, nothing touches disk).
+    std::string dir;
+    /// Background writes (see class comment).
+    bool async = false;
+    /// Chain files kept on disk after GC; 0 disables GC.
+    uint32_t keep_last_n = 3;
+  };
+
+  /// Pre-resolved metric handles (all optional). The caller must guarantee
+  /// the cells are not written by any other thread for the writer's
+  /// lifetime.
+  struct Metrics {
+    obs::Counter* count = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Counter* rotated_deleted = nullptr;
+    obs::HistogramMetric* write_seconds = nullptr;
+  };
+
+  CheckpointWriter(Options options, Metrics metrics);
+  explicit CheckpointWriter(Options options)
+      : CheckpointWriter(std::move(options), Metrics()) {}
+  /// Drains pending work and joins the background thread.
+  ~CheckpointWriter();
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  /// Captures (model, splits) for persistence. `splits` may be null.
+  void Submit(const GbdtModel& model, uint32_t trees_done,
+              const CandidateSplits* splits);
+
+  /// Blocks until every snapshot submitted so far is committed (visible via
+  /// Latest() and, when a dir is set, durable on disk). No-op in sync mode.
+  void Flush();
+
+  /// Newest fully committed checkpoint, or nullopt if none yet.
+  std::optional<TrainCheckpoint> Latest() const;
+
+  /// First file-IO error encountered, OK otherwise. Write errors do not
+  /// stop the writer; the in-memory Latest() keeps updating.
+  Status write_status() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  void WriterLoop();
+  /// Serializes and commits one snapshot (chain file + manifest + alias +
+  /// GC), then publishes it as Latest(). Runs inline (sync) or on the
+  /// background thread (async).
+  void CommitSnapshot(TrainCheckpoint snapshot);
+  void RecordError(Status status);
+
+  const Options options_;
+  const Metrics metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::optional<TrainCheckpoint> pending_;
+  bool writing_ = false;
+  bool stop_ = false;
+  std::optional<TrainCheckpoint> latest_;
+  Status write_status_;
+
+  /// Next chain-file index and the live manifest (writer-thread-owned once
+  /// the background thread starts; inline-owned in sync mode).
+  uint32_t next_index_ = 0;
+  CheckpointManifest manifest_;
+
+  std::thread worker_;
+};
 
 }  // namespace vero
 

@@ -321,7 +321,7 @@ void DistTrainerBase::Train(const Dataset* valid,
     // relies on when stitching the pre-failure prefix.
     if (checkpoint_interval_ > 0 && checkpoint_sink_ && ctx_.rank() == 0 &&
         (t + 1 - start_tree) % checkpoint_interval_ == 0) {
-      obs::PhaseSpan span(tb, "checkpoint", sim_clock);
+      obs::PhaseSpan span(tb, checkpoint_span_name_, sim_clock);
       checkpoint_sink_(model_, t + 1);
     }
 

@@ -32,8 +32,18 @@ struct CheckpointOptions {
   /// surviving workers).
   uint32_t interval = 0;
   /// Optional directory for on-disk checkpoints (empty keeps the latest
-  /// checkpoint in memory only). Files are written as <dir>/latest.vckp.
+  /// checkpoint in memory only). Files are written as a rotated
+  /// <dir>/ckpt-NNNNNN.vckp chain plus a <dir>/latest.vckp alias and a
+  /// CRC-framed <dir>/MANIFEST.vckm index.
   std::string dir;
+  /// Write checkpoints on a background thread: the round loop only snapshots
+  /// the model (a copy), keeping serialization and file IO off the per-round
+  /// critical path. Under backpressure intermediate snapshots are dropped
+  /// (newest wins) — the durable state is always some completed round.
+  bool async = false;
+  /// On-disk rotation: keep the newest `keep_last_n` chain files, GC older
+  /// ones (0 means keep everything). In-memory state is always just latest.
+  uint32_t keep_last_n = 3;
 };
 
 /// Options for a distributed training run.
@@ -45,9 +55,16 @@ struct DistTrainOptions {
   /// Checkpoint/recovery policy (used by TrainDistributed when the cluster
   /// has a fault plan or real failures occur).
   CheckpointOptions checkpoint;
-  /// How many times TrainDistributed rebuilds a smaller cluster and retries
-  /// after worker failures before giving up (0 = fail immediately).
+  /// How many times TrainDistributed rebuilds a cluster and retries after
+  /// worker failures before giving up (0 = fail immediately). Each attempt
+  /// tolerates further failures — including failures during the recovery
+  /// rendezvous itself — as long as the budget lasts.
   int max_recovery_attempts = 1;
+  /// Elastic recovery: replace crashed workers with re-joining replacements
+  /// so every rebuilt cluster runs at the original world size W (replacement
+  /// ranks are re-seeded with a fresh shard and the latest checkpoint at a
+  /// rendezvous barrier). False preserves the degrade-to-survivors behavior.
+  bool elastic_rejoin = false;
 };
 
 /// Cluster-level cost of one boosting round: compute phases are the maximum
@@ -102,6 +119,12 @@ struct RecoveryStats {
   uint32_t trees_retrained = 0;
   /// Workers in the final (surviving) cluster.
   int final_world_size = 0;
+  /// Replacement workers that re-joined across all recovery attempts
+  /// (elastic_rejoin only).
+  int rejoined_workers = 0;
+  /// Recovery rendezvous rounds that themselves failed (a crash during the
+  /// rejoin/redistribution phase) and had to be retried.
+  int rendezvous_failures = 0;
   /// Simulated seconds spent on recovery: state redistribution to the
   /// survivors plus the recovery cluster's setup phase.
   double recovery_seconds = 0.0;
@@ -182,12 +205,16 @@ class DistTrainerBase {
 
   /// Arms per-round checkpointing: after every `interval` completed trees,
   /// rank 0 invokes `sink` with the model-so-far. The sink must not run
-  /// collectives (only rank 0 calls it).
+  /// collectives (only rank 0 calls it). `span_name` labels the sink's trace
+  /// span (must outlive the trainer): async sinks use "checkpoint-snapshot"
+  /// so the span honestly covers only the in-loop copy, not the write.
   void EnableCheckpoints(
       uint32_t interval,
-      std::function<void(const GbdtModel&, uint32_t trees_done)> sink) {
+      std::function<void(const GbdtModel&, uint32_t trees_done)> sink,
+      const char* span_name = "checkpoint") {
     checkpoint_interval_ = interval;
     checkpoint_sink_ = std::move(sink);
+    checkpoint_span_name_ = span_name;
   }
 
   /// Seeds the trainer with an already-trained prefix: `model`'s trees are
@@ -283,6 +310,7 @@ class DistTrainerBase {
   /// Checkpoint hook state (see EnableCheckpoints).
   uint32_t checkpoint_interval_ = 0;
   std::function<void(const GbdtModel&, uint32_t)> checkpoint_sink_;
+  const char* checkpoint_span_name_ = "checkpoint";
 };
 
 /// Serialization helpers shared by the quadrant split exchanges.

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "cluster/membership.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
@@ -34,15 +35,8 @@ struct WorkerOutput {
   TransformStats transform_stats;
 };
 
-// Latest checkpoint, written by rank 0's thread during an attempt and read
-// by the driver after the attempt joins.
-struct CheckpointStore {
-  CheckpointOptions options;
-  std::vector<uint8_t> latest;
-};
-
 // One training attempt's inputs. The first attempt runs fresh; recovery
-// attempts resume from a checkpoint (or restart) on a smaller cluster.
+// attempts resume from a checkpoint (or restart) on a rebuilt cluster.
 struct AttemptConfig {
   Quadrant quadrant = Quadrant::kQD1;
   const DistTrainOptions* options = nullptr;
@@ -55,7 +49,9 @@ struct AttemptConfig {
   const std::vector<double>* resume_margins = nullptr;
   /// Simulated seconds already elapsed (pre-failure prefix + recovery).
   double elapsed_base = 0.0;
-  CheckpointStore* store = nullptr;
+  /// Driver-owned checkpoint writer, shared across attempts (null when
+  /// checkpointing is disabled). Rank 0's sink submits snapshots to it.
+  CheckpointWriter* writer = nullptr;
 };
 
 std::vector<Dataset> BuildHorizontalShards(const Dataset& train, int world) {
@@ -89,6 +85,9 @@ std::vector<Status> RunAttempt(Cluster& cluster,
     const int rank = ctx.rank();
     const int w = ctx.world_size();
     WorkerOutput& out = (*outputs)[rank];
+    // Phase announcements let FaultPlan events target the sketch/transform
+    // setup or the round loop specifically (labels only — no accounting).
+    ctx.set_fault_phase(FaultPhase::kSetup);
     ThreadCpuTimer setup_cpu;
     const double sim_start = ctx.stats().sim_seconds;
     const uint64_t bytes_start = ctx.stats().bytes_sent;
@@ -178,44 +177,19 @@ std::vector<Status> RunAttempt(Cluster& cluster,
       }
     }
 
-    if (cfg.store != nullptr && cfg.store->options.interval > 0 &&
-        rank == 0) {
-      CheckpointStore* store = cfg.store;
-      // Resolve the checkpoint metric handles once; the sink then records a
-      // size / count / latency sample per checkpoint on rank 0's shard.
-      obs::Counter* ckpt_bytes = nullptr;
-      obs::Counter* ckpt_count = nullptr;
-      obs::HistogramMetric* ckpt_latency = nullptr;
-      if (obs::MetricsShard* shard = ctx.metrics_shard()) {
-        ckpt_bytes = shard->counter("checkpoint.bytes");
-        ckpt_count = shard->counter("checkpoint.count");
-        ckpt_latency = shard->histogram("checkpoint.latency_seconds");
-      }
+    if (cfg.writer != nullptr && rank == 0) {
+      CheckpointWriter* writer = cfg.writer;
+      // Submit copies the model and split table into the writer; in async
+      // mode that copy is the only work on the round's critical path — the
+      // serialization and file IO happen on the writer's thread, so the
+      // span name says "snapshot", not "checkpoint".
       trainer->EnableCheckpoints(
-          store->options.interval,
-          [store, checkpoint_splits, ckpt_bytes, ckpt_count, ckpt_latency](
-              const GbdtModel& model, uint32_t trees_done) {
-            WallTimer latency;
-            TrainCheckpoint checkpoint;
-            checkpoint.trees_done = trees_done;
-            checkpoint.model = model;
-            checkpoint.has_splits = true;
-            checkpoint.splits = *checkpoint_splits;
-            store->latest = SerializeCheckpoint(checkpoint);
-            if (!store->options.dir.empty()) {
-              const Status s = SaveCheckpoint(
-                  checkpoint, store->options.dir + "/latest.vckp");
-              if (!s.ok()) {
-                VERO_LOG(Warning)
-                    << "checkpoint write failed: " << s.ToString();
-              }
-            }
-            if (ckpt_count != nullptr) {
-              ckpt_count->Increment();
-              ckpt_bytes->Add(store->latest.size());
-              ckpt_latency->Observe(latency.Seconds());
-            }
-          });
+          options.checkpoint.interval,
+          [writer, checkpoint_splits](const GbdtModel& model,
+                                      uint32_t trees_done) {
+            writer->Submit(model, trees_done, checkpoint_splits);
+          },
+          writer->options().async ? "checkpoint-snapshot" : "checkpoint");
     }
 
     setup_cpu.Stop();
@@ -227,8 +201,10 @@ std::vector<Status> RunAttempt(Cluster& cluster,
         ctx.InstrumentSum(static_cast<double>(bytes_after_setup -
                                               bytes_start))));
 
+    ctx.set_fault_phase(FaultPhase::kTrain);
     trainer->Train(cfg.valid, &out.tree_costs, &out.curve,
                    cfg.elapsed_base + out.setup_seconds);
+    ctx.set_fault_phase(FaultPhase::kAnyPhase);
     out.train_bytes_sent = ctx.stats().bytes_sent - bytes_after_setup;
     out.peak_histogram_bytes = trainer->peak_histogram_bytes();
     out.data_bytes = trainer->DataBytes();
@@ -254,8 +230,9 @@ void FoldWorkerOutputs(const std::vector<WorkerOutput>& outputs,
 }
 
 // Approximate on-the-wire size of one horizontal shard: CSR entries (4-byte
-// feature id + 8-byte value) plus labels. Used to cost a from-scratch
-// redistribution when no checkpoint exists.
+// feature id + 8-byte value) plus labels. Used to cost re-reading a shard
+// from the replicated store (a dead worker's shard in degraded mode, a
+// replacement's fresh shard in elastic mode).
 uint64_t ShardWireBytes(const Dataset& shard) {
   uint64_t bytes = 0;
   const CsrMatrix& m = shard.matrix();
@@ -276,11 +253,37 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
   VERO_CHECK_OK(options.params.Validate());
   const int w = cluster.num_workers();
   const bool sharded = quadrant != Quadrant::kFeatureParallel;
+  const bool elastic = options.elastic_rejoin;
 
-  CheckpointStore store;
-  store.options = options.checkpoint;
+  obs::RunObserver* observer = cluster.observer();
+
+  // Driver-owned checkpoint writer, shared by every attempt so the latest
+  // restorable state survives cluster teardowns. Its metric cells live on a
+  // dedicated shard: whichever single thread commits a write (rank 0 inline
+  // in sync mode, the writer thread in async mode) is the sole writer.
+  std::unique_ptr<CheckpointWriter> writer;
+  if (options.checkpoint.interval > 0) {
+    CheckpointWriter::Metrics writer_metrics;
+    if (observer != nullptr) {
+      obs::MetricsShard* ckpt_shard = observer->metrics().CreateShard();
+      writer_metrics.count = ckpt_shard->counter("checkpoint.count");
+      writer_metrics.bytes = ckpt_shard->counter("checkpoint.bytes");
+      writer_metrics.rotated_deleted =
+          ckpt_shard->counter("checkpoint.rotated_deleted");
+      writer_metrics.write_seconds =
+          ckpt_shard->histogram("checkpoint.latency_seconds");
+    }
+    CheckpointWriter::Options writer_options;
+    writer_options.dir = options.checkpoint.dir;
+    writer_options.async = options.checkpoint.async;
+    writer_options.keep_last_n = options.checkpoint.keep_last_n;
+    writer = std::make_unique<CheckpointWriter>(std::move(writer_options),
+                                                writer_metrics);
+  }
 
   // Horizontal shards in rank order (the layout loaded from HDFS in §4.2.1).
+  // Elastic incarnations keep the original world size so this table stays
+  // valid for the whole run; degraded mode re-shards per incarnation.
   std::vector<Dataset> shards;
   if (sharded) shards = BuildHorizontalShards(train, w);
 
@@ -292,7 +295,7 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
   cfg.train = &train;
   cfg.valid = valid;
   cfg.qd3_policy = qd3_policy;
-  cfg.store = &store;
+  cfg.writer = writer.get();
   Status error = FirstError(RunAttempt(cluster, shards, cfg, &outputs));
 
   DistResult result;
@@ -309,8 +312,12 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
 
   // ---- Recovery ----------------------------------------------------------
   // The failed cluster's rendezvous group is permanently broken; training
-  // continues on a fresh, smaller cluster over the surviving workers,
-  // resuming from the last checkpoint when one exists.
+  // continues on a fresh cluster — at full W with re-joined replacement
+  // workers in elastic mode, over the survivors otherwise — resuming from
+  // the last checkpoint when one exists. The rebuild itself runs under the
+  // (shared) fault injector, so a second crash while redistributing state
+  // just costs another bounded iteration of this loop.
+  if (writer != nullptr) writer->Flush();
   std::vector<int> dead = cluster.dead_ranks();
   result.recovery.failures_observed = static_cast<int>(dead.size());
   int survivors = w - static_cast<int>(dead.size());
@@ -318,11 +325,7 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
   // every completed round before any checkpoint covering it).
   const double first_setup_seconds = outputs[0].setup_seconds;
   const TransformStats first_transform_stats = outputs[0].transform_stats;
-  const std::vector<TreeCost> first_costs = std::move(outputs[0].tree_costs);
-  const std::vector<IterationStats> first_curve =
-      std::move(outputs[0].curve);
 
-  obs::RunObserver* observer = cluster.observer();
   obs::TraceBuffer* driver_tb =
       observer != nullptr ? observer->driver_buffer() : nullptr;
   obs::MetricsShard* driver_shard =
@@ -331,16 +334,23 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
     driver_shard->counter("recovery.failures_observed")->Add(dead.size());
   }
 
+  // Rounds proven durable by a checkpoint, stitched across attempts: each
+  // settle step below extends this prefix with the failed attempt's rounds
+  // the newest checkpoint covers.
+  std::vector<TreeCost> committed_costs;
+  std::vector<IterationStats> committed_curve;
+
   // Goodput bookkeeping: the attempt that just failed, pending its waste
   // charge. A failed attempt's communication and modeled time count as
   // wasted except for the trees a later attempt resumes from (via
   // checkpoint); its setup is wasted only when nothing at all was kept.
   // The round in flight at the moment of failure was never recorded as a
   // completed cost, so it is deliberately omitted.
-  std::vector<TreeCost> prev_costs = first_costs;
-  uint32_t prev_start_tree = 0;
-  double prev_setup_seconds = first_setup_seconds;
-  uint64_t prev_setup_bytes = outputs[0].setup_bytes_sent;
+  std::vector<TreeCost> pending_costs = std::move(outputs[0].tree_costs);
+  std::vector<IterationStats> pending_curve = std::move(outputs[0].curve);
+  uint32_t pending_start_tree = 0;
+  double pending_setup_seconds = first_setup_seconds;
+  uint64_t pending_setup_bytes = outputs[0].setup_bytes_sent;
   auto charge_wasted = [&result](const std::vector<TreeCost>& costs,
                                  uint32_t start_tree, uint32_t trees_kept,
                                  double setup_seconds, uint64_t setup_bytes) {
@@ -359,6 +369,15 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
     }
   };
 
+  // The shared injector keeps its occurrence counters across incarnations:
+  // already-fired events never re-fire, and phase-targeted events scheduled
+  // for the recovery rendezvous can still trigger.
+  std::shared_ptr<FaultInjector> injector = cluster.shared_fault_injector();
+  Membership membership = InitialMembership(w);
+  std::vector<Dataset> current_shards;  // Shard table of the active world.
+  double redistribution_elapsed = 0.0;
+  std::unique_ptr<Cluster> rebuilt;
+
   while (result.recovery.recovery_attempts < options.max_recovery_attempts &&
          survivors >= 1) {
     ++result.recovery.recovery_attempts;
@@ -368,33 +387,122 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
       driver_shard->counter("recovery.attempts")->Increment();
     }
 
+    // ---- Settle the durable state --------------------------------------
     TrainCheckpoint restored;
     bool have_checkpoint = false;
-    if (!store.latest.empty()) {
-      have_checkpoint =
-          DeserializeCheckpoint(store.latest, &restored).ok() &&
-          restored.trees_done > 0;
+    if (writer != nullptr) {
+      writer->Flush();
+      std::optional<TrainCheckpoint> latest = writer->Latest();
+      if (latest.has_value() && latest->trees_done > 0) {
+        restored = std::move(*latest);
+        have_checkpoint = true;
+      }
     }
+    const uint32_t trees_recovered = have_checkpoint ? restored.trees_done : 0;
 
-    // Cost of getting the survivors ready: ship the checkpoint to each of
-    // them (margins are recomputed locally from the model), or — with no
-    // checkpoint — re-read the dead workers' raw shards from the replicated
-    // store and ship them across the survivors.
-    uint64_t redistribution_bytes = 0;
-    if (have_checkpoint) {
-      redistribution_bytes =
-          static_cast<uint64_t>(store.latest.size()) * survivors;
-    } else if (sharded) {
-      for (int r : dead) {
-        if (r < static_cast<int>(shards.size())) {
-          redistribution_bytes += ShardWireBytes(shards[r]);
+    // Rounds of the pending failed attempt now covered by a checkpoint join
+    // the committed prefix; the rest of that attempt is charged as waste.
+    if (trees_recovered > committed_costs.size()) {
+      const size_t need = trees_recovered - committed_costs.size();
+      const size_t take_costs = std::min(need, pending_costs.size());
+      committed_costs.insert(committed_costs.end(), pending_costs.begin(),
+                             pending_costs.begin() +
+                                 static_cast<ptrdiff_t>(take_costs));
+      const size_t take_curve = std::min(need, pending_curve.size());
+      committed_curve.insert(committed_curve.end(), pending_curve.begin(),
+                             pending_curve.begin() +
+                                 static_cast<ptrdiff_t>(take_curve));
+    }
+    charge_wasted(pending_costs, pending_start_tree, trees_recovered,
+                  pending_setup_seconds, pending_setup_bytes);
+    pending_costs.clear();
+    pending_curve.clear();
+    pending_start_tree = trees_recovered;
+    pending_setup_seconds = 0.0;
+    pending_setup_bytes = 0;
+
+    // ---- Next incarnation ----------------------------------------------
+    membership = NextMembership(membership, dead, elastic);
+    const int world = membership.world;
+    if (!membership.rejoined.empty()) {
+      result.recovery.rejoined_workers +=
+          static_cast<int>(membership.rejoined.size());
+      if (driver_shard != nullptr) {
+        driver_shard->counter("recovery.rejoined_workers")
+            ->Add(membership.rejoined.size());
+      }
+    }
+    VERO_LOG(Info) << "recovery attempt "
+                   << result.recovery.recovery_attempts << ": "
+                   << membership.ToString()
+                   << (have_checkpoint
+                           ? " resuming at tree " +
+                                 std::to_string(trees_recovered)
+                           : " restarting from scratch");
+
+    // Driver-priced state movement the rendezvous below does not simulate:
+    // shard re-reads from the replicated store (a replacement's fresh shard
+    // in elastic mode; the dead workers' shards, re-spread across the
+    // survivors, in degraded from-scratch mode).
+    uint64_t priced_bytes = 0;
+    if (sharded) {
+      if (elastic) {
+        for (int r : membership.rejoined) {
+          priced_bytes += ShardWireBytes(shards[r]);
+        }
+      } else if (!have_checkpoint) {
+        const std::vector<Dataset>& prev_shards =
+            current_shards.empty() ? shards : current_shards;
+        for (int r : dead) {
+          if (r < static_cast<int>(prev_shards.size())) {
+            priced_bytes += ShardWireBytes(prev_shards[r]);
+          }
         }
       }
     }
+
+    if (sharded) {
+      current_shards = elastic ? shards : BuildHorizontalShards(train, world);
+    }
+
+    rebuilt = std::make_unique<Cluster>(world, cluster.network_model());
+    rebuilt->set_collective_timeout_seconds(
+        cluster.collective_timeout_seconds());
+    rebuilt->AdoptFaultInjector(injector);
+    // Same observer as the failed cluster: the run's trace / metrics keep
+    // accumulating across recovery attempts.
+    rebuilt->AttachObserver(observer);
+
+    // ---- Rejoin rendezvous ---------------------------------------------
+    // Survivors and replacements meet at a barrier between boosting rounds;
+    // rank 0 serves the latest checkpoint to the group. This runs under the
+    // shared fault injector (phase kRecovery), so a crash here is an
+    // overlapping failure handled by the next loop iteration.
+    std::vector<uint8_t> blob =
+        have_checkpoint ? SerializeCheckpoint(restored) : std::vector<uint8_t>();
+    Status rendezvous_error;
+    {
+      obs::PhaseSpan rejoin_span(driver_tb, "rejoin", nullptr);
+      rejoin_span.set_category("driver");
+      rendezvous_error = FirstError(rebuilt->TryRun([&](WorkerContext& ctx) {
+        ctx.set_fault_phase(FaultPhase::kRecovery);
+        VERO_COMM_OK(ctx.Barrier());
+        std::vector<uint8_t> received =
+            ctx.rank() == 0 ? blob : std::vector<uint8_t>();
+        VERO_COMM_OK(ctx.Broadcast(&received, 0));
+        ctx.set_fault_phase(FaultPhase::kAnyPhase);
+      }));
+    }
+    const uint64_t rendezvous_bytes = rebuilt->TotalStats().bytes_sent;
+    const double rendezvous_seconds = rebuilt->MaxSimSeconds();
+
+    const uint64_t redistribution_bytes = priced_bytes + rendezvous_bytes;
     const double redistribution_seconds =
-        cluster.network_model().OpSeconds(redistribution_bytes, 0);
+        cluster.network_model().OpSeconds(priced_bytes, 0) +
+        rendezvous_seconds;
     result.recovery.recovery_bytes += redistribution_bytes;
     result.recovery.recovery_seconds += redistribution_seconds;
+    redistribution_elapsed += redistribution_seconds;
     if (driver_shard != nullptr) {
       driver_shard->counter("recovery.redistribution_bytes")
           ->Add(redistribution_bytes);
@@ -402,92 +510,99 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
           ->Observe(redistribution_seconds);
     }
 
-    const uint32_t trees_recovered =
-        have_checkpoint ? restored.trees_done : 0;
-    // Now that we know how much of the failed attempt survives through the
-    // checkpoint, charge the rest of it as waste.
-    charge_wasted(prev_costs, prev_start_tree, trees_recovered,
-                  prev_setup_seconds, prev_setup_bytes);
+    if (!rendezvous_error.ok()) {
+      // Overlapping failure during the recovery redistribution itself: the
+      // whole redistribution (shard re-ship to the replacement plus the
+      // rendezvous traffic) was spent for nothing — the next iteration has
+      // to redo it. The new death toll updates the membership and the loop
+      // (budget permitting) goes again.
+      error = rendezvous_error;
+      ++result.recovery.rendezvous_failures;
+      dead = rebuilt->dead_ranks();
+      result.recovery.failures_observed += static_cast<int>(dead.size());
+      result.wasted_bytes += redistribution_bytes;
+      result.wasted_seconds += redistribution_seconds;
+      survivors = world - static_cast<int>(dead.size());
+      if (driver_shard != nullptr) {
+        driver_shard->counter("recovery.rendezvous_failures")->Increment();
+        driver_shard->counter("recovery.failures_observed")->Add(dead.size());
+      }
+      if (dead.empty()) break;  // Unrecoverable (timeout/internal).
+      continue;
+    }
+
     std::vector<double> resume_margins;
     if (have_checkpoint) {
       resume_margins = restored.model.PredictDatasetMargins(train);
     }
 
-    // Simulated time already on the clock when the recovery run starts.
-    double elapsed_base = first_setup_seconds + redistribution_seconds;
-    for (uint32_t t = 0; t < trees_recovered && t < first_costs.size(); ++t) {
-      elapsed_base += first_costs[t].total_seconds();
+    // Simulated time already on the clock when this attempt starts.
+    double elapsed_base = first_setup_seconds + redistribution_elapsed;
+    for (uint32_t t = 0;
+         t < trees_recovered && t < committed_costs.size(); ++t) {
+      elapsed_base += committed_costs[t].total_seconds();
     }
 
-    Cluster recovery_cluster(survivors, cluster.network_model());
-    recovery_cluster.set_collective_timeout_seconds(
-        cluster.collective_timeout_seconds());
-    // Same observer as the failed cluster: the run's trace / metrics keep
-    // accumulating across recovery attempts.
-    recovery_cluster.AttachObserver(observer);
-    std::vector<Dataset> recovery_shards;
-    if (sharded) recovery_shards = BuildHorizontalShards(train, survivors);
-    std::vector<WorkerOutput> recovery_outputs(survivors);
-
-    AttemptConfig recovery_cfg = cfg;
-    recovery_cfg.resume = have_checkpoint ? &restored : nullptr;
-    recovery_cfg.resume_margins = have_checkpoint ? &resume_margins : nullptr;
-    recovery_cfg.elapsed_base = elapsed_base;
-    error = FirstError(RunAttempt(recovery_cluster, recovery_shards,
-                                  recovery_cfg, &recovery_outputs));
+    std::vector<WorkerOutput> attempt_outputs(world);
+    AttemptConfig attempt_cfg = cfg;
+    attempt_cfg.resume = have_checkpoint ? &restored : nullptr;
+    attempt_cfg.resume_margins = have_checkpoint ? &resume_margins : nullptr;
+    attempt_cfg.elapsed_base = elapsed_base;
+    error = FirstError(RunAttempt(*rebuilt, current_shards, attempt_cfg,
+                                  &attempt_outputs));
     if (!error.ok()) {
-      const std::vector<int> newly_dead = recovery_cluster.dead_ranks();
-      result.recovery.failures_observed +=
-          static_cast<int>(newly_dead.size());
-      survivors -= static_cast<int>(newly_dead.size());
+      dead = rebuilt->dead_ranks();
+      result.recovery.failures_observed += static_cast<int>(dead.size());
+      survivors = world - static_cast<int>(dead.size());
       if (driver_shard != nullptr) {
-        driver_shard->counter("recovery.failures_observed")
-            ->Add(newly_dead.size());
+        driver_shard->counter("recovery.failures_observed")->Add(dead.size());
       }
-      // This attempt becomes the pending failed attempt; the next iteration
-      // (or the final-failure path) charges its waste once the amount kept
-      // through checkpoints is known.
-      prev_costs = std::move(recovery_outputs[0].tree_costs);
-      prev_start_tree = trees_recovered;
-      prev_setup_seconds = recovery_outputs[0].setup_seconds;
-      prev_setup_bytes = recovery_outputs[0].setup_bytes_sent;
-      if (newly_dead.empty()) break;  // Unrecoverable (timeout/internal).
+      // This attempt becomes the pending failed attempt; the next settle
+      // step charges its waste once the amount kept through checkpoints is
+      // known.
+      pending_costs = std::move(attempt_outputs[0].tree_costs);
+      pending_curve = std::move(attempt_outputs[0].curve);
+      pending_start_tree = trees_recovered;
+      pending_setup_seconds = attempt_outputs[0].setup_seconds;
+      pending_setup_bytes = attempt_outputs[0].setup_bytes_sent;
+      if (dead.empty()) break;  // Unrecoverable (timeout/internal).
       continue;
     }
 
-    // Stitch the pre-failure prefix (rounds covered by the checkpoint) with
-    // the recovery run's suffix.
-    result.model = std::move(recovery_outputs[0].model);
+    // Stitch the committed prefix (rounds covered by the checkpoint) with
+    // this attempt's suffix.
+    result.model = std::move(attempt_outputs[0].model);
     result.tree_costs.assign(
-        first_costs.begin(),
-        first_costs.begin() +
-            std::min<size_t>(trees_recovered, first_costs.size()));
+        committed_costs.begin(),
+        committed_costs.begin() +
+            std::min<size_t>(trees_recovered, committed_costs.size()));
     result.tree_costs.insert(result.tree_costs.end(),
-                             recovery_outputs[0].tree_costs.begin(),
-                             recovery_outputs[0].tree_costs.end());
+                             attempt_outputs[0].tree_costs.begin(),
+                             attempt_outputs[0].tree_costs.end());
     result.curve.assign(
-        first_curve.begin(),
-        first_curve.begin() +
-            std::min<size_t>(trees_recovered, first_curve.size()));
+        committed_curve.begin(),
+        committed_curve.begin() +
+            std::min<size_t>(trees_recovered, committed_curve.size()));
     result.curve.insert(result.curve.end(),
-                        recovery_outputs[0].curve.begin(),
-                        recovery_outputs[0].curve.end());
+                        attempt_outputs[0].curve.begin(),
+                        attempt_outputs[0].curve.end());
     result.setup_seconds = first_setup_seconds;
     result.transform_stats = first_transform_stats;
-    FoldWorkerOutputs(recovery_outputs, &result);
+    FoldWorkerOutputs(attempt_outputs, &result);
     result.recovery.trees_recovered = trees_recovered;
     result.recovery.trees_retrained = static_cast<uint32_t>(
-        recovery_outputs[0].tree_costs.size());
-    result.recovery.final_world_size = survivors;
-    // The recovery cluster's setup phase (rebuilding stores / re-binning on
-    // the survivors) is part of what the failure cost.
-    result.recovery.recovery_seconds += recovery_outputs[0].setup_seconds;
+        attempt_outputs[0].tree_costs.size());
+    result.recovery.final_world_size = world;
+    // The rebuilt cluster's setup phase (re-binning / re-transforming on
+    // the new membership) is part of what the failure cost.
+    result.recovery.recovery_seconds += attempt_outputs[0].setup_seconds;
+    if (writer != nullptr) writer->Flush();
     return result;
   }
 
   // The run failed outright: nothing from the last failed attempt was kept.
-  charge_wasted(prev_costs, prev_start_tree, 0, prev_setup_seconds,
-                prev_setup_bytes);
+  charge_wasted(pending_costs, pending_start_tree, 0, pending_setup_seconds,
+                pending_setup_bytes);
   result.status = error;
   result.recovery.final_world_size = survivors;
   return result;
@@ -538,6 +653,9 @@ DistResult TrainDistributed(Cluster& cluster, const Dataset& train,
       report.recovery.trees_recovered = result.recovery.trees_recovered;
       report.recovery.trees_retrained = result.recovery.trees_retrained;
       report.recovery.final_world_size = result.recovery.final_world_size;
+      report.recovery.rejoined_workers = result.recovery.rejoined_workers;
+      report.recovery.rendezvous_failures =
+          result.recovery.rendezvous_failures;
       report.recovery.recovery_seconds = result.recovery.recovery_seconds;
       report.recovery.recovery_bytes = result.recovery.recovery_bytes;
       report.metrics = observer->metrics().Merged();
