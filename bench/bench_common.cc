@@ -33,6 +33,7 @@ const char* QuadrantTag(Quadrant q) {
 struct BenchObsState {
   std::string report_path;
   std::string trace_dir;
+  uint32_t threads_flag = 0;  // 0 = not set on the command line
   int run_counter = 0;
   std::vector<std::string> run_reports;  // serialized RunReport objects
 };
@@ -74,6 +75,9 @@ void InitBench(int argc, char** argv) {
       s.report_path = argv[++i];
     } else if (arg == "--trace-dir" && i + 1 < argc) {
       s.trace_dir = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      const int v = std::atoi(argv[++i]);
+      if (v > 0) s.threads_flag = static_cast<uint32_t>(v);
     }
   }
   if (!s.report_path.empty()) std::atexit(FlushBenchReport);
@@ -137,12 +141,27 @@ Dataset MakeWorkload(uint32_t n, uint32_t d, uint32_t c, double density,
   return GenerateSynthetic(config);
 }
 
+uint32_t BenchThreads() {
+  const uint32_t flag = ObsState().threads_flag;
+  if (flag > 0) return flag;
+  static const uint32_t env_threads = [] {
+    const char* env = std::getenv("VERO_THREADS");
+    if (env != nullptr) {
+      const int v = std::atoi(env);
+      if (v > 0) return static_cast<uint32_t>(v);
+    }
+    return 1u;
+  }();
+  return env_threads;
+}
+
 GbdtParams PaperParams(uint32_t num_layers) {
   GbdtParams params;
   params.num_trees = BenchTrees();
   params.num_layers = num_layers;
   params.num_candidate_splits = 20;
   params.learning_rate = 0.1;
+  params.num_threads = BenchThreads();
   return params;
 }
 

@@ -19,6 +19,8 @@ namespace bench {
 ///                         write a "vero.bench_report.v1" JSON file at exit
 ///   --trace-dir <dir>     also record per-phase / per-collective traces and
 ///                         write one Chrome trace JSON per run into <dir>
+///   --threads <n>         per-worker histogram-builder threads (see
+///                         BenchThreads())
 /// Unknown arguments are ignored. Call first thing in main().
 void InitBench(int argc, char** argv);
 
@@ -33,6 +35,12 @@ uint32_t ScaledN(uint32_t n);
 /// Number of boosting rounds used to estimate per-tree costs, from
 /// VERO_BENCH_TREES (default 5).
 uint32_t BenchTrees();
+
+/// Per-worker histogram-builder threads (GbdtParams::num_threads), from the
+/// --threads flag or VERO_THREADS (default 1). A simulated cluster runs one
+/// builder per worker, so a run uses up to W x threads OS threads; results
+/// are bit-identical at any value (see docs/performance.md).
+uint32_t BenchThreads();
 
 /// Prints the standard bench header with workload and environment notes.
 void PrintHeader(const std::string& experiment, const std::string& paper_ref,

@@ -5,12 +5,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
 
+#include "bench/bench_common.h"
 #include "cluster/communicator.h"
 #include "common/bitmap.h"
 #include "common/random.h"
+#include "common/timer.h"
 #include "core/binned.h"
+#include "core/hist_builder.h"
 #include "core/histogram.h"
 #include "core/node_indexer.h"
 #include "data/synthetic.h"
@@ -41,14 +48,69 @@ const CandidateSplits& SharedSplits() {
   return *splits;
 }
 
-GradientBuffer MakeGrads(uint32_t n) {
-  GradientBuffer grads(n, 1);
+GradientBuffer MakeGrads(uint32_t n, uint32_t dims = 1) {
+  GradientBuffer grads(n, dims);
   Rng rng(11);
   for (uint32_t i = 0; i < n; ++i) {
-    grads.at(i, 0) = GradPair{rng.NextGaussian(), rng.NextDouble()};
+    for (uint32_t k = 0; k < dims; ++k) {
+      grads.at(i, k) = GradPair{rng.NextGaussian(), rng.NextDouble()};
+    }
   }
   return grads;
 }
+
+std::vector<InstanceId> AllRows(uint32_t n) {
+  std::vector<InstanceId> rows(n);
+  for (InstanceId i = 0; i < n; ++i) rows[i] = i;
+  return rows;
+}
+
+// Shared-builder row-layer kernel across the dims x threads grid: the code
+// path every row-store trainer (QD2/QD4/feature-parallel) bottoms out in.
+void BM_HistBuilderRowLayer(benchmark::State& state) {
+  const uint32_t dims = static_cast<uint32_t>(state.range(0));
+  const uint32_t threads = static_cast<uint32_t>(state.range(1));
+  const Dataset& data = SharedData();
+  const BinnedRowStore store =
+      BinnedRowStore::FromCsr(data.matrix(), SharedSplits());
+  const GradientBuffer grads = MakeGrads(data.num_instances(), dims);
+  const std::vector<InstanceId> rows = AllRows(data.num_instances());
+  Histogram hist(data.num_features(), 20, dims);
+  std::vector<HistogramBuilder::NodeRows> tasks = {
+      {&hist, std::span<const InstanceId>(rows)}};
+  HistogramBuilder builder(threads);
+  for (auto _ : state) {
+    hist.Clear();
+    builder.BuildRowStoreLayer(
+        store, grads, std::span<const HistogramBuilder::NodeRows>(tasks), 0,
+        data.num_features(), data.num_features());
+    benchmark::DoNotOptimize(hist.raw_data());
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_nonzeros());
+}
+BENCHMARK(BM_HistBuilderRowLayer)->ArgsProduct({{1, 3}, {1, 4}});
+
+// Shared-builder one-sweep column kernel (QD1) across the same grid.
+void BM_HistBuilderColumnSweep(benchmark::State& state) {
+  const uint32_t dims = static_cast<uint32_t>(state.range(0));
+  const uint32_t threads = static_cast<uint32_t>(state.range(1));
+  const Dataset& data = SharedData();
+  const BinnedColumnStore store =
+      BinnedColumnStore::FromCsr(data.matrix(), SharedSplits());
+  const GradientBuffer grads = MakeGrads(data.num_instances(), dims);
+  InstanceToNode node_of;
+  node_of.Init(data.num_instances());
+  Histogram hist(data.num_features(), 20, dims);
+  std::vector<Histogram*> hist_of_node = {&hist};
+  HistogramBuilder builder(threads);
+  for (auto _ : state) {
+    hist.Clear();
+    builder.BuildColumnStoreSweep(store, grads, node_of, hist_of_node);
+    benchmark::DoNotOptimize(hist.raw_data());
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_nonzeros());
+}
+BENCHMARK(BM_HistBuilderColumnSweep)->ArgsProduct({{1, 3}, {1, 4}});
 
 // Row-store histogram build with the node-to-instance index (QD2/QD4 hot
 // loop).
@@ -248,7 +310,224 @@ void BM_AllReduce(benchmark::State& state) {
 }
 BENCHMARK(BM_AllReduce)->Arg(1000)->Arg(100000);
 
+// ---- --hist-json: machine-readable histogram-kernel snapshot -------------
+//
+// Runs the shared-builder row-layer kernel across dims x threads plus the
+// seed-style scalar loop (per-row Histogram::Add) and writes one JSON file
+// for the perf-regression harness (scripts/bench_smoke.sh, check ctest
+// entry). See docs/performance.md for how to read it.
+
+struct HistMeasurement {
+  const char* name;
+  uint32_t dims;
+  uint32_t threads;
+  double seconds;
+  double rows_per_sec;
+  double entries_per_sec;
+  double bytes_per_sec;
+  double speedup_vs_scalar;
+};
+
+template <typename Fn>
+double BestSeconds(const Fn& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    WallTimer timer;
+    fn();
+    timer.Stop();
+    best = std::min(best, timer.Seconds());
+  }
+  return std::max(best, 1e-9);
+}
+
+void AppendJsonNumber(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf);
+}
+
+int RunHistJson(const std::string& path) {
+  const uint32_t n = bench::ScaledN(20000);
+  const uint32_t d = 500;
+  const uint32_t kNodes = 4;  // A depth-2 level-wise frontier.
+  const double density = 0.1;
+  const Dataset data = BenchData(n, d, density);
+  const CandidateSplits splits = ProposeCandidateSplits(data, 20);
+  const BinnedRowStore store = BinnedRowStore::FromCsr(data.matrix(), splits);
+  const uint64_t entries = data.num_nonzeros();
+
+  // One layer's worth of work: the frontier nodes partition the rows, so a
+  // layer build touches every row exactly once whichever way it is built.
+  std::vector<std::vector<InstanceId>> node_rows(kNodes);
+  {
+    Rng rng(29);
+    for (InstanceId i = 0; i < data.num_instances(); ++i) {
+      node_rows[rng.Uniform(kNodes)].push_back(i);
+    }
+  }
+
+  std::vector<HistMeasurement> results;
+  for (const uint32_t dims : {1u, 3u}) {
+    const GradientBuffer grads = MakeGrads(data.num_instances(), dims);
+    // Per entry: 6 bytes of store input plus a read-modify-write of the
+    // dims gradient pairs in the target cell.
+    const double bytes_per_entry = 6.0 + 32.0 * dims;
+
+    std::vector<Histogram> hists;
+    for (uint32_t k = 0; k < kNodes; ++k) hists.emplace_back(d, 20, dims);
+
+    // Seed kernel: one scalar re-scan per frontier node through
+    // Histogram::Add (the pre-builder trainer loop).
+    const double scalar_seconds = BestSeconds([&] {
+      for (uint32_t node = 0; node < kNodes; ++node) {
+        hists[node].Clear();
+        for (const InstanceId i : node_rows[node]) {
+          const auto features = store.RowFeatures(i);
+          const auto bins = store.RowBins(i);
+          const GradPair* g = grads.row(i);
+          for (size_t k = 0; k < features.size(); ++k) {
+            hists[node].Add(features[k], bins[k], g);
+          }
+        }
+      }
+    });
+    results.push_back({"scalar_row_add", dims, 1, scalar_seconds,
+                       n / scalar_seconds, entries / scalar_seconds,
+                       entries * bytes_per_entry / scalar_seconds, 1.0});
+
+    for (const uint32_t threads : {1u, 4u}) {
+      HistogramBuilder builder(threads);
+      std::vector<HistogramBuilder::NodeRows> tasks;
+      for (uint32_t k = 0; k < kNodes; ++k) {
+        tasks.push_back(
+            {&hists[k], std::span<const InstanceId>(node_rows[k])});
+      }
+      const double seconds = BestSeconds([&] {
+        for (Histogram& h : hists) h.Clear();
+        builder.BuildRowStoreLayer(
+            store, grads, std::span<const HistogramBuilder::NodeRows>(tasks),
+            0, d, d);
+      });
+      results.push_back({"builder_row_layer", dims, threads, seconds,
+                         n / seconds, entries / seconds,
+                         entries * bytes_per_entry / seconds,
+                         scalar_seconds / seconds});
+    }
+  }
+
+  // Column-store layer build: the seed QD3 binary-search kernel (one FindBin
+  // probe per node x feature x instance) against the builder's one-sweep
+  // pass over each column — the headline one-sweep win, independent of the
+  // host's core count.
+  {
+    const BinnedColumnStore col_store =
+        BinnedColumnStore::FromCsr(data.matrix(), splits);
+    const GradientBuffer grads = MakeGrads(data.num_instances(), 1);
+    const double bytes_per_entry = 6.0 + 32.0;
+    InstanceToNode node_of;
+    node_of.Init(data.num_instances());
+    for (uint32_t node = 0; node < kNodes; ++node) {
+      for (const InstanceId i : node_rows[node]) {
+        node_of.Set(i, static_cast<NodeId>(node));
+      }
+    }
+    std::vector<Histogram> hists;
+    for (uint32_t k = 0; k < kNodes; ++k) hists.emplace_back(d, 20, 1);
+
+    const double scalar_seconds = BestSeconds([&] {
+      for (uint32_t node = 0; node < kNodes; ++node) {
+        hists[node].Clear();
+        for (FeatureId f = 0; f < d; ++f) {
+          for (const InstanceId i : node_rows[node]) {
+            const auto bin = col_store.FindBin(f, i);
+            if (bin.has_value()) hists[node].Add(f, *bin, grads.row(i));
+          }
+        }
+      }
+    });
+    results.push_back({"scalar_column_binary_search", 1, 1, scalar_seconds,
+                       n / scalar_seconds, entries / scalar_seconds,
+                       entries * bytes_per_entry / scalar_seconds, 1.0});
+
+    std::vector<Histogram*> hist_of_node;
+    for (uint32_t k = 0; k < kNodes; ++k) hist_of_node.push_back(&hists[k]);
+    for (const uint32_t threads : {1u, 4u}) {
+      HistogramBuilder builder(threads);
+      const double seconds = BestSeconds([&] {
+        for (Histogram& h : hists) h.Clear();
+        builder.BuildColumnStoreSweep(col_store, grads, node_of,
+                                      hist_of_node);
+      });
+      results.push_back({"builder_column_sweep", 1, threads, seconds,
+                         n / seconds, entries / seconds,
+                         entries * bytes_per_entry / seconds,
+                         scalar_seconds / seconds});
+    }
+  }
+
+  std::string json = "{\"schema\":\"vero.hist_bench.v1\",\"workload\":{";
+  json += "\"instances\":" + std::to_string(n);
+  json += ",\"features\":" + std::to_string(d);
+  json += ",\"bins\":20,\"density\":";
+  AppendJsonNumber(&json, density);
+  json += ",\"entries\":" + std::to_string(entries);
+  json += ",\"layer_nodes\":" + std::to_string(kNodes);
+  // Wall-clock parallel speedup needs this many cores; threads beyond it
+  // timeslice (see docs/performance.md).
+  json += ",\"cpus\":" +
+          std::to_string(std::max(1u, std::thread::hardware_concurrency()));
+  json += "},\"kernels\":[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const HistMeasurement& m = results[i];
+    if (i > 0) json += ",";
+    json += "{\"name\":\"" + std::string(m.name) + "\"";
+    json += ",\"dims\":" + std::to_string(m.dims);
+    json += ",\"threads\":" + std::to_string(m.threads);
+    json += ",\"seconds\":";
+    AppendJsonNumber(&json, m.seconds);
+    json += ",\"rows_per_sec\":";
+    AppendJsonNumber(&json, m.rows_per_sec);
+    json += ",\"entries_per_sec\":";
+    AppendJsonNumber(&json, m.entries_per_sec);
+    json += ",\"bytes_per_sec\":";
+    AppendJsonNumber(&json, m.bytes_per_sec);
+    json += ",\"speedup_vs_scalar\":";
+    AppendJsonNumber(&json, m.speedup_vs_scalar);
+    json += "}";
+  }
+  json += "]}\n";
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << json;
+
+  std::printf("histogram kernels (N=%u D=%u nnz=%llu):\n", n, d,
+              static_cast<unsigned long long>(entries));
+  for (const HistMeasurement& m : results) {
+    std::printf("  %-18s dims=%u threads=%u  %8.3f Mrows/s  %s/s  %5.2fx\n",
+                m.name, m.dims, m.threads, m.rows_per_sec / 1e6,
+                bench::FormatBytes(m.bytes_per_sec).c_str(),
+                m.speedup_vs_scalar);
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace vero
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--hist-json" && i + 1 < argc) {
+      return vero::RunHistJson(argv[i + 1]);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Seconds-scale perf smoke for the histogram kernels: runs the micro_kernels
+# --hist-json snapshot (dims x threads grid + the seed scalar baselines) and
+# validates the emitted BENCH_histogram.json schema. Compare snapshots across
+# commits to catch kernel regressions; see docs/performance.md.
+#
+#   scripts/bench_smoke.sh [build-dir] [out.json]
+#
+# VERO_SCALE shrinks/grows the workload (default 0.25 here: ~5k rows keeps
+# the binary-search baseline to well under a minute on one core).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_histogram.json}"
+export VERO_SCALE="${VERO_SCALE:-0.25}"
+
+"$BUILD_DIR/bench/micro_kernels" --hist-json "$OUT"
+python3 scripts/check_bench_hist.py --json "$OUT"

@@ -36,6 +36,22 @@ std::optional<BinId> BinnedRowStore::FindBin(InstanceId i,
   return bins_[row_ptr_[i] + (it - features.begin())];
 }
 
+void BinnedRowStore::FillGoLeft(std::span<const InstanceId> instances,
+                                FeatureId feature, BinId split_bin,
+                                bool default_left, Bitmap* go_left) const {
+  const FeatureId* base = features_.data();
+  for (size_t j = 0; j < instances.size(); ++j) {
+    const uint64_t begin = row_ptr_[instances[j]];
+    const FeatureId* lo = base + begin;
+    const FeatureId* hi = base + row_ptr_[instances[j] + 1];
+    const FeatureId* it = std::lower_bound(lo, hi, feature);
+    const bool left = (it != hi && *it == feature)
+                          ? bins_[begin + (it - lo)] <= split_bin
+                          : default_left;
+    go_left->Assign(j, left);
+  }
+}
+
 BinnedColumnStore BinnedColumnStore::FromCsr(const CsrMatrix& matrix,
                                              const CandidateSplits& splits) {
   BinnedColumnStore store;

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "common/bitmap.h"
 #include "data/sparse_matrix.h"
 #include "data/types.h"
 #include "sketch/candidate_splits.h"
@@ -50,6 +51,13 @@ class BinnedRowStore {
   /// Bin of (instance, feature) via binary search within the row, or nullopt
   /// if the instance misses the feature.
   std::optional<BinId> FindBin(InstanceId i, FeatureId feature) const;
+
+  /// Batched split placement: bit j of `go_left` (sized instances.size())
+  /// becomes bin(instances[j], feature) <= split_bin, or default_left when
+  /// the instance misses the feature. One call per split replaces a
+  /// FindBin — span construction, optional, bounds re-derivation — per row.
+  void FillGoLeft(std::span<const InstanceId> instances, FeatureId feature,
+                  BinId split_bin, bool default_left, Bitmap* go_left) const;
 
   uint64_t MemoryBytes() const {
     return row_ptr_.capacity() * sizeof(uint64_t) +

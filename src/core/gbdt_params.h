@@ -43,6 +43,11 @@ struct GbdtParams {
   /// Enables the histogram subtraction technique (§2.1.2). Exposed so the
   /// ablation bench can quantify its effect.
   bool histogram_subtraction = true;
+  /// Intra-worker threads for histogram builds and the gradient pass.
+  /// 1 = fully serial (the default). Any value yields bit-identical models:
+  /// HistogramBuilder partitions output cells, not input rows, so every
+  /// accumulation order matches the serial build (docs/performance.md).
+  uint32_t num_threads = 1;
 
   // ---- Extensions beyond the paper's protocol (reference trainer) -------
 
@@ -82,6 +87,9 @@ struct GbdtParams {
     }
     if (max_leaves == 1) {
       return Status::InvalidArgument("max_leaves must be 0 or >= 2");
+    }
+    if (num_threads == 0 || num_threads > 256) {
+      return Status::InvalidArgument("num_threads not in [1, 256]");
     }
     return Status::OK();
   }

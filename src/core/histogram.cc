@@ -5,6 +5,21 @@
 #include "common/logging.h"
 
 namespace vero {
+namespace histkernel {
+
+void AddInto(double* dst, const double* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void SetDifference(double* dst, const double* a, const double* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = a[i] - b[i];
+}
+
+void Zero(double* dst, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = 0.0;
+}
+
+}  // namespace histkernel
 
 Histogram::Histogram(uint32_t num_features, uint32_t num_bins,
                      uint32_t num_dims)
@@ -13,22 +28,19 @@ Histogram::Histogram(uint32_t num_features, uint32_t num_bins,
       num_dims_(num_dims),
       data_(static_cast<size_t>(num_features) * num_bins * num_dims) {}
 
-void Histogram::Clear() {
-  std::fill(data_.begin(), data_.end(), GradPair{});
-}
+void Histogram::Clear() { histkernel::Zero(raw_data(), raw_size()); }
 
 void Histogram::AddHistogram(const Histogram& other) {
   VERO_DCHECK_EQ(data_.size(), other.data_.size());
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  histkernel::AddInto(raw_data(), other.raw_data(), raw_size());
 }
 
 void Histogram::SetToDifference(const Histogram& parent,
                                 const Histogram& child) {
   VERO_DCHECK_EQ(data_.size(), parent.data_.size());
   VERO_DCHECK_EQ(data_.size(), child.data_.size());
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] = parent.data_[i] - child.data_[i];
-  }
+  histkernel::SetDifference(raw_data(), parent.raw_data(), child.raw_data(),
+                            raw_size());
 }
 
 GradStats Histogram::FeatureTotal(uint32_t feature) const {
@@ -45,16 +57,27 @@ Histogram* HistogramPool::Acquire(NodeId node, uint32_t num_features,
   VERO_CHECK(live_.find(node) == live_.end())
       << "node " << node << " already has a histogram";
   Histogram hist;
-  // Reuse a freelist buffer of the same shape if possible.
+  // Reuse a freelist buffer of the same shape if possible, preferring the
+  // one with the most capacity so over-sized allocations keep circulating.
+  // Removal is a swap-with-back pop: Acquire sits in the per-layer training
+  // loop and must not pay vector::erase's O(n) shift.
+  size_t best = freelist_.size();
   for (size_t i = 0; i < freelist_.size(); ++i) {
     if (freelist_[i].num_features() == num_features &&
         freelist_[i].num_bins() == num_bins &&
-        freelist_[i].num_dims() == num_dims) {
-      hist = std::move(freelist_[i]);
-      freelist_.erase(freelist_.begin() + i);
-      hist.Clear();
-      break;
+        freelist_[i].num_dims() == num_dims &&
+        (best == freelist_.size() ||
+         freelist_[i].MemoryBytes() > freelist_[best].MemoryBytes())) {
+      best = i;
     }
+  }
+  if (best != freelist_.size()) {
+    hist = std::move(freelist_[best]);
+    if (best + 1 != freelist_.size()) {
+      freelist_[best] = std::move(freelist_.back());
+    }
+    freelist_.pop_back();
+    hist.Clear();
   }
   if (hist.empty()) {
     // Construct even when the worker owns zero features: the shape metadata

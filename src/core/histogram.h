@@ -11,6 +11,23 @@
 
 namespace vero {
 
+/// Flat raw-double kernels behind Histogram's bulk operations. Operating on
+/// contiguous double arrays (2 doubles per GradPair cell) keeps the loops
+/// trivially auto-vectorizable; HistogramBuilder reuses them for block-wise
+/// accumulation.
+namespace histkernel {
+
+/// dst[i] += src[i] for i in [0, n).
+void AddInto(double* dst, const double* src, size_t n);
+
+/// dst[i] = a[i] - b[i] for i in [0, n).
+void SetDifference(double* dst, const double* a, const double* b, size_t n);
+
+/// dst[i] = 0 for i in [0, n).
+void Zero(double* dst, size_t n);
+
+}  // namespace histkernel
+
 /// Gradient histogram for one tree node over a set of features
 /// (Figure 3 of the paper). Bin (f, b) accumulates the per-class (g, h)
 /// sums of instances whose f-th feature falls in bin b.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/threading.h"
 
 namespace vero {
 namespace {
@@ -132,6 +133,31 @@ std::unique_ptr<Loss> MakeLossForTask(Task task, uint32_t num_classes) {
   }
   VERO_LOG(Fatal) << "unknown task";
   return nullptr;
+}
+
+void ComputeGradientsParallel(const Loss& loss,
+                              const std::vector<float>& labels,
+                              const std::vector<double>& margins, uint32_t n,
+                              uint32_t num_threads, GradientBuffer* out) {
+  const uint32_t chunks = std::min(num_threads, n);
+  if (chunks <= 1) {
+    loss.ComputeGradients(labels, margins, 0, n, out);
+    return;
+  }
+  ParallelFor(chunks, chunks, [&](size_t c) {
+    const auto begin = static_cast<uint32_t>(uint64_t{n} * c / chunks);
+    const auto end = static_cast<uint32_t>(uint64_t{n} * (c + 1) / chunks);
+    // ComputeGradients writes rows relative to `begin`; stage each chunk in
+    // its own buffer and copy into place (bit-exact — plain assignment).
+    const uint32_t dims = out->num_dims();
+    GradientBuffer chunk(end - begin, dims);
+    loss.ComputeGradients(labels, margins, begin, end, &chunk);
+    for (uint32_t i = begin; i < end; ++i) {
+      for (uint32_t k = 0; k < dims; ++k) {
+        out->at(i, k) = chunk.at(i - begin, k);
+      }
+    }
+  });
 }
 
 }  // namespace vero

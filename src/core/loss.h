@@ -88,6 +88,15 @@ class SoftmaxLoss final : public Loss {
 /// Creates the canonical loss for a task (square / logistic / softmax).
 std::unique_ptr<Loss> MakeLossForTask(Task task, uint32_t num_classes);
 
+/// Fills gradients for instances [0, n) fanning disjoint row ranges across
+/// up to `num_threads` threads. Each instance's pair is a pure function of
+/// its own (label, margin), so the result is identical to the serial call;
+/// num_threads <= 1 IS the serial call.
+void ComputeGradientsParallel(const Loss& loss,
+                              const std::vector<float>& labels,
+                              const std::vector<double>& margins, uint32_t n,
+                              uint32_t num_threads, GradientBuffer* out);
+
 /// Numerically stable sigmoid.
 double Sigmoid(double x);
 

@@ -11,6 +11,7 @@
 #include "common/random.h"
 #include "common/timer.h"
 #include "core/binned.h"
+#include "core/hist_builder.h"
 #include "core/histogram.h"
 #include "core/loss.h"
 #include "core/node_indexer.h"
@@ -40,8 +41,8 @@ class TreeGrower {
              const CandidateSplits& splits,
              const std::vector<FeatureId>& all_features,
              const GradientBuffer& grads, const std::vector<bool>* mask,
-             HistogramPool* pool, RowPartition* partition,
-             TrainReport* report)
+             HistogramBuilder* builder, HistogramPool* pool,
+             RowPartition* partition, TrainReport* report)
       : params_(params),
         store_(store),
         splits_(splits),
@@ -49,6 +50,7 @@ class TreeGrower {
         grads_(grads),
         mask_(mask),
         finder_(params.reg_lambda, params.reg_gamma, params.min_split_gain),
+        builder_(builder),
         pool_(pool),
         partition_(partition),
         report_(report),
@@ -75,41 +77,56 @@ class TreeGrower {
   }
 
  private:
-  Histogram* BuildNodeHistogram(NodeId node) {
-    Histogram* hist =
-        pool_->Acquire(node, store_.num_features(),
-                       params_.num_candidate_splits, dims_);
-    for (InstanceId i : partition_->Instances(node)) {
-      auto features = store_.RowFeatures(i);
-      auto bins = store_.RowBins(i);
-      const GradPair* g = grads_.row(i);
-      for (size_t k = 0; k < features.size(); ++k) {
-        hist->Add(features[k], bins[k], g);
-      }
-    }
-    return hist;
+  HistogramBuilder::NodeRows AcquireTask(NodeId node) {
+    return {pool_->Acquire(node, store_.num_features(),
+                           params_.num_candidate_splits, dims_),
+            partition_->Instances(node)};
   }
 
-  // Builds the pair's histograms (smaller by scan, sibling by subtraction)
-  // and releases the parent.
-  void BuildChildHistograms(NodeId left, NodeId right) {
+  void BuildRootHistogram() {
     ThreadCpuTimer timer;
-    if (params_.histogram_subtraction) {
-      const NodeId smaller =
-          partition_->Count(left) <= partition_->Count(right) ? left : right;
-      const NodeId larger = Sibling(smaller);
-      Histogram* small_hist = BuildNodeHistogram(smaller);
-      Histogram* large_hist =
-          pool_->Acquire(larger, store_.num_features(),
-                         params_.num_candidate_splits, dims_);
-      const Histogram* parent = pool_->Get(Parent(left));
-      VERO_CHECK(parent != nullptr);
-      large_hist->SetToDifference(*parent, *small_hist);
-    } else {
-      BuildNodeHistogram(left);
-      BuildNodeHistogram(right);
+    const HistogramBuilder::NodeRows task = AcquireTask(0);
+    builder_->BuildRowStoreLayer(store_, grads_,
+                                 std::span<const HistogramBuilder::NodeRows>(
+                                     &task, 1),
+                                 0, store_.num_features(),
+                                 store_.num_features());
+    timer.Stop();
+    report_->histogram_seconds += timer.Seconds();
+  }
+
+  // Builds every pair's histograms in one layer pass (only the smaller
+  // sibling of each pair is scanned; the other comes from subtraction
+  // against the parent), then releases the parents.
+  void BuildLayerHistograms(const std::vector<std::pair<NodeId, NodeId>>& pairs) {
+    ThreadCpuTimer timer;
+    std::vector<HistogramBuilder::NodeRows> tasks;
+    std::vector<NodeId> scanned;
+    tasks.reserve(2 * pairs.size());
+    for (const auto& [left, right] : pairs) {
+      if (params_.histogram_subtraction) {
+        const NodeId smaller =
+            partition_->Count(left) <= partition_->Count(right) ? left
+                                                                : right;
+        tasks.push_back(AcquireTask(smaller));
+        scanned.push_back(smaller);
+      } else {
+        tasks.push_back(AcquireTask(left));
+        tasks.push_back(AcquireTask(right));
+      }
     }
-    pool_->Release(Parent(left));
+    builder_->BuildRowStoreLayer(
+        store_, grads_, std::span<const HistogramBuilder::NodeRows>(tasks), 0,
+        store_.num_features(), store_.num_features());
+    for (const NodeId smaller : scanned) {
+      Histogram* large_hist =
+          pool_->Acquire(Sibling(smaller), store_.num_features(),
+                         params_.num_candidate_splits, dims_);
+      const Histogram* parent = pool_->Get(Parent(smaller));
+      VERO_CHECK(parent != nullptr);
+      large_hist->SetToDifference(*parent, *pool_->Get(smaller));
+    }
+    for (const auto& [left, right] : pairs) pool_->Release(Parent(left));
     timer.Stop();
     report_->histogram_seconds += timer.Seconds();
   }
@@ -136,11 +153,8 @@ class TreeGrower {
                    s.default_left, s.gain);
     auto instances = partition_->Instances(node);
     Bitmap go_left(instances.size());
-    for (size_t j = 0; j < instances.size(); ++j) {
-      const auto bin = store_.FindBin(instances[j], s.feature);
-      go_left.Assign(j, bin.has_value() ? (*bin <= s.split_bin)
-                                        : s.default_left);
-    }
+    store_.FillGoLeft(instances, s.feature, s.split_bin, s.default_left,
+                      &go_left);
     partition_->Split(node, go_left);
     node_stats_[LeftChild(node)] = s.left_stats;
     node_stats_[RightChild(node)] = s.right_stats;
@@ -157,14 +171,9 @@ class TreeGrower {
       // Histograms (skipped on the last layer, whose nodes must be leaves).
       if (!last_layer) {
         if (depth == 0) {
-          ThreadCpuTimer timer;
-          BuildNodeHistogram(0);
-          timer.Stop();
-          report_->histogram_seconds += timer.Seconds();
+          BuildRootHistogram();
         } else {
-          for (const auto& [left, right] : pairs) {
-            BuildChildHistograms(left, right);
-          }
+          BuildLayerHistograms(pairs);
         }
       }
       // Split finding + node splitting.
@@ -196,12 +205,7 @@ class TreeGrower {
     std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> heap(
         worse);
 
-    {
-      ThreadCpuTimer timer;
-      BuildNodeHistogram(0);
-      timer.Stop();
-      report_->histogram_seconds += timer.Seconds();
-    }
+    BuildRootHistogram();
     if (params_.num_layers >= 2) {
       SplitCandidate best = FindSplit(0);
       if (best.valid) heap.push({0, std::move(best)});
@@ -219,7 +223,7 @@ class TreeGrower {
       const NodeId right = RightChild(top.node);
       // Children at depth L-1 are at the depth cap and stay leaves.
       if (NodeDepth(left) + 1 < params_.num_layers) {
-        BuildChildHistograms(left, right);
+        BuildLayerHistograms({{left, right}});
         for (NodeId child : {left, right}) {
           SplitCandidate best = FindSplit(child);
           if (best.valid) {
@@ -241,6 +245,7 @@ class TreeGrower {
   const GradientBuffer& grads_;
   const std::vector<bool>* mask_;
   SplitFinder finder_;
+  HistogramBuilder* builder_;
   HistogramPool* pool_;
   RowPartition* partition_;
   TrainReport* report_;
@@ -285,6 +290,7 @@ StatusOr<GbdtModel> Trainer::Train(const Dataset& train, const Dataset* valid,
         static_cast<size_t>(valid->num_instances()) * dims, 0.0);
   }
   GradientBuffer grads(n, dims);
+  HistogramBuilder builder(params_.num_threads);
   HistogramPool pool;
   RowPartition partition;
   const SplitFinder finder(params_.reg_lambda, params_.reg_gamma,
@@ -301,7 +307,8 @@ StatusOr<GbdtModel> Trainer::Train(const Dataset& train, const Dataset* valid,
     if (trace_ != nullptr) trace_->SetContext(static_cast<int32_t>(t), -1);
     {
       obs::PhaseSpan span(trace_, "gradient");
-      loss->ComputeGradients(train.labels(), margins, 0, n, &grads);
+      ComputeGradientsParallel(*loss, train.labels(), margins, n,
+                               params_.num_threads, &grads);
     }
 
     // ---- Sampling ------------------------------------------------------
@@ -332,8 +339,8 @@ StatusOr<GbdtModel> Trainer::Train(const Dataset& train, const Dataset* valid,
 
     // ---- Grow one tree ---------------------------------------------------
     TreeGrower grower(params_, store, splits, all_features, grads,
-                      col_sampling ? &mask : nullptr, &pool, &partition,
-                      &report_);
+                      col_sampling ? &mask : nullptr, &builder, &pool,
+                      &partition, &report_);
     obs::PhaseSpan grow_span(trace_, "grow-tree");
     Tree tree = grower.Grow(root_stats);
     grow_span.Close();

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/timer.h"
+#include "core/hist_builder.h"
 #include "core/histogram.h"
 
 namespace vero {
@@ -172,9 +173,10 @@ EnvironmentSpec QuadrantAdvisor::Calibrate(EnvironmentSpec base) {
     }
     const GradPair g{1.0, 0.5};
     ThreadCpuTimer timer;
-    for (size_t i = 0; i < entries; ++i) {
-      hist.Add(features[i], bins[i], &g);
-    }
+    // The shared builder's entry kernel — the same code path the trainers'
+    // histogram construction bottoms out in, so the calibrated throughput
+    // matches what training actually achieves.
+    HistogramBuilder::AccumulateEntries(&hist, features, bins, &g);
     timer.Stop();
     if (timer.Seconds() > 0) {
       base.scan_throughput = entries / timer.Seconds();

@@ -7,6 +7,7 @@
 #include "common/serialize.h"
 #include "common/timer.h"
 #include "core/metrics.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace vero {
@@ -82,7 +83,8 @@ DistTrainerBase::DistTrainerBase(WorkerContext& ctx,
       loss_(MakeLossForTask(task, num_classes)),
       finder_(options.params.reg_lambda, options.params.reg_gamma,
               options.params.min_split_gain),
-      model_(task, num_classes, options.params.learning_rate) {}
+      model_(task, num_classes, options.params.learning_rate),
+      builder_(options.params.num_threads) {}
 
 void DistTrainerBase::InitFromCheckpoint(const GbdtModel& model,
                                          std::span<const double> margins) {
@@ -181,6 +183,15 @@ void DistTrainerBase::Train(const Dataset* valid,
         // Parents are no longer needed once children histograms exist.
         for (const BuildTask& task : tasks) {
           if (task.parent != kInvalidNode) pool_.Release(task.parent);
+        }
+        // Kernel wall time + threads of the layer's builder pass. Written
+        // from this worker thread only (shards are single-writer); values
+        // are wall-clock, which the cross-run determinism check ignores.
+        if (obs::MetricsShard* shard = ctx_.metrics_shard()) {
+          shard->histogram("hist.build_seconds")
+              ->Observe(builder_.last_build_seconds());
+          shard->gauge("hist.threads")
+              ->Set(static_cast<double>(builder_.last_threads_used()));
         }
       }
       local.hist_seconds += hist_span.Close();

@@ -10,10 +10,13 @@
 
 #include "cluster/communicator.h"
 #include "common/status.h"
+#include "common/logging.h"
 #include "core/gbdt_params.h"
 #include "core/gradients.h"
+#include "core/hist_builder.h"
 #include "core/histogram.h"
 #include "core/loss.h"
+#include "core/node_indexer.h"
 #include "core/split.h"
 #include "core/trainer.h"
 #include "core/tree.h"
@@ -282,6 +285,46 @@ class DistTrainerBase {
   /// worker owns, using the final instance placement of `tree`.
   virtual void UpdateMargins(const Tree& tree) = 0;
 
+  // ---- Shared histogram-construction helpers ------------------------------
+
+  /// Derives every subtraction task's sibling histogram from the retained
+  /// parent (build nodes' histograms must already exist in pool_).
+  void ApplySubtractions(const std::vector<BuildTask>& tasks) {
+    const uint32_t q = options_.params.num_candidate_splits;
+    for (const BuildTask& task : tasks) {
+      if (task.subtract_node == kInvalidNode) continue;
+      Histogram* sibling =
+          pool_.Acquire(task.subtract_node, HistFeatureCount(), q, dims_);
+      const Histogram* parent = pool_.Get(task.parent);
+      VERO_CHECK(parent != nullptr);
+      sibling->SetToDifference(*parent, *pool_.Get(task.build_node));
+    }
+  }
+
+  /// Standard row-store layer build (QD2 / QD4 / feature-parallel): acquire
+  /// each build node's histogram, accumulate all of them in one builder
+  /// pass over features [feature_begin, feature_end), then fill the
+  /// subtraction siblings. `store_num_features` is the store's feature-id
+  /// range (see HistogramBuilder::BuildRowStoreLayer).
+  template <typename Store>
+  void BuildRowLayer(const Store& store, const RowPartition& partition,
+                     const std::vector<BuildTask>& tasks,
+                     uint32_t feature_begin, uint32_t feature_end,
+                     uint32_t store_num_features) {
+    const uint32_t q = options_.params.num_candidate_splits;
+    std::vector<HistogramBuilder::NodeRows> build;
+    build.reserve(tasks.size());
+    for (const BuildTask& task : tasks) {
+      build.push_back(
+          {pool_.Acquire(task.build_node, HistFeatureCount(), q, dims_),
+           partition.Instances(task.build_node)});
+    }
+    builder_.BuildRowStoreLayer(
+        store, grads_, std::span<const HistogramBuilder::NodeRows>(build),
+        feature_begin, feature_end, store_num_features);
+    ApplySubtractions(tasks);
+  }
+
   // ---- Shared state -------------------------------------------------------
 
   WorkerContext& ctx_;
@@ -294,6 +337,9 @@ class DistTrainerBase {
 
   GbdtModel model_;
   GradientBuffer grads_;
+  /// Shared histogram-construction engine (params.num_threads intra-worker
+  /// threads; see docs/performance.md for the W x T interaction).
+  HistogramBuilder builder_;
   HistogramPool pool_;
   /// Per-node gradient stats and global instance counts (replicated).
   std::vector<GradStats> node_stats_;

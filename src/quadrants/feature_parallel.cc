@@ -37,39 +37,19 @@ void FeatureParallelTrainer::InitTreeIndexes() {
 }
 
 GradStats FeatureParallelTrainer::ComputeGradients() {
-  loss_->ComputeGradients(labels_, margins_, 0, num_rows_, &grads_);
+  ComputeGradientsParallel(*loss_, labels_, margins_, num_rows_,
+                           options_.params.num_threads, &grads_);
   return grads_.Total();
 }
 
 void FeatureParallelTrainer::BuildLayerHistograms(
     const std::vector<BuildTask>& tasks) {
-  const uint32_t q = options_.params.num_candidate_splits;
-  const uint32_t feature_end =
-      feature_begin_ + static_cast<uint32_t>(owned_features_.size());
-  for (const BuildTask& task : tasks) {
-    Histogram* hist =
-        pool_.Acquire(task.build_node, HistFeatureCount(), q, dims_);
-    // Row scan over the full copy, accumulating only the owned feature
-    // slice (feature-parallel histogram division).
-    for (InstanceId i : partition_.Instances(task.build_node)) {
-      auto features = store_.RowFeatures(i);
-      auto bins = store_.RowBins(i);
-      const GradPair* g = grads_.row(i);
-      for (size_t k = 0; k < features.size(); ++k) {
-        if (features[k] < feature_begin_ || features[k] >= feature_end) {
-          continue;
-        }
-        hist->Add(features[k] - feature_begin_, bins[k], g);
-      }
-    }
-    if (task.subtract_node != kInvalidNode) {
-      Histogram* sibling =
-          pool_.Acquire(task.subtract_node, HistFeatureCount(), q, dims_);
-      const Histogram* parent = pool_.Get(task.parent);
-      VERO_CHECK(parent != nullptr);
-      sibling->SetToDifference(*parent, *hist);
-    }
-  }
+  // Row scans over the full copy, restricted to the owned feature slice
+  // (feature-parallel histogram division); the builder maps global feature
+  // f to histogram column f - feature_begin_.
+  BuildRowLayer(store_, partition_, tasks, feature_begin_,
+                feature_begin_ + static_cast<uint32_t>(owned_features_.size()),
+                store_.num_features());
 }
 
 std::vector<SplitCandidate> FeatureParallelTrainer::FindLayerSplits(
@@ -97,11 +77,8 @@ void FeatureParallelTrainer::ApplyLayerSplits(
     const SplitCandidate& s = splits[i];
     auto instances = partition_.Instances(nodes[i]);
     Bitmap go_left(instances.size());
-    for (size_t j = 0; j < instances.size(); ++j) {
-      const auto bin = store_.FindBin(instances[j], s.feature);
-      go_left.Assign(j, bin.has_value() ? (*bin <= s.split_bin)
-                                        : s.default_left);
-    }
+    store_.FillGoLeft(instances, s.feature, s.split_bin, s.default_left,
+                      &go_left);
     partition_.Split(nodes[i], go_left);
     child_counts->push_back(partition_.Count(LeftChild(nodes[i])));
     child_counts->push_back(partition_.Count(RightChild(nodes[i])));

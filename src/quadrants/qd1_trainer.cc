@@ -34,7 +34,8 @@ uint32_t Qd1Trainer::HistFeatureCount() const {
 void Qd1Trainer::InitTreeIndexes() { node_of_.Init(num_local_rows_); }
 
 GradStats Qd1Trainer::ComputeGradients() {
-  loss_->ComputeGradients(labels_, margins_, 0, num_local_rows_, &grads_);
+  ComputeGradientsParallel(*loss_, labels_, margins_, num_local_rows_,
+                           options_.params.num_threads, &grads_);
   GradStats local = grads_.Total();
   std::vector<double> raw(2 * dims_);
   for (uint32_t k = 0; k < dims_; ++k) {
@@ -53,27 +54,14 @@ void Qd1Trainer::BuildLayerHistograms(const std::vector<BuildTask>& tasks) {
   const uint32_t q = options_.params.num_candidate_splits;
   // One sweep over all columns builds every frontier node at once, driven
   // by the instance-to-node index (the XGBoost layer pass).
-  std::vector<NodeId> build_nodes;
-  for (const BuildTask& task : tasks) {
-    VERO_CHECK_EQ(task.subtract_node, kInvalidNode);
-    build_nodes.push_back(task.build_node);
-    pool_.Acquire(task.build_node, HistFeatureCount(), q, dims_);
-  }
   std::vector<Histogram*> hists((size_t{1} << options_.params.num_layers) - 1,
                                 nullptr);
-  for (NodeId node : build_nodes) hists[node] = pool_.Get(node);
-
-  const uint32_t d = HistFeatureCount();
-  for (FeatureId f = 0; f < d; ++f) {
-    auto rows = store_.ColumnRows(f);
-    auto bins = store_.ColumnBins(f);
-    for (size_t k = 0; k < rows.size(); ++k) {
-      const NodeId node = node_of_.Get(rows[k]);
-      Histogram* hist = hists[node];
-      if (hist == nullptr) continue;  // Instance rests on a finished leaf.
-      hist->Add(f, bins[k], grads_.row(rows[k]));
-    }
+  for (const BuildTask& task : tasks) {
+    VERO_CHECK_EQ(task.subtract_node, kInvalidNode);
+    hists[task.build_node] =
+        pool_.Acquire(task.build_node, HistFeatureCount(), q, dims_);
   }
+  builder_.BuildColumnStoreSweep(store_, grads_, node_of_, hists);
 }
 
 std::vector<SplitCandidate> Qd1Trainer::FindLayerSplits(

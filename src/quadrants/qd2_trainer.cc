@@ -36,7 +36,8 @@ void Qd2Trainer::InitTreeIndexes() {
 }
 
 GradStats Qd2Trainer::ComputeGradients() {
-  loss_->ComputeGradients(labels_, margins_, 0, num_local_rows_, &grads_);
+  ComputeGradientsParallel(*loss_, labels_, margins_, num_local_rows_,
+                           options_.params.num_threads, &grads_);
   GradStats local = grads_.Total();
   // Tiny all-reduce of the 2C root sums.
   std::vector<double> raw(2 * dims_);
@@ -52,31 +53,9 @@ GradStats Qd2Trainer::ComputeGradients() {
   return local;
 }
 
-void Qd2Trainer::BuildNodeHistogram(NodeId node, Histogram* hist) {
-  for (InstanceId i : partition_.Instances(node)) {
-    auto features = store_.RowFeatures(i);
-    auto bins = store_.RowBins(i);
-    const GradPair* g = grads_.row(i);
-    for (size_t k = 0; k < features.size(); ++k) {
-      hist->Add(features[k], bins[k], g);
-    }
-  }
-}
-
 void Qd2Trainer::BuildLayerHistograms(const std::vector<BuildTask>& tasks) {
-  const uint32_t q = options_.params.num_candidate_splits;
-  for (const BuildTask& task : tasks) {
-    Histogram* hist =
-        pool_.Acquire(task.build_node, HistFeatureCount(), q, dims_);
-    BuildNodeHistogram(task.build_node, hist);
-    if (task.subtract_node != kInvalidNode) {
-      Histogram* sibling =
-          pool_.Acquire(task.subtract_node, HistFeatureCount(), q, dims_);
-      const Histogram* parent = pool_.Get(task.parent);
-      VERO_CHECK(parent != nullptr);
-      sibling->SetToDifference(*parent, *hist);
-    }
-  }
+  BuildRowLayer(store_, partition_, tasks, 0, HistFeatureCount(),
+                HistFeatureCount());
 }
 
 std::vector<SplitCandidate> Qd2Trainer::FindLayerSplits(
@@ -156,12 +135,8 @@ void Qd2Trainer::ApplyLayerSplits(const std::vector<NodeId>& nodes,
     const SplitCandidate& s = splits[i];
     auto instances = partition_.Instances(nodes[i]);
     Bitmap go_left(instances.size());
-    for (size_t j = 0; j < instances.size(); ++j) {
-      const auto bin = store_.FindBin(instances[j], s.feature);
-      const bool left =
-          bin.has_value() ? (*bin <= s.split_bin) : s.default_left;
-      go_left.Assign(j, left);
-    }
+    store_.FillGoLeft(instances, s.feature, s.split_bin, s.default_left,
+                      &go_left);
     partition_.Split(nodes[i], go_left);
     counts[2 * i] = partition_.Count(LeftChild(nodes[i]));
     counts[2 * i + 1] = partition_.Count(RightChild(nodes[i]));

@@ -41,7 +41,6 @@ class Qd2Trainer : public DistTrainerBase {
   void UpdateMargins(const Tree& tree) override;
 
  private:
-  void BuildNodeHistogram(NodeId node, Histogram* hist);
 
   const CandidateSplits& splits_;
   BinnedRowStore store_;

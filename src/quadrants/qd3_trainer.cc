@@ -76,57 +76,29 @@ void Qd3Trainer::BuildLayerHistograms(const std::vector<BuildTask>& tasks) {
   const uint32_t num_local = HistFeatureCount();
 
   std::vector<NodeId> build_nodes;
-  uint64_t build_instances = 0;
   for (const BuildTask& task : tasks) {
     build_nodes.push_back(task.build_node);
-    build_instances += partition_.Count(task.build_node);
-    pool_.Acquire(task.build_node, num_local, q, dims_);
   }
   std::vector<Histogram*> hists(
       (size_t{1} << options_.params.num_layers) - 1, nullptr);
-  for (NodeId node : build_nodes) hists[node] = pool_.Get(node);
-
-  // Per column: either one linear scan that serves every build node via the
-  // instance-to-node index, or per-node binary searches via the
-  // node-to-instance index — whichever touches less data (§5.2.2).
-  for (uint32_t f = 0; f < num_local; ++f) {
-    const uint64_t nnz = store_.ColumnLength(f);
-    if (nnz == 0) continue;
-    const double cost_linear = static_cast<double>(nnz);
-    const double cost_binary =
-        static_cast<double>(build_instances) *
-        std::log2(static_cast<double>(nnz) + 2.0);
-    const bool linear =
-        policy_ == Qd3IndexPolicy::kLinearScanOnly ||
-        (policy_ == Qd3IndexPolicy::kMixed && cost_linear <= cost_binary);
-    if (linear) {
-      auto rows = store_.ColumnRows(f);
-      auto bins = store_.ColumnBins(f);
-      for (size_t k = 0; k < rows.size(); ++k) {
-        Histogram* hist = hists[node_of_.Get(rows[k])];
-        if (hist == nullptr) continue;
-        hist->Add(f, bins[k], grads_.row(rows[k]));
-      }
-    } else {
-      for (NodeId node : build_nodes) {
-        Histogram* hist = hists[node];
-        for (InstanceId i : partition_.Instances(node)) {
-          const auto bin = store_.FindBin(f, i);
-          if (bin.has_value()) hist->Add(f, *bin, grads_.row(i));
-        }
-      }
-    }
+  for (NodeId node : build_nodes) {
+    hists[node] = pool_.Acquire(node, num_local, q, dims_);
   }
+
+  // The builder picks per column between one linear scan (instance-to-node
+  // index) and per-node binary searches (node-to-instance index) under
+  // kAuto; the fixed policies force one or the other (§5.2.2).
+  HistogramBuilder::ColumnScan scan = HistogramBuilder::ColumnScan::kAuto;
+  if (policy_ == Qd3IndexPolicy::kLinearScanOnly) {
+    scan = HistogramBuilder::ColumnScan::kLinear;
+  } else if (policy_ == Qd3IndexPolicy::kBinarySearchOnly) {
+    scan = HistogramBuilder::ColumnScan::kBinarySearch;
+  }
+  builder_.BuildColumnStoreLayer(store_, grads_, node_of_, partition_,
+                                 build_nodes, hists, scan);
 
   // Siblings come from subtraction against the retained parents.
-  for (const BuildTask& task : tasks) {
-    if (task.subtract_node == kInvalidNode) continue;
-    Histogram* sibling =
-        pool_.Acquire(task.subtract_node, num_local, q, dims_);
-    const Histogram* parent = pool_.Get(task.parent);
-    VERO_CHECK(parent != nullptr);
-    sibling->SetToDifference(*parent, *pool_.Get(task.build_node));
-  }
+  ApplySubtractions(tasks);
 }
 
 bool Qd3Trainer::PlaceInstance(InstanceId instance, uint32_t local_feature,

@@ -14,33 +14,12 @@ uint64_t Qd4VeroTrainer::DataBytes() const {
   return shard_.data.MemoryBytes() + labels_.capacity() * sizeof(float);
 }
 
-void Qd4VeroTrainer::BuildNodeHistogram(NodeId node, Histogram* hist) {
-  // Row scan over the blockified column group: the node-to-instance index
-  // yields the node's rows; each row is already (local feature, bin) pairs.
-  for (InstanceId i : partition_.Instances(node)) {
-    auto features = shard_.data.RowFeatures(i);
-    auto bins = shard_.data.RowBins(i);
-    const GradPair* g = grads_.row(i);
-    for (size_t k = 0; k < features.size(); ++k) {
-      hist->Add(features[k], bins[k], g);
-    }
-  }
-}
-
 void Qd4VeroTrainer::BuildLayerHistograms(const std::vector<BuildTask>& tasks) {
-  const uint32_t q = options_.params.num_candidate_splits;
-  for (const BuildTask& task : tasks) {
-    Histogram* hist =
-        pool_.Acquire(task.build_node, HistFeatureCount(), q, dims_);
-    BuildNodeHistogram(task.build_node, hist);
-    if (task.subtract_node != kInvalidNode) {
-      Histogram* sibling =
-          pool_.Acquire(task.subtract_node, HistFeatureCount(), q, dims_);
-      const Histogram* parent = pool_.Get(task.parent);
-      VERO_CHECK(parent != nullptr);
-      sibling->SetToDifference(*parent, *hist);
-    }
-  }
+  // Row scans over the blockified column group: the node-to-instance index
+  // yields each build node's rows; each row is already (local feature, bin)
+  // pairs, so the shared row-store layer build applies directly.
+  BuildRowLayer(shard_.data, partition_, tasks, 0, HistFeatureCount(),
+                HistFeatureCount());
 }
 
 bool Qd4VeroTrainer::PlaceInstance(InstanceId instance, uint32_t local_feature,

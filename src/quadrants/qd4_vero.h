@@ -24,7 +24,6 @@ class Qd4VeroTrainer : public VerticalTrainerBase {
   bool MasterCoordinatesSplits() const override { return true; }
 
  private:
-  void BuildNodeHistogram(NodeId node, Histogram* hist);
 };
 
 }  // namespace vero

@@ -27,8 +27,8 @@ void VerticalTrainerBase::InitTreeIndexes() {
 GradStats VerticalTrainerBase::ComputeGradients() {
   // Every worker recomputes gradients for all instances (replicated work,
   // zero communication — the vertical trade-off of §2.2.1).
-  loss_->ComputeGradients(labels_, margins_, 0, shard_.num_instances,
-                          &grads_);
+  ComputeGradientsParallel(*loss_, labels_, margins_, shard_.num_instances,
+                           options_.params.num_threads, &grads_);
   return grads_.Total();
 }
 
