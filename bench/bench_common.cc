@@ -165,17 +165,20 @@ GbdtParams PaperParams(uint32_t num_layers) {
   return params;
 }
 
-DistResult RunQuadrant(const Dataset& train, Quadrant quadrant, int workers,
-                       const GbdtParams& params, const NetworkModel& network,
-                       const Dataset* valid, Qd3IndexPolicy qd3_policy,
-                       TransformEncoding encoding) {
-  Cluster cluster(workers, network);
+DistResult RunQuadrantSpec(const Dataset& train, Quadrant quadrant,
+                           const BenchRunSpec& spec) {
+  Cluster cluster(spec.workers, spec.network);
+  if (spec.fault_plan != nullptr) {
+    cluster.InstallFaultPlan(*spec.fault_plan);
+  }
   DistTrainOptions options;
-  options.params = params;
-  options.transform.encoding = encoding;
-  if (!ObsRequested()) {
-    return TrainDistributed(cluster, train, quadrant, options, valid,
-                            qd3_policy);
+  options.params = spec.params;
+  options.transform.encoding = spec.encoding;
+  const bool observe =
+      ObsRequested() || (obs::kObsEnabled && spec.force_observe);
+  if (!observe) {
+    return TrainDistributed(cluster, train, quadrant, options, spec.valid,
+                            spec.qd3_policy);
   }
 
   BenchObsState& s = ObsState();
@@ -184,15 +187,16 @@ DistResult RunQuadrant(const Dataset& train, Quadrant quadrant, int workers,
   obs::RunObserver observer(obs_options);
   cluster.AttachObserver(&observer);
   DistResult result = TrainDistributed(cluster, train, quadrant, options,
-                                       valid, qd3_policy);
+                                       spec.valid, spec.qd3_policy);
 
   char label[64];
   std::snprintf(label, sizeof(label), "run%03d-%s-w%d", s.run_counter++,
-                QuadrantTag(quadrant), workers);
+                QuadrantTag(quadrant), spec.workers);
   result.report.label = label;
+  if (!spec.label.empty()) result.report.label += "-" + spec.label;
   if (observer.trace_enabled()) {
     const std::string path =
-        s.trace_dir + "/" + label + ".trace.json";
+        s.trace_dir + "/" + result.report.label + ".trace.json";
     const Status status = observer.trace().WriteChromeJson(path);
     if (status.ok()) {
       result.report.trace_path = path;
@@ -204,6 +208,20 @@ DistResult RunQuadrant(const Dataset& train, Quadrant quadrant, int workers,
     s.run_reports.push_back(result.report.ToJson());
   }
   return result;
+}
+
+DistResult RunQuadrant(const Dataset& train, Quadrant quadrant, int workers,
+                       const GbdtParams& params, const NetworkModel& network,
+                       const Dataset* valid, Qd3IndexPolicy qd3_policy,
+                       TransformEncoding encoding) {
+  BenchRunSpec spec;
+  spec.workers = workers;
+  spec.params = params;
+  spec.network = network;
+  spec.valid = valid;
+  spec.qd3_policy = qd3_policy;
+  spec.encoding = encoding;
+  return RunQuadrantSpec(train, quadrant, spec);
 }
 
 std::string FormatBytes(double bytes) {

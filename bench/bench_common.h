@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cluster/communicator.h"
+#include "cluster/fault_injector.h"
 #include "data/synthetic.h"
 #include "quadrants/train_distributed.h"
 
@@ -50,8 +51,35 @@ void PrintHeader(const std::string& experiment, const std::string& paper_ref,
 Dataset MakeWorkload(uint32_t n, uint32_t d, uint32_t c, double density,
                      uint64_t seed);
 
-/// Runs `trees` rounds of a quadrant on a fresh W-worker cluster and
-/// returns the result (convergence curve omitted unless `valid`).
+/// Everything one bench run needs beyond the workload and the quadrant.
+/// The long-standing RunQuadrant signature delegates here; failure-sweep
+/// benches use the spec directly to install fault plans and force metric
+/// collection without threading ever more positional arguments around.
+struct BenchRunSpec {
+  int workers = 4;
+  GbdtParams params;
+  NetworkModel network = NetworkModel::Lab1Gbps();
+  const Dataset* valid = nullptr;
+  Qd3IndexPolicy qd3_policy = Qd3IndexPolicy::kMixed;
+  TransformEncoding encoding = TransformEncoding::kBlockified;
+  /// Installed on the fresh cluster before training (not owned; may be
+  /// null). Lets sweeps replay the exact same delay schedule per mode.
+  const FaultPlan* fault_plan = nullptr;
+  /// Attach a RunObserver even without --report/--trace-dir, so the caller
+  /// can read result.report.metrics (e.g. staleness.* counters) for its own
+  /// comparison tables.
+  bool force_observe = false;
+  /// Appended to the generated "runNNN-<quadrant>-wW" report label; sweep
+  /// scripts group cells by this suffix.
+  std::string label;
+};
+
+/// Runs `trees` rounds of a quadrant on a fresh cluster built from `spec`
+/// and returns the result (convergence curve omitted unless `spec.valid`).
+DistResult RunQuadrantSpec(const Dataset& train, Quadrant quadrant,
+                           const BenchRunSpec& spec);
+
+/// Back-compat wrapper over RunQuadrantSpec.
 DistResult RunQuadrant(const Dataset& train, Quadrant quadrant, int workers,
                        const GbdtParams& params,
                        const NetworkModel& network = NetworkModel::Lab1Gbps(),

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Seconds-scale perf smoke for the histogram kernels: runs the micro_kernels
 # --hist-json snapshot (dims x threads grid + the seed scalar baselines) and
-# validates the emitted BENCH_histogram.json schema. Compare snapshots across
-# commits to catch kernel regressions; see docs/performance.md.
+# validates the emitted BENCH_histogram.json schema, then runs the
+# straggler-mitigation fault grid and validates its goodput comparison.
+# Compare snapshots across commits to catch regressions; see
+# docs/performance.md and docs/straggler_mitigation.md.
 #
-#   scripts/bench_smoke.sh [build-dir] [out.json]
+#   scripts/bench_smoke.sh [build-dir] [out.json] [faults-out.json]
 #
 # VERO_SCALE shrinks/grows the workload (default 0.25 here: ~5k rows keeps
 # the binary-search baseline to well under a minute on one core).
@@ -13,7 +15,11 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_histogram.json}"
+FAULTS_OUT="${3:-BENCH_faults.json}"
 export VERO_SCALE="${VERO_SCALE:-0.25}"
 
 "$BUILD_DIR/bench/micro_kernels" --hist-json "$OUT"
 python3 scripts/check_bench_hist.py --json "$OUT"
+
+"$BUILD_DIR/bench/fault_grid" --fault-grid --report "$FAULTS_OUT"
+python3 scripts/check_bench_faults.py --json "$FAULTS_OUT"

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Validates the fault-grid failure sweep (bench/fault_grid --report).
+
+Two modes:
+
+  check_bench_faults.py --json BENCH_faults.json
+      Validate an already-emitted "vero.bench_report.v1" report produced by
+      fault_grid (scripts/bench_smoke.sh uses this).
+
+  check_bench_faults.py --emitter PATH/TO/fault_grid
+      Run the bench binary itself into a temp dir at a tiny VERO_SCALE and
+      validate the result. Registered as the check_bench_faults ctest.
+
+Beyond schema shape, this checks the straggler-mitigation contract:
+
+  * runs group into grid cells, each cell with exactly the three modes
+    (strict / bounded / speculative) on the same fault schedule;
+  * strict runs keep every staleness.* / speculation.* counter at zero
+    (mitigation off == seed behavior);
+  * train-phase cells with a dominant straggler (delay >= 0.5 s): both
+    mitigation modes beat strict train_seconds, bounded actually deferred
+    contributions, and speculation launched backups and charged their
+    duplicated traffic to wasted_bytes.
+
+Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+SCHEMA = "vero.bench_report.v1"
+MODES = ("strict", "bounded", "speculative")
+LABEL_RE = re.compile(
+    r"^run\d+-(?P<quadrant>[a-z0-9]+)-w(?P<workers>\d+)-"
+    r"(?P<cell>fg-(?P<phase>train|setup)-r\d+-d(?P<delay>[0-9.]+))-"
+    r"(?P<mode>strict|bounded|speculative)$")
+STALENESS_COUNTERS = (
+    "staleness.deferred_contributions",
+    "staleness.forced_syncs",
+    "speculation.launched",
+    "speculation.wasted_bytes",
+)
+
+
+def fail(message):
+    print(f"check_bench_faults: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def counter(run, name):
+    entry = run.get("metrics", {}).get(name)
+    if entry is None:
+        return 0
+    if entry.get("kind") != "counter":
+        fail(f"{run['label']}: metric {name} is not a counter")
+    return entry["value"]
+
+
+def validate(path):
+    try:
+        with open(path, "rb") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+    if doc.get("schema") != SCHEMA:
+        fail(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail("runs must be a non-empty list")
+
+    cells = {}
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict):
+            fail(f"runs[{i}] is not an object")
+        for key in ("label", "train_seconds", "wasted_bytes", "metrics"):
+            if key not in run:
+                fail(f"runs[{i}] missing key {key!r}")
+        m = LABEL_RE.match(run["label"])
+        if m is None:
+            fail(f"runs[{i}].label {run['label']!r} is not a fault-grid "
+                 "label (runNNN-<quadrant>-wW-fg-<phase>-rR-dD-<mode>)")
+        if not isinstance(run["train_seconds"], (int, float)) \
+                or run["train_seconds"] <= 0:
+            fail(f"{run['label']}: train_seconds must be positive")
+        cell = cells.setdefault(
+            m.group("cell"),
+            {"phase": m.group("phase"), "delay": float(m.group("delay")),
+             "modes": {}})
+        if m.group("mode") in cell["modes"]:
+            fail(f"duplicate run for {m.group('cell')} / {m.group('mode')}")
+        cell["modes"][m.group("mode")] = run
+
+    if not cells:
+        fail("no fault-grid cells found")
+    for name, cell in sorted(cells.items()):
+        missing = set(MODES) - cell["modes"].keys()
+        if missing:
+            fail(f"cell {name} missing modes: {sorted(missing)}")
+        strict = cell["modes"]["strict"]
+        bounded = cell["modes"]["bounded"]
+        spec = cell["modes"]["speculative"]
+
+        # Mitigation off must look exactly like the seed: no staleness or
+        # speculation accounting anywhere in the strict run.
+        for metric in STALENESS_COUNTERS:
+            if counter(strict, metric) != 0:
+                fail(f"cell {name}: strict run has nonzero {metric}")
+        if strict["wasted_bytes"] != 0:
+            fail(f"cell {name}: strict run has nonzero wasted_bytes")
+
+        if cell["phase"] == "train" and cell["delay"] >= 0.5:
+            # A dominant straggler: mitigated goodput must beat strict.
+            for mode_name, run in (("bounded", bounded),
+                                   ("speculative", spec)):
+                if run["train_seconds"] >= strict["train_seconds"]:
+                    fail(f"cell {name}: {mode_name} train_seconds "
+                         f"{run['train_seconds']:.4f} does not beat strict "
+                         f"{strict['train_seconds']:.4f}")
+            if counter(bounded, "staleness.deferred_contributions") == 0:
+                fail(f"cell {name}: bounded run never deferred")
+            if counter(spec, "speculation.launched") == 0:
+                fail(f"cell {name}: speculative run never launched")
+            if counter(spec, "speculation.wasted_bytes") == 0 \
+                    or spec["wasted_bytes"] == 0:
+                fail(f"cell {name}: speculative run charged no waste")
+            if spec["wasted_bytes"] != counter(spec,
+                                               "speculation.wasted_bytes"):
+                fail(f"cell {name}: report wasted_bytes "
+                     f"{spec['wasted_bytes']} != speculation.wasted_bytes "
+                     f"counter {counter(spec, 'speculation.wasted_bytes')}")
+
+    print(f"check_bench_faults: OK ({path}: {len(runs)} runs, "
+          f"{len(cells)} cells)")
+
+
+def run_emitter(emitter):
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "BENCH_faults.json")
+        env = dict(os.environ)
+        # Tiny workload: the ctest entry checks the contract, not scale.
+        env.setdefault("VERO_SCALE", "0.05")
+        env.setdefault("VERO_BENCH_TREES", "2")
+        proc = subprocess.run([emitter, "--fault-grid", "--report", out],
+                              env=env, capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+            fail(f"emitter exited with {proc.returncode}")
+        validate(out)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--json", help="validate an existing report")
+    parser.add_argument("--emitter", help="run fault_grid --fault-grid")
+    args = parser.parse_args()
+    if bool(args.json) == bool(args.emitter):
+        parser.error("pass exactly one of --json / --emitter")
+    if args.json:
+        validate(args.json)
+    else:
+        run_emitter(args.emitter)
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,32 @@ struct WorkerContext::ObsHandles {
   obs::Counter* rendezvous_broken = nullptr;
   obs::HistogramMetric* straggler_seconds = nullptr;
   obs::HistogramMetric* op_sim_seconds = nullptr;
+
+  /// staleness.* / speculation.* handles, resolved lazily by the first
+  /// mitigated collective so strict runs keep exactly the seed's metric
+  /// name set (the bit-identical-to-seed contract covers reports too).
+  obs::Counter* stale_deferred = nullptr;
+  obs::Counter* stale_forced = nullptr;
+  obs::HistogramMetric* stale_deferred_seconds = nullptr;
+  obs::HistogramMetric* stale_deferred_mass = nullptr;
+  obs::HistogramMetric* stale_deadline_wait = nullptr;
+  obs::Counter* spec_launched = nullptr;
+  obs::Counter* spec_wasted_bytes = nullptr;
+  obs::HistogramMetric* spec_wasted_seconds = nullptr;
+  obs::HistogramMetric* spec_absorbed_seconds = nullptr;
+
+  void EnsureMitigationHandles(obs::MetricsShard* shard) {
+    if (stale_deferred != nullptr) return;
+    stale_deferred = shard->counter("staleness.deferred_contributions");
+    stale_forced = shard->counter("staleness.forced_syncs");
+    stale_deferred_seconds = shard->histogram("staleness.deferred_seconds");
+    stale_deferred_mass = shard->histogram("staleness.deferred_mass");
+    stale_deadline_wait = shard->histogram("staleness.deadline_wait_seconds");
+    spec_launched = shard->counter("speculation.launched");
+    spec_wasted_bytes = shard->counter("speculation.wasted_bytes");
+    spec_wasted_seconds = shard->histogram("speculation.wasted_seconds");
+    spec_absorbed_seconds = shard->histogram("speculation.absorbed_seconds");
+  }
 };
 
 WorkerContext::WorkerContext(Cluster* cluster, int rank)
@@ -39,7 +65,11 @@ Cluster::Cluster(int num_workers, NetworkModel model)
       ptrs_(num_workers, nullptr),
       mutable_ptrs_(num_workers, nullptr),
       sizes_(num_workers, 0),
-      instrument_slots_(num_workers, 0.0) {
+      instrument_slots_(num_workers, 0.0),
+      delay_slots_(num_workers, 0.0),
+      mit_class_(num_workers, RankClass::kOnTime),
+      mit_backup_(num_workers, -1),
+      stale_streaks_(num_workers, 0) {
   VERO_CHECK_GT(num_workers, 0);
   contexts_.reserve(num_workers);
   for (int r = 0; r < num_workers; ++r) {
@@ -545,6 +575,280 @@ Status WorkerContext::AllToAll(std::vector<std::vector<uint8_t>> to_each,
   VERO_RETURN_IF_ERROR(Rendezvous(&serial));
   Charge(CollectiveOp::kAllToAll, sent, received);
   return ApplyFaults(CollectiveOp::kAllToAll, decision, sent, received);
+}
+
+// ---- Straggler-mitigated collectives --------------------------------------
+
+void Cluster::PlanMitigation(const MitigationOptions& opts) {
+  ClassifyStragglers(opts, delay_slots_, stale_streaks_, &mit_class_,
+                     &mit_backup_);
+  for (int r = 0; r < num_workers_; ++r) {
+    if (mit_class_[r] == RankClass::kDeferred) {
+      ++stale_streaks_[r];
+    } else {
+      stale_streaks_[r] = 0;
+    }
+  }
+}
+
+WorkerContext::MitigatedCall WorkerContext::ReadMitigationPlan(
+    MitigationOutcome* outcome) const {
+  const int w = cluster_->num_workers_;
+  MitigatedCall call;
+  call.my = cluster_->mit_class_[rank_];
+  int deferred = 0, speculated = 0;
+  for (int r = 0; r < w; ++r) {
+    if (cluster_->mit_class_[r] == RankClass::kDeferred) ++deferred;
+    if (cluster_->mit_class_[r] == RankClass::kSpeculated) ++speculated;
+    if (cluster_->mit_backup_[r] == rank_) call.serving_for = r;
+  }
+  // The deadline only gets paid when the round actually closed without
+  // someone; a forced-sync or over-budget straggler makes the round strict
+  // (its full delay subsumes the deadline on the critical path).
+  call.any_late = deferred > 0;
+  if (outcome != nullptr) {
+    outcome->self_deferred = call.my == RankClass::kDeferred;
+    outcome->self_forced = call.my == RankClass::kForced;
+    outcome->self_speculated = call.my == RankClass::kSpeculated;
+    outcome->deferred_ranks = deferred;
+    outcome->speculated_ranks = speculated;
+    outcome->contributed.assign(w, 1);
+    for (int r = 0; r < w; ++r) {
+      if (cluster_->mit_class_[r] == RankClass::kDeferred) {
+        outcome->contributed[r] = 0;
+      }
+    }
+  }
+  return call;
+}
+
+Status WorkerContext::FinishMitigated(CollectiveOp op,
+                                      const MitigationOptions& opts,
+                                      FaultDecision decision,
+                                      const MitigatedCall& call,
+                                      uint64_t extra_sent,
+                                      uint64_t extra_received, uint64_t sent,
+                                      uint64_t received, double deferred_mass) {
+  ObsHandles* oh = nullptr;
+  if constexpr (obs::kObsEnabled) {
+    if (obs_handles_ != nullptr) {
+      obs_handles_->EnsureMitigationHandles(metrics_);
+      oh = obs_handles_.get();
+    }
+  }
+  switch (call.my) {
+    case RankClass::kDeferred:
+      // This rank's payload was dropped from the aggregate; its delay moves
+      // off the critical path (the rank catches up during the next layer's
+      // local compute, where its mass re-enters the rebuilt histograms).
+      stats_.absorbed_delay_seconds += decision.delay_seconds;
+      stats_.deferred_contributions += 1;
+      if (oh != nullptr) {
+        oh->stale_deferred->Increment();
+        oh->stale_deferred_seconds->Observe(decision.delay_seconds);
+        oh->stale_deferred_mass->Observe(deferred_mass);
+      }
+      decision.delay_seconds = 0.0;
+      break;
+    case RankClass::kSpeculated:
+      // A backup re-served this rank's share; the delay is absorbed and the
+      // result stays exact.
+      stats_.absorbed_delay_seconds += decision.delay_seconds;
+      if (oh != nullptr) {
+        oh->spec_absorbed_seconds->Observe(decision.delay_seconds);
+      }
+      decision.delay_seconds = 0.0;
+      break;
+    case RankClass::kForced:
+      // Deferral streak hit the staleness bound: contribute and pay the
+      // delay in full (ApplyFaults below charges it).
+      if (oh != nullptr) oh->stale_forced->Increment();
+      break;
+    case RankClass::kOnTime:
+      if (opts.mode == MitigationMode::kBoundedStaleness && call.any_late) {
+        // On-time ranks wait out the deadline before the round closes.
+        stats_.sim_seconds += opts.deadline_seconds;
+        stats_.deadline_wait_seconds += opts.deadline_seconds;
+        if (oh != nullptr) {
+          oh->stale_deadline_wait->Observe(opts.deadline_seconds);
+        }
+      }
+      break;
+  }
+  if (call.serving_for >= 0) {
+    // Speculative backup duty: re-serve the slow rank's transfer share. The
+    // duplicated volume crossed the wire, so it lands in bytes_sent /
+    // bytes_received (and the per-op counters, keeping the registry's per-op
+    // sums exact) and is isolated as speculative waste.
+    stats_.bytes_sent += extra_sent;
+    stats_.bytes_received += extra_received;
+    stats_.speculative_bytes +=
+        extra_sent > extra_received ? extra_sent : extra_received;
+    const double spec_seconds =
+        cluster_->model_.OpSeconds(extra_sent, extra_received);
+    stats_.sim_seconds += spec_seconds;
+    stats_.speculative_seconds += spec_seconds;
+    if (oh != nullptr) {
+      oh->spec_launched->Increment();
+      oh->spec_wasted_bytes->Add(extra_sent > extra_received ? extra_sent
+                                                             : extra_received);
+      oh->spec_wasted_seconds->Observe(spec_seconds);
+      const int i = static_cast<int>(op);
+      oh->op_bytes_sent[i]->Add(extra_sent);
+      oh->op_bytes_received[i]->Add(extra_received);
+    }
+  }
+  return ApplyFaults(op, decision, sent, received);
+}
+
+Status WorkerContext::AllReduceBoundedSum(std::span<double> data,
+                                          const MitigationOptions& opts,
+                                          MitigationOutcome* outcome) {
+  const int w = world_size();
+  if (outcome != nullptr) {
+    *outcome = MitigationOutcome{};
+    outcome->contributed.assign(w, 1);
+  }
+  if (!opts.enabled() || w == 1) return AllReduceSum(data);
+
+  FaultDecision decision;
+  VERO_RETURN_IF_ERROR(Prepare(CollectiveOp::kAllReduceSum, &decision));
+  cluster_->mutable_ptrs_[rank_] = data.data();
+  cluster_->sizes_[rank_] = data.size();
+  cluster_->delay_slots_[rank_] = decision.delay_seconds;
+  bool serial = false;
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  if (serial) {
+    cluster_->PlanMitigation(opts);
+    const size_t n = cluster_->sizes_[0];
+    for (int r = 1; r < w; ++r) VERO_CHECK_EQ(cluster_->sizes_[r], n);
+    cluster_->reduce_buffer_.assign(n, 0.0);
+    for (int r = 0; r < w; ++r) {
+      if (cluster_->mit_class_[r] == RankClass::kDeferred) continue;
+      const double* src = static_cast<const double*>(cluster_->mutable_ptrs_[r]);
+      for (size_t i = 0; i < n; ++i) cluster_->reduce_buffer_[i] += src[i];
+    }
+  }
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  const MitigatedCall call = ReadMitigationPlan(outcome);
+  double deferred_mass = 0.0;
+  if (call.my == RankClass::kDeferred) {
+    // The dropped contribution, measured before the copy-out overwrites it.
+    for (double v : data) deferred_mass += v;
+  }
+  std::memcpy(data.data(), cluster_->reduce_buffer_.data(),
+              data.size() * sizeof(double));
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+
+  // Volume is charged exactly as in the strict collective: a late payload
+  // still crosses the wire, it is just dropped on arrival.
+  const uint64_t bytes = data.size() * sizeof(double);
+  const uint64_t wire = 2 * bytes * (w - 1) / w;
+  const uint64_t extra = call.serving_for >= 0 ? wire : 0;
+  Charge(CollectiveOp::kAllReduceSum, wire, wire);
+  return FinishMitigated(CollectiveOp::kAllReduceSum, opts, decision, call,
+                         extra, extra, wire, wire, deferred_mass);
+}
+
+Status WorkerContext::AllGatherBounded(const std::vector<uint8_t>& mine,
+                                       std::vector<std::vector<uint8_t>>* all,
+                                       const MitigationOptions& opts,
+                                       MitigationOutcome* outcome) {
+  const int w = world_size();
+  if (outcome != nullptr) {
+    *outcome = MitigationOutcome{};
+    outcome->contributed.assign(w, 1);
+  }
+  if (!opts.enabled() || w == 1) return AllGather(mine, all);
+
+  FaultDecision decision;
+  VERO_RETURN_IF_ERROR(Prepare(CollectiveOp::kAllGather, &decision));
+  all->assign(w, {});
+  cluster_->ptrs_[rank_] = &mine;
+  cluster_->delay_slots_[rank_] = decision.delay_seconds;
+  bool serial = false;
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  if (serial) cluster_->PlanMitigation(opts);
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  const MitigatedCall call = ReadMitigationPlan(outcome);
+  uint64_t received = 0;
+  double deferred_mass = 0.0;
+  for (int r = 0; r < w; ++r) {
+    const auto* src =
+        static_cast<const std::vector<uint8_t>*>(cluster_->ptrs_[r]);
+    if (r != rank_) received += src->size();
+    if (cluster_->mit_class_[r] == RankClass::kDeferred) {
+      if (r == rank_) deferred_mass = static_cast<double>(src->size());
+      continue;  // dropped on arrival, on every rank — slot stays empty
+    }
+    (*all)[r] = *src;
+  }
+  uint64_t extra_sent = 0;
+  if (call.serving_for >= 0) {
+    const auto* src = static_cast<const std::vector<uint8_t>*>(
+        cluster_->ptrs_[call.serving_for]);
+    extra_sent = src->size() * (w - 1);
+  }
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  const uint64_t sent = mine.size() * (w - 1);
+  Charge(CollectiveOp::kAllGather, sent, received);
+  return FinishMitigated(CollectiveOp::kAllGather, opts, decision, call,
+                         extra_sent, 0, sent, received, deferred_mass);
+}
+
+Status WorkerContext::AllToAllBounded(
+    std::vector<std::vector<uint8_t>> to_each,
+    std::vector<std::vector<uint8_t>>* from_each,
+    const MitigationOptions& opts, MitigationOutcome* outcome) {
+  const int w = world_size();
+  if (outcome != nullptr) {
+    *outcome = MitigationOutcome{};
+    outcome->contributed.assign(w, 1);
+  }
+  if (!opts.enabled() || w == 1) return AllToAll(std::move(to_each), from_each);
+
+  FaultDecision decision;
+  VERO_RETURN_IF_ERROR(Prepare(CollectiveOp::kAllToAll, &decision));
+  VERO_CHECK_EQ(static_cast<int>(to_each.size()), w);
+  from_each->assign(w, {});
+  cluster_->ptrs_[rank_] = &to_each;
+  cluster_->delay_slots_[rank_] = decision.delay_seconds;
+  bool serial = false;
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  if (serial) cluster_->PlanMitigation(opts);
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  const MitigatedCall call = ReadMitigationPlan(outcome);
+  uint64_t sent = 0, received = 0;
+  double deferred_mass = 0.0;
+  for (int r = 0; r < w; ++r) {
+    const auto* src = static_cast<const std::vector<std::vector<uint8_t>>*>(
+        cluster_->ptrs_[r]);
+    if (r != rank_) received += (*src)[rank_].size();
+    // A deferred rank's buffers are dropped everywhere, self-slice included,
+    // so receivers that skip non-contributors stay replicated-deterministic.
+    if (cluster_->mit_class_[r] == RankClass::kDeferred) continue;
+    (*from_each)[r] = (*src)[rank_];
+  }
+  for (int r = 0; r < w; ++r) {
+    if (r != rank_) sent += to_each[r].size();
+  }
+  if (call.my == RankClass::kDeferred) {
+    for (const auto& buf : to_each) {
+      deferred_mass += static_cast<double>(buf.size());
+    }
+  }
+  uint64_t extra_sent = 0;
+  if (call.serving_for >= 0) {
+    const auto* src = static_cast<const std::vector<std::vector<uint8_t>>*>(
+        cluster_->ptrs_[call.serving_for]);
+    for (int r = 0; r < w; ++r) {
+      if (r != call.serving_for) extra_sent += (*src)[r].size();
+    }
+  }
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  Charge(CollectiveOp::kAllToAll, sent, received);
+  return FinishMitigated(CollectiveOp::kAllToAll, opts, decision, call,
+                         extra_sent, 0, sent, received, deferred_mass);
 }
 
 }  // namespace vero

@@ -13,6 +13,7 @@
 
 #include "cluster/fault_injector.h"
 #include "cluster/network_model.h"
+#include "cluster/staleness.h"
 #include "common/status.h"
 #include "common/threading.h"
 
@@ -109,6 +110,42 @@ class WorkerContext {
   Status AllToAll(std::vector<std::vector<uint8_t>> to_each,
                   std::vector<std::vector<uint8_t>>* from_each);
 
+  // ---- Straggler-mitigated collectives -----------------------------------
+  // Each is a 1:1 replacement for its strict counterpart: it reports the
+  // SAME CollectiveOp to the fault injector / metrics / traces, so one
+  // FaultPlan replays with identical occurrence matching across strict,
+  // bounded-staleness, and speculative runs. With opts.mode == kStrict they
+  // delegate to the strict implementation (bit-identical to seed).
+  // Semantics and accounting are documented in docs/straggler_mitigation.md.
+
+  /// Bounded/speculative all-reduce. Bounded mode: ranks whose announced
+  /// delay exceeds opts.deadline_seconds (at most opts.max_stale_ranks, and
+  /// never past a rank's staleness_bound streak) are excluded from the sum
+  /// on EVERY rank; their delay is absorbed off the critical path while the
+  /// on-time ranks pay the deadline. Speculative mode: a backup re-serves
+  /// the slow rank's share (duplicated volume charged as waste) and the
+  /// result equals the strict sum exactly.
+  Status AllReduceBoundedSum(std::span<double> data,
+                             const MitigationOptions& opts,
+                             MitigationOutcome* outcome = nullptr);
+
+  /// Bounded/speculative all-gather. In bounded mode a deferred rank's slot
+  /// in `all` stays empty on every rank (outcome->contributed marks it);
+  /// speculative mode always delivers every payload.
+  Status AllGatherBounded(const std::vector<uint8_t>& mine,
+                          std::vector<std::vector<uint8_t>>* all,
+                          const MitigationOptions& opts,
+                          MitigationOutcome* outcome = nullptr);
+
+  /// Bounded/speculative personalized all-to-all. In bounded mode every
+  /// buffer sent BY a deferred rank is dropped cluster-wide (including its
+  /// own self-slice), so receivers that skip non-contributors via
+  /// outcome->contributed stay replicated-deterministic.
+  Status AllToAllBounded(std::vector<std::vector<uint8_t>> to_each,
+                         std::vector<std::vector<uint8_t>>* from_each,
+                         const MitigationOptions& opts,
+                         MitigationOutcome* outcome = nullptr);
+
   /// Pure synchronization (no bytes charged).
   Status Barrier();
 
@@ -175,6 +212,31 @@ class WorkerContext {
   /// Marks this worker dead, records it with the cluster, and breaks the
   /// rendezvous group so peers fail fast instead of hanging.
   Status Die(Status status);
+
+  /// This rank's view of the serial participant's mitigation plan, read
+  /// from the cluster's shared plan state (valid between the rendezvous
+  /// that follows PlanMitigation and the final one). Also fills *outcome.
+  struct MitigatedCall {
+    RankClass my = RankClass::kOnTime;
+    /// Rank this worker re-serves as a speculative backup, -1 if none.
+    int serving_for = -1;
+    /// True when any rank was late this call (bounded mode charges the
+    /// on-time ranks the deadline only in that case).
+    bool any_late = false;
+  };
+  MitigatedCall ReadMitigationPlan(MitigationOutcome* outcome) const;
+
+  /// Shared epilogue of the mitigated collectives: routes this rank's
+  /// injected delay to sim_seconds or absorbed_delay_seconds per its
+  /// RankClass, charges deadline waits and speculative duplicate volume
+  /// (mirrored into the per-op byte counters so exact accounting holds),
+  /// records the staleness.* / speculation.* metrics, then finishes via
+  /// ApplyFaults with the possibly-neutralized decision.
+  Status FinishMitigated(CollectiveOp op, const MitigationOptions& opts,
+                         FaultDecision decision, const MitigatedCall& call,
+                         uint64_t extra_sent, uint64_t extra_received,
+                         uint64_t sent, uint64_t received,
+                         double deferred_mass);
 
   Cluster* cluster_;
   int rank_;
@@ -277,6 +339,12 @@ class Cluster {
   std::vector<std::exception_ptr> RunInternal(
       const std::function<void(WorkerContext&)>& fn);
 
+  /// Serial-section step of a mitigated collective: classifies stragglers
+  /// from the delays published in delay_slots_ and updates the per-rank
+  /// consecutive-deferral streaks. Must run with all ranks parked between
+  /// two rendezvous (same exclusivity contract as reduce_buffer_).
+  void PlanMitigation(const MitigationOptions& opts);
+
   const int num_workers_;
   const NetworkModel model_;
   std::vector<std::unique_ptr<WorkerContext>> contexts_;
@@ -294,6 +362,16 @@ class Cluster {
   std::vector<size_t> sizes_;
   std::vector<double> reduce_buffer_;
   std::vector<double> instrument_slots_;
+
+  // Mitigated-collective plan state: each rank publishes its injected delay
+  // into delay_slots_, the serial participant fills mit_class_ / mit_backup_
+  // via PlanMitigation, everyone reads them back before the final
+  // rendezvous. stale_streaks_ tracks consecutive deferrals per rank and is
+  // only touched by mitigated calls (strict runs never see it).
+  std::vector<double> delay_slots_;
+  std::vector<RankClass> mit_class_;
+  std::vector<int> mit_backup_;
+  std::vector<uint32_t> stale_streaks_;
 };
 
 }  // namespace vero

@@ -50,6 +50,20 @@ struct CommStats {
   uint64_t retransmitted_bytes = 0;
   uint64_t num_retries = 0;
   double fault_delay_seconds = 0.0;
+  /// Straggler-mitigation accounting (all zero in strict mode). A deferred
+  /// or speculated rank's injected delay moves off the critical path into
+  /// absorbed_delay_seconds instead of sim_seconds; on-time ranks of a
+  /// bounded round pay the deadline into sim_seconds and mirror it here in
+  /// deadline_wait_seconds; a speculative backup's duplicated transfer is
+  /// *also* counted in bytes_sent/bytes_received (it crossed the wire) and
+  /// isolated here as speculative_bytes / speculative_seconds (goodput
+  /// waste). deferred_contributions counts calls whose payload this rank
+  /// had dropped from the aggregate.
+  double absorbed_delay_seconds = 0.0;
+  double deadline_wait_seconds = 0.0;
+  uint64_t deferred_contributions = 0;
+  uint64_t speculative_bytes = 0;
+  double speculative_seconds = 0.0;
 
   CommStats& operator+=(const CommStats& other) {
     bytes_sent += other.bytes_sent;
@@ -59,6 +73,11 @@ struct CommStats {
     retransmitted_bytes += other.retransmitted_bytes;
     num_retries += other.num_retries;
     fault_delay_seconds += other.fault_delay_seconds;
+    absorbed_delay_seconds += other.absorbed_delay_seconds;
+    deadline_wait_seconds += other.deadline_wait_seconds;
+    deferred_contributions += other.deferred_contributions;
+    speculative_bytes += other.speculative_bytes;
+    speculative_seconds += other.speculative_seconds;
     return *this;
   }
   CommStats operator-(const CommStats& other) const {
@@ -70,6 +89,14 @@ struct CommStats {
     d.retransmitted_bytes = retransmitted_bytes - other.retransmitted_bytes;
     d.num_retries = num_retries - other.num_retries;
     d.fault_delay_seconds = fault_delay_seconds - other.fault_delay_seconds;
+    d.absorbed_delay_seconds =
+        absorbed_delay_seconds - other.absorbed_delay_seconds;
+    d.deadline_wait_seconds =
+        deadline_wait_seconds - other.deadline_wait_seconds;
+    d.deferred_contributions =
+        deferred_contributions - other.deferred_contributions;
+    d.speculative_bytes = speculative_bytes - other.speculative_bytes;
+    d.speculative_seconds = speculative_seconds - other.speculative_seconds;
     return d;
   }
 };

@@ -1,0 +1,74 @@
+#include "cluster/staleness.h"
+
+#include <algorithm>
+
+namespace vero {
+
+const char* MitigationModeToString(MitigationMode mode) {
+  switch (mode) {
+    case MitigationMode::kStrict:
+      return "strict";
+    case MitigationMode::kBoundedStaleness:
+      return "bounded";
+    case MitigationMode::kSpeculative:
+      return "speculative";
+  }
+  return "unknown";
+}
+
+void ClassifyStragglers(const MitigationOptions& opts,
+                        std::span<const double> delays,
+                        std::span<const uint32_t> streaks,
+                        std::vector<RankClass>* klass,
+                        std::vector<int>* backup_of) {
+  const int w = static_cast<int>(delays.size());
+  klass->assign(static_cast<size_t>(w), RankClass::kOnTime);
+  backup_of->assign(static_cast<size_t>(w), -1);
+  if (!opts.enabled() || w <= 1) return;
+  const bool speculative = opts.mode == MitigationMode::kSpeculative;
+  const double threshold = speculative ? opts.speculation_threshold_seconds
+                                       : opts.deadline_seconds;
+
+  // Late candidates, worst delay first (ties broken by rank so the order is
+  // total and identical everywhere).
+  std::vector<int> late;
+  for (int r = 0; r < w; ++r) {
+    if (delays[r] > threshold) late.push_back(r);
+  }
+  std::sort(late.begin(), late.end(), [&](int a, int b) {
+    if (delays[a] != delays[b]) return delays[a] > delays[b];
+    return a < b;
+  });
+
+  // At least one rank must stay on time, and at most max_stale_ranks get
+  // mitigated per call; candidates beyond the budget fall back to strict
+  // behavior (they contribute and pay their delay in full).
+  uint32_t budget = std::min<uint32_t>(opts.max_stale_ranks,
+                                       static_cast<uint32_t>(w - 1));
+  for (int r : late) {
+    if (budget == 0) break;
+    if (!speculative && streaks[r] + 1 > opts.staleness_bound) {
+      // Another deferral would exceed the staleness bound: forced sync.
+      (*klass)[r] = RankClass::kForced;
+      continue;
+    }
+    (*klass)[r] = speculative ? RankClass::kSpeculated : RankClass::kDeferred;
+    --budget;
+  }
+  if (!speculative) return;
+
+  // Each speculated rank gets a distinct on-time backup, lowest ranks
+  // first; if none remain the rank falls back to strict behavior.
+  int next = 0;
+  for (int r = 0; r < w; ++r) {
+    if ((*klass)[r] != RankClass::kSpeculated) continue;
+    while (next < w && (*klass)[next] != RankClass::kOnTime) ++next;
+    if (next == w) {
+      (*klass)[r] = RankClass::kOnTime;
+      continue;
+    }
+    (*backup_of)[r] = next++;
+  }
+}
+
+}  // namespace vero

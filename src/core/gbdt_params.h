@@ -17,6 +17,27 @@ enum class GrowthPolicy {
   kLeafWise,
 };
 
+/// Straggler handling of the distributed trainers' aggregation collectives.
+/// Mirrors cluster-level MitigationMode without depending on src/cluster/
+/// (core stays collective-free); dist_common's MitigationFromParams maps it.
+enum class StragglerMitigation {
+  /// Fully synchronous aggregation (the paper's protocol; the default, and
+  /// bit-identical to builds that predate mitigation).
+  kStrict,
+  /// Bounded-staleness aggregation: close each aggregation once the on-time
+  /// ranks have contributed within staleness_deadline_seconds; a late
+  /// rank's histogram is dropped for the layer (its gradient mass re-enters
+  /// the next layer's rebuilt histograms) and never deferred more than
+  /// staleness_bound consecutive aggregations. Trades bounded accuracy
+  /// deviation for straggler immunity (docs/straggler_mitigation.md).
+  kBoundedStaleness,
+  /// Speculative re-execution: a rank delayed beyond
+  /// speculation_threshold_seconds has its block re-served by an idle
+  /// backup; models stay bit-identical to strict at the price of duplicated
+  /// traffic (surfaced as wasted_bytes / wasted_seconds).
+  kSpeculative,
+};
+
 /// Hyper-parameters for GBDT training, matching the paper's notation
 /// (§3: T trees of L layers, q candidate splits; §2.1.1: eta, lambda, gamma).
 struct GbdtParams {
@@ -66,6 +87,24 @@ struct GbdtParams {
   /// Seed for subsampling.
   uint64_t seed = 42;
 
+  // ---- Straggler mitigation (distributed trainers only) -----------------
+
+  /// Aggregation-straggler policy; kStrict leaves training bit-identical to
+  /// seed behavior.
+  StragglerMitigation straggler_mitigation = StragglerMitigation::kStrict;
+  /// kBoundedStaleness: how long on-time ranks wait before closing an
+  /// aggregation without its stragglers (simulated seconds).
+  double staleness_deadline_seconds = 0.05;
+  /// kBoundedStaleness: max consecutive deferrals of one rank before a
+  /// forced full sync.
+  uint32_t staleness_bound = 2;
+  /// Max ranks deferred/speculated per aggregation (the k in "return once
+  /// W-k ranks contribute").
+  uint32_t staleness_max_stale_ranks = 1;
+  /// kSpeculative: delay above which a rank's block is re-executed
+  /// (simulated seconds).
+  double speculation_threshold_seconds = 0.05;
+
   /// Validates ranges; returns InvalidArgument with a reason on failure.
   Status Validate() const {
     if (num_trees == 0) return Status::InvalidArgument("num_trees == 0");
@@ -90,6 +129,18 @@ struct GbdtParams {
     }
     if (num_threads == 0 || num_threads > 256) {
       return Status::InvalidArgument("num_threads not in [1, 256]");
+    }
+    if (staleness_deadline_seconds <= 0.0) {
+      return Status::InvalidArgument("staleness_deadline_seconds <= 0");
+    }
+    if (speculation_threshold_seconds <= 0.0) {
+      return Status::InvalidArgument("speculation_threshold_seconds <= 0");
+    }
+    if (staleness_bound == 0) {
+      return Status::InvalidArgument("staleness_bound == 0");
+    }
+    if (staleness_max_stale_ranks == 0) {
+      return Status::InvalidArgument("staleness_max_stale_ranks == 0");
     }
     return Status::OK();
   }

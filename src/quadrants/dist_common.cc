@@ -58,6 +58,26 @@ std::vector<SplitCandidate> DeserializeSplits(
   return splits;
 }
 
+MitigationOptions MitigationFromParams(const GbdtParams& params) {
+  MitigationOptions opts;
+  switch (params.straggler_mitigation) {
+    case StragglerMitigation::kStrict:
+      opts.mode = MitigationMode::kStrict;
+      break;
+    case StragglerMitigation::kBoundedStaleness:
+      opts.mode = MitigationMode::kBoundedStaleness;
+      break;
+    case StragglerMitigation::kSpeculative:
+      opts.mode = MitigationMode::kSpeculative;
+      break;
+  }
+  opts.deadline_seconds = params.staleness_deadline_seconds;
+  opts.speculation_threshold_seconds = params.speculation_threshold_seconds;
+  opts.staleness_bound = params.staleness_bound;
+  opts.max_stale_ranks = params.staleness_max_stale_ranks;
+  return opts;
+}
+
 void MergeBestSplits(const std::vector<SplitCandidate>& candidates,
                      std::vector<SplitCandidate>* best) {
   if (best->empty()) {
@@ -83,6 +103,7 @@ DistTrainerBase::DistTrainerBase(WorkerContext& ctx,
       loss_(MakeLossForTask(task, num_classes)),
       finder_(options.params.reg_lambda, options.params.reg_gamma,
               options.params.min_split_gain),
+      mitigation_(MitigationFromParams(options.params)),
       model_(task, num_classes, options.params.learning_rate),
       builder_(options.params.num_threads) {}
 

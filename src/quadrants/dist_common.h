@@ -28,6 +28,10 @@
 
 namespace vero {
 
+/// Maps GbdtParams' straggler-mitigation knobs onto the collective-level
+/// MitigationOptions consumed by the bounded collectives.
+MitigationOptions MitigationFromParams(const GbdtParams& params);
+
 /// Per-round checkpoint policy for TrainDistributed.
 struct CheckpointOptions {
   /// Checkpoint after every `interval` completed trees; 0 disables
@@ -334,6 +338,10 @@ class DistTrainerBase {
   uint32_t dims_;
   std::unique_ptr<Loss> loss_;
   SplitFinder finder_;
+
+  /// Straggler policy for the quadrant's aggregation collectives, derived
+  /// from options_.params (strict by default — bit-identical to seed).
+  MitigationOptions mitigation_;
 
   GbdtModel model_;
   GradientBuffer grads_;

@@ -61,9 +61,14 @@ std::vector<SplitCandidate> FeatureParallelTrainer::FindLayerSplits(
                                 owned_features_, splits_);
   }
   std::vector<std::vector<uint8_t>> all;
-  VERO_COMM_OK(ctx_.AllGather(SerializeSplits(local), &all));
+  MitigationOutcome outcome;
+  VERO_COMM_OK(ctx_.AllGatherBounded(SerializeSplits(local), &all, mitigation_,
+                                     &outcome));
   std::vector<SplitCandidate> best;
-  for (const auto& buf : all) MergeBestSplits(DeserializeSplits(buf), &best);
+  for (int r = 0; r < ctx_.world_size(); ++r) {
+    if (!outcome.contributed[r]) continue;
+    MergeBestSplits(DeserializeSplits(all[r]), &best);
+  }
   return best;
 }
 

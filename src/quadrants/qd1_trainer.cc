@@ -78,7 +78,7 @@ std::vector<SplitCandidate> Qd1Trainer::FindLayerSplits(
     std::memcpy(buffer.data() + i * per_node, hist->raw_data(),
                 per_node * sizeof(double));
   }
-  VERO_COMM_OK(ctx_.AllReduceSum(buffer));
+  VERO_COMM_OK(ctx_.AllReduceBoundedSum(buffer, mitigation_));
   std::vector<SplitCandidate> best(frontier.size());
   for (size_t i = 0; i < frontier.size(); ++i) {
     Histogram* hist = pool_.Get(frontier[i]);

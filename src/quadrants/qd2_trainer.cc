@@ -87,7 +87,9 @@ std::vector<SplitCandidate> Qd2Trainer::FindLayerSplits(
     }
   }
   std::vector<std::vector<uint8_t>> from_src;
-  VERO_COMM_OK(ctx_.AllToAll(std::move(to_dest), &from_src));
+  MitigationOutcome exchange_outcome;
+  VERO_COMM_OK(ctx_.AllToAllBounded(std::move(to_dest), &from_src, mitigation_,
+                                    &exchange_outcome));
 
   const size_t my_fb = ctx_.SliceBegin(d, rank);
   const size_t my_fe = ctx_.SliceEnd(d, rank);
@@ -95,6 +97,9 @@ std::vector<SplitCandidate> Qd2Trainer::FindLayerSplits(
   const size_t doubles_per_node = my_features * per_feature;
   std::vector<double> agg(frontier.size() * doubles_per_node, 0.0);
   for (int src = 0; src < w; ++src) {
+    // A deferred straggler's slice was dropped cluster-wide; its mass
+    // re-enters the rebuilt histograms of the next layer.
+    if (!exchange_outcome.contributed[src]) continue;
     VERO_CHECK_EQ(from_src[src].size(), agg.size() * sizeof(double));
     const double* in = reinterpret_cast<const double*>(from_src[src].data());
     for (size_t i = 0; i < agg.size(); ++i) agg[i] += in[i];
@@ -116,11 +121,16 @@ std::vector<SplitCandidate> Qd2Trainer::FindLayerSplits(
                                      slice_ids, splits_);
   }
 
-  // Exchange local bests; everyone deterministically merges.
+  // Exchange local bests; everyone deterministically merges (skipping any
+  // rank whose bests were deferred past the deadline — identically so on
+  // every rank, which keeps the split decision replicated).
   std::vector<std::vector<uint8_t>> all;
-  VERO_COMM_OK(ctx_.AllGather(SerializeSplits(local_best), &all));
+  MitigationOutcome best_outcome;
+  VERO_COMM_OK(ctx_.AllGatherBounded(SerializeSplits(local_best), &all,
+                                     mitigation_, &best_outcome));
   std::vector<SplitCandidate> best;
   for (int r = 0; r < w; ++r) {
+    if (!best_outcome.contributed[r]) continue;
     MergeBestSplits(DeserializeSplits(all[r]), &best);
   }
   return best;

@@ -299,6 +299,11 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
   Status error = FirstError(RunAttempt(cluster, shards, cfg, &outputs));
 
   DistResult result;
+  // Speculative re-execution's duplicated transfers are pure goodput waste
+  // no matter how the attempt ended: the backup's copy only exists to cover
+  // a straggler, it never adds information to the model.
+  result.wasted_bytes += cluster.TotalStats().speculative_bytes;
+  result.wasted_seconds += cluster.TotalStats().speculative_seconds;
   if (error.ok()) {
     result.model = std::move(outputs[0].model);
     result.tree_costs = std::move(outputs[0].tree_costs);
@@ -550,6 +555,10 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
     attempt_cfg.elapsed_base = elapsed_base;
     error = FirstError(RunAttempt(*rebuilt, current_shards, attempt_cfg,
                                   &attempt_outputs));
+    // As above: speculative duplicates from this attempt are waste whether
+    // or not the attempt survived.
+    result.wasted_bytes += rebuilt->TotalStats().speculative_bytes;
+    result.wasted_seconds += rebuilt->TotalStats().speculative_seconds;
     if (!error.ok()) {
       dead = rebuilt->dead_ranks();
       result.recovery.failures_observed += static_cast<int>(dead.size());

@@ -48,6 +48,24 @@ std::vector<SplitCandidate> VerticalTrainerBase::FindLayerSplits(
     const std::vector<NodeId>& frontier) {
   const std::vector<SplitCandidate> local = LocalBestSplits(frontier);
   std::vector<SplitCandidate> best;
+  if (mitigation_.enabled()) {
+    // Mitigated path for both vertical flows: the master-coordinated
+    // exchange has no useful bounded form (a master stalled on a straggler's
+    // gather IS the bottleneck mitigation removes), so it degrades to the
+    // symmetric all-gather. A deferred rank's candidates are skipped
+    // identically on every rank; since dropped candidates never win, the
+    // winning split's feature owner is always a live participant of the
+    // placement broadcast that follows.
+    std::vector<std::vector<uint8_t>> all;
+    MitigationOutcome outcome;
+    VERO_COMM_OK(ctx_.AllGatherBounded(SerializeSplits(local), &all,
+                                       mitigation_, &outcome));
+    for (int r = 0; r < ctx_.world_size(); ++r) {
+      if (!outcome.contributed[r]) continue;
+      MergeBestSplits(DeserializeSplits(all[r]), &best);
+    }
+    return best;
+  }
   if (MasterCoordinatesSplits()) {
     // Vero: master gathers local bests, resolves, broadcasts the winners.
     std::vector<std::vector<uint8_t>> gathered;
