@@ -174,6 +174,9 @@ DistResult RunQuadrantSpec(const Dataset& train, Quadrant quadrant,
   DistTrainOptions options;
   options.params = spec.params;
   options.transform.encoding = spec.encoding;
+  options.checkpoint = spec.checkpoint;
+  options.max_recovery_attempts = spec.max_recovery_attempts;
+  options.elastic_rejoin = spec.elastic_rejoin;
   const bool observe =
       ObsRequested() || (obs::kObsEnabled && spec.force_observe);
   if (!observe) {

@@ -65,6 +65,12 @@ struct BenchRunSpec {
   /// Installed on the fresh cluster before training (not owned; may be
   /// null). Lets sweeps replay the exact same delay schedule per mode.
   const FaultPlan* fault_plan = nullptr;
+  /// Checkpoint / recovery policy for sweeps that inject crashes or
+  /// schedule resizes (defaults match DistTrainOptions: no checkpoints, one
+  /// recovery attempt, degrade-to-survivors).
+  CheckpointOptions checkpoint;
+  int max_recovery_attempts = 1;
+  bool elastic_rejoin = false;
   /// Attach a RunObserver even without --report/--trace-dir, so the caller
   /// can read result.report.metrics (e.g. staleness.* counters) for its own
   /// comparison tables.

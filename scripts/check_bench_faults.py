@@ -22,6 +22,18 @@ Beyond schema shape, this checks the straggler-mitigation contract:
     contributions, and speculation launched backups and charged their
     duplicated traffic to wasted_bytes.
 
+and the recovery-grid contract (rg-ci<interval>-<crash>-<resize> cells):
+
+  * the full checkpoint_interval x crash x resize product is present,
+    every run completed at the width its resize schedule dictates;
+  * crash cells observed a failure and ran recovery; crash-free cells
+    show zero failures and zero recovery traffic;
+  * resize=up cells admitted workers and priced re-shard traffic,
+    resize=down cells retired workers, resize=none cells never resized;
+  * for a matched crash x resize pair, the sparse-checkpoint run (largest
+    interval) retrains at least as many trees as the per-tree-checkpoint
+    run (denser checkpoints never lose more work).
+
 Exits non-zero with a message on the first violation.
 """
 
@@ -39,6 +51,12 @@ LABEL_RE = re.compile(
     r"^run\d+-(?P<quadrant>[a-z0-9]+)-w(?P<workers>\d+)-"
     r"(?P<cell>fg-(?P<phase>train|setup)-r\d+-d(?P<delay>[0-9.]+))-"
     r"(?P<mode>strict|bounded|speculative)$")
+RG_LABEL_RE = re.compile(
+    r"^run\d+-(?P<quadrant>[a-z0-9]+)-w(?P<workers>\d+)-"
+    r"rg-ci(?P<interval>\d+)-(?P<crash>none|early|late)-"
+    r"(?P<resize>none|up|down)$")
+RG_CRASHES = ("none", "early", "late")
+RG_RESIZES = ("none", "up", "down")
 STALENESS_COUNTERS = (
     "staleness.deferred_contributions",
     "staleness.forced_syncs",
@@ -75,19 +93,29 @@ def validate(path):
         fail("runs must be a non-empty list")
 
     cells = {}
+    recovery_runs = {}
     for i, run in enumerate(runs):
         if not isinstance(run, dict):
             fail(f"runs[{i}] is not an object")
         for key in ("label", "train_seconds", "wasted_bytes", "metrics"):
             if key not in run:
                 fail(f"runs[{i}] missing key {key!r}")
-        m = LABEL_RE.match(run["label"])
-        if m is None:
-            fail(f"runs[{i}].label {run['label']!r} is not a fault-grid "
-                 "label (runNNN-<quadrant>-wW-fg-<phase>-rR-dD-<mode>)")
         if not isinstance(run["train_seconds"], (int, float)) \
                 or run["train_seconds"] <= 0:
             fail(f"{run['label']}: train_seconds must be positive")
+        rg = RG_LABEL_RE.match(run["label"])
+        if rg is not None:
+            key = (int(rg.group("interval")), rg.group("crash"),
+                   rg.group("resize"))
+            if key in recovery_runs:
+                fail(f"duplicate recovery-grid run for {run['label']!r}")
+            recovery_runs[key] = (int(rg.group("workers")), run)
+            continue
+        m = LABEL_RE.match(run["label"])
+        if m is None:
+            fail(f"runs[{i}].label {run['label']!r} is not a fault-grid "
+                 "label (runNNN-<quadrant>-wW-fg-<phase>-rR-dD-<mode> or "
+                 "runNNN-<quadrant>-wW-rg-ciI-<crash>-<resize>)")
         cell = cells.setdefault(
             m.group("cell"),
             {"phase": m.group("phase"), "delay": float(m.group("delay")),
@@ -135,8 +163,86 @@ def validate(path):
                      f"{spec['wasted_bytes']} != speculation.wasted_bytes "
                      f"counter {counter(spec, 'speculation.wasted_bytes')}")
 
+    validate_recovery_grid(recovery_runs)
+
     print(f"check_bench_faults: OK ({path}: {len(runs)} runs, "
-          f"{len(cells)} cells)")
+          f"{len(cells)} straggler cells, {len(recovery_runs)} recovery "
+          "cells)")
+
+
+def validate_recovery_grid(recovery_runs):
+    """Checks the rg-ci<I>-<crash>-<resize> family (may be absent in old
+    reports; any presence requires the full product)."""
+    if not recovery_runs:
+        return
+    intervals = sorted({key[0] for key in recovery_runs})
+    for interval in intervals:
+        for crash in RG_CRASHES:
+            for resize in RG_RESIZES:
+                if (interval, crash, resize) not in recovery_runs:
+                    fail(f"recovery grid missing cell "
+                         f"rg-ci{interval}-{crash}-{resize}")
+
+    for (interval, crash, resize), (workers, run) in \
+            sorted(recovery_runs.items()):
+        label = run["label"]
+        recovery = run.get("recovery")
+        elasticity = run.get("elasticity")
+        if not isinstance(recovery, dict) or not isinstance(elasticity, dict):
+            fail(f"{label}: missing recovery/elasticity blocks")
+
+        want_width = workers + {"none": 0, "up": 1, "down": -1}[resize]
+        if recovery.get("final_world_size") != want_width:
+            fail(f"{label}: final_world_size "
+                 f"{recovery.get('final_world_size')} != scheduled width "
+                 f"{want_width}")
+
+        if crash == "none":
+            if recovery.get("failures_observed", 0) != 0:
+                fail(f"{label}: crash-free run observed failures")
+            if recovery.get("recovery_bytes", 0) != 0:
+                fail(f"{label}: crash-free run charged recovery traffic")
+        else:
+            if recovery.get("failures_observed", 0) < 1:
+                fail(f"{label}: crash run observed no failure")
+            if recovery.get("recovery_attempts", 0) < 1:
+                fail(f"{label}: crash run never ran recovery")
+
+        if resize == "none":
+            if elasticity.get("resizes", 0) != 0:
+                fail(f"{label}: resize-free run resized")
+            if elasticity.get("reshard_bytes", 0) != 0:
+                fail(f"{label}: resize-free run priced re-shard traffic")
+        else:
+            if elasticity.get("resizes", 0) != 1:
+                fail(f"{label}: expected exactly one resize, got "
+                     f"{elasticity.get('resizes', 0)}")
+            if elasticity.get("reshard_bytes", 0) <= 0:
+                fail(f"{label}: resize run priced no re-shard traffic")
+            if elasticity.get("reshard_seconds", 0) <= 0:
+                fail(f"{label}: resize run charged no re-shard time")
+            if resize == "up" and elasticity.get("admitted_workers", 0) < 1:
+                fail(f"{label}: scale-up admitted no workers")
+            if resize == "down" and elasticity.get("retired_workers", 0) < 1:
+                fail(f"{label}: scale-down retired no workers")
+
+    # Denser checkpoints never lose more committed work: for each matched
+    # crash x resize pair, the sparsest-interval run retrains at least as
+    # many trees as the densest-interval run.
+    if len(intervals) >= 2:
+        dense, sparse = intervals[0], intervals[-1]
+        for crash in RG_CRASHES:
+            if crash == "none":
+                continue
+            for resize in RG_RESIZES:
+                dense_run = recovery_runs[(dense, crash, resize)][1]
+                sparse_run = recovery_runs[(sparse, crash, resize)][1]
+                d = dense_run["recovery"].get("trees_retrained", 0)
+                s = sparse_run["recovery"].get("trees_retrained", 0)
+                if s < d:
+                    fail(f"recovery grid {crash}/{resize}: ci={sparse} "
+                         f"retrained {s} trees < ci={dense}'s {d} (sparser "
+                         "checkpoints should never retrain less)")
 
 
 def run_emitter(emitter):

@@ -32,7 +32,11 @@ import zlib
 
 MANIFEST_MAGIC = 0x56434B4D  # "VCKM"
 CHECKPOINT_MAGIC = 0x56434B50  # "VCKP"
+DELTA_MAGIC = 0x56434B44  # "VCKD"
 VERSION = 1
+MANIFEST_VERSIONS = (1, 2)  # v2 adds per-entry kind + base_trees.
+KIND_FULL = 0
+KIND_DELTA = 1
 MANIFEST_NAME = "MANIFEST.vckm"
 LATEST_NAME = "latest.vckp"
 
@@ -64,6 +68,9 @@ class Reader:
         self.pos += n
         return out
 
+    def u8(self, what):
+        return self.take(1, what)[0]
+
     def u32(self, what):
         return struct.unpack("<I", self.take(4, what))[0]
 
@@ -83,17 +90,27 @@ def parse_manifest(path):
         data = f.read()
     r = Reader(data, path)
     require(r.u32("magic") == MANIFEST_MAGIC, f"{path}: bad magic")
-    require(r.u32("version") == VERSION, f"{path}: unsupported version")
+    version = r.u32("version")
+    require(version in MANIFEST_VERSIONS, f"{path}: unsupported version")
     count = r.u32("entry count")
     entries = []
     for i in range(count):
         what = f"entry[{i}]"
-        entries.append({
+        entry = {
             "file": r.string(f"{what} file"),
             "trees_done": r.u32(f"{what} trees_done"),
             "bytes": r.u64(f"{what} bytes"),
             "crc32": r.u32(f"{what} crc32"),
-        })
+            # v1 manifests predate delta chains: every entry is full.
+            "kind": KIND_FULL,
+            "base_trees": 0,
+        }
+        if version >= 2:
+            entry["kind"] = r.u8(f"{what} kind")
+            entry["base_trees"] = r.u32(f"{what} base_trees")
+            require(entry["kind"] in (KIND_FULL, KIND_DELTA),
+                    f"{path}: {what} unknown kind {entry['kind']}")
+        entries.append(entry)
     trailer = r.u32("CRC trailer")
     require(r.pos == len(data),
             f"{path}: {len(data) - r.pos} trailing bytes after CRC trailer")
@@ -104,18 +121,35 @@ def parse_manifest(path):
     return entries
 
 
-def check_chain_file(path):
-    """Validates one chain file's framing: magic, version, own CRC trailer."""
+def check_chain_file(path, expected_kind):
+    """Validates one chain file's framing: magic (full "VCKP" or delta
+    "VCKD" per the manifest's kind), version, own CRC trailer. Returns
+    (data, header) where header holds the fields shared by both formats."""
     with open(path, "rb") as f:
         data = f.read()
-    require(len(data) >= 12, f"{path}: too short to be a checkpoint")
-    magic, version = struct.unpack_from("<II", data, 0)
-    require(magic == CHECKPOINT_MAGIC, f"{path}: bad checkpoint magic")
+    require(len(data) >= 16, f"{path}: too short to be a checkpoint")
+    magic, version, trees_done = struct.unpack_from("<III", data, 0)
+    expected_magic = (DELTA_MAGIC if expected_kind == KIND_DELTA
+                      else CHECKPOINT_MAGIC)
+    require(magic == expected_magic,
+            f"{path}: magic {magic:#010x} does not match manifest kind "
+            f"{expected_kind}")
     require(version == VERSION, f"{path}: unsupported checkpoint version")
     (trailer,) = struct.unpack_from("<I", data, len(data) - 4)
     computed = zlib.crc32(data[:len(data) - 4]) & 0xFFFFFFFF
     require(trailer == computed, f"{path}: checkpoint CRC trailer mismatch")
-    return data
+    header = {"trees_done": trees_done}
+    if expected_kind == KIND_DELTA:
+        require(len(data) >= 24, f"{path}: delta file too short")
+        base_trees, count = struct.unpack_from("<II", data, 12)
+        require(base_trees < trees_done,
+                f"{path}: delta base_trees {base_trees} >= trees_done "
+                f"{trees_done}")
+        require(count == trees_done - base_trees,
+                f"{path}: delta tree count {count} != trees_done - "
+                f"base_trees")
+        header["base_trees"] = base_trees
+    return data, header
 
 
 def check_dir(dir_path):
@@ -127,6 +161,7 @@ def check_dir(dir_path):
     require(len(entries) > 0, f"{manifest_path}: empty manifest")
 
     prev_index = -1
+    prev_entry = None
     for entry in entries:
         name = entry["file"]
         where = f"{manifest_path}: entry {name!r}"
@@ -138,15 +173,38 @@ def check_dir(dir_path):
                 f"{where}: chain indices not strictly increasing")
         prev_index = index
 
+        # Delta-chain invariants: a delta extends the immediately preceding
+        # manifest entry, and the retained chain always starts at a full
+        # anchor (GC never strands a delta suffix).
+        if entry["kind"] == KIND_DELTA:
+            require(prev_entry is not None,
+                    f"{where}: delta entry with no preceding chain entry")
+            require(entry["base_trees"] == prev_entry["trees_done"],
+                    f"{where}: delta base_trees {entry['base_trees']} != "
+                    f"previous entry trees_done {prev_entry['trees_done']}")
+            require(entry["trees_done"] > entry["base_trees"],
+                    f"{where}: delta does not advance the tree count")
+        else:
+            require(entry["base_trees"] == 0,
+                    f"{where}: full entry with nonzero base_trees")
+        prev_entry = entry
+
         path = os.path.join(dir_path, name)
         require(os.path.exists(path), f"{where}: listed file missing")
-        data = check_chain_file(path)
+        data, header = check_chain_file(path, entry["kind"])
         require(len(data) == entry["bytes"],
                 f"{where}: size {len(data)} != manifest {entry['bytes']}")
         whole_crc = zlib.crc32(data) & 0xFFFFFFFF
         require(whole_crc == entry["crc32"],
                 f"{where}: whole-file CRC {whole_crc:#010x} != manifest "
                 f"{entry['crc32']:#010x}")
+        require(header["trees_done"] == entry["trees_done"],
+                f"{where}: file trees_done {header['trees_done']} != "
+                f"manifest {entry['trees_done']}")
+        if entry["kind"] == KIND_DELTA:
+            require(header["base_trees"] == entry["base_trees"],
+                    f"{where}: file base_trees {header['base_trees']} != "
+                    f"manifest {entry['base_trees']}")
 
     # The alias duplicates the newest committed chain file byte-for-byte.
     latest_path = os.path.join(dir_path, LATEST_NAME)
@@ -159,7 +217,8 @@ def check_dir(dir_path):
             f"{latest_path}: alias differs from newest chain file "
             f"{entries[-1]['file']}")
 
-    return [(e["file"], e["trees_done"], e["bytes"], e["crc32"])
+    return [(e["file"], e["trees_done"], e["bytes"], e["crc32"], e["kind"],
+             e["base_trees"])
             for e in entries]
 
 
@@ -185,8 +244,21 @@ def main():
     args = parser.parse_args()
 
     if args.emitter:
-        proj_a = check_dir(run_emitter(args.emitter))
-        proj_b = check_dir(run_emitter(args.emitter))
+        def emit_projection():
+            out_dir = run_emitter(args.emitter)
+            proj = check_dir(out_dir)
+            # The emitter also writes a delta-mode chain into "delta/" so
+            # the v2 kind/base_trees columns get external validation.
+            delta_dir = os.path.join(out_dir, "delta")
+            require(os.path.isdir(delta_dir),
+                    f"{out_dir}: emitter wrote no delta-mode chain")
+            delta_proj = check_dir(delta_dir)
+            require(any(e[4] == KIND_DELTA for e in delta_proj),
+                    f"{delta_dir}: delta-mode chain has no delta entries")
+            return proj + delta_proj
+
+        proj_a = emit_projection()
+        proj_b = emit_projection()
         require(proj_a == proj_b,
                 "deterministic manifest projection differs between two "
                 "identical runs")

@@ -181,6 +181,16 @@ class FaultInjector {
 
   int num_workers() const { return static_cast<int>(counters_.size()); }
 
+  /// Grows the counter bank to at least `num_workers` ranks; new ranks start
+  /// with fresh counters. Elastic scale-up admits ranks the original plan
+  /// never indexed — events targeting them simply never fire. Must only be
+  /// called while no worker threads are running (between incarnations).
+  void EnsureWorkers(int num_workers) {
+    if (num_workers > static_cast<int>(counters_.size())) {
+      counters_.resize(static_cast<size_t>(num_workers));
+    }
+  }
+
  private:
   struct RankCounters {
     uint64_t per_op[kNumCollectiveOps] = {};

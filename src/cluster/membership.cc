@@ -14,6 +14,14 @@ std::string Membership::ToString() const {
                                      : std::to_string(prev_rank[r]);
   }
   out += "]";
+  if (!retired.empty()) {
+    out += " retired=[";
+    for (size_t i = 0; i < retired.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(retired[i]);
+    }
+    out += "]";
+  }
   return out;
 }
 
@@ -28,9 +36,43 @@ Membership InitialMembership(int world) {
 
 Membership NextMembership(const Membership& current,
                           const std::vector<int>& dead, bool elastic) {
+  return NextMembership(current, dead, elastic, 0);
+}
+
+Membership NextMembership(const Membership& current,
+                          const std::vector<int>& dead, bool elastic,
+                          int resize_delta) {
   VERO_CHECK(std::is_sorted(dead.begin(), dead.end()));
   Membership next;
-  if (elastic) {
+  if (resize_delta != 0) {
+    // Resize transition: identity-preserving for the common ranks so no
+    // surviving shard moves except through the explicit reshard plan.
+    const int new_world = current.world + resize_delta;
+    VERO_CHECK_GT(new_world, 0);
+    next.world = new_world;
+    next.prev_rank.resize(new_world);
+    const int keep = std::min(current.world, new_world);
+    for (int r = 0; r < keep; ++r) {
+      if (std::binary_search(dead.begin(), dead.end(), r)) {
+        next.prev_rank[r] = Membership::kPrevNone;
+        next.rejoined.push_back(r);
+      } else {
+        next.prev_rank[r] = r;
+      }
+    }
+    for (int r = keep; r < new_world; ++r) {
+      next.prev_rank[r] = Membership::kPrevNone;
+      next.admitted.push_back(r);
+    }
+    for (int r = keep; r < current.world; ++r) {
+      if (!std::binary_search(dead.begin(), dead.end(), r)) {
+        next.retired.push_back(r);
+      }
+    }
+    VERO_CHECK_GT(next.world - static_cast<int>(next.rejoined.size()) -
+                      static_cast<int>(next.admitted.size()),
+                  0);
+  } else if (elastic) {
     // Survivors keep their identity ranks; replacements take the dead
     // slots, so every shard assignment of the incarnation stays put.
     next.world = current.world;
@@ -54,6 +96,42 @@ Membership NextMembership(const Membership& current,
     VERO_CHECK_GT(next.world, 0);
   }
   return next;
+}
+
+std::vector<ShardMove> PlanReshard(uint32_t num_rows, int old_world,
+                                   int new_world) {
+  VERO_CHECK_GT(old_world, 0);
+  VERO_CHECK_GT(new_world, 0);
+  std::vector<ShardMove> moves;
+  if (old_world == new_world || num_rows == 0) return moves;
+  // Shard boundaries follow HorizontalRange: rank r owns
+  // [n*r/w, n*(r+1)/w). Walking the merged boundary set of both partitions
+  // yields their common refinement; each refined segment has exactly one
+  // owner per side.
+  const auto begin_of = [num_rows](int rank, int world) -> uint32_t {
+    return static_cast<uint32_t>(static_cast<uint64_t>(num_rows) *
+                                 static_cast<uint64_t>(rank) /
+                                 static_cast<uint64_t>(world));
+  };
+  uint32_t pos = 0;
+  int from = 0;
+  int to = 0;
+  while (pos < num_rows) {
+    while (begin_of(from + 1, old_world) <= pos) ++from;
+    while (begin_of(to + 1, new_world) <= pos) ++to;
+    const uint32_t seg_end =
+        std::min(begin_of(from + 1, old_world), begin_of(to + 1, new_world));
+    if (from != to) {
+      ShardMove move;
+      move.row_begin = pos;
+      move.row_end = seg_end;
+      move.from_rank = from;
+      move.to_rank = to;
+      moves.push_back(move);
+    }
+    pos = seg_end;
+  }
+  return moves;
 }
 
 }  // namespace vero

@@ -1,6 +1,7 @@
 #ifndef VERO_CLUSTER_MEMBERSHIP_H_
 #define VERO_CLUSTER_MEMBERSHIP_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -24,8 +25,20 @@ struct Membership {
   std::vector<int> prev_rank;
 
   /// New ranks occupied by replacement workers (prev_rank == kPrevNone),
-  /// increasing order.
+  /// increasing order. Replacements refill slots that existed in the
+  /// previous incarnation; brand-new slots opened by a scale-up are listed
+  /// in `admitted` instead.
   std::vector<int> rejoined;
+
+  /// New ranks created by a scale-up (prev_rank == kPrevNone), increasing
+  /// order. Like rejoined ranks they are seeded with a fresh shard and the
+  /// latest checkpoint, but they extend the world rather than refilling it.
+  std::vector<int> admitted;
+
+  /// Ranks of the *previous* incarnation that were live but dropped by a
+  /// scale-down (their shard rows are re-shipped to the surviving ranks),
+  /// increasing order. Dead ranks are never listed here.
+  std::vector<int> retired;
 
   bool IsRejoin(int rank) const {
     return prev_rank[rank] == kPrevNone;
@@ -50,6 +63,36 @@ Membership InitialMembership(int world);
 /// incarnation and must be sorted ascending.
 Membership NextMembership(const Membership& current,
                           const std::vector<int>& dead, bool elastic);
+
+/// Resizing overload: computes the next incarnation when the world also
+/// changes by `resize_delta` workers (positive admits, negative retires).
+/// With resize_delta == 0 this is exactly the two-argument form. A resize
+/// always uses the identity-preserving mapping for the ranks common to both
+/// incarnations (dead common ranks become rejoined replacements, live ones
+/// keep their shard): scale-up appends `admitted` slots above the old
+/// world, scale-down drops the top ranks into `retired`. The new world
+/// (current.world + resize_delta) must keep at least one surviving worker.
+Membership NextMembership(const Membership& current,
+                          const std::vector<int>& dead, bool elastic,
+                          int resize_delta);
+
+/// One contiguous row range whose owner changes between the W-way and
+/// W'-way HorizontalRange partitions of [0, num_rows).
+struct ShardMove {
+  uint32_t row_begin = 0;
+  uint32_t row_end = 0;  ///< Exclusive.
+  int from_rank = 0;     ///< Owner under the old partition.
+  int to_rank = 0;       ///< Owner under the new partition.
+};
+
+/// Deterministic W -> W' re-sharding plan: the common refinement of the two
+/// HorizontalRange partitions, listing only the segments whose owner
+/// changes (rows a rank keeps are never shipped). Every rank computing this
+/// from (num_rows, old_world, new_world) gets the identical plan; segments
+/// are in increasing row order and disjoint, and together with the
+/// unmoved rows they cover [0, num_rows) exactly once.
+std::vector<ShardMove> PlanReshard(uint32_t num_rows, int old_world,
+                                   int new_world);
 
 }  // namespace vero
 

@@ -105,6 +105,20 @@ struct GbdtParams {
   /// (simulated seconds).
   double speculation_threshold_seconds = 0.05;
 
+  // ---- Elasticity (distributed trainers only) ---------------------------
+
+  /// Operator-requested resize: after this many completed trees the driver
+  /// pauses training at a checkpoint boundary, resizes the cluster by
+  /// `elastic_resize_delta` workers at a rendezvous (re-sharding the data
+  /// onto the new width), and finishes the run there. 0 disables resizing.
+  uint32_t elastic_resize_after_trees = 0;
+  /// Worker-count change applied at the scheduled resize: positive admits
+  /// that many new workers, negative retires surplus ones. Must be nonzero
+  /// when a resize is scheduled (a "resize by zero" request is rejected);
+  /// shrinking below one worker is rejected by TrainDistributed, which
+  /// knows the cluster width.
+  int32_t elastic_resize_delta = 0;
+
   /// Validates ranges; returns InvalidArgument with a reason on failure.
   Status Validate() const {
     if (num_trees == 0) return Status::InvalidArgument("num_trees == 0");
@@ -141,6 +155,19 @@ struct GbdtParams {
     }
     if (staleness_max_stale_ranks == 0) {
       return Status::InvalidArgument("staleness_max_stale_ranks == 0");
+    }
+    if (elastic_resize_after_trees > 0) {
+      if (elastic_resize_delta == 0) {
+        return Status::InvalidArgument(
+            "elastic_resize_delta == 0 with a scheduled resize");
+      }
+      if (elastic_resize_after_trees >= num_trees) {
+        return Status::InvalidArgument(
+            "elastic_resize_after_trees >= num_trees");
+      }
+    } else if (elastic_resize_delta != 0) {
+      return Status::InvalidArgument(
+          "elastic_resize_delta set without elastic_resize_after_trees");
     }
     return Status::OK();
   }

@@ -127,6 +127,19 @@ void RunReport::AppendJson(std::ostream& os) const {
   w.Key("recovery_bytes");
   w.UInt(recovery.recovery_bytes);
   w.EndObject();
+  w.Key("elasticity");
+  w.BeginObject();
+  w.Key("resizes");
+  w.Int(elasticity.resizes);
+  w.Key("admitted_workers");
+  w.Int(elasticity.admitted_workers);
+  w.Key("retired_workers");
+  w.Int(elasticity.retired_workers);
+  w.Key("reshard_bytes");
+  w.UInt(elasticity.reshard_bytes);
+  w.Key("reshard_seconds");
+  w.Double(elasticity.reshard_seconds);
+  w.EndObject();
   w.Key("metrics");
   AppendMetrics(&w, metrics);
   w.Key("trace_path");

@@ -104,6 +104,15 @@ struct RunReport {
     uint64_t recovery_bytes = 0;
   } recovery;
 
+  /// Elasticity cost (zero unless a scale-up/scale-down was scheduled).
+  struct Elasticity {
+    int resizes = 0;
+    int admitted_workers = 0;
+    int retired_workers = 0;
+    uint64_t reshard_bytes = 0;
+    double reshard_seconds = 0.0;
+  } elasticity;
+
   MetricsSnapshot metrics;
 
   /// Where the run's Chrome trace JSON was written ("" = not exported).

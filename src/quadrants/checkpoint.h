@@ -56,6 +56,26 @@ StatusOr<TrainCheckpoint> LoadCheckpoint(const std::string& path);
 // Rotated checkpoint chain: manifest + background writer.
 // ---------------------------------------------------------------------------
 
+/// Delta chain entry payload: only the trees appended since `base_trees`,
+/// with no split table (the chain's full ancestor carries it). Framed like
+/// a full checkpoint (magic "VCKD", version, payload, CRC-32 trailer) so
+/// the loader can tell the two apart by magic alone.
+struct DeltaCheckpoint {
+  uint32_t trees_done = 0;
+  /// trees_done of the chain entry this delta extends; the full forest is
+  /// that entry's reconstruction plus `trees`.
+  uint32_t base_trees = 0;
+  std::vector<Tree> trees;
+};
+
+std::vector<uint8_t> SerializeDeltaCheckpoint(const DeltaCheckpoint& delta);
+Status DeserializeDeltaCheckpoint(const std::vector<uint8_t>& data,
+                                  DeltaCheckpoint* out);
+
+/// Manifest entry kinds (`ManifestEntry::kind`).
+inline constexpr uint8_t kManifestEntryFull = 0;
+inline constexpr uint8_t kManifestEntryDelta = 1;
+
 /// One committed checkpoint of the rotated chain, as recorded in the
 /// manifest. `crc32` covers the entire chain file (including the file's own
 /// CRC trailer), so the manifest can detect file damage without parsing.
@@ -64,6 +84,12 @@ struct ManifestEntry {
   uint32_t trees_done = 0;
   uint64_t bytes = 0;
   uint32_t crc32 = 0;
+  /// kManifestEntryFull for a self-contained checkpoint, kManifestEntryDelta
+  /// for a delta that extends the previous chain entry.
+  uint8_t kind = kManifestEntryFull;
+  /// For delta entries: trees_done of the entry this delta builds on
+  /// (always the immediately preceding manifest entry). 0 for full entries.
+  uint32_t base_trees = 0;
 };
 
 /// Index of the on-disk chain, oldest entry first. Serialized with the same
@@ -88,11 +114,15 @@ inline constexpr const char* kManifestFileName = "MANIFEST.vckm";
 
 /// Recovers the newest restorable checkpoint from `dir`. Walks the manifest
 /// newest-to-oldest, cross-checking each entry's size and CRC before
-/// parsing; on manifest damage (or when every listed entry is bad) falls
-/// back to scanning the directory for chain files and the latest.vckp
-/// alias. Returns kNotFound when the directory holds no checkpoint files at
-/// all, kCorruption when candidates exist but none survives validation.
-/// Never crashes on malformed input.
+/// parsing; delta entries are reconstructed by walking their base chain
+/// back to a full entry, and a damaged link fails the whole chain suffix
+/// that depends on it (the walk then falls back to the next older entry).
+/// On manifest damage (or when every listed entry is bad) falls back to
+/// scanning the directory for chain files — linking parsed delta files to
+/// their bases by tree count — and the latest.vckp alias. Returns kNotFound
+/// when the directory holds no checkpoint files at all, kCorruption when
+/// candidates exist but none survives validation. Never crashes on
+/// malformed input.
 StatusOr<TrainCheckpoint> LoadLatestCheckpoint(const std::string& dir);
 
 /// Double-buffered checkpoint writer with rotation/GC.
@@ -118,8 +148,20 @@ class CheckpointWriter {
     std::string dir;
     /// Background writes (see class comment).
     bool async = false;
-    /// Chain files kept on disk after GC; 0 disables GC.
+    /// Chain files kept on disk after GC; 0 disables GC. In delta mode the
+    /// kept window extends back to the nearest full entry so a retained
+    /// delta chain always keeps its anchor.
     uint32_t keep_last_n = 3;
+    /// Delta mode: commits carry only the trees appended since the previous
+    /// entry (shrinking both the Submit copy and the bytes written); every
+    /// `full_every`-th commit is a self-contained full checkpoint. The
+    /// first commit, and any commit whose tree count did not advance past
+    /// the previous submission (e.g. after a recovery resume), is always
+    /// full.
+    bool delta = false;
+    /// Delta mode: cadence of forced full commits (1 = every commit full,
+    /// 0 = only the automatic fulls described above).
+    uint32_t full_every = 8;
   };
 
   /// Pre-resolved metric handles (all optional). The caller must guarantee
@@ -130,6 +172,11 @@ class CheckpointWriter {
     obs::Counter* bytes = nullptr;
     obs::Counter* rotated_deleted = nullptr;
     obs::HistogramMetric* write_seconds = nullptr;
+    /// Delta-mode commits (subset of `count`) and their bytes.
+    obs::Counter* delta_count = nullptr;
+    obs::Counter* delta_bytes = nullptr;
+    /// Orphaned *.tmp files swept by the constructor's startup GC.
+    obs::Counter* stale_tmp_deleted = nullptr;
   };
 
   CheckpointWriter(Options options, Metrics metrics);
@@ -159,23 +206,48 @@ class CheckpointWriter {
   const Options& options() const { return options_; }
 
  private:
+  /// One snapshot in the Submit -> commit pipeline: a self-contained full
+  /// checkpoint or a delta carrying only the trees appended since the
+  /// previous pipeline entry.
+  struct PendingSnapshot {
+    bool is_delta = false;
+    TrainCheckpoint full;   ///< Valid when !is_delta.
+    DeltaCheckpoint delta;  ///< Valid when is_delta.
+    uint32_t trees_done() const {
+      return is_delta ? delta.trees_done : full.trees_done;
+    }
+  };
+
+  /// Sentinel for submit_base_trees_: no snapshot in the pipeline yet, the
+  /// next submission must be full.
+  static constexpr uint32_t kNoBase = 0xffffffffu;
+
   void WriterLoop();
   /// Serializes and commits one snapshot (chain file + manifest + alias +
   /// GC), then publishes it as Latest(). Runs inline (sync) or on the
   /// background thread (async).
-  void CommitSnapshot(TrainCheckpoint snapshot);
+  void CommitSnapshot(PendingSnapshot snapshot);
   void RecordError(Status status);
+  /// Sweeps orphaned *.tmp siblings of our own file names left by a crash
+  /// between write and rename (constructor only, before the worker starts).
+  void SweepStaleTmpFiles();
 
   const Options options_;
   const Metrics metrics_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::optional<TrainCheckpoint> pending_;
+  std::optional<PendingSnapshot> pending_;
   bool writing_ = false;
   bool stop_ = false;
   std::optional<TrainCheckpoint> latest_;
   Status write_status_;
+
+  /// Delta bookkeeping (touched only by the single submitting thread):
+  /// trees_done of the newest snapshot handed to the pipeline (kNoBase
+  /// before the first), and commits emitted since the last full one.
+  uint32_t submit_base_trees_ = kNoBase;
+  uint32_t submits_since_full_ = 0;
 
   /// Next chain-file index and the live manifest (writer-thread-owned once
   /// the background thread starts; inline-owned in sync mode).

@@ -351,8 +351,13 @@ void DistTrainerBase::Train(const Dataset* valid,
     // Sits after the cost/curve recording so a checkpoint's trees_done never
     // exceeds the number of recorded cost entries, which the recovery path
     // relies on when stitching the pre-failure prefix.
-    if (checkpoint_interval_ > 0 && checkpoint_sink_ && ctx_.rank() == 0 &&
-        (t + 1 - start_tree) % checkpoint_interval_ == 0) {
+    const bool interval_hit = checkpoint_interval_ > 0 &&
+                              (t + 1 - start_tree) % checkpoint_interval_ == 0;
+    // checkpoint_final_ guarantees a checkpoint at exactly the last tree of
+    // a boundary-clamped attempt (resize rendezvous resume point) even when
+    // the interval does not land there.
+    const bool final_hit = checkpoint_final_ && t + 1 == params.num_trees;
+    if (checkpoint_sink_ && ctx_.rank() == 0 && (interval_hit || final_hit)) {
       obs::PhaseSpan span(tb, checkpoint_span_name_, sim_clock);
       checkpoint_sink_(model_, t + 1);
     }

@@ -51,6 +51,14 @@ struct CheckpointOptions {
   /// On-disk rotation: keep the newest `keep_last_n` chain files, GC older
   /// ones (0 means keep everything). In-memory state is always just latest.
   uint32_t keep_last_n = 3;
+  /// Delta chains: each commit carries only the trees appended since the
+  /// previous manifest entry (shrinking the submit copy and the bytes
+  /// written), with every `full_every`-th commit a self-contained full
+  /// checkpoint. Reconstruction walks the chain; see docs/wire_formats.md.
+  bool delta = false;
+  /// Delta mode: cadence of forced full commits (1 = every commit full,
+  /// 0 = never force a periodic full).
+  uint32_t full_every = 8;
 };
 
 /// Options for a distributed training run.
@@ -140,6 +148,26 @@ struct RecoveryStats {
   uint64_t recovery_bytes = 0;
 };
 
+/// What operator-requested resizes cost a training run (all zero when no
+/// resize was scheduled). Crash recovery costs stay in RecoveryStats; this
+/// block only covers planned W -> W +- k transitions.
+struct ElasticityStats {
+  /// Completed resize transitions (scheduled resizes that reached the new
+  /// width's first round).
+  int resizes = 0;
+  /// Brand-new workers admitted by scale-ups.
+  int admitted_workers = 0;
+  /// Live workers retired by scale-downs.
+  int retired_workers = 0;
+  /// Bytes moved by the re-sharding plans (rows whose owner changed,
+  /// checkpoint broadcast excluded — that lands in recovery_bytes-style
+  /// rendezvous accounting within reshard_seconds' transition).
+  uint64_t reshard_bytes = 0;
+  /// Simulated seconds of the resize rendezvous (re-shard traffic plus the
+  /// checkpoint broadcast to the new incarnation).
+  double reshard_seconds = 0.0;
+};
+
 /// Result of a distributed training run.
 struct DistResult {
   /// OK if training produced the full forest (possibly after recovery);
@@ -148,6 +176,8 @@ struct DistResult {
   /// Cost of surviving failures; all zero (except final_world_size) on a
   /// failure-free run.
   RecoveryStats recovery;
+  /// Cost of planned resizes; all zero when none was scheduled.
+  ElasticityStats elasticity;
   GbdtModel model;
   std::vector<TreeCost> tree_costs;
   /// Max across workers of the peak histogram-pool bytes.
@@ -222,6 +252,14 @@ class DistTrainerBase {
     checkpoint_interval_ = interval;
     checkpoint_sink_ = std::move(sink);
     checkpoint_span_name_ = span_name;
+  }
+
+  /// Forces the checkpoint sink to also fire after the FINAL tree of this
+  /// run even when the interval does not divide it (or is 0). The driver
+  /// arms this on attempts clamped to a resize boundary, so the rendezvous
+  /// that follows always has a checkpoint at exactly the boundary tree.
+  void set_checkpoint_final(bool checkpoint_final) {
+    checkpoint_final_ = checkpoint_final;
   }
 
   /// Seeds the trainer with an already-trained prefix: `model`'s trees are
@@ -361,10 +399,11 @@ class DistTrainerBase {
   /// Global instance count N; subclasses must set this during construction.
   uint32_t num_global_instances_ = 0;
 
-  /// Checkpoint hook state (see EnableCheckpoints).
+  /// Checkpoint hook state (see EnableCheckpoints / set_checkpoint_final).
   uint32_t checkpoint_interval_ = 0;
   std::function<void(const GbdtModel&, uint32_t)> checkpoint_sink_;
   const char* checkpoint_span_name_ = "checkpoint";
+  bool checkpoint_final_ = false;
 };
 
 /// Serialization helpers shared by the quadrant split exchanges.

@@ -52,6 +52,10 @@ struct AttemptConfig {
   /// Driver-owned checkpoint writer, shared across attempts (null when
   /// checkpointing is disabled). Rank 0's sink submits snapshots to it.
   CheckpointWriter* writer = nullptr;
+  /// Force a checkpoint after this attempt's final tree regardless of the
+  /// interval (armed on attempts clamped to a resize boundary, so the
+  /// resize rendezvous always has the boundary state to hand out).
+  bool checkpoint_final = false;
 };
 
 std::vector<Dataset> BuildHorizontalShards(const Dataset& train, int world) {
@@ -190,6 +194,7 @@ std::vector<Status> RunAttempt(Cluster& cluster,
             writer->Submit(model, trees_done, checkpoint_splits);
           },
           writer->options().async ? "checkpoint-snapshot" : "checkpoint");
+      trainer->set_checkpoint_final(cfg.checkpoint_final);
     }
 
     setup_cpu.Stop();
@@ -229,22 +234,28 @@ void FoldWorkerOutputs(const std::vector<WorkerOutput>& outputs,
   }
 }
 
-// Approximate on-the-wire size of one horizontal shard: CSR entries (4-byte
-// feature id + 8-byte value) plus labels. Used to cost re-reading a shard
-// from the replicated store (a dead worker's shard in degraded mode, a
-// replacement's fresh shard in elastic mode).
-uint64_t ShardWireBytes(const Dataset& shard) {
+// Approximate on-the-wire size of rows [begin, end) of `data`: CSR entries
+// (4-byte feature id + 8-byte value) plus labels. Used to price shard
+// re-reads from the replicated store and re-shard plan segments.
+uint64_t RangeWireBytes(const Dataset& data, uint32_t begin, uint32_t end) {
   uint64_t bytes = 0;
-  const CsrMatrix& m = shard.matrix();
-  for (InstanceId i = 0; i < shard.num_instances(); ++i) {
+  const CsrMatrix& m = data.matrix();
+  for (InstanceId i = begin; i < end; ++i) {
     bytes += m.RowFeatures(i).size() * (sizeof(FeatureId) + sizeof(double));
   }
-  bytes += static_cast<uint64_t>(shard.num_instances()) * sizeof(float);
+  bytes += static_cast<uint64_t>(end - begin) * sizeof(float);
   return bytes;
 }
 
-// The training/recovery loop proper; the public TrainDistributed wraps it to
-// fill the run report once the clusters are quiescent.
+// Approximate on-the-wire size of one horizontal shard (a dead worker's
+// shard in degraded mode, a replacement's fresh shard in elastic mode).
+uint64_t ShardWireBytes(const Dataset& shard) {
+  return RangeWireBytes(shard, 0, shard.num_instances());
+}
+
+// The training / recovery / elasticity loop proper; the public
+// TrainDistributed wraps it to fill the run report once the clusters are
+// quiescent.
 DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
                                 Quadrant quadrant,
                                 const DistTrainOptions& options,
@@ -254,15 +265,32 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
   const int w = cluster.num_workers();
   const bool sharded = quadrant != Quadrant::kFeatureParallel;
   const bool elastic = options.elastic_rejoin;
+  const uint32_t n = train.num_instances();
+  const uint32_t resize_at = options.params.elastic_resize_after_trees;
+  const int resize_delta =
+      static_cast<int>(options.params.elastic_resize_delta);
+  // A scheduled resize stays pending until its membership change is
+  // applied; while pending, every attempt is clamped to the boundary tree.
+  bool resize_pending = resize_at > 0;
+
+  DistResult result;
+  if (resize_pending && w + resize_delta < 1) {
+    result.status = Status::InvalidArgument(
+        "elastic_resize_delta would shrink the cluster below one worker");
+    result.recovery.final_world_size = w;
+    return result;
+  }
 
   obs::RunObserver* observer = cluster.observer();
 
   // Driver-owned checkpoint writer, shared by every attempt so the latest
-  // restorable state survives cluster teardowns. Its metric cells live on a
-  // dedicated shard: whichever single thread commits a write (rank 0 inline
-  // in sync mode, the writer thread in async mode) is the sole writer.
+  // restorable state survives cluster teardowns. A scheduled resize needs
+  // the boundary checkpoint even when periodic checkpointing is off. The
+  // writer's metric cells live on a dedicated shard: whichever single
+  // thread commits a write (rank 0 inline in sync mode, the writer thread
+  // in async mode) is the sole writer.
   std::unique_ptr<CheckpointWriter> writer;
-  if (options.checkpoint.interval > 0) {
+  if (options.checkpoint.interval > 0 || resize_pending) {
     CheckpointWriter::Metrics writer_metrics;
     if (observer != nullptr) {
       obs::MetricsShard* ckpt_shard = observer->metrics().CreateShard();
@@ -272,39 +300,57 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
           ckpt_shard->counter("checkpoint.rotated_deleted");
       writer_metrics.write_seconds =
           ckpt_shard->histogram("checkpoint.latency_seconds");
+      if (options.checkpoint.delta) {
+        writer_metrics.delta_count =
+            ckpt_shard->counter("checkpoint.delta_count");
+        writer_metrics.delta_bytes =
+            ckpt_shard->counter("checkpoint.delta_bytes");
+      }
+      if (!options.checkpoint.dir.empty()) {
+        writer_metrics.stale_tmp_deleted =
+            ckpt_shard->counter("checkpoint.stale_tmp_deleted");
+      }
     }
     CheckpointWriter::Options writer_options;
     writer_options.dir = options.checkpoint.dir;
     writer_options.async = options.checkpoint.async;
     writer_options.keep_last_n = options.checkpoint.keep_last_n;
+    writer_options.delta = options.checkpoint.delta;
+    writer_options.full_every = options.checkpoint.full_every;
     writer = std::make_unique<CheckpointWriter>(std::move(writer_options),
                                                 writer_metrics);
   }
 
-  // Horizontal shards in rank order (the layout loaded from HDFS in §4.2.1).
-  // Elastic incarnations keep the original world size so this table stays
-  // valid for the whole run; degraded mode re-shards per incarnation.
+  // Horizontal shards in rank order (the layout loaded from HDFS in §4.2.1)
+  // for the ACTIVE world: elastic incarnations keep their width so the
+  // table stays put; degraded compaction and resizes rebuild it at the new
+  // width.
   std::vector<Dataset> shards;
   if (sharded) shards = BuildHorizontalShards(train, w);
+
+  // While the resize is pending, attempts train toward the boundary only;
+  // the rendezvous then continues from the boundary checkpoint at W+-k.
+  DistTrainOptions clamped_options = options;
+  if (resize_pending) clamped_options.params.num_trees = resize_at;
 
   cluster.ResetStats();
   std::vector<WorkerOutput> outputs(w);
   AttemptConfig cfg;
   cfg.quadrant = quadrant;
-  cfg.options = &options;
+  cfg.options = resize_pending ? &clamped_options : &options;
   cfg.train = &train;
   cfg.valid = valid;
   cfg.qd3_policy = qd3_policy;
   cfg.writer = writer.get();
+  cfg.checkpoint_final = resize_pending;
   Status error = FirstError(RunAttempt(cluster, shards, cfg, &outputs));
 
-  DistResult result;
   // Speculative re-execution's duplicated transfers are pure goodput waste
   // no matter how the attempt ended: the backup's copy only exists to cover
   // a straggler, it never adds information to the model.
   result.wasted_bytes += cluster.TotalStats().speculative_bytes;
   result.wasted_seconds += cluster.TotalStats().speculative_seconds;
-  if (error.ok()) {
+  if (error.ok() && !resize_pending) {
     result.model = std::move(outputs[0].model);
     result.tree_costs = std::move(outputs[0].tree_costs);
     result.curve = std::move(outputs[0].curve);
@@ -315,18 +361,24 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
     return result;
   }
 
-  // ---- Recovery ----------------------------------------------------------
-  // The failed cluster's rendezvous group is permanently broken; training
-  // continues on a fresh cluster — at full W with re-joined replacement
-  // workers in elastic mode, over the survivors otherwise — resuming from
-  // the last checkpoint when one exists. The rebuild itself runs under the
-  // (shared) fault injector, so a second crash while redistributing state
-  // just costs another bounded iteration of this loop.
+  // ---- Recovery & elasticity state machine -------------------------------
+  // Two transitions share one loop. A RECOVERY transition repairs a failed
+  // incarnation: its rendezvous group is permanently broken, so training
+  // continues on a fresh cluster — refilled to the current width with
+  // re-joined replacements in elastic mode, compacted over the survivors
+  // otherwise — resuming from the last checkpoint when one exists. A RESIZE
+  // transition fires from a clean boundary: the membership grows or shrinks
+  // by the requested delta, the re-shard plan's row movement is charged
+  // through the network model, and the run continues at the new width from
+  // the boundary checkpoint. Every rendezvous runs under the (shared) fault
+  // injector, so a crash mid-transition is an overlapping failure handled
+  // by the next recovery iteration.
   if (writer != nullptr) writer->Flush();
-  std::vector<int> dead = cluster.dead_ranks();
+  std::vector<int> dead =
+      error.ok() ? std::vector<int>() : cluster.dead_ranks();
   result.recovery.failures_observed = static_cast<int>(dead.size());
   int survivors = w - static_cast<int>(dead.size());
-  // Stats of the pre-failure attempt, for prefix stitching (rank 0 recorded
+  // Stats of the first attempt, for prefix stitching (rank 0 recorded
   // every completed round before any checkpoint covering it).
   const double first_setup_seconds = outputs[0].setup_seconds;
   const TransformStats first_transform_stats = outputs[0].transform_stats;
@@ -335,13 +387,13 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
       observer != nullptr ? observer->driver_buffer() : nullptr;
   obs::MetricsShard* driver_shard =
       observer != nullptr ? observer->driver_shard() : nullptr;
-  if (driver_shard != nullptr) {
+  if (driver_shard != nullptr && !error.ok()) {
     driver_shard->counter("recovery.failures_observed")->Add(dead.size());
   }
 
-  // Rounds proven durable by a checkpoint, stitched across attempts: each
-  // settle step below extends this prefix with the failed attempt's rounds
-  // the newest checkpoint covers.
+  // Rounds proven durable by a checkpoint (or completed by a kept boundary
+  // attempt), stitched across attempts: each settle step below extends this
+  // prefix with the failed attempt's rounds the newest checkpoint covers.
   std::vector<TreeCost> committed_costs;
   std::vector<IterationStats> committed_curve;
 
@@ -351,11 +403,23 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
   // checkpoint); its setup is wasted only when nothing at all was kept.
   // The round in flight at the moment of failure was never recorded as a
   // completed cost, so it is deliberately omitted.
-  std::vector<TreeCost> pending_costs = std::move(outputs[0].tree_costs);
-  std::vector<IterationStats> pending_curve = std::move(outputs[0].curve);
+  std::vector<TreeCost> pending_costs;
+  std::vector<IterationStats> pending_curve;
   uint32_t pending_start_tree = 0;
-  double pending_setup_seconds = first_setup_seconds;
-  uint64_t pending_setup_bytes = outputs[0].setup_bytes_sent;
+  double pending_setup_seconds = 0.0;
+  uint64_t pending_setup_bytes = 0;
+  if (!error.ok()) {
+    pending_costs = std::move(outputs[0].tree_costs);
+    pending_curve = std::move(outputs[0].curve);
+    pending_setup_seconds = first_setup_seconds;
+    pending_setup_bytes = outputs[0].setup_bytes_sent;
+  } else {
+    // The boundary attempt succeeded: its rounds are kept outright and its
+    // transfers were productive.
+    committed_costs = std::move(outputs[0].tree_costs);
+    committed_curve = std::move(outputs[0].curve);
+    FoldWorkerOutputs(outputs, &result);
+  }
   auto charge_wasted = [&result](const std::vector<TreeCost>& costs,
                                  uint32_t start_tree, uint32_t trees_kept,
                                  double setup_seconds, uint64_t setup_bytes) {
@@ -379,16 +443,27 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
   // for the recovery rendezvous can still trigger.
   std::shared_ptr<FaultInjector> injector = cluster.shared_fault_injector();
   Membership membership = InitialMembership(w);
-  std::vector<Dataset> current_shards;  // Shard table of the active world.
   double redistribution_elapsed = 0.0;
   std::unique_ptr<Cluster> rebuilt;
 
-  while (result.recovery.recovery_attempts < options.max_recovery_attempts &&
-         survivors >= 1) {
-    ++result.recovery.recovery_attempts;
-    obs::PhaseSpan recovery_span(driver_tb, "recovery", nullptr);
-    recovery_span.set_category("driver");
-    if (driver_shard != nullptr) {
+  while (true) {
+    // A failed attempt needs a recovery transition (bounded by the budget);
+    // a clean boundary needs the resize transition (free: the operator
+    // asked for it).
+    const bool recovering = !error.ok();
+    if (recovering) {
+      if (result.recovery.recovery_attempts >=
+              options.max_recovery_attempts ||
+          survivors < 1) {
+        break;
+      }
+      ++result.recovery.recovery_attempts;
+    }
+    obs::PhaseSpan transition_span(driver_tb,
+                                   recovering ? "recovery" : "resize",
+                                   nullptr);
+    transition_span.set_category("driver");
+    if (recovering && driver_shard != nullptr) {
       driver_shard->counter("recovery.attempts")->Increment();
     }
 
@@ -427,7 +502,15 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
     pending_setup_bytes = 0;
 
     // ---- Next incarnation ----------------------------------------------
-    membership = NextMembership(membership, dead, elastic);
+    const int prev_world = membership.world;
+    if (!recovering && membership.world + resize_delta < 1) {
+      // Degradation since the schedule was validated left too few workers.
+      error = Status::InvalidArgument(
+          "scheduled resize would shrink the cluster below one worker");
+      break;
+    }
+    membership =
+        NextMembership(membership, dead, elastic, recovering ? 0 : resize_delta);
     const int world = membership.world;
     if (!membership.rejoined.empty()) {
       result.recovery.rejoined_workers +=
@@ -437,57 +520,120 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
             ->Add(membership.rejoined.size());
       }
     }
-    VERO_LOG(Info) << "recovery attempt "
-                   << result.recovery.recovery_attempts << ": "
-                   << membership.ToString()
-                   << (have_checkpoint
-                           ? " resuming at tree " +
-                                 std::to_string(trees_recovered)
-                           : " restarting from scratch");
-
-    // Driver-priced state movement the rendezvous below does not simulate:
-    // shard re-reads from the replicated store (a replacement's fresh shard
-    // in elastic mode; the dead workers' shards, re-spread across the
-    // survivors, in degraded from-scratch mode).
-    uint64_t priced_bytes = 0;
-    if (sharded) {
-      if (elastic) {
-        for (int r : membership.rejoined) {
-          priced_bytes += ShardWireBytes(shards[r]);
+    if (recovering) {
+      VERO_LOG(Info) << "recovery attempt "
+                     << result.recovery.recovery_attempts << ": "
+                     << membership.ToString()
+                     << (have_checkpoint
+                             ? " resuming at tree " +
+                                   std::to_string(trees_recovered)
+                             : " restarting from scratch");
+    } else {
+      resize_pending = false;
+      result.elasticity.resizes += 1;
+      result.elasticity.admitted_workers +=
+          static_cast<int>(membership.admitted.size());
+      result.elasticity.retired_workers +=
+          static_cast<int>(membership.retired.size());
+      if (driver_shard != nullptr) {
+        driver_shard->counter("elasticity.resizes")->Increment();
+        if (!membership.admitted.empty()) {
+          driver_shard->counter("elasticity.admitted_workers")
+              ->Add(membership.admitted.size());
         }
-      } else if (!have_checkpoint) {
-        const std::vector<Dataset>& prev_shards =
-            current_shards.empty() ? shards : current_shards;
-        for (int r : dead) {
-          if (r < static_cast<int>(prev_shards.size())) {
-            priced_bytes += ShardWireBytes(prev_shards[r]);
+        if (!membership.retired.empty()) {
+          driver_shard->counter("elasticity.retired_workers")
+              ->Add(membership.retired.size());
+        }
+      }
+      VERO_LOG(Info) << "resize at tree " << trees_recovered << ": "
+                     << prev_world << " -> " << world << " workers, "
+                     << membership.ToString();
+    }
+
+    // ---- Price state movement (the pre-transition table is still active)
+    // Driver-priced traffic is what the rendezvous below cannot simulate:
+    // re-reads from the replicated store (a replacement's or admitted
+    // worker's fresh shard; the dead workers' shards re-spread across the
+    // survivors in degraded from-scratch mode; a retired worker's rows,
+    // whose owner is gone). Rows moving between surviving ranks ship
+    // through the rendezvous all-to-all instead.
+    uint64_t priced_bytes = 0;
+    std::vector<std::vector<uint64_t>> reshard_send;
+    if (recovering) {
+      if (sharded) {
+        if (elastic) {
+          for (int r : membership.rejoined) {
+            priced_bytes += ShardWireBytes(shards[r]);
+          }
+        } else if (!have_checkpoint) {
+          for (int r : dead) {
+            if (r < static_cast<int>(shards.size())) {
+              priced_bytes += ShardWireBytes(shards[r]);
+            }
           }
         }
       }
+    } else {
+      uint64_t reshard_bytes = 0;
+      if (sharded) {
+        // The deterministic W -> W' plan: every rank derives the same
+        // segment list, so no coordination traffic is needed to agree on it.
+        reshard_send.assign(world, std::vector<uint64_t>(world, 0));
+        for (const ShardMove& move : PlanReshard(n, prev_world, world)) {
+          const uint64_t bytes =
+              RangeWireBytes(train, move.row_begin, move.row_end);
+          reshard_bytes += bytes;
+          if (move.from_rank < world) {
+            reshard_send[move.from_rank][move.to_rank] += bytes;
+          } else {
+            priced_bytes += bytes;  // Retired sender: re-read from store.
+          }
+        }
+      } else {
+        // Feature-parallel replicates the full dataset: an admitted worker
+        // pulls a complete copy from the store; retirements move nothing.
+        const uint64_t full_copy = RangeWireBytes(train, 0, n);
+        const uint64_t admitted_copies =
+            full_copy * membership.admitted.size();
+        reshard_bytes += admitted_copies;
+        priced_bytes += admitted_copies;
+      }
+      result.elasticity.reshard_bytes += reshard_bytes;
+      if (driver_shard != nullptr) {
+        driver_shard->counter("elasticity.reshard_bytes")->Add(reshard_bytes);
+      }
     }
 
-    if (sharded) {
-      current_shards = elastic ? shards : BuildHorizontalShards(train, world);
+    if (sharded && world != prev_world) {
+      shards = BuildHorizontalShards(train, world);
     }
 
     rebuilt = std::make_unique<Cluster>(world, cluster.network_model());
     rebuilt->set_collective_timeout_seconds(
         cluster.collective_timeout_seconds());
+    // A scale-up outgrows the injector's per-rank counter bank; admitted
+    // ranks get fresh counters (no events ever target them).
+    if (injector != nullptr) injector->EnsureWorkers(world);
     rebuilt->AdoptFaultInjector(injector);
     // Same observer as the failed cluster: the run's trace / metrics keep
     // accumulating across recovery attempts.
     rebuilt->AttachObserver(observer);
 
-    // ---- Rejoin rendezvous ---------------------------------------------
-    // Survivors and replacements meet at a barrier between boosting rounds;
-    // rank 0 serves the latest checkpoint to the group. This runs under the
-    // shared fault injector (phase kRecovery), so a crash here is an
-    // overlapping failure handled by the next loop iteration.
+    // ---- Rendezvous ------------------------------------------------------
+    // The next incarnation meets at a barrier between boosting rounds; rank
+    // 0 serves the latest checkpoint to the group, and a resize ships the
+    // re-shard plan's surviving-owner rows through a personalized
+    // all-to-all (charging the network model exactly the plan's bytes).
+    // This runs under the shared fault injector (phase kRecovery), so a
+    // crash here is an overlapping failure handled by the next loop
+    // iteration.
     std::vector<uint8_t> blob =
         have_checkpoint ? SerializeCheckpoint(restored) : std::vector<uint8_t>();
     Status rendezvous_error;
     {
-      obs::PhaseSpan rejoin_span(driver_tb, "rejoin", nullptr);
+      obs::PhaseSpan rejoin_span(driver_tb, recovering ? "rejoin" : "reshard",
+                                 nullptr);
       rejoin_span.set_category("driver");
       rendezvous_error = FirstError(rebuilt->TryRun([&](WorkerContext& ctx) {
         ctx.set_fault_phase(FaultPhase::kRecovery);
@@ -495,6 +641,15 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
         std::vector<uint8_t> received =
             ctx.rank() == 0 ? blob : std::vector<uint8_t>();
         VERO_COMM_OK(ctx.Broadcast(&received, 0));
+        if (!reshard_send.empty()) {
+          std::vector<std::vector<uint8_t>> to_each(
+              static_cast<size_t>(ctx.world_size()));
+          for (int r = 0; r < ctx.world_size(); ++r) {
+            to_each[r].resize(reshard_send[ctx.rank()][r]);
+          }
+          std::vector<std::vector<uint8_t>> from_each;
+          VERO_COMM_OK(ctx.AllToAll(std::move(to_each), &from_each));
+        }
         ctx.set_fault_phase(FaultPhase::kAnyPhase);
       }));
     }
@@ -505,22 +660,31 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
     const double redistribution_seconds =
         cluster.network_model().OpSeconds(priced_bytes, 0) +
         rendezvous_seconds;
-    result.recovery.recovery_bytes += redistribution_bytes;
-    result.recovery.recovery_seconds += redistribution_seconds;
-    redistribution_elapsed += redistribution_seconds;
-    if (driver_shard != nullptr) {
-      driver_shard->counter("recovery.redistribution_bytes")
-          ->Add(redistribution_bytes);
-      driver_shard->histogram("recovery.redistribution_seconds")
-          ->Observe(redistribution_seconds);
+    if (recovering) {
+      result.recovery.recovery_bytes += redistribution_bytes;
+      result.recovery.recovery_seconds += redistribution_seconds;
+      if (driver_shard != nullptr) {
+        driver_shard->counter("recovery.redistribution_bytes")
+            ->Add(redistribution_bytes);
+        driver_shard->histogram("recovery.redistribution_seconds")
+            ->Observe(redistribution_seconds);
+      }
+    } else {
+      result.elasticity.reshard_seconds += redistribution_seconds;
+      if (driver_shard != nullptr) {
+        driver_shard->histogram("elasticity.reshard_seconds")
+            ->Observe(redistribution_seconds);
+      }
     }
+    redistribution_elapsed += redistribution_seconds;
 
     if (!rendezvous_error.ok()) {
-      // Overlapping failure during the recovery redistribution itself: the
-      // whole redistribution (shard re-ship to the replacement plus the
-      // rendezvous traffic) was spent for nothing — the next iteration has
-      // to redo it. The new death toll updates the membership and the loop
-      // (budget permitting) goes again.
+      // Overlapping failure during the redistribution itself: the whole
+      // redistribution (shard re-ship plus the rendezvous traffic) was
+      // spent for nothing — the next iteration has to redo it. The new
+      // death toll updates the membership and the loop (budget permitting)
+      // goes again; a crashed RESIZE rendezvous keeps the already-applied
+      // new width, so the repair refills dead slots at W'.
       error = rendezvous_error;
       ++result.recovery.rendezvous_failures;
       dead = rebuilt->dead_ranks();
@@ -550,10 +714,12 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
 
     std::vector<WorkerOutput> attempt_outputs(world);
     AttemptConfig attempt_cfg = cfg;
+    attempt_cfg.options = resize_pending ? &clamped_options : &options;
+    attempt_cfg.checkpoint_final = resize_pending;
     attempt_cfg.resume = have_checkpoint ? &restored : nullptr;
     attempt_cfg.resume_margins = have_checkpoint ? &resume_margins : nullptr;
     attempt_cfg.elapsed_base = elapsed_base;
-    error = FirstError(RunAttempt(*rebuilt, current_shards, attempt_cfg,
+    error = FirstError(RunAttempt(*rebuilt, shards, attempt_cfg,
                                   &attempt_outputs));
     // As above: speculative duplicates from this attempt are waste whether
     // or not the attempt survived.
@@ -575,6 +741,40 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
       pending_setup_seconds = attempt_outputs[0].setup_seconds;
       pending_setup_bytes = attempt_outputs[0].setup_bytes_sent;
       if (dead.empty()) break;  // Unrecoverable (timeout/internal).
+      continue;
+    }
+
+    // The attempt succeeded. The rebuilt cluster's setup phase (re-binning
+    // / re-transforming on the new membership) is part of what the
+    // transition that launched it cost.
+    if (recovering) {
+      result.recovery.recovery_seconds += attempt_outputs[0].setup_seconds;
+    } else {
+      result.elasticity.reshard_seconds += attempt_outputs[0].setup_seconds;
+    }
+    dead.clear();
+
+    if (resize_pending) {
+      // Boundary reached (with recovery along the way): keep this attempt's
+      // rounds and take the resize transition on the next iteration.
+      std::vector<TreeCost> stitched_costs(
+          committed_costs.begin(),
+          committed_costs.begin() +
+              std::min<size_t>(trees_recovered, committed_costs.size()));
+      stitched_costs.insert(stitched_costs.end(),
+                            attempt_outputs[0].tree_costs.begin(),
+                            attempt_outputs[0].tree_costs.end());
+      committed_costs = std::move(stitched_costs);
+      std::vector<IterationStats> stitched_curve(
+          committed_curve.begin(),
+          committed_curve.begin() +
+              std::min<size_t>(trees_recovered, committed_curve.size()));
+      stitched_curve.insert(stitched_curve.end(),
+                            attempt_outputs[0].curve.begin(),
+                            attempt_outputs[0].curve.end());
+      committed_curve = std::move(stitched_curve);
+      FoldWorkerOutputs(attempt_outputs, &result);
+      result.recovery.trees_recovered = trees_recovered;
       continue;
     }
 
@@ -602,9 +802,6 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
     result.recovery.trees_retrained = static_cast<uint32_t>(
         attempt_outputs[0].tree_costs.size());
     result.recovery.final_world_size = world;
-    // The rebuilt cluster's setup phase (re-binning / re-transforming on
-    // the new membership) is part of what the failure cost.
-    result.recovery.recovery_seconds += attempt_outputs[0].setup_seconds;
     if (writer != nullptr) writer->Flush();
     return result;
   }
@@ -667,6 +864,11 @@ DistResult TrainDistributed(Cluster& cluster, const Dataset& train,
           result.recovery.rendezvous_failures;
       report.recovery.recovery_seconds = result.recovery.recovery_seconds;
       report.recovery.recovery_bytes = result.recovery.recovery_bytes;
+      report.elasticity.resizes = result.elasticity.resizes;
+      report.elasticity.admitted_workers = result.elasticity.admitted_workers;
+      report.elasticity.retired_workers = result.elasticity.retired_workers;
+      report.elasticity.reshard_bytes = result.elasticity.reshard_bytes;
+      report.elasticity.reshard_seconds = result.elasticity.reshard_seconds;
       report.metrics = observer->metrics().Merged();
     }
   }

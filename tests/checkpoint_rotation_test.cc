@@ -329,5 +329,44 @@ TEST(ManifestEmitTest, WritesRotatedChainForSchemaCheck) {
   EXPECT_EQ(latest->trees_done, 5u);
 }
 
+// Same external-schema contract for a delta-mode chain: written into the
+// "delta" subdirectory of the emit dir so check_manifest.py validates the
+// v2 manifest's kind/base_trees columns and the VCKD framing.
+TEST(ManifestEmitTest, WritesDeltaChainForSchemaCheck) {
+  const char* emit_dir = std::getenv("VERO_CKPT_EMIT_DIR");
+  const std::string dir =
+      (emit_dir != nullptr ? std::string(emit_dir)
+                           : FreshDir("manifest_emit_delta_base")) +
+      "/delta";
+  fs::create_directories(dir);
+  {
+    CheckpointWriter::Options options;
+    options.dir = dir;
+    options.keep_last_n = 4;
+    options.delta = true;
+    options.full_every = 3;
+    CheckpointWriter writer(options);
+    const CandidateSplits splits = TinySplits();
+    for (uint32_t t = 1; t <= 6; ++t) {
+      writer.Submit(ModelWithTrees(t), t, &splits);
+    }
+    ASSERT_TRUE(writer.write_status().ok())
+        << writer.write_status().ToString();
+  }
+
+  const auto manifest = LoadManifest(dir + "/" + kManifestFileName);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  ASSERT_GE(manifest->entries.size(), 2u);
+  EXPECT_EQ(manifest->entries[0].kind, kManifestEntryFull);
+  bool saw_delta = false;
+  for (const ManifestEntry& entry : manifest->entries) {
+    saw_delta = saw_delta || entry.kind == kManifestEntryDelta;
+  }
+  EXPECT_TRUE(saw_delta);
+  const auto latest = LoadLatestCheckpoint(dir);
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(latest->trees_done, 6u);
+}
+
 }  // namespace
 }  // namespace vero

@@ -453,16 +453,24 @@ TEST(AsyncCheckpointTest, AsyncCheckpointingKeepsCriticalPathClean) {
   EXPECT_EQ(count_spans(async_run, "checkpoint"), 0u);
   EXPECT_EQ(count_spans(async_run, "checkpoint-snapshot"), trees);
 
-  // The background writer still committed every round durably (interval 1,
-  // no backpressure drops possible after the final Flush) and its metrics
-  // landed on the writer's shard.
+  // The sync writer commits inline: exactly one durable commit per round.
+  // The async writer also commits every round when it keeps up, but its
+  // newest-wins slot may legally coalesce rounds when the test box is
+  // loaded — what it guarantees is at least one commit, at most one per
+  // round, and (asserted below) a final durable state covering the whole
+  // run. Either way the metrics land on the writer's shard.
+  EXPECT_EQ(sync_run.metrics.CounterValue("checkpoint.count"), trees);
+  const uint64_t async_commits =
+      async_run.metrics.CounterValue("checkpoint.count");
+  EXPECT_GE(async_commits, 1u);
+  EXPECT_LE(async_commits, trees);
   for (const Run* run : {&sync_run, &async_run}) {
-    EXPECT_EQ(run->metrics.CounterValue("checkpoint.count"), trees);
     EXPECT_GT(run->metrics.CounterValue("checkpoint.bytes"), 0u);
     const obs::MetricsSnapshot::Entry* latency =
         run->metrics.Find("checkpoint.latency_seconds");
     ASSERT_NE(latency, nullptr);
-    EXPECT_EQ(latency->count, trees);
+    EXPECT_EQ(latency->count,
+              run->metrics.CounterValue("checkpoint.count"));
   }
 
   for (const std::string& dir : {sync_dir, async_dir}) {
