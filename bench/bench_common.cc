@@ -29,13 +29,16 @@ const char* QuadrantTag(Quadrant q) {
   return "unknown";
 }
 
-// State behind --report / --trace-dir; one report entry per RunQuadrant.
+// State behind --report / --trace-dir / --anatomy; one report entry per
+// RunQuadrant.
 struct BenchObsState {
   std::string report_path;
   std::string trace_dir;
+  std::string anatomy_path;
   uint32_t threads_flag = 0;  // 0 = not set on the command line
   int run_counter = 0;
-  std::vector<std::string> run_reports;  // serialized RunReport objects
+  std::vector<std::string> run_reports;     // serialized RunReport objects
+  std::vector<std::string> anatomy_reports;  // serialized AnatomyReport
 };
 
 BenchObsState& ObsState() {
@@ -46,7 +49,8 @@ BenchObsState& ObsState() {
 bool ObsRequested() {
   const BenchObsState& s = ObsState();
   return obs::kObsEnabled &&
-         (!s.report_path.empty() || !s.trace_dir.empty());
+         (!s.report_path.empty() || !s.trace_dir.empty() ||
+          !s.anatomy_path.empty());
 }
 
 void FlushBenchReport() {
@@ -65,6 +69,22 @@ void FlushBenchReport() {
   out << "]}\n";
 }
 
+void FlushAnatomyReport() {
+  BenchObsState& s = ObsState();
+  if (s.anatomy_path.empty()) return;
+  std::ofstream out(s.anatomy_path, std::ios::binary);
+  if (!out) {
+    VERO_LOG(Warning) << "cannot write anatomy report: " << s.anatomy_path;
+    return;
+  }
+  out << "{\"schema\":\"vero.anatomy_bench.v1\",\"runs\":[";
+  for (size_t i = 0; i < s.anatomy_reports.size(); ++i) {
+    if (i > 0) out << ",";
+    out << s.anatomy_reports[i];
+  }
+  out << "]}\n";
+}
+
 }  // namespace
 
 void InitBench(int argc, char** argv) {
@@ -75,14 +95,18 @@ void InitBench(int argc, char** argv) {
       s.report_path = argv[++i];
     } else if (arg == "--trace-dir" && i + 1 < argc) {
       s.trace_dir = argv[++i];
+    } else if (arg == "--anatomy" && i + 1 < argc) {
+      s.anatomy_path = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       const int v = std::atoi(argv[++i]);
       if (v > 0) s.threads_flag = static_cast<uint32_t>(v);
     }
   }
   if (!s.report_path.empty()) std::atexit(FlushBenchReport);
-  if (!obs::kObsEnabled && (!s.report_path.empty() || !s.trace_dir.empty())) {
-    VERO_LOG(Warning) << "--report/--trace-dir ignored: built with "
+  if (!s.anatomy_path.empty()) std::atexit(FlushAnatomyReport);
+  if (!obs::kObsEnabled && (!s.report_path.empty() || !s.trace_dir.empty() ||
+                            !s.anatomy_path.empty())) {
+    VERO_LOG(Warning) << "--report/--trace-dir/--anatomy ignored: built with "
                          "VERO_DISABLE_OBS";
   }
 }
@@ -178,7 +202,8 @@ DistResult RunQuadrantSpec(const Dataset& train, Quadrant quadrant,
   options.max_recovery_attempts = spec.max_recovery_attempts;
   options.elastic_rejoin = spec.elastic_rejoin;
   const bool observe =
-      ObsRequested() || (obs::kObsEnabled && spec.force_observe);
+      ObsRequested() ||
+      (obs::kObsEnabled && (spec.force_observe || spec.force_trace));
   if (!observe) {
     return TrainDistributed(cluster, train, quadrant, options, spec.valid,
                             spec.qd3_policy);
@@ -186,7 +211,8 @@ DistResult RunQuadrantSpec(const Dataset& train, Quadrant quadrant,
 
   BenchObsState& s = ObsState();
   obs::ObsOptions obs_options;
-  obs_options.trace = !s.trace_dir.empty();
+  obs_options.trace =
+      !s.trace_dir.empty() || !s.anatomy_path.empty() || spec.force_trace;
   obs::RunObserver observer(obs_options);
   cluster.AttachObserver(&observer);
   DistResult result = TrainDistributed(cluster, train, quadrant, options,
@@ -196,8 +222,12 @@ DistResult RunQuadrantSpec(const Dataset& train, Quadrant quadrant,
   std::snprintf(label, sizeof(label), "run%03d-%s-w%d", s.run_counter++,
                 QuadrantTag(quadrant), spec.workers);
   result.report.label = label;
-  if (!spec.label.empty()) result.report.label += "-" + spec.label;
-  if (observer.trace_enabled()) {
+  result.anatomy.label = result.report.label;
+  if (!spec.label.empty()) {
+    result.report.label += "-" + spec.label;
+    result.anatomy.label = result.report.label;
+  }
+  if (observer.trace_enabled() && !s.trace_dir.empty()) {
     const std::string path =
         s.trace_dir + "/" + result.report.label + ".trace.json";
     const Status status = observer.trace().WriteChromeJson(path);
@@ -209,6 +239,9 @@ DistResult RunQuadrantSpec(const Dataset& train, Quadrant quadrant,
   }
   if (!s.report_path.empty()) {
     s.run_reports.push_back(result.report.ToJson());
+  }
+  if (!s.anatomy_path.empty() && result.anatomy.enabled) {
+    s.anatomy_reports.push_back(result.anatomy.ToJson());
   }
   return result;
 }

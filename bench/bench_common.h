@@ -20,6 +20,9 @@ namespace bench {
 ///                         write a "vero.bench_report.v1" JSON file at exit
 ///   --trace-dir <dir>     also record per-phase / per-collective traces and
 ///                         write one Chrome trace JSON per run into <dir>
+///   --anatomy <out.json>  also record traces, stitch each run's cost
+///                         anatomy (see obs::AnatomyReport), and write a
+///                         "vero.anatomy_bench.v1" JSON file at exit
 ///   --threads <n>         per-worker histogram-builder threads (see
 ///                         BenchThreads())
 /// Unknown arguments are ignored. Call first thing in main().
@@ -75,6 +78,10 @@ struct BenchRunSpec {
   /// can read result.report.metrics (e.g. staleness.* counters) for its own
   /// comparison tables.
   bool force_observe = false;
+  /// Also record traces (and therefore build result.anatomy) even without
+  /// --anatomy / --trace-dir, so the caller can read the measured cost
+  /// anatomy for its own tables. Implies force_observe.
+  bool force_trace = false;
   /// Appended to the generated "runNNN-<quadrant>-wW" report label; sweep
   /// scripts group cells by this suffix.
   std::string label;

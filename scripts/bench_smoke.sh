@@ -2,11 +2,13 @@
 # Seconds-scale perf smoke for the histogram kernels: runs the micro_kernels
 # --hist-json snapshot (dims x threads grid + the seed scalar baselines) and
 # validates the emitted BENCH_histogram.json schema, then runs the
-# straggler-mitigation fault grid and validates its goodput comparison.
-# Compare snapshots across commits to catch regressions; see
-# docs/performance.md and docs/straggler_mitigation.md.
+# straggler-mitigation fault grid (with per-run traces, validated down to a
+# recovery run's trace) and the cost-anatomy sweep (validating the emitted
+# "vero.anatomy_bench.v1" exact-sum report). Compare snapshots across commits
+# to catch regressions; see docs/performance.md, docs/straggler_mitigation.md
+# and docs/observability.md.
 #
-#   scripts/bench_smoke.sh [build-dir] [out.json] [faults-out.json]
+#   scripts/bench_smoke.sh [build-dir] [out.json] [faults-out.json] [anatomy-out.json]
 #
 # VERO_SCALE shrinks/grows the workload (default 0.25 here: ~5k rows keeps
 # the binary-search baseline to well under a minute on one core).
@@ -16,10 +18,27 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_histogram.json}"
 FAULTS_OUT="${3:-BENCH_faults.json}"
+ANATOMY_OUT="${4:-BENCH_anatomy.json}"
 export VERO_SCALE="${VERO_SCALE:-0.25}"
 
 "$BUILD_DIR/bench/micro_kernels" --hist-json "$OUT"
 python3 scripts/check_bench_hist.py --json "$OUT"
 
-"$BUILD_DIR/bench/fault_grid" --fault-grid --report "$FAULTS_OUT"
+TRACE_DIR="$(mktemp -d "${TMPDIR:-/tmp}/vero_smoke_traces.XXXXXX")"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+"$BUILD_DIR/bench/fault_grid" --fault-grid --report "$FAULTS_OUT" \
+    --trace-dir "$TRACE_DIR"
 python3 scripts/check_bench_faults.py --json "$FAULTS_OUT"
+# Validate a trace captured under an actual fault-grid recovery run ("rg-"
+# labels are the recovery-grid cells with crashes / resizes): driver
+# recovery / resize / reshard spans and cross-incarnation op ids must pass
+# the same schema checks as clean-run traces.
+RECOVERY_TRACE="$(ls "$TRACE_DIR"/*-rg-*.trace.json 2>/dev/null | head -n 1)"
+if [[ -z "$RECOVERY_TRACE" ]]; then
+    echo "bench_smoke: no rg-* recovery trace emitted by fault_grid" >&2
+    exit 1
+fi
+python3 scripts/check_trace.py "$RECOVERY_TRACE"
+
+"$BUILD_DIR/bench/anatomy_sweep" --anatomy "$ANATOMY_OUT"
+python3 scripts/check_anatomy.py "$ANATOMY_OUT"

@@ -29,6 +29,7 @@ import tempfile
 PHASE_NAMES = {
     "gradient", "hist-build", "find-split", "node-split", "margin-update",
     "grow-tree", "checkpoint", "checkpoint-snapshot", "recovery", "rejoin",
+    "resize", "reshard",
     "sketch-build", "transform-encode", "transform-decode", "label-broadcast",
 }
 COLLECTIVE_NAMES = {
@@ -89,20 +90,28 @@ def check_trace(path):
         args = ev["args"]
         require(isinstance(args, dict), f"{where}: args must be an object")
         for key in ("rank", "tree", "layer", "sim_begin", "sim_end",
-                    "cpu_seconds", "bytes"):
+                    "cpu_seconds", "bytes", "op_id", "incarnation"):
             require(key in args, f"{where}: args missing {key}")
         require(args["rank"] >= -1, f"{where}: bad rank")
         require(args["tree"] >= -1, f"{where}: bad tree")
         require(args["layer"] >= -1, f"{where}: bad layer")
         require(args["bytes"] >= 0, f"{where}: negative bytes")
         require(args["cpu_seconds"] >= 0, f"{where}: negative cpu_seconds")
+        require(args["incarnation"] >= 0, f"{where}: negative incarnation")
+        # Collective spans carry the per-rank op sequence number (the
+        # cross-rank DAG join key); every other span uses the -1 sentinel.
+        if ev["cat"] == "collective":
+            require(args["op_id"] >= 0, f"{where}: collective without op_id")
+        else:
+            require(args["op_id"] == -1,
+                    f"{where}: non-collective with op_id {args['op_id']}")
         # Sim stamps are either both the -1 sentinel or a sane interval.
         if args["sim_begin"] >= 0 or args["sim_end"] >= 0:
             require(args["sim_end"] >= args["sim_begin"] >= 0,
                     f"{where}: sim interval out of order")
         projection.append((ev["name"], ev["cat"], args["rank"], args["tree"],
                            args["layer"], args["sim_begin"], args["sim_end"],
-                           args["bytes"]))
+                           args["bytes"], args["op_id"], args["incarnation"]))
     return projection
 
 
@@ -159,9 +168,13 @@ def check_run_report(doc, where):
             require(isinstance(entry.get("value"), (int, float)),
                     f"{ew}: bad value")
         else:
-            for field in ("count", "sum", "min", "max"):
+            for field in ("count", "sum", "min", "max", "p50", "p99"):
                 require(isinstance(entry.get(field), (int, float)),
                         f"{ew}: histogram missing {field}")
+            if entry["count"] > 0:
+                require(entry["min"] <= entry["p50"] <= entry["p99"]
+                        <= entry["max"],
+                        f"{ew}: histogram quantiles out of order")
     # json.load preserves emission order; the schema promises sorted names.
     require(list(metrics.keys()) == sorted(metrics.keys()),
             f"{where}: metrics not sorted by name")

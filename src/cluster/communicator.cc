@@ -18,6 +18,9 @@ struct WorkerContext::ObsHandles {
   obs::Counter* op_count[kNumCollectiveOps] = {};
   obs::Counter* op_bytes_sent[kNumCollectiveOps] = {};
   obs::Counter* op_bytes_received[kNumCollectiveOps] = {};
+  /// Per-op simulated-latency distributions (comm.<Op>.sim_seconds): the
+  /// run-report p50/p99 source for each collective flavor.
+  obs::HistogramMetric* op_latency[kNumCollectiveOps] = {};
   obs::Counter* retries = nullptr;
   obs::Counter* retransmitted_bytes = nullptr;
   obs::Counter* watchdog_timeouts = nullptr;
@@ -96,14 +99,20 @@ void Cluster::AttachObserver(obs::RunObserver* observer) {
   if constexpr (!obs::kObsEnabled) return;
   observer_ = observer;
   if (observer == nullptr) return;
+  // One attach = one cluster incarnation: recovery / resize rebuilds attach
+  // the same observer again, and the bumped generation tags the new workers'
+  // trace buffers so the anatomy analyzer can tell incarnations apart.
+  observer->BeginIncarnation();
   for (auto& ctx : contexts_) ctx->AttachObs(observer);
 }
 
 void WorkerContext::AttachObs(obs::RunObserver* observer) {
-  trace_ = observer->trace_enabled() ? observer->trace().CreateBuffer(rank_)
-                                     : nullptr;
+  trace_ = observer->trace_enabled()
+               ? observer->trace().CreateBuffer(rank_, observer->incarnation())
+               : nullptr;
   metrics_ = observer->metrics().CreateShard();
   obs_handles_ = std::make_unique<ObsHandles>();
+  op_seq_ = 0;  // Collective sequence numbers restart per incarnation.
   for (int op = 0; op < kNumCollectiveOps; ++op) {
     std::string base = "comm.";
     base += CollectiveOpToString(static_cast<CollectiveOp>(op));
@@ -111,6 +120,7 @@ void WorkerContext::AttachObs(obs::RunObserver* observer) {
     obs_handles_->op_bytes_sent[op] = metrics_->counter(base + ".bytes_sent");
     obs_handles_->op_bytes_received[op] =
         metrics_->counter(base + ".bytes_received");
+    obs_handles_->op_latency[op] = metrics_->histogram(base + ".sim_seconds");
   }
   obs_handles_->retries = metrics_->counter("comm.retries");
   obs_handles_->retransmitted_bytes =
@@ -339,11 +349,15 @@ Status WorkerContext::ApplyFaults(CollectiveOp op,
     }
   }
   // Every collective — including one that just killed this worker — ends
-  // here, so this is the single place its span gets closed.
+  // here, so this is the single place its span gets closed. It is also the
+  // single place op_seq_ advances: the SPMD contract keeps the counter in
+  // lockstep across ranks, so equal (incarnation, op_id) identifies the
+  // same logical collective cluster-wide.
   if constexpr (obs::kObsEnabled) {
     if (obs_handles_ != nullptr) {
-      obs_handles_->op_sim_seconds->Observe(stats_.sim_seconds -
-                                            op_sim_begin_);
+      const double op_seconds = stats_.sim_seconds - op_sim_begin_;
+      obs_handles_->op_sim_seconds->Observe(op_seconds);
+      obs_handles_->op_latency[static_cast<int>(op)]->Observe(op_seconds);
     }
     if (trace_ != nullptr) {
       obs::TraceEvent ev;
@@ -356,8 +370,10 @@ Status WorkerContext::ApplyFaults(CollectiveOp op,
       ev.sim_begin_s = op_sim_begin_;
       ev.sim_end_s = stats_.sim_seconds;
       ev.bytes = stats_.bytes_sent - op_bytes_begin_;
+      ev.op_id = op_seq_;
       trace_->Record(ev);
     }
+    ++op_seq_;
   }
   return status;
 }

@@ -254,6 +254,14 @@ class WorkerContext {
   double op_sim_begin_ = 0.0;
   int64_t op_wall_begin_us_ = 0;
   uint64_t op_bytes_begin_ = 0;
+  /// Monotone per-rank collective sequence number within this cluster
+  /// incarnation. The SPMD contract (same collectives, same order, on every
+  /// rank) makes it a cross-rank join key: collective spans stamped with the
+  /// same (incarnation, op_id) are the same logical operation, which is what
+  /// the anatomy analyzer uses for happens-before edges. Incremented at the
+  /// single point every collective — strict, mitigated, W==1 shortcut, or
+  /// one that just killed this worker — closes its span (ApplyFaults).
+  int64_t op_seq_ = 0;
 };
 
 /// Simulated W-worker cluster. Each Run() spawns one thread per worker and

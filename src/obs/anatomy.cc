@@ -1,0 +1,410 @@
+#include "obs/anatomy.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string_view>
+
+#include "obs/json_writer.h"
+
+namespace vero {
+namespace obs {
+
+namespace {
+
+double MetricSum(const MetricsSnapshot& metrics, std::string_view name) {
+  const MetricsSnapshot::Entry* entry = metrics.Find(name);
+  return entry == nullptr ? 0.0 : entry->sum;
+}
+
+bool NameIs(const TraceEvent& ev, const char* name) {
+  return std::strcmp(ev.name, name) == 0;
+}
+
+bool NameStartsWith(const TraceEvent& ev, std::string_view prefix) {
+  return std::string_view(ev.name).substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace
+
+AnatomyReport BuildAnatomyReport(std::vector<TraceEvent> events,
+                                 const MetricsSnapshot& metrics,
+                                 const AnatomyTotals& totals) {
+  AnatomyReport r;
+  r.enabled = true;
+  r.label = totals.label;
+  r.quadrant = totals.quadrant;
+  r.workers = totals.workers;
+  r.trees = totals.trees;
+  r.setup_seconds = totals.setup_seconds;
+  r.train_seconds = totals.train_seconds;
+  r.recovery_seconds = totals.recovery_seconds;
+  r.reshard_seconds = totals.reshard_seconds;
+  r.wasted_seconds = totals.wasted_seconds;
+  r.train_bytes_sent = totals.train_bytes_sent;
+  // Canonical association order; check_anatomy.py re-sums the emitted
+  // components in exactly this order and demands bit-equality.
+  r.total_seconds = ((totals.setup_seconds + totals.train_seconds) +
+                     totals.recovery_seconds) +
+                    totals.reshard_seconds;
+
+  CausalDag dag = BuildCausalDag(std::move(events));
+  r.incarnations = dag.num_incarnations;
+  r.dag.events = dag.events.size();
+  r.dag.vertices = dag.num_vertices;
+  r.dag.program_edges = dag.num_program_edges;
+  r.dag.collective_edges = dag.num_collective_edges;
+  r.dag.incarnation_edges = dag.num_incarnation_edges;
+  r.dag.collective_groups = dag.num_collective_groups;
+  r.dag.weak_components = dag.weak_components;
+  r.dag.acyclic = dag.acyclic;
+
+  const std::vector<TreeChain> chains = CollectTreeChains(dag.events);
+  const std::vector<std::pair<int32_t, int>> chosen =
+      ChooseTreeIncarnations(chains);
+
+  // Per-tree rows: per-category maxima across ranks of the committing
+  // incarnation — the same plain std::max over the same doubles the
+  // trainer's InstrumentMax reduced, summed in the canonical TreeCost
+  // order. Summing the row totals left-to-right reproduces
+  // DistResult::TrainSeconds() bit-for-bit; `exact` records that check.
+  double attributed = 0.0;
+  double barrier_skew = 0.0;
+  r.per_tree.reserve(chosen.size());
+  for (const auto& [tree, incarnation] : chosen) {
+    AnatomyReport::TreeRow row;
+    row.tree = tree;
+    row.incarnation = incarnation;
+    bool first = true;
+    double best_comp = 0.0;
+    double min_comm = 0.0;
+    for (const TreeChain& chain : chains) {
+      if (chain.tree != tree || chain.incarnation != incarnation) continue;
+      const double comp = ((((chain.gradient + chain.hist) +
+                             chain.find_split) +
+                            chain.node_split) +
+                           chain.other);
+      if (first) {
+        row.gradient = chain.gradient;
+        row.hist = chain.hist;
+        row.find_split = chain.find_split;
+        row.node_split = chain.node_split;
+        row.other = chain.other;
+        row.comm = chain.comm;
+        row.blame_comp_rank = chain.rank;
+        row.blame_comm_rank = chain.rank;
+        best_comp = comp;
+        min_comm = chain.comm;
+        first = false;
+        continue;
+      }
+      row.gradient = std::max(row.gradient, chain.gradient);
+      row.hist = std::max(row.hist, chain.hist);
+      row.find_split = std::max(row.find_split, chain.find_split);
+      row.node_split = std::max(row.node_split, chain.node_split);
+      row.other = std::max(row.other, chain.other);
+      if (chain.comm > row.comm) {
+        row.comm = chain.comm;
+        row.blame_comm_rank = chain.rank;
+      }
+      min_comm = std::min(min_comm, chain.comm);
+      if (comp > best_comp) {
+        best_comp = comp;
+        row.blame_comp_rank = chain.rank;
+      }
+    }
+    if (first) continue;  // No chains for this tree (cannot happen).
+    row.total = ((((row.gradient + row.hist) + row.find_split) +
+                  row.node_split) +
+                 row.other) +
+                row.comm;
+    attributed += row.total;
+    barrier_skew += row.comm - min_comm;
+    r.per_tree.push_back(row);
+  }
+  r.attributed_train_seconds = attributed;
+  r.exact = attributed == totals.train_seconds;
+
+  // Per-(incarnation, rank) skew rows; comm here is the display sum of
+  // per-collective sim deltas, not the exact-sum window.
+  std::map<std::pair<int, int>, AnatomyReport::RankRow> rank_rows;
+  double sketch_seconds = 0.0;
+  double transform_seconds = 0.0;
+  double checkpoint_seconds = 0.0;
+  for (const TraceEvent& ev : dag.events) {
+    if (NameIs(ev, "sketch-build")) {
+      sketch_seconds += ev.cpu_seconds;
+    } else if (NameIs(ev, "transform-encode") ||
+               NameIs(ev, "transform-decode") ||
+               NameIs(ev, "label-broadcast")) {
+      transform_seconds += ev.cpu_seconds;
+    } else if (NameStartsWith(ev, "checkpoint")) {
+      checkpoint_seconds += ev.cpu_seconds;
+    }
+    if (ev.rank < 0) continue;
+    AnatomyReport::RankRow& row = rank_rows[{ev.incarnation, ev.rank}];
+    row.incarnation = ev.incarnation;
+    row.rank = ev.rank;
+    ++row.events;
+    row.bytes += ev.bytes;
+    if (std::strcmp(ev.category, "collective") == 0) {
+      if (ev.sim_end_s >= 0.0 && ev.sim_begin_s >= 0.0) {
+        row.comm_seconds += ev.sim_end_s - ev.sim_begin_s;
+      }
+    } else {
+      row.comp_seconds += ev.cpu_seconds;
+    }
+  }
+  r.per_rank.reserve(rank_rows.size());
+  for (const auto& [key, row] : rank_rows) r.per_rank.push_back(row);
+
+  // Display taxonomy. Compute / comm aggregates sum the per-tree rows; wait
+  // categories are overlays (their seconds already sit inside the comm
+  // windows) sourced from the mitigation metrics and the per-tree comm
+  // spread.
+  double gradient = 0.0, hist = 0.0, split_eval = 0.0, partition = 0.0,
+         other = 0.0, comm_total = 0.0;
+  for (const AnatomyReport::TreeRow& row : r.per_tree) {
+    gradient += row.gradient;
+    hist += row.hist;
+    split_eval += row.find_split;
+    partition += row.node_split;
+    other += row.other;
+    comm_total += row.comm;
+  }
+  r.categories = {
+      {"comm.total", comm_total},
+      {"compute.gradient", gradient},
+      {"compute.hist_build", hist},
+      {"compute.split_eval", split_eval},
+      {"compute.partition", partition},
+      {"compute.other", other},
+      {"compute.sketch", sketch_seconds},
+      {"compute.transform", transform_seconds},
+      {"setup", totals.setup_seconds},
+      {"checkpoint", checkpoint_seconds},
+      {"recovery", totals.recovery_seconds},
+      {"reshard", totals.reshard_seconds},
+      {"wasted", totals.wasted_seconds},
+      {"wait.deadline_wait",
+       MetricSum(metrics, "staleness.deadline_wait_seconds")},
+      {"wait.straggler_absorb",
+       MetricSum(metrics, "staleness.deferred_seconds") +
+           MetricSum(metrics, "speculation.absorbed_seconds")},
+      {"wait.injected_stall", MetricSum(metrics, "comm.straggler_seconds")},
+      {"wait.barrier_skew", barrier_skew},
+  };
+  std::sort(r.categories.begin(), r.categories.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Per-op communication profile from the comm.<Op>.sim_seconds histograms.
+  for (const MetricsSnapshot::Entry& entry : metrics.entries) {
+    if (entry.kind != MetricKind::kHistogram || entry.count == 0) continue;
+    const std::string_view name(entry.name);
+    constexpr std::string_view kPrefix = "comm.";
+    constexpr std::string_view kSuffix = ".sim_seconds";
+    if (name.size() <= kPrefix.size() + kSuffix.size()) continue;
+    if (name.substr(0, kPrefix.size()) != kPrefix) continue;
+    if (name.substr(name.size() - kSuffix.size()) != kSuffix) continue;
+    AnatomyReport::CommOp op;
+    op.op = std::string(name.substr(
+        kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size()));
+    op.ops = entry.count;
+    op.sim_seconds = entry.sum;
+    op.p50 = entry.p50;
+    op.p99 = entry.p99;
+    r.comm_ops.push_back(std::move(op));
+  }
+  std::sort(r.comm_ops.begin(), r.comm_ops.end(),
+            [](const AnatomyReport::CommOp& a, const AnatomyReport::CommOp& b) {
+              return a.op < b.op;
+            });
+
+  r.critical_path =
+      ExtractCriticalPath(chains, chosen, totals.setup_seconds,
+                          totals.recovery_seconds, totals.reshard_seconds);
+  return r;
+}
+
+AnatomyReport BuildAnatomyReport(const RunObserver& observer,
+                                 const AnatomyTotals& totals) {
+  return BuildAnatomyReport(observer.trace().MergedEvents(),
+                            observer.metrics().Merged(), totals);
+}
+
+void AnatomyReport::AppendJson(std::ostream& os) const {
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("schema");
+  w.String("vero.anatomy.v1");
+  w.Key("label");
+  w.String(label);
+  w.Key("quadrant");
+  w.String(quadrant);
+  w.Key("workers");
+  w.Int(workers);
+  w.Key("trees");
+  w.UInt(trees);
+  w.Key("incarnations");
+  w.Int(incarnations);
+  w.Key("total_seconds");
+  w.Double(total_seconds);
+  w.Key("components");
+  w.BeginObject();
+  w.Key("setup");
+  w.Double(setup_seconds);
+  w.Key("train");
+  w.Double(train_seconds);
+  w.Key("recovery");
+  w.Double(recovery_seconds);
+  w.Key("reshard");
+  w.Double(reshard_seconds);
+  w.EndObject();
+  w.Key("attributed_train_seconds");
+  w.Double(attributed_train_seconds);
+  w.Key("exact");
+  w.Bool(exact);
+  w.Key("wasted_seconds");
+  w.Double(wasted_seconds);
+  w.Key("train_bytes_sent");
+  w.UInt(train_bytes_sent);
+  w.Key("categories");
+  w.BeginObject();
+  for (const auto& [name, seconds] : categories) {
+    w.Key(name);
+    w.Double(seconds);
+  }
+  w.EndObject();
+  w.Key("comm_ops");
+  w.BeginArray();
+  for (const CommOp& op : comm_ops) {
+    w.BeginObject();
+    w.Key("op");
+    w.String(op.op);
+    w.Key("ops");
+    w.UInt(op.ops);
+    w.Key("sim_seconds");
+    w.Double(op.sim_seconds);
+    w.Key("p50");
+    w.Double(op.p50);
+    w.Key("p99");
+    w.Double(op.p99);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("per_tree");
+  w.BeginArray();
+  for (const TreeRow& row : per_tree) {
+    w.BeginObject();
+    w.Key("tree");
+    w.Int(row.tree);
+    w.Key("incarnation");
+    w.Int(row.incarnation);
+    w.Key("gradient");
+    w.Double(row.gradient);
+    w.Key("hist");
+    w.Double(row.hist);
+    w.Key("find_split");
+    w.Double(row.find_split);
+    w.Key("node_split");
+    w.Double(row.node_split);
+    w.Key("other");
+    w.Double(row.other);
+    w.Key("comm");
+    w.Double(row.comm);
+    w.Key("total");
+    w.Double(row.total);
+    w.Key("blame_comp_rank");
+    w.Int(row.blame_comp_rank);
+    w.Key("blame_comm_rank");
+    w.Int(row.blame_comm_rank);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("per_rank");
+  w.BeginArray();
+  for (const RankRow& row : per_rank) {
+    w.BeginObject();
+    w.Key("incarnation");
+    w.Int(row.incarnation);
+    w.Key("rank");
+    w.Int(row.rank);
+    w.Key("comp_seconds");
+    w.Double(row.comp_seconds);
+    w.Key("comm_seconds");
+    w.Double(row.comm_seconds);
+    w.Key("events");
+    w.UInt(row.events);
+    w.Key("bytes");
+    w.UInt(row.bytes);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("critical_path");
+  w.BeginObject();
+  w.Key("length_seconds");
+  w.Double(critical_path.length_seconds);
+  w.Key("segments_total");
+  w.UInt(critical_path.segments.size());
+  // Top-k blame view: heaviest segments first (the full execution-order
+  // path lives in memory; the report keeps the headline offenders).
+  std::vector<CriticalPathSegment> top = critical_path.segments;
+  std::stable_sort(top.begin(), top.end(),
+                   [](const CriticalPathSegment& a,
+                      const CriticalPathSegment& b) {
+                     return a.seconds > b.seconds;
+                   });
+  if (top.size() > kTopSegments) top.resize(kTopSegments);
+  w.Key("segments");
+  w.BeginArray();
+  for (const CriticalPathSegment& seg : top) {
+    w.BeginObject();
+    w.Key("kind");
+    w.String(seg.kind);
+    w.Key("tree");
+    w.Int(seg.tree);
+    w.Key("rank");
+    w.Int(seg.rank);
+    w.Key("incarnation");
+    w.Int(seg.incarnation);
+    w.Key("seconds");
+    w.Double(seg.seconds);
+    w.Key("dominant");
+    w.String(seg.dominant);
+    w.Key("dominant_seconds");
+    w.Double(seg.dominant_seconds);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.Key("dag");
+  w.BeginObject();
+  w.Key("events");
+  w.UInt(dag.events);
+  w.Key("vertices");
+  w.UInt(dag.vertices);
+  w.Key("program_edges");
+  w.UInt(dag.program_edges);
+  w.Key("collective_edges");
+  w.UInt(dag.collective_edges);
+  w.Key("incarnation_edges");
+  w.UInt(dag.incarnation_edges);
+  w.Key("collective_groups");
+  w.UInt(dag.collective_groups);
+  w.Key("weak_components");
+  w.UInt(dag.weak_components);
+  w.Key("acyclic");
+  w.Bool(dag.acyclic);
+  w.EndObject();
+  w.EndObject();
+}
+
+std::string AnatomyReport::ToJson() const {
+  std::ostringstream os;
+  AppendJson(os);
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace vero

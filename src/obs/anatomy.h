@@ -1,0 +1,163 @@
+#ifndef VERO_OBS_ANATOMY_H_
+#define VERO_OBS_ANATOMY_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/critical_path.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace vero {
+namespace obs {
+
+/// The run-level totals the anatomy must account for, supplied by the layer
+/// that owns the DistResult (plain values so vero_obs stays below the
+/// quadrants layer). `train_seconds` is DistResult::TrainSeconds();
+/// setup / recovery / reshard seconds come from the matching result fields.
+struct AnatomyTotals {
+  std::string label;
+  std::string quadrant;
+  int workers = 0;
+  uint32_t trees = 0;
+  double train_seconds = 0.0;
+  double setup_seconds = 0.0;
+  double recovery_seconds = 0.0;
+  double reshard_seconds = 0.0;
+  double wasted_seconds = 0.0;
+  uint64_t train_bytes_sent = 0;
+};
+
+/// Exact cost anatomy of one run: every second of the run's simulated total
+/// attributed to a category taxonomy, with the house invariant that the
+/// attribution sums BIT-IDENTICALLY to the run's reported total.
+///
+/// The exact-sum carrier is the per-tree table, not the category totals:
+/// each per-tree row takes the max across ranks per category (the same
+/// plain `std::max` the trainer's InstrumentMax computes over the same
+/// doubles) and sums them in the canonical TreeCost order; summing the row
+/// totals left-to-right then reproduces DistResult::TrainSeconds() exactly,
+/// and `total_seconds` = ((setup + train) + recovery) + reshard in that
+/// association order. Category totals are display aggregates over the rows
+/// (floating-point non-associativity makes a sum-of-category-totals check
+/// meaningless; the per-row invariant is the one `check_anatomy.py` and
+/// `anatomy_test` enforce).
+///
+/// Serialized with the stable "vero.anatomy.v1" JSON schema (documented in
+/// docs/observability.md).
+struct AnatomyReport {
+  bool enabled = false;
+
+  std::string label;
+  std::string quadrant;
+  int workers = 0;
+  uint32_t trees = 0;
+  int incarnations = 0;
+
+  /// ((setup + train) + recovery) + reshard, in that order.
+  double total_seconds = 0.0;
+  double setup_seconds = 0.0;
+  double train_seconds = 0.0;
+  double recovery_seconds = 0.0;
+  double reshard_seconds = 0.0;
+
+  /// Sum of per-tree row totals, left-to-right from tree 0.
+  double attributed_train_seconds = 0.0;
+  /// attributed_train_seconds == train_seconds, as a plain bitwise
+  /// double comparison (no epsilon).
+  bool exact = false;
+
+  double wasted_seconds = 0.0;
+  uint64_t train_bytes_sent = 0;
+
+  /// Display taxonomy: category name -> seconds, sorted by name. Names:
+  /// compute.{gradient,hist_build,split_eval,partition,other,sketch,
+  /// transform}, comm.total, setup, checkpoint, recovery, reshard,
+  /// wait.{deadline_wait,straggler_absorb,injected_stall,barrier_skew},
+  /// wasted. Wait categories are informational overlays: the delays they
+  /// describe already land inside the comm windows, so they are NOT part of
+  /// the exact sum.
+  std::vector<std::pair<std::string, double>> categories;
+
+  /// Per-CollectiveOp communication profile, from the comm.<Op>.sim_seconds
+  /// latency histograms (sorted by op name).
+  struct CommOp {
+    std::string op;
+    uint64_t ops = 0;
+    double sim_seconds = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+  };
+  std::vector<CommOp> comm_ops;
+
+  /// One row per tree on its committing incarnation: per-category maxima
+  /// across ranks, total in canonical TreeCost order, and the ranks blamed
+  /// for the compute / comm maxima.
+  struct TreeRow {
+    int32_t tree = -1;
+    int incarnation = 0;
+    double gradient = 0.0;
+    double hist = 0.0;
+    double find_split = 0.0;
+    double node_split = 0.0;
+    double other = 0.0;
+    double comm = 0.0;
+    double total = 0.0;
+    int blame_comp_rank = -1;
+    int blame_comm_rank = -1;
+  };
+  std::vector<TreeRow> per_tree;
+
+  /// Per-(incarnation, rank) skew row: that rank's summed phase CPU, summed
+  /// collective sim deltas (display value), event count, and bytes sent.
+  struct RankRow {
+    int incarnation = 0;
+    int rank = -1;
+    double comp_seconds = 0.0;
+    double comm_seconds = 0.0;
+    uint64_t events = 0;
+    uint64_t bytes = 0;
+  };
+  std::vector<RankRow> per_rank;
+
+  CriticalPath critical_path;
+
+  /// Stitching integrity stats for the causal DAG the analysis ran on.
+  struct DagStats {
+    uint64_t events = 0;
+    uint64_t vertices = 0;
+    uint64_t program_edges = 0;
+    uint64_t collective_edges = 0;
+    uint64_t incarnation_edges = 0;
+    uint64_t collective_groups = 0;
+    uint64_t weak_components = 0;
+    bool acyclic = true;
+  } dag;
+
+  /// Number of critical-path segments the JSON export keeps (heaviest
+  /// first); the in-memory `critical_path` always holds all of them.
+  static constexpr size_t kTopSegments = 12;
+
+  void AppendJson(std::ostream& os) const;
+  std::string ToJson() const;
+};
+
+/// Builds the full anatomy from a merged event stream, a merged metric
+/// snapshot, and the run totals. Deterministic for seeded runs.
+AnatomyReport BuildAnatomyReport(std::vector<TraceEvent> events,
+                                 const MetricsSnapshot& metrics,
+                                 const AnatomyTotals& totals);
+
+/// Convenience overload pulling the merged events / metrics from a quiescent
+/// run's observer (call only after all worker threads have joined).
+AnatomyReport BuildAnatomyReport(const RunObserver& observer,
+                                 const AnatomyTotals& totals);
+
+}  // namespace obs
+}  // namespace vero
+
+#endif  // VERO_OBS_ANATOMY_H_

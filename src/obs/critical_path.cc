@@ -1,0 +1,308 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <numeric>
+#include <tuple>
+#include <utility>
+
+namespace vero {
+namespace obs {
+
+namespace {
+
+bool IsTransitionSpan(const TraceEvent& ev) {
+  return ev.rank < 0 && (std::strcmp(ev.name, "recovery") == 0 ||
+                         std::strcmp(ev.name, "resize") == 0);
+}
+
+bool IsCollective(const TraceEvent& ev) {
+  return std::strcmp(ev.category, "collective") == 0;
+}
+
+/// Union-find over vertex ids, for the weak-connectivity integrity signal.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+  size_t CountRoots() {
+    size_t roots = 0;
+    for (size_t i = 0; i < parent_.size(); ++i) {
+      if (Find(i) == i) ++roots;
+    }
+    return roots;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+CausalDag BuildCausalDag(std::vector<TraceEvent> events) {
+  CausalDag dag;
+  dag.events = std::move(events);
+  const size_t n = dag.events.size();
+  for (const TraceEvent& ev : dag.events) {
+    dag.num_incarnations = std::max(dag.num_incarnations, ev.incarnation + 1);
+  }
+  if (n == 0) {
+    dag.num_incarnations = 0;
+    return dag;
+  }
+
+  // Per-buffer program order. One rank owns one buffer per incarnation, so
+  // (incarnation, rank) identifies a buffer; the merged stream preserves
+  // insertion order within each.
+  std::map<std::pair<int, int>, std::vector<size_t>> groups;
+  for (size_t i = 0; i < n; ++i) {
+    groups[{dag.events[i].incarnation, dag.events[i].rank}].push_back(i);
+  }
+
+  // Span duration edges (begin -> end) count as program order: they encode
+  // one rank's own execution.
+  for (size_t i = 0; i < n; ++i) {
+    dag.edges.emplace_back(CausalDag::BeginVertex(i), CausalDag::EndVertex(i));
+    ++dag.num_program_edges;
+  }
+  for (const auto& [key, members] : groups) {
+    for (size_t k = 1; k < members.size(); ++k) {
+      dag.edges.emplace_back(CausalDag::EndVertex(members[k - 1]),
+                             CausalDag::BeginVertex(members[k]));
+      ++dag.num_program_edges;
+    }
+  }
+
+  // Collective rendezvous: spans sharing (incarnation, op_id) are the same
+  // logical operation. Each participant's entry happens-before every
+  // participant's exit, modeled through one join vertex per group.
+  std::map<std::pair<int, int64_t>, std::vector<size_t>> collectives;
+  for (size_t i = 0; i < n; ++i) {
+    const TraceEvent& ev = dag.events[i];
+    if (IsCollective(ev) && ev.op_id >= 0) {
+      collectives[{ev.incarnation, ev.op_id}].push_back(i);
+    }
+  }
+  int32_t next_vertex = static_cast<int32_t>(2 * n);
+  for (const auto& [key, members] : collectives) {
+    const int32_t join = next_vertex++;
+    for (size_t m : members) {
+      dag.edges.emplace_back(CausalDag::BeginVertex(m), join);
+      dag.edges.emplace_back(join, CausalDag::EndVertex(m));
+      dag.num_collective_edges += 2;
+    }
+    ++dag.num_collective_groups;
+  }
+  dag.num_vertices = static_cast<size_t>(next_vertex);
+
+  // Incarnation joins: the j-th driver recovery / resize span tears down
+  // incarnation j and brings up incarnation j+1 (Cluster::AttachObserver
+  // bumps the generation once per rebuilt cluster).
+  std::vector<size_t> transitions;
+  for (size_t i = 0; i < n; ++i) {
+    if (IsTransitionSpan(dag.events[i])) transitions.push_back(i);
+  }
+  for (size_t j = 0; j < transitions.size(); ++j) {
+    const size_t span = transitions[j];
+    for (const auto& [key, members] : groups) {
+      if (key.second < 0) continue;  // The driver chains by program order.
+      if (key.first == static_cast<int>(j)) {
+        dag.edges.emplace_back(CausalDag::EndVertex(members.back()),
+                               CausalDag::BeginVertex(span));
+        ++dag.num_incarnation_edges;
+      } else if (key.first == static_cast<int>(j) + 1) {
+        dag.edges.emplace_back(CausalDag::BeginVertex(span),
+                               CausalDag::BeginVertex(members.front()));
+        ++dag.num_incarnation_edges;
+      }
+    }
+  }
+
+  // Integrity signals: one weak component (everything stitched together)
+  // and no cycles (op ids in cross-rank lockstep; a skewed counter would
+  // fold later work onto an earlier join and show up here).
+  UnionFind uf(dag.num_vertices);
+  std::vector<std::vector<int32_t>> adj(dag.num_vertices);
+  std::vector<int32_t> indegree(dag.num_vertices, 0);
+  for (const auto& [from, to] : dag.edges) {
+    uf.Union(static_cast<size_t>(from), static_cast<size_t>(to));
+    adj[static_cast<size_t>(from)].push_back(to);
+    ++indegree[static_cast<size_t>(to)];
+  }
+  dag.weak_components = uf.CountRoots();
+  std::vector<int32_t> ready;
+  for (size_t v = 0; v < dag.num_vertices; ++v) {
+    if (indegree[v] == 0) ready.push_back(static_cast<int32_t>(v));
+  }
+  size_t visited = 0;
+  while (!ready.empty()) {
+    const int32_t v = ready.back();
+    ready.pop_back();
+    ++visited;
+    for (int32_t w : adj[static_cast<size_t>(v)]) {
+      if (--indegree[static_cast<size_t>(w)] == 0) ready.push_back(w);
+    }
+  }
+  dag.acyclic = visited == dag.num_vertices;
+  return dag;
+}
+
+std::vector<TreeChain> CollectTreeChains(
+    const std::vector<TraceEvent>& events) {
+  std::map<std::tuple<int, int, int32_t>, size_t> index;
+  std::vector<TreeChain> chains;
+  for (const TraceEvent& ev : events) {
+    if (ev.tree < 0 || ev.rank < 0) continue;
+    const std::tuple<int, int, int32_t> key(ev.incarnation, ev.rank, ev.tree);
+    auto it = index.find(key);
+    if (it == index.end()) {
+      TreeChain chain;
+      chain.incarnation = ev.incarnation;
+      chain.rank = ev.rank;
+      chain.tree = ev.tree;
+      it = index.emplace(key, chains.size()).first;
+      chains.push_back(chain);
+    }
+    TreeChain& chain = chains[it->second];
+    if (IsCollective(ev)) {
+      if (!chain.has_comm) {
+        chain.has_comm = true;
+        chain.comm_first_begin = ev.sim_begin_s;
+      }
+      chain.comm_last_end = ev.sim_end_s;
+    } else if (std::strcmp(ev.name, "gradient") == 0) {
+      chain.gradient += ev.cpu_seconds;
+    } else if (std::strcmp(ev.name, "hist-build") == 0) {
+      chain.hist += ev.cpu_seconds;
+    } else if (std::strcmp(ev.name, "find-split") == 0) {
+      chain.find_split += ev.cpu_seconds;
+    } else if (std::strcmp(ev.name, "node-split") == 0) {
+      chain.node_split += ev.cpu_seconds;
+    } else if (std::strcmp(ev.name, "margin-update") == 0) {
+      chain.other += ev.cpu_seconds;
+      chain.complete = true;
+    }
+    // Checkpoint and other non-trainer spans are attributed elsewhere.
+  }
+  for (TreeChain& chain : chains) {
+    if (chain.has_comm) {
+      // Telescoped window: identical to the trainer's
+      // stats().sim_seconds - tree_sim_start (same operands, one
+      // subtraction), because the sim clock only moves inside collectives.
+      chain.comm = chain.comm_last_end - chain.comm_first_begin;
+    }
+  }
+  std::sort(chains.begin(), chains.end(),
+            [](const TreeChain& a, const TreeChain& b) {
+              return std::tie(a.tree, a.incarnation, a.rank) <
+                     std::tie(b.tree, b.incarnation, b.rank);
+            });
+  return chains;
+}
+
+std::vector<std::pair<int32_t, int>> ChooseTreeIncarnations(
+    const std::vector<TreeChain>& chains) {
+  std::map<int32_t, std::pair<int, int>> best;  // tree -> (complete, any).
+  for (const TreeChain& chain : chains) {
+    auto it = best.emplace(chain.tree, std::make_pair(-1, -1)).first;
+    if (chain.complete) {
+      it->second.first = std::max(it->second.first, chain.incarnation);
+    }
+    it->second.second = std::max(it->second.second, chain.incarnation);
+  }
+  std::vector<std::pair<int32_t, int>> chosen;
+  chosen.reserve(best.size());
+  for (const auto& [tree, incs] : best) {
+    chosen.emplace_back(tree, incs.first >= 0 ? incs.first : incs.second);
+  }
+  return chosen;
+}
+
+CriticalPath ExtractCriticalPath(
+    const std::vector<TreeChain>& chains,
+    const std::vector<std::pair<int32_t, int>>& chosen, double setup_seconds,
+    double recovery_seconds, double reshard_seconds) {
+  CriticalPath path;
+  if (setup_seconds > 0.0) {
+    CriticalPathSegment seg;
+    seg.kind = "setup";
+    seg.seconds = setup_seconds;
+    seg.dominant = "setup";
+    seg.dominant_seconds = setup_seconds;
+    path.segments.push_back(seg);
+  }
+  // The tree sum accumulates from zero in tree order — the same operand
+  // sequence as the anatomy's attributed_train_seconds — and the final
+  // length applies the anatomy total's association order ((setup + trees) +
+  // recovery) + reshard, so the <=-total / ==-at-W-1 invariants hold
+  // bit-for-bit (addition is monotone, and at W = 1 every operand is
+  // identical).
+  double tree_sum = 0.0;
+  for (const auto& [tree, incarnation] : chosen) {
+    const TreeChain* heaviest = nullptr;
+    double heaviest_seconds = 0.0;
+    for (const TreeChain& chain : chains) {
+      if (chain.tree != tree || chain.incarnation != incarnation) continue;
+      const double seconds = chain.chain_seconds();
+      if (heaviest == nullptr || seconds > heaviest_seconds) {
+        heaviest = &chain;
+        heaviest_seconds = seconds;
+      }
+    }
+    if (heaviest == nullptr) continue;
+    tree_sum += heaviest_seconds;
+    CriticalPathSegment seg;
+    seg.kind = "tree";
+    seg.tree = tree;
+    seg.rank = heaviest->rank;
+    seg.incarnation = incarnation;
+    seg.seconds = heaviest_seconds;
+    const std::pair<const char*, double> parts[] = {
+        {"gradient", heaviest->gradient},   {"hist", heaviest->hist},
+        {"find_split", heaviest->find_split}, {"node_split", heaviest->node_split},
+        {"other", heaviest->other},         {"comm", heaviest->comm}};
+    seg.dominant = parts[0].first;
+    seg.dominant_seconds = parts[0].second;
+    for (const auto& [name, seconds] : parts) {
+      if (seconds > seg.dominant_seconds) {
+        seg.dominant = name;
+        seg.dominant_seconds = seconds;
+      }
+    }
+    path.segments.push_back(seg);
+  }
+  double length = setup_seconds + tree_sum;
+  length += recovery_seconds;
+  if (recovery_seconds > 0.0) {
+    CriticalPathSegment seg;
+    seg.kind = "recovery";
+    seg.seconds = recovery_seconds;
+    seg.dominant = "recovery";
+    seg.dominant_seconds = recovery_seconds;
+    path.segments.push_back(seg);
+  }
+  length += reshard_seconds;
+  if (reshard_seconds > 0.0) {
+    CriticalPathSegment seg;
+    seg.kind = "reshard";
+    seg.seconds = reshard_seconds;
+    seg.dominant = "reshard";
+    seg.dominant_seconds = reshard_seconds;
+    path.segments.push_back(seg);
+  }
+  path.length_seconds = length;
+  return path;
+}
+
+}  // namespace obs
+}  // namespace vero

@@ -1,0 +1,154 @@
+#ifndef VERO_OBS_CRITICAL_PATH_H_
+#define VERO_OBS_CRITICAL_PATH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace vero {
+namespace obs {
+
+/// Happens-before DAG stitched from the per-rank trace buffers of one run.
+///
+/// Every span contributes two vertices (its begin and its end, joined by a
+/// duration edge); additional vertices model collective rendezvous. Edges
+/// come from three sources:
+///  * program order within one (incarnation, rank) buffer — a worker's
+///    spans are causally ordered by its own execution;
+///  * collective rendezvous: collective spans sharing (incarnation, op_id)
+///    are the same logical operation (the SPMD contract keeps the per-rank
+///    op counter in lockstep), so each participant's entry happens-before
+///    every participant's exit, modeled as begin(span) -> join vertex ->
+///    end(span) for every participant;
+///  * incarnation joins: the j-th driver "recovery" / "resize" span
+///    happens-after every span of incarnation j and happens-before every
+///    span of incarnation j+1 (a recovery / resize transition rebuilds the
+///    cluster and re-attaches the observer, bumping the incarnation).
+///
+/// A well-formed trace yields a single weakly-connected acyclic graph;
+/// `weak_components` / `acyclic` are integrity signals the anatomy checker
+/// enforces (an admitted rank whose spans failed to stitch would show up as
+/// a second component).
+struct CausalDag {
+  std::vector<TraceEvent> events;  ///< Span i owns vertices 2i and 2i+1.
+
+  /// Vertex count: 2 * events.size() span vertices + one join vertex per
+  /// distinct (incarnation, op_id) collective group.
+  size_t num_vertices = 0;
+  /// Flat happens-before edge list over vertex ids.
+  std::vector<std::pair<int32_t, int32_t>> edges;
+
+  size_t num_program_edges = 0;
+  size_t num_collective_edges = 0;
+  size_t num_incarnation_edges = 0;
+  size_t num_collective_groups = 0;
+  int num_incarnations = 0;  ///< max event incarnation + 1 (0 when empty).
+  size_t weak_components = 0;
+  bool acyclic = true;
+
+  static constexpr int32_t BeginVertex(size_t event_index) {
+    return static_cast<int32_t>(2 * event_index);
+  }
+  static constexpr int32_t EndVertex(size_t event_index) {
+    return static_cast<int32_t>(2 * event_index + 1);
+  }
+};
+
+CausalDag BuildCausalDag(std::vector<TraceEvent> events);
+
+/// Per (incarnation, rank, tree) aggregation of one rank's causal chain
+/// through one boosting round: per-phase CPU sums accumulated in program
+/// order (the same order, over the same doubles, as the trainer's TreeCost
+/// accumulation) plus the collective sim window. `chain_seconds()` applies
+/// the canonical TreeCost summation order, so on the committing incarnation
+/// max-across-ranks per category reproduces the cost model bit-for-bit.
+struct TreeChain {
+  int incarnation = 0;
+  int rank = -1;
+  int32_t tree = -1;
+  double gradient = 0.0;
+  double hist = 0.0;
+  double find_split = 0.0;
+  double node_split = 0.0;
+  double other = 0.0;
+  /// Collective sim window: last collective sim_end minus first collective
+  /// sim_begin for this (rank, tree). The sim clock only advances inside
+  /// collectives during training, so this telescopes to exactly the
+  /// trainer's `stats().sim_seconds - tree_sim_start` (same subtraction,
+  /// same operands — bit-identical, not approximately equal).
+  double comm = 0.0;
+  bool has_comm = false;
+  double comm_first_begin = 0.0;
+  double comm_last_end = 0.0;
+  /// True once the tree's closing margin-update span was seen: the tree
+  /// completed on this incarnation (a crashed attempt leaves it false or
+  /// the tree gets retrained on a later incarnation).
+  bool complete = false;
+
+  /// Canonical TreeCost order: ((((gradient + hist) + find_split) +
+  /// node_split) + other) + comm, matching comp_seconds() + comm_seconds.
+  double chain_seconds() const {
+    return ((((gradient + hist) + find_split) + node_split) + other) + comm;
+  }
+};
+
+/// Collects the per-(incarnation, rank, tree) chains from a merged event
+/// stream, preserving program order within each buffer. Only the five
+/// trainer phase spans and collective spans participate; checkpoint and
+/// setup spans are attributed elsewhere. Rows are ordered by (tree,
+/// incarnation, rank).
+std::vector<TreeChain> CollectTreeChains(const std::vector<TraceEvent>& events);
+
+/// For each tree, the incarnation whose training run was committed: the
+/// last incarnation on which any rank completed the tree. A tree trained by
+/// a failed attempt and retrained after recovery completes on both, and the
+/// retraining (later) incarnation is the one whose costs the committed
+/// DistResult carries; a tree restored from a checkpoint only ever
+/// completed on the incarnation that originally trained it. Returns pairs
+/// (tree, incarnation) sorted by tree.
+std::vector<std::pair<int32_t, int>> ChooseTreeIncarnations(
+    const std::vector<TreeChain>& chains);
+
+/// One segment of the extracted critical path.
+struct CriticalPathSegment {
+  const char* kind = "tree";  ///< "setup", "tree", "recovery", "reshard".
+  int32_t tree = -1;          ///< Valid for kind == "tree".
+  int rank = -1;              ///< Blamed rank (-1 for driver segments).
+  int incarnation = 0;
+  double seconds = 0.0;
+  /// Category carrying the largest share of the segment (one of the
+  /// TreeChain field names, or the segment kind for driver segments).
+  const char* dominant = "";
+  double dominant_seconds = 0.0;
+};
+
+/// Critical path in simulated time, extracted at the cost model's tree
+/// granularity: within each boosting round the path follows the rank whose
+/// full-round chain (comp + comm) is heaviest, switching ranks at the
+/// round-boundary collectives the DAG provides. This is the heaviest
+/// tree-granular path through the causal DAG, and it inherits the model's
+/// invariant: length_seconds <= the run's attributed total (per-category
+/// maxima can only exceed a single rank's chain), with bit-exact equality
+/// at W = 1 where the single rank's chain IS the total.
+struct CriticalPath {
+  double length_seconds = 0.0;
+  std::vector<CriticalPathSegment> segments;  ///< Execution order.
+};
+
+/// Extracts the critical path from the collected chains. `chosen` maps each
+/// tree to its committing incarnation (ChooseTreeIncarnations); setup /
+/// recovery / reshard seconds become driver segments bracketing the trees.
+/// length_seconds accumulates as ((setup + sum of per-tree maxima) +
+/// recovery) + reshard — the same association order the anatomy total uses,
+/// so the <= / == invariants hold bitwise.
+CriticalPath ExtractCriticalPath(
+    const std::vector<TreeChain>& chains,
+    const std::vector<std::pair<int32_t, int>>& chosen, double setup_seconds,
+    double recovery_seconds, double reshard_seconds);
+
+}  // namespace obs
+}  // namespace vero
+
+#endif  // VERO_OBS_CRITICAL_PATH_H_

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 
@@ -34,6 +35,30 @@ uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
              ? entry->counter
              : 0;
 }
+
+namespace {
+
+/// Bucket-boundary quantile estimate: the upper edge of the smallest bucket
+/// whose cumulative count reaches q * count, clamped into [min, max] so the
+/// estimate never leaves the observed range. Deterministic given the
+/// (deterministically bucketed) counts.
+double BucketQuantile(const std::array<uint64_t, kHistogramBuckets>& buckets,
+                      uint64_t count, double min, double max, double q) {
+  if (count == 0) return 0.0;
+  const uint64_t target =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * count)));
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= target) {
+      return std::min(std::max(HistogramMetric::BucketUpperBound(i), min),
+                      max);
+    }
+  }
+  return max;
+}
+
+}  // namespace
 
 MetricsShard::Cell* MetricsShard::GetOrCreate(const std::string& name,
                                               MetricKind kind) {
@@ -108,6 +133,9 @@ MetricsSnapshot MetricsRegistry::Merged() const {
           if (cell->histogram.count() > 0) {
             entry.min = std::min(entry.min, cell->histogram.min());
             entry.max = std::max(entry.max, cell->histogram.max());
+            for (int i = 0; i < kHistogramBuckets; ++i) {
+              entry.buckets[i] += cell->histogram.buckets()[i];
+            }
           }
           break;
       }
@@ -119,9 +147,17 @@ MetricsSnapshot MetricsRegistry::Merged() const {
     if (entry.kind == MetricKind::kGauge) {
       entry.count = 0;  // Internal "set" marker, not part of the snapshot.
     }
-    if (entry.kind == MetricKind::kHistogram && entry.count == 0) {
-      entry.min = 0.0;
-      entry.max = 0.0;
+    if (entry.kind == MetricKind::kHistogram) {
+      if (entry.count == 0) {
+        entry.min = 0.0;
+        entry.max = 0.0;
+      }
+      entry.p50 =
+          BucketQuantile(entry.buckets, entry.count, entry.min, entry.max,
+                         0.50);
+      entry.p99 =
+          BucketQuantile(entry.buckets, entry.count, entry.min, entry.max,
+                         0.99);
     }
     snapshot.entries.push_back(std::move(entry));
   }

@@ -1,6 +1,8 @@
 #ifndef VERO_OBS_METRICS_H_
 #define VERO_OBS_METRICS_H_
 
+#include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -53,26 +55,59 @@ class Gauge {
   bool set_ = false;
 };
 
-/// Distribution summary (count / sum / min / max). Used for durations —
-/// checkpoint latency, straggler delays — where both the total and the
-/// extremes matter.
+/// Number of fixed base-2 log buckets every HistogramMetric carries. Bucket
+/// i covers [2^(i + kHistogramMinExp), 2^(i + 1 + kHistogramMinExp)); with
+/// kHistogramMinExp = -30 the range spans ~1 ns to ~4.7 hours (in seconds),
+/// with under- / overflow clamped into the end buckets.
+inline constexpr int kHistogramBuckets = 44;
+inline constexpr int kHistogramMinExp = -30;
+
+/// Distribution summary (count / sum / min / max plus fixed log-bucket
+/// counts for quantile estimates). Used for durations — checkpoint latency,
+/// straggler delays, per-op collective time — where the total, the
+/// extremes, and the shape all matter. Bucketing is deterministic: the same
+/// observations always land in the same buckets, so merged p50/p99 are
+/// stable across runs and platforms.
 class HistogramMetric {
  public:
+  /// Fixed bucket for `value`: floor(log2(value)) shifted by
+  /// kHistogramMinExp, clamped into [0, kHistogramBuckets). Non-positive
+  /// values land in bucket 0.
+  static int BucketIndex(double value) {
+    if (!(value > 0.0)) return 0;
+    int exp = 0;
+    std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1).
+    const int index = (exp - 1) - kHistogramMinExp;
+    if (index < 0) return 0;
+    if (index >= kHistogramBuckets) return kHistogramBuckets - 1;
+    return index;
+  }
+
+  /// Exclusive upper edge of bucket `index`.
+  static double BucketUpperBound(int index) {
+    return std::ldexp(1.0, index + 1 + kHistogramMinExp);
+  }
+
   void Observe(double value) {
     ++count_;
     sum_ += value;
     if (value < min_) min_ = value;
     if (value > max_) max_ = value;
+    ++buckets_[BucketIndex(value)];
   }
   uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double min() const { return count_ == 0 ? 0.0 : min_; }
   double max() const { return count_ == 0 ? 0.0 : max_; }
+  const std::array<uint64_t, kHistogramBuckets>& buckets() const {
+    return buckets_;
+  }
   void Reset() {
     count_ = 0;
     sum_ = 0.0;
     min_ = std::numeric_limits<double>::infinity();
     max_ = -std::numeric_limits<double>::infinity();
+    buckets_.fill(0);
   }
 
  private:
@@ -80,6 +115,7 @@ class HistogramMetric {
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+  std::array<uint64_t, kHistogramBuckets> buckets_{};
 };
 
 /// Point-in-time view of every metric, merged across shards and sorted by
@@ -90,11 +126,17 @@ struct MetricsSnapshot {
     MetricKind kind = MetricKind::kCounter;
     uint64_t counter = 0;  ///< kCounter: summed value.
     double gauge = 0.0;    ///< kGauge: max across shards.
-    // kHistogram: merged distribution.
+    // kHistogram: merged distribution. p50 / p99 are bucket-boundary
+    // quantile estimates from the merged log buckets, clamped into
+    // [min, max] (so a single-observation histogram reports the exact
+    // value); 0 when the histogram is empty.
     uint64_t count = 0;
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    std::array<uint64_t, kHistogramBuckets> buckets{};
   };
 
   std::vector<Entry> entries;

@@ -1,6 +1,8 @@
 #include "obs/report.h"
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 #include "obs/json_writer.h"
 
@@ -27,8 +29,22 @@ MetricsShard* RunObserver::driver_shard() {
 namespace {
 
 void AppendMetrics(JsonWriter* w, const MetricsSnapshot& snapshot) {
-  w->BeginObject();
+  // MetricsRegistry::Merged() already yields name-sorted entries, but the
+  // emission sorts again so reports diff stably even for hand-built
+  // snapshots (checkers assume key order == sorted order).
+  std::vector<const MetricsSnapshot::Entry*> entries;
+  entries.reserve(snapshot.entries.size());
   for (const MetricsSnapshot::Entry& entry : snapshot.entries) {
+    entries.push_back(&entry);
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const MetricsSnapshot::Entry* a,
+                      const MetricsSnapshot::Entry* b) {
+                     return a->name < b->name;
+                   });
+  w->BeginObject();
+  for (const MetricsSnapshot::Entry* entry_ptr : entries) {
+    const MetricsSnapshot::Entry& entry = *entry_ptr;
     w->Key(entry.name);
     w->BeginObject();
     w->Key("kind");
@@ -51,6 +67,10 @@ void AppendMetrics(JsonWriter* w, const MetricsSnapshot& snapshot) {
         w->Double(entry.min);
         w->Key("max");
         w->Double(entry.max);
+        w->Key("p50");
+        w->Double(entry.p50);
+        w->Key("p99");
+        w->Double(entry.p99);
         break;
     }
     w->EndObject();

@@ -1,6 +1,7 @@
 #ifndef VERO_OBS_REPORT_H_
 #define VERO_OBS_REPORT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -45,6 +46,14 @@ class RunObserver {
   TraceBuffer* driver_buffer();
   MetricsShard* driver_shard();
 
+  /// Called by Cluster::AttachObserver: advances the attach generation and
+  /// returns it (0 for the first cluster, 1 for the first recovery / resize
+  /// rebuild, ...). Worker trace buffers created during that attach carry
+  /// the returned incarnation, which is how the anatomy analyzer tells the
+  /// pre- and post-transition halves of one logical rank apart.
+  int BeginIncarnation() { return ++incarnation_; }
+  int incarnation() const { return incarnation_.load(); }
+
  private:
   ObsOptions options_;
   TraceRecorder trace_;
@@ -52,6 +61,7 @@ class RunObserver {
   std::mutex driver_mu_;
   TraceBuffer* driver_buffer_ = nullptr;
   MetricsShard* driver_shard_ = nullptr;
+  std::atomic<int> incarnation_{-1};
 };
 
 /// Machine-readable summary of one distributed training run: headline cost

@@ -7,9 +7,9 @@
 namespace vero {
 namespace obs {
 
-TraceBuffer* TraceRecorder::CreateBuffer(int rank) {
+TraceBuffer* TraceRecorder::CreateBuffer(int rank, int incarnation) {
   std::lock_guard<std::mutex> lock(mu_);
-  buffers_.emplace_back(new TraceBuffer(this, rank));
+  buffers_.emplace_back(new TraceBuffer(this, rank, incarnation));
   return buffers_.back().get();
 }
 
@@ -74,6 +74,10 @@ void TraceRecorder::ExportChromeJson(std::ostream& os) const {
     w.Double(ev.cpu_seconds);
     w.Key("bytes");
     w.UInt(ev.bytes);
+    w.Key("op_id");
+    w.Int(ev.op_id);
+    w.Key("incarnation");
+    w.Int(ev.incarnation);
     w.EndObject();
     w.EndObject();
   }

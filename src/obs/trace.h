@@ -41,6 +41,18 @@ struct TraceEvent {
   double sim_end_s = -1.0;
   double cpu_seconds = 0.0;
   uint64_t bytes = 0;  ///< Bytes sent inside the span (collectives).
+  /// Per-rank collective sequence number within one cluster incarnation
+  /// (-1 for non-collective spans). The SPMD ordering invariant — every
+  /// worker issues the same collectives in the same order — makes
+  /// (incarnation, op_id) a cross-rank join key: the n-th collective on
+  /// every rank of one incarnation is the same logical operation, which is
+  /// how the anatomy analyzer stitches per-rank spans into one causal DAG.
+  int64_t op_id = -1;
+  /// Cluster attach generation the recording buffer was created under; a
+  /// recovery / resize transition rebuilds the cluster and re-attaches the
+  /// observer, bumping this. 0 for the first incarnation and for buffers
+  /// created outside a cluster attach (driver, tests).
+  int32_t incarnation = 0;
 };
 
 class TraceRecorder;
@@ -62,22 +74,27 @@ class TraceBuffer {
   int32_t tree() const { return tree_; }
   int32_t layer() const { return layer_; }
 
-  /// Appends a closed event (rank is filled in from the buffer).
+  /// Appends a closed event (rank and incarnation are filled in from the
+  /// buffer).
   void Record(TraceEvent event) {
     event.rank = rank_;
+    event.incarnation = incarnation_;
     events_.push_back(event);
   }
+
+  int incarnation() const { return incarnation_; }
 
   /// Wall microseconds since the owning recorder's epoch.
   int64_t NowUs() const;
 
  private:
   friend class TraceRecorder;
-  TraceBuffer(const TraceRecorder* recorder, int rank)
-      : recorder_(recorder), rank_(rank) {}
+  TraceBuffer(const TraceRecorder* recorder, int rank, int incarnation)
+      : recorder_(recorder), rank_(rank), incarnation_(incarnation) {}
 
   const TraceRecorder* recorder_;
   int rank_;
+  int incarnation_;
   int32_t tree_ = -1;
   int32_t layer_ = -1;
   std::vector<TraceEvent> events_;
@@ -95,8 +112,10 @@ class TraceRecorder {
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
   /// Registers a new single-writer buffer for `rank` (-1 = driver). The
-  /// returned pointer stays valid for the recorder's lifetime.
-  TraceBuffer* CreateBuffer(int rank);
+  /// returned pointer stays valid for the recorder's lifetime. `incarnation`
+  /// tags every event the buffer records with the cluster attach generation
+  /// (a rank that rejoins after recovery owns one buffer per incarnation).
+  TraceBuffer* CreateBuffer(int rank, int incarnation = 0);
 
   int64_t NowUs() const {
     return std::chrono::duration_cast<std::chrono::microseconds>(

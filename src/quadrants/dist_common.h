@@ -21,6 +21,7 @@
 #include "core/trainer.h"
 #include "core/tree.h"
 #include "data/dataset.h"
+#include "obs/anatomy.h"
 #include "obs/report.h"
 #include "partition/transform.h"
 #include "quadrants/quadrant.h"
@@ -202,6 +203,10 @@ struct DistResult {
   /// Machine-readable run summary (filled when an observer was attached;
   /// `report.enabled` is false otherwise). See obs::RunReport.
   obs::RunReport report;
+  /// Exact cost anatomy stitched from the run's trace (filled when the
+  /// attached observer had tracing enabled; `anatomy.enabled` is false
+  /// otherwise). See obs::AnatomyReport.
+  obs::AnatomyReport anatomy;
 
   /// Sum over trees of max-comp + max-comm: the modeled training time.
   double TrainSeconds() const {

@@ -870,6 +870,19 @@ DistResult TrainDistributed(Cluster& cluster, const Dataset& train,
       report.elasticity.reshard_bytes = result.elasticity.reshard_bytes;
       report.elasticity.reshard_seconds = result.elasticity.reshard_seconds;
       report.metrics = observer->metrics().Merged();
+      if (observer->trace_enabled()) {
+        obs::AnatomyTotals totals;
+        totals.quadrant = report.quadrant;
+        totals.workers = report.workers;
+        totals.trees = report.trees;
+        totals.train_seconds = report.train_seconds;
+        totals.setup_seconds = result.setup_seconds;
+        totals.recovery_seconds = result.recovery.recovery_seconds;
+        totals.reshard_seconds = result.elasticity.reshard_seconds;
+        totals.wasted_seconds = result.wasted_seconds;
+        totals.train_bytes_sent = result.train_bytes_sent;
+        result.anatomy = obs::BuildAnatomyReport(*observer, totals);
+      }
     }
   }
   return result;

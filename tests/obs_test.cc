@@ -422,6 +422,8 @@ TEST(ObsDeterminismTest, TraceSchemaStableAcrossSeededRuns) {
     EXPECT_DOUBLE_EQ(ea.sim_begin_s, eb.sim_begin_s) << "event " << i;
     EXPECT_DOUBLE_EQ(ea.sim_end_s, eb.sim_end_s) << "event " << i;
     EXPECT_EQ(ea.bytes, eb.bytes) << "event " << i;
+    EXPECT_EQ(ea.op_id, eb.op_id) << "event " << i;
+    EXPECT_EQ(ea.incarnation, eb.incarnation) << "event " << i;
   }
 
   // Metric snapshots agree on every deterministic (integer) cell.
