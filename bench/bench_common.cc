@@ -5,6 +5,8 @@
 #include <fstream>
 
 #include "common/logging.h"
+#include "core/model_io.h"
+#include "integrity/auditor.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 
@@ -221,6 +223,12 @@ DistResult RunQuadrantSpec(const Dataset& train, Quadrant quadrant,
   char label[64];
   std::snprintf(label, sizeof(label), "run%03d-%s-w%d", s.run_counter++,
                 QuadrantTag(quadrant), spec.workers);
+  if (result.status.ok()) {
+    // Stamp the model digest so sweep checkers can compare runs for
+    // bit-identity (or provable divergence) from the report alone.
+    const std::string text = ModelToText(result.model);
+    result.report.model_digest = AuditDigestBytes(text.data(), text.size());
+  }
   result.report.label = label;
   result.anatomy.label = result.report.label;
   if (!spec.label.empty()) {

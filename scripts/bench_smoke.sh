@@ -3,12 +3,14 @@
 # --hist-json snapshot (dims x threads grid + the seed scalar baselines) and
 # validates the emitted BENCH_histogram.json schema, then runs the
 # straggler-mitigation fault grid (with per-run traces, validated down to a
-# recovery run's trace) and the cost-anatomy sweep (validating the emitted
-# "vero.anatomy_bench.v1" exact-sum report). Compare snapshots across commits
+# recovery run's trace), the integrity sweep (silent-corruption
+# detection/blame/heal contract validated from the report's integrity
+# blocks and model digests) and the cost-anatomy sweep (validating the
+# emitted "vero.anatomy_bench.v1" exact-sum report). Compare snapshots across commits
 # to catch regressions; see docs/performance.md, docs/straggler_mitigation.md
 # and docs/observability.md.
 #
-#   scripts/bench_smoke.sh [build-dir] [out.json] [faults-out.json] [anatomy-out.json]
+#   scripts/bench_smoke.sh [build-dir] [out.json] [faults-out.json] [anatomy-out.json] [integrity-out.json]
 #
 # VERO_SCALE shrinks/grows the workload (default 0.25 here: ~5k rows keeps
 # the binary-search baseline to well under a minute on one core).
@@ -19,6 +21,7 @@ BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_histogram.json}"
 FAULTS_OUT="${3:-BENCH_faults.json}"
 ANATOMY_OUT="${4:-BENCH_anatomy.json}"
+INTEGRITY_OUT="${5:-BENCH_integrity.json}"
 export VERO_SCALE="${VERO_SCALE:-0.25}"
 
 "$BUILD_DIR/bench/micro_kernels" --hist-json "$OUT"
@@ -39,6 +42,14 @@ if [[ -z "$RECOVERY_TRACE" ]]; then
     exit 1
 fi
 python3 scripts/check_trace.py "$RECOVERY_TRACE"
+
+# Integrity sweep: clean runs bit-identical across integrity levels,
+# injected silent corruption / poison detected with the faulty rank blamed
+# and the model healed, and a wrong model provably escaping at
+# integrity=off — all validated from the report's integrity blocks and
+# model digests.
+"$BUILD_DIR/bench/fault_grid" --integrity-grid --report "$INTEGRITY_OUT"
+python3 scripts/check_bench_integrity.py --json "$INTEGRITY_OUT"
 
 "$BUILD_DIR/bench/anatomy_sweep" --anatomy "$ANATOMY_OUT"
 python3 scripts/check_anatomy.py "$ANATOMY_OUT"

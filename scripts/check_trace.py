@@ -122,6 +122,7 @@ def check_run_report(doc, where):
             f"got {doc.get('schema')!r}")
     scalar_fields = {
         "label": str, "quadrant": str, "workers": int, "trees": int,
+        "model_digest": int,
         "train_seconds": (int, float), "comp_seconds": (int, float),
         "comm_seconds": (int, float), "setup_seconds": (int, float),
         "train_bytes_sent": int, "peak_histogram_bytes": int,

@@ -249,6 +249,85 @@ Status WorkerContext::Die(Status status) {
   return status;
 }
 
+Status WorkerContext::FailWorker(Status status) { return Die(std::move(status)); }
+
+PoisonDecision WorkerContext::ConsultComputeFault(ComputePoint point) {
+  if (dead_ || cluster_->injector_ == nullptr) return PoisonDecision{};
+  return cluster_->injector_->OnCompute(rank_, point, fault_phase_);
+}
+
+namespace {
+
+/// xorshift64: deterministic element choice for silent corruption.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  return x;
+}
+
+}  // namespace
+
+void WorkerContext::MaybeSilentCorrupt(const FaultDecision& decision,
+                                       std::span<double> received) {
+  if (!decision.silent_corrupt || received.empty()) return;
+  uint64_t state =
+      decision.corrupt_seed ? decision.corrupt_seed : 0x9e3779b97f4a7c15ull;
+  const size_t idx = NextRand(&state) % received.size();
+  // Flip the second-highest exponent bit: a large but finite perturbation
+  // for any normal-range value (never fabricates NaN/Inf), so only content
+  // checks — not finiteness scans — can catch it.
+  uint64_t bits;
+  std::memcpy(&bits, &received[idx], sizeof(bits));
+  bits ^= 1ull << 61;
+  std::memcpy(&received[idx], &bits, sizeof(bits));
+}
+
+void WorkerContext::MaybeSilentCorrupt(
+    const FaultDecision& decision,
+    const std::vector<std::vector<uint8_t>*>& received) {
+  if (!decision.silent_corrupt) return;
+  uint64_t state =
+      decision.corrupt_seed ? decision.corrupt_seed : 0x9e3779b97f4a7c15ull;
+  std::vector<std::vector<uint8_t>*> candidates;
+  for (auto* buf : received) {
+    if (buf != nullptr && !buf->empty()) candidates.push_back(buf);
+  }
+  if (candidates.empty()) return;
+  std::vector<uint8_t>& buf = *candidates[NextRand(&state) % candidates.size()];
+  // Target the top bit of a word-aligned high byte: for payloads of packed
+  // little-endian doubles that is a sign bit, giving a deterministic
+  // large-magnitude change that end-to-end checksums must catch.
+  size_t offset;
+  if (buf.size() >= 8) {
+    offset = (NextRand(&state) % (buf.size() / 8)) * 8 + 7;
+  } else {
+    offset = NextRand(&state) % buf.size();
+  }
+  buf[offset] ^= 0x80;
+}
+
+bool WorkerContext::AuditExchange(const std::vector<uint64_t>& mine,
+                                  std::vector<std::vector<uint64_t>>* all) {
+  const int w = world_size();
+  all->assign(w, {});
+  if (w == 1) {
+    (*all)[0] = mine;
+    return true;
+  }
+  cluster_->ptrs_[rank_] = &mine;
+  if (!InstrumentRendezvous()) return false;
+  for (int r = 0; r < w; ++r) {
+    const auto* src =
+        static_cast<const std::vector<uint64_t>*>(cluster_->ptrs_[r]);
+    (*all)[r] = *src;
+  }
+  InstrumentRendezvous();
+  return true;
+}
+
 Status WorkerContext::Prepare(CollectiveOp op, FaultDecision* decision) {
   if (dead_) {
     return Status::Unavailable("worker " + std::to_string(rank_) +
@@ -444,6 +523,9 @@ Status WorkerContext::AllReduceSum(std::span<double> data) {
   VERO_RETURN_IF_ERROR(Rendezvous(&serial));
   std::memcpy(data.data(), cluster_->reduce_buffer_.data(),
               data.size() * sizeof(double));
+  // Silent corruption lands in this rank's copy of the aggregate, after the
+  // transport (and its CRC/retry machinery) delivered it clean.
+  MaybeSilentCorrupt(decision, data);
   VERO_RETURN_IF_ERROR(Rendezvous(&serial));
 
   // Ring all-reduce volume: each worker sends (and receives) the buffer
@@ -477,6 +559,7 @@ Status WorkerContext::ReduceScatterSum(std::span<double> data) {
   const size_t end = SliceEnd(data.size(), rank_);
   std::memcpy(data.data() + begin, cluster_->reduce_buffer_.data() + begin,
               (end - begin) * sizeof(double));
+  MaybeSilentCorrupt(decision, data.subspan(begin, end - begin));
   VERO_RETURN_IF_ERROR(Rendezvous(&serial));
 
   // Ring reduce-scatter volume: (W-1)/W of the buffer per worker.
@@ -500,12 +583,17 @@ Status WorkerContext::AllGather(const std::vector<uint8_t>& mine,
   bool serial = false;
   VERO_RETURN_IF_ERROR(Rendezvous(&serial));
   uint64_t received = 0;
+  std::vector<std::vector<uint8_t>*> remote;
   for (int r = 0; r < w; ++r) {
     const auto* src =
         static_cast<const std::vector<uint8_t>*>(cluster_->ptrs_[r]);
     (*all)[r] = *src;
-    if (r != rank_) received += src->size();
+    if (r != rank_) {
+      received += src->size();
+      remote.push_back(&(*all)[r]);
+    }
   }
+  MaybeSilentCorrupt(decision, remote);
   VERO_RETURN_IF_ERROR(Rendezvous(&serial));
   const uint64_t sent = mine.size() * (w - 1);
   Charge(CollectiveOp::kAllGather, sent, received);
@@ -528,6 +616,7 @@ Status WorkerContext::Broadcast(std::vector<uint8_t>* data, int root) {
   } else {
     *data = *src;
     received = src->size();
+    MaybeSilentCorrupt(decision, {data});
   }
   VERO_RETURN_IF_ERROR(Rendezvous(&serial));
   Charge(CollectiveOp::kBroadcast, sent, received);
@@ -550,12 +639,17 @@ Status WorkerContext::Gather(const std::vector<uint8_t>& mine, int root,
   uint64_t sent = 0, received = 0;
   if (rank_ == root) {
     all->resize(w);
+    std::vector<std::vector<uint8_t>*> remote;
     for (int r = 0; r < w; ++r) {
       const auto* src =
           static_cast<const std::vector<uint8_t>*>(cluster_->ptrs_[r]);
       (*all)[r] = *src;
-      if (r != rank_) received += src->size();
+      if (r != rank_) {
+        received += src->size();
+        remote.push_back(&(*all)[r]);
+      }
     }
+    MaybeSilentCorrupt(decision, remote);
   } else {
     sent = mine.size();
   }
@@ -579,15 +673,20 @@ Status WorkerContext::AllToAll(std::vector<std::vector<uint8_t>> to_each,
   bool serial = false;
   VERO_RETURN_IF_ERROR(Rendezvous(&serial));
   uint64_t sent = 0, received = 0;
+  std::vector<std::vector<uint8_t>*> remote;
   for (int r = 0; r < w; ++r) {
     const auto* src = static_cast<const std::vector<std::vector<uint8_t>>*>(
         cluster_->ptrs_[r]);
     (*from_each)[r] = (*src)[rank_];
-    if (r != rank_) received += (*src)[rank_].size();
+    if (r != rank_) {
+      received += (*src)[rank_].size();
+      remote.push_back(&(*from_each)[r]);
+    }
   }
   for (int r = 0; r < w; ++r) {
     if (r != rank_) sent += to_each[r].size();
   }
+  MaybeSilentCorrupt(decision, remote);
   VERO_RETURN_IF_ERROR(Rendezvous(&serial));
   Charge(CollectiveOp::kAllToAll, sent, received);
   return ApplyFaults(CollectiveOp::kAllToAll, decision, sent, received);
@@ -754,6 +853,7 @@ Status WorkerContext::AllReduceBoundedSum(std::span<double> data,
   }
   std::memcpy(data.data(), cluster_->reduce_buffer_.data(),
               data.size() * sizeof(double));
+  MaybeSilentCorrupt(decision, data);
   VERO_RETURN_IF_ERROR(Rendezvous(&serial));
 
   // Volume is charged exactly as in the strict collective: a late payload
@@ -789,6 +889,7 @@ Status WorkerContext::AllGatherBounded(const std::vector<uint8_t>& mine,
   const MitigatedCall call = ReadMitigationPlan(outcome);
   uint64_t received = 0;
   double deferred_mass = 0.0;
+  std::vector<std::vector<uint8_t>*> remote;
   for (int r = 0; r < w; ++r) {
     const auto* src =
         static_cast<const std::vector<uint8_t>*>(cluster_->ptrs_[r]);
@@ -798,7 +899,9 @@ Status WorkerContext::AllGatherBounded(const std::vector<uint8_t>& mine,
       continue;  // dropped on arrival, on every rank — slot stays empty
     }
     (*all)[r] = *src;
+    if (r != rank_) remote.push_back(&(*all)[r]);
   }
+  MaybeSilentCorrupt(decision, remote);
   uint64_t extra_sent = 0;
   if (call.serving_for >= 0) {
     const auto* src = static_cast<const std::vector<uint8_t>*>(
@@ -836,6 +939,7 @@ Status WorkerContext::AllToAllBounded(
   const MitigatedCall call = ReadMitigationPlan(outcome);
   uint64_t sent = 0, received = 0;
   double deferred_mass = 0.0;
+  std::vector<std::vector<uint8_t>*> remote;
   for (int r = 0; r < w; ++r) {
     const auto* src = static_cast<const std::vector<std::vector<uint8_t>>*>(
         cluster_->ptrs_[r]);
@@ -844,7 +948,9 @@ Status WorkerContext::AllToAllBounded(
     // so receivers that skip non-contributors stay replicated-deterministic.
     if (cluster_->mit_class_[r] == RankClass::kDeferred) continue;
     (*from_each)[r] = (*src)[rank_];
+    if (r != rank_) remote.push_back(&(*from_each)[r]);
   }
+  MaybeSilentCorrupt(decision, remote);
   for (int r = 0; r < w; ++r) {
     if (r != rank_) sent += to_each[r].size();
   }

@@ -157,6 +157,27 @@ class WorkerContext {
   double InstrumentMax(double value);
   double InstrumentSum(double value);
 
+  /// Audit-channel exchange: every rank contributes a small word packet and
+  /// receives all packets indexed by rank. Rides the instrument channel —
+  /// no bytes or simulated time charged, invisible to the fault injector —
+  /// modeling integrity digests piggybacked on existing collective frames.
+  /// Packets may have different lengths per rank. Returns false when the
+  /// rendezvous group is broken (the caller's collectives will fail anyway).
+  bool AuditExchange(const std::vector<uint64_t>& mine,
+                     std::vector<std::vector<uint64_t>>* all);
+
+  /// Consults the fault injector's compute-side schedule (kPoison events) at
+  /// one of the trainer's compute points. Returns an empty decision when no
+  /// injector is installed. Advances only the compute-point occurrence
+  /// streams — collective occurrence matching is unaffected.
+  PoisonDecision ConsultComputeFault(ComputePoint point);
+
+  /// Marks this worker failed with `status`, breaks the rendezvous group so
+  /// peers fail fast, and returns `status` for the caller to throw. Public
+  /// escalation path for integrity-audit blame (the retry-exhaustion
+  /// counterpart lives inside ApplyFaults).
+  Status FailWorker(Status status);
+
   /// Communication counters accumulated by this worker so far.
   const CommStats& stats() const { return stats_; }
 
@@ -212,6 +233,17 @@ class WorkerContext {
   /// Marks this worker dead, records it with the cluster, and breaks the
   /// rendezvous group so peers fail fast instead of hanging.
   Status Die(Status status);
+
+  /// Applies a kSilentCorrupt decision to doubles this rank just received
+  /// from the transport (post-CRC): flips a high exponent bit of one
+  /// deterministically chosen element. No-op unless the decision fired.
+  void MaybeSilentCorrupt(const FaultDecision& decision,
+                          std::span<double> received);
+  /// Byte-buffer flavor: flips the sign/exponent-carrying top bit of one
+  /// word-aligned byte across the given received buffers (buffers this rank
+  /// did not author — its own slots must not be passed).
+  void MaybeSilentCorrupt(const FaultDecision& decision,
+                          const std::vector<std::vector<uint8_t>*>& received);
 
   /// This rank's view of the serial participant's mitigation plan, read
   /// from the cluster's shared plan state (valid between the rendezvous

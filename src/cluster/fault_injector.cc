@@ -23,9 +23,13 @@ const char* CollectiveOpToString(CollectiveOp op) {
     case CollectiveOp::kAny:
       return "Any";
   }
-  return "Unknown";
+  VERO_CHECK(false);  // exhaustive switch above; unreachable
+  return "";
 }
 
+// The switches below are default-free on purpose: adding a FaultKind /
+// FaultPhase / ComputePoint without a string triggers -Wswitch instead of
+// silently stringifying as "Unknown".
 const char* FaultKindToString(FaultKind kind) {
   switch (kind) {
     case FaultKind::kCrash:
@@ -36,8 +40,13 @@ const char* FaultKindToString(FaultKind kind) {
       return "Truncate";
     case FaultKind::kDelay:
       return "Delay";
+    case FaultKind::kSilentCorrupt:
+      return "SilentCorrupt";
+    case FaultKind::kPoison:
+      return "Poison";
   }
-  return "Unknown";
+  VERO_CHECK(false);
+  return "";
 }
 
 const char* FaultPhaseToString(FaultPhase phase) {
@@ -51,7 +60,19 @@ const char* FaultPhaseToString(FaultPhase phase) {
     case FaultPhase::kRecovery:
       return "Recovery";
   }
-  return "Unknown";
+  VERO_CHECK(false);
+  return "";
+}
+
+const char* ComputePointToString(ComputePoint point) {
+  switch (point) {
+    case ComputePoint::kGradient:
+      return "Gradient";
+    case ComputePoint::kHistogram:
+      return "Histogram";
+  }
+  VERO_CHECK(false);
+  return "";
 }
 
 FaultInjector::FaultInjector(const FaultPlan& plan, int num_workers)
@@ -75,6 +96,9 @@ FaultDecision FaultInjector::OnCollective(int rank, CollectiveOp op,
   FaultDecision decision;
   for (const FaultEvent& e : plan_.events()) {
     if (e.rank != rank) continue;
+    // kPoison targets compute points, not collectives; it has its own
+    // occurrence stream (OnCompute) and must not consume this one.
+    if (e.kind == FaultKind::kPoison) continue;
     bool match;
     if (e.phase == FaultPhase::kAnyPhase) {
       match = (e.op == CollectiveOp::kAny && e.occurrence == any_index) ||
@@ -97,7 +121,41 @@ FaultDecision FaultInjector::OnCollective(int rank, CollectiveOp op,
       case FaultKind::kDelay:
         decision.delay_seconds += e.delay_seconds;
         break;
+      case FaultKind::kSilentCorrupt:
+        decision.silent_corrupt = true;
+        decision.corrupt_seed ^= e.seed;
+        break;
+      case FaultKind::kPoison:
+        break;  // filtered above
     }
+  }
+  return decision;
+}
+
+PoisonDecision FaultInjector::OnCompute(int rank, ComputePoint point,
+                                        FaultPhase phase) {
+  RankCounters& c = counters_[rank];
+  const int phase_index = static_cast<int>(phase);
+  const int point_index = static_cast<int>(point);
+  const uint64_t global_index = c.compute[point_index]++;
+  const uint64_t phase_index_count =
+      c.phase_compute[phase_index][point_index]++;
+  PoisonDecision decision;
+  for (const FaultEvent& e : plan_.events()) {
+    if (e.kind != FaultKind::kPoison) continue;
+    if (e.rank != rank || e.target != point) continue;
+    bool match;
+    if (e.phase == FaultPhase::kAnyPhase) {
+      match = e.occurrence == global_index;
+    } else if (e.phase == phase) {
+      match = e.occurrence == phase_index_count;
+    } else {
+      match = false;
+    }
+    if (!match) continue;
+    decision.poison = true;
+    decision.inf = decision.inf || e.poison_inf;
+    decision.seed ^= e.seed;
   }
   return decision;
 }

@@ -21,6 +21,9 @@ enum class CollectiveOp {
 };
 
 inline constexpr int kNumCollectiveOps = 7;
+static_assert(kNumCollectiveOps == static_cast<int>(CollectiveOp::kAny),
+              "kNumCollectiveOps must count every concrete op; update it "
+              "when adding CollectiveOp values before kAny");
 
 const char* CollectiveOpToString(CollectiveOp op);
 
@@ -39,9 +42,35 @@ enum class FaultKind {
   /// Straggler: the worker's op is charged `delay_seconds` of extra
   /// simulated time before proceeding (data still correct).
   kDelay,
+  /// The payload is bit-flipped *after* transport framing/CRC succeeded:
+  /// the transfer looks clean to the retry machinery and the damage lands
+  /// in the receiver's buffer. Only the IntegrityAuditor's algorithmic
+  /// invariants can catch it. Flips are seeded (FaultEvent::seed) and
+  /// deterministic.
+  kSilentCorrupt,
+  /// NaN/Inf written into a compute buffer (gradients or histograms) at a
+  /// targeted compute point. Matches FaultInjector::OnCompute calls, never
+  /// collectives.
+  kPoison,
 };
 
 const char* FaultKindToString(FaultKind kind);
+
+/// Compute-side injection points for FaultKind::kPoison. The values index
+/// per-point occurrence counters, mirroring CollectiveOp for collectives.
+enum class ComputePoint {
+  /// Per-instance gradient buffer, right after ComputeGradients.
+  kGradient = 0,
+  /// A freshly built layer histogram, right after BuildLayerHistograms.
+  kHistogram = 1,
+};
+
+inline constexpr int kNumComputePoints = 2;
+static_assert(kNumComputePoints ==
+                  static_cast<int>(ComputePoint::kHistogram) + 1,
+              "kNumComputePoints must cover every ComputePoint value");
+
+const char* ComputePointToString(ComputePoint point);
 
 /// Training phase a fault can be restricted to. Workers announce their
 /// current phase (WorkerContext::set_fault_phase); an event tagged with a
@@ -59,6 +88,8 @@ enum class FaultPhase {
 };
 
 inline constexpr int kNumFaultPhases = 4;
+static_assert(kNumFaultPhases == static_cast<int>(FaultPhase::kRecovery) + 1,
+              "kNumFaultPhases must cover every FaultPhase value");
 
 const char* FaultPhaseToString(FaultPhase phase);
 
@@ -78,6 +109,13 @@ struct FaultEvent {
   int attempts = 1;
   /// Phase filter; kAnyPhase matches calls from every phase.
   FaultPhase phase = FaultPhase::kAnyPhase;
+  /// kSilentCorrupt/kPoison: seeds the deterministic bit-flip / element
+  /// choice so a plan replays the exact same damage.
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+  /// kPoison: which compute buffer the poison lands in.
+  ComputePoint target = ComputePoint::kGradient;
+  /// kPoison: write +Inf instead of NaN.
+  bool poison_inf = false;
 };
 
 /// Retry behavior for detected-bad transfers (corruption/truncation).
@@ -128,6 +166,39 @@ class FaultPlan {
         {FaultKind::kDelay, rank, op, occurrence, seconds, 0, phase});
     return *this;
   }
+  /// Bit-flips `rank`'s received payload on its `occurrence`-th matching
+  /// call, after transport CRC succeeded (the retry machinery never sees
+  /// it). `seed` picks which bytes/elements flip.
+  FaultPlan& SilentCorrupt(int rank, CollectiveOp op, uint64_t occurrence,
+                           uint64_t seed = 0x9e3779b97f4a7c15ull,
+                           FaultPhase phase = FaultPhase::kAnyPhase) {
+    FaultEvent e;
+    e.kind = FaultKind::kSilentCorrupt;
+    e.rank = rank;
+    e.op = op;
+    e.occurrence = occurrence;
+    e.phase = phase;
+    e.seed = seed;
+    events_.push_back(e);
+    return *this;
+  }
+  /// Writes NaN (or +Inf) into `rank`'s `target` compute buffer on its
+  /// `occurrence`-th OnCompute consultation of that point.
+  FaultPlan& Poison(int rank, ComputePoint target, uint64_t occurrence,
+                    bool inf = false,
+                    FaultPhase phase = FaultPhase::kAnyPhase,
+                    uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    FaultEvent e;
+    e.kind = FaultKind::kPoison;
+    e.rank = rank;
+    e.occurrence = occurrence;
+    e.phase = phase;
+    e.seed = seed;
+    e.target = target;
+    e.poison_inf = inf;
+    events_.push_back(e);
+    return *this;
+  }
 
   FaultPlan& set_retry_policy(const RetryPolicy& policy) {
     retry_ = policy;
@@ -153,6 +224,19 @@ struct FaultDecision {
   int failed_attempts = 0;
   /// Extra straggler seconds charged to this worker.
   double delay_seconds = 0.0;
+  /// Bit-flip the received payload after the (clean) transfer completes.
+  bool silent_corrupt = false;
+  /// Seed for the deterministic flip when silent_corrupt is set.
+  uint64_t corrupt_seed = 0;
+};
+
+/// What the injector decided for one (rank, compute point) consultation.
+struct PoisonDecision {
+  bool poison = false;
+  /// +Inf instead of NaN.
+  bool inf = false;
+  /// Picks the poisoned element index.
+  uint64_t seed = 0;
 };
 
 /// Matches FaultEvents against the per-rank stream of collective calls.
@@ -177,6 +261,13 @@ class FaultInjector {
   FaultDecision OnCollective(int rank, CollectiveOp op,
                              FaultPhase phase = FaultPhase::kAnyPhase);
 
+  /// Called by rank's thread at each compute-side injection point. Advances
+  /// the rank's compute-point occurrence counters and returns the combined
+  /// decision of every kPoison event that fires on this consultation
+  /// (kPoison events never match collectives, and vice versa).
+  PoisonDecision OnCompute(int rank, ComputePoint point,
+                           FaultPhase phase = FaultPhase::kAnyPhase);
+
   const RetryPolicy& retry_policy() const { return plan_.retry_policy(); }
 
   int num_workers() const { return static_cast<int>(counters_.size()); }
@@ -199,6 +290,10 @@ class FaultInjector {
     /// unused (kAnyPhase events read the global counters above).
     uint64_t phase_per_op[kNumFaultPhases][kNumCollectiveOps] = {};
     uint64_t phase_any[kNumFaultPhases] = {};
+    /// Compute-side streams for kPoison (OnCompute), one per ComputePoint,
+    /// with the same global / per-phase split as the collective banks.
+    uint64_t compute[kNumComputePoints] = {};
+    uint64_t phase_compute[kNumFaultPhases][kNumComputePoints] = {};
   };
 
   FaultPlan plan_;

@@ -38,6 +38,27 @@ enum class StragglerMitigation {
   kSpeculative,
 };
 
+/// End-to-end integrity auditing of the distributed trainers. Mirrors the
+/// cluster-level auditor modes without depending on src/integrity/ (core
+/// stays collective-free); dist_common wires the auditor from it.
+enum class IntegrityLevel {
+  /// No auditing: zero extra collectives, metrics, or spans — bit-identical
+  /// to builds that predate the auditor (the default).
+  kOff,
+  /// End-to-end content checks above the transport CRC: cross-rank digest
+  /// agreement over replicated post-collective buffers and mass checksums
+  /// over scattered aggregations, with majority-vote blame. Catches silent
+  /// transport corruption (FaultKind::kSilentCorrupt).
+  kChecksum,
+  /// kChecksum plus algorithmic invariants: non-finite scans of gradients,
+  /// histograms, split gains, and margins; hessian-mass identities against
+  /// the all-reduced gradient sums; and the parent == left + right
+  /// subtraction cross-check. Also catches compute-born poison
+  /// (FaultKind::kPoison) and triggers targeted layer recompute before
+  /// escalating to checkpoint rollback (docs/fault_tolerance.md).
+  kFull,
+};
+
 /// Hyper-parameters for GBDT training, matching the paper's notation
 /// (§3: T trees of L layers, q candidate splits; §2.1.1: eta, lambda, gamma).
 struct GbdtParams {
@@ -105,6 +126,18 @@ struct GbdtParams {
   /// (simulated seconds).
   double speculation_threshold_seconds = 0.05;
 
+  // ---- Integrity auditing (distributed trainers only) -------------------
+
+  /// Corruption-detection level; kOff leaves training bit-identical to seed
+  /// behavior (no extra collectives, metric handles, or trace spans).
+  IntegrityLevel integrity = IntegrityLevel::kOff;
+  /// Relative tolerance for the auditor's floating-point mass identities
+  /// (digest agreement is exact and does not use it).
+  double integrity_tolerance = 1e-6;
+  /// Targeted layer/gradient recomputes attempted per detected violation
+  /// before escalating to the checkpoint-rollback state machine.
+  uint32_t integrity_max_recomputes = 1;
+
   // ---- Elasticity (distributed trainers only) ---------------------------
 
   /// Operator-requested resize: after this many completed trees the driver
@@ -155,6 +188,12 @@ struct GbdtParams {
     }
     if (staleness_max_stale_ranks == 0) {
       return Status::InvalidArgument("staleness_max_stale_ranks == 0");
+    }
+    if (!(integrity_tolerance > 0.0) || integrity_tolerance > 1.0) {
+      return Status::InvalidArgument("integrity_tolerance not in (0, 1]");
+    }
+    if (integrity != IntegrityLevel::kOff && integrity_max_recomputes > 16) {
+      return Status::InvalidArgument("integrity_max_recomputes > 16");
     }
     if (elastic_resize_after_trees > 0) {
       if (elastic_resize_delta == 0) {

@@ -1,6 +1,8 @@
 #include "data/dataset.h"
 
 #include <cmath>
+#include <span>
+#include <string>
 
 #include "common/logging.h"
 
@@ -54,15 +56,27 @@ Status Dataset::Validate() const {
     }
   }
   if (task_ != Task::kRegression) {
-    for (float y : labels_) {
-      const double yi = static_cast<double>(y);
+    for (size_t i = 0; i < labels_.size(); ++i) {
+      const double yi = static_cast<double>(labels_[i]);
       if (yi != std::floor(yi) || yi < 0 || yi >= num_classes_) {
-        return Status::Corruption("label not a class index in range");
+        return Status::Corruption("label " + std::to_string(labels_[i]) +
+                                  " at row " + std::to_string(i) +
+                                  " not a class index in range");
       }
     }
   }
-  for (float v : matrix_.values()) {
-    if (!std::isfinite(v)) return Status::Corruption("non-finite value");
+  // Walk the CSR rows (not the flat value array) so a rejection names the
+  // exact cell: corruption reports are actionable only with coordinates.
+  for (InstanceId i = 0; i < matrix_.num_rows(); ++i) {
+    const std::span<const FeatureId> features = matrix_.RowFeatures(i);
+    const std::span<const float> values = matrix_.RowValues(i);
+    for (size_t k = 0; k < values.size(); ++k) {
+      if (!std::isfinite(values[k])) {
+        return Status::Corruption(
+            "non-finite value " + std::to_string(values[k]) + " at row " +
+            std::to_string(i) + ", feature " + std::to_string(features[k]));
+      }
+    }
   }
   return Status::OK();
 }

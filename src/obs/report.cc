@@ -93,6 +93,8 @@ void RunReport::AppendJson(std::ostream& os) const {
   w.Int(workers);
   w.Key("trees");
   w.UInt(trees);
+  w.Key("model_digest");
+  w.UInt(model_digest);
   w.Key("train_seconds");
   w.Double(train_seconds);
   w.Key("comp_seconds");
@@ -159,6 +161,27 @@ void RunReport::AppendJson(std::ostream& os) const {
   w.UInt(elasticity.reshard_bytes);
   w.Key("reshard_seconds");
   w.Double(elasticity.reshard_seconds);
+  w.EndObject();
+  w.Key("integrity");
+  w.BeginObject();
+  w.Key("level");
+  w.String(integrity.level);
+  w.Key("checks");
+  w.UInt(integrity.checks);
+  w.Key("violations");
+  w.UInt(integrity.violations);
+  w.Key("recomputes");
+  w.UInt(integrity.recomputes);
+  w.Key("escalations");
+  w.UInt(integrity.escalations);
+  w.Key("rollbacks");
+  w.Int(integrity.rollbacks);
+  w.Key("last_blamed_rank");
+  w.Int(integrity.last_blamed_rank);
+  w.Key("wasted_bytes");
+  w.UInt(integrity.wasted_bytes);
+  w.Key("wasted_seconds");
+  w.Double(integrity.wasted_seconds);
   w.EndObject();
   w.Key("metrics");
   AppendMetrics(&w, metrics);

@@ -77,6 +77,12 @@ struct RunReport {
   int workers = 0;       ///< Initial cluster size.
   uint32_t trees = 0;    ///< Trees in the final model.
 
+  /// FNV-1a digest of the final model's canonical text form (0 = not
+  /// stamped). Two runs that trained the same model bit-for-bit share a
+  /// digest, so sweep checkers can assert "integrity=off is byte-identical"
+  /// or "the healed model matches the clean one" without shipping models.
+  uint64_t model_digest = 0;
+
   /// Modeled seconds (sum over trees of max-comp + max-comm).
   double train_seconds = 0.0;
   double comp_seconds = 0.0;
@@ -122,6 +128,20 @@ struct RunReport {
     uint64_t reshard_bytes = 0;
     double reshard_seconds = 0.0;
   } elasticity;
+
+  /// Integrity auditing outcome ("off" with all-zero counters when the
+  /// auditor is disabled).
+  struct Integrity {
+    std::string level = "off";
+    uint64_t checks = 0;
+    uint64_t violations = 0;
+    uint64_t recomputes = 0;
+    uint64_t escalations = 0;
+    int rollbacks = 0;
+    int last_blamed_rank = -1;
+    uint64_t wasted_bytes = 0;
+    double wasted_seconds = 0.0;
+  } integrity;
 
   MetricsSnapshot metrics;
 

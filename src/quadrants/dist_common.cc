@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.h"
 #include "common/serialize.h"
@@ -104,6 +105,8 @@ DistTrainerBase::DistTrainerBase(WorkerContext& ctx,
       finder_(options.params.reg_lambda, options.params.reg_gamma,
               options.params.min_split_gain),
       mitigation_(MitigationFromParams(options.params)),
+      auditor_(ctx, options.params.integrity,
+               options.params.integrity_tolerance),
       model_(task, num_classes, options.params.learning_rate),
       builder_(options.params.num_threads) {}
 
@@ -155,7 +158,9 @@ void DistTrainerBase::Train(const Dataset* valid,
     // ---- Gradients ----
     {
       obs::PhaseSpan span(tb, "gradient", sim_clock);
-      const GradStats root_stats = ComputeGradients();
+      GradStats root_stats = ComputeGradients();
+      ApplyGradientPoison();
+      if (auditor_.enabled()) AuditGradients(&root_stats);
       local.gradient_seconds = span.Close();
 
       InitTreeIndexes();
@@ -201,6 +206,10 @@ void DistTrainerBase::Train(const Dataset* valid,
           }
         }
         BuildLayerHistograms(tasks);
+        ApplyHistogramPoison(tasks);
+        if (auditor_.full()) {
+          layer_hist_nonfinite_ = ScanBuiltHistograms(tasks);
+        }
         // Parents are no longer needed once children histograms exist.
         for (const BuildTask& task : tasks) {
           if (task.parent != kInvalidNode) pool_.Release(task.parent);
@@ -223,6 +232,7 @@ void DistTrainerBase::Train(const Dataset* valid,
       if (!last_layer) {
         best = FindLayerSplits(frontier);
         VERO_CHECK_EQ(best.size(), frontier.size());
+        if (auditor_.enabled()) AuditLayer(frontier, &best);
       } else {
         best.resize(frontier.size());
       }
@@ -267,6 +277,7 @@ void DistTrainerBase::Train(const Dataset* valid,
           next_frontier.push_back(l);
           next_frontier.push_back(r);
         }
+        if (auditor_.enabled()) AuditChildCounts(child_counts);
         if (!subtraction) {
           // No subtraction: parents' histograms are dead immediately.
           for (NodeId node : split_nodes) pool_.Release(node);
@@ -286,6 +297,8 @@ void DistTrainerBase::Train(const Dataset* valid,
       UpdateMargins(tree);
       local.other_seconds = span.Close();
     }
+
+    if (auditor_.enabled()) AuditRound();
 
     model_.AddTree(std::move(tree));
 
@@ -375,6 +388,239 @@ void DistTrainerBase::Train(const Dataset* valid,
     }
   }
   if (tb != nullptr) tb->SetContext(-1, -1);
+}
+
+// ---------------------------------------------------------------------------
+// Integrity: compute-fault (poison) application.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// xorshift64 matching the transport-corruption PRNG: deterministic poison
+// placement from the fault event's seed alone.
+uint64_t PoisonRand(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  return x;
+}
+
+double PoisonValue(bool inf) {
+  return inf ? std::numeric_limits<double>::infinity()
+             : std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace
+
+void DistTrainerBase::ApplyGradientPoison() {
+  const PoisonDecision d = ctx_.ConsultComputeFault(ComputePoint::kGradient);
+  if (!d.poison) return;
+  const uint32_t n = grads_.num_instances();
+  const uint32_t dims = grads_.num_dims();
+  if (n == 0 || dims == 0) return;
+  uint64_t state = d.seed != 0 ? d.seed : 0x9e3779b97f4a7c15ull;
+  const uint32_t row = static_cast<uint32_t>(PoisonRand(&state) % n);
+  const uint32_t dim = static_cast<uint32_t>(PoisonRand(&state) % dims);
+  grads_.at(row, dim).g = PoisonValue(d.inf);
+}
+
+void DistTrainerBase::ApplyHistogramPoison(
+    const std::vector<BuildTask>& tasks) {
+  if (tasks.empty()) return;
+  const PoisonDecision d = ctx_.ConsultComputeFault(ComputePoint::kHistogram);
+  if (!d.poison) return;
+  uint64_t state = d.seed != 0 ? d.seed : 0x9e3779b97f4a7c15ull;
+  const BuildTask& task = tasks[PoisonRand(&state) % tasks.size()];
+  Histogram* hist = pool_.Get(task.build_node);
+  if (hist == nullptr || hist->raw_size() == 0) return;
+  hist->raw_data()[PoisonRand(&state) % hist->raw_size()] =
+      PoisonValue(d.inf);
+}
+
+// ---------------------------------------------------------------------------
+// Integrity: local invariant scans (evidence for the audit flags).
+// ---------------------------------------------------------------------------
+
+bool DistTrainerBase::ScanBuiltHistograms(
+    const std::vector<BuildTask>& tasks) const {
+  for (const BuildTask& task : tasks) {
+    for (NodeId node : {task.build_node, task.subtract_node}) {
+      if (node == kInvalidNode) continue;
+      const Histogram* hist = pool_.Get(node);
+      if (hist == nullptr) continue;
+      if (HasNonFinite({hist->raw_data(), hist->raw_size()})) return true;
+    }
+  }
+  return false;
+}
+
+bool DistTrainerBase::HistMassViolated(
+    const std::vector<NodeId>& frontier) const {
+  // The supported losses all have h >= 0, so the present hessian mass of
+  // any feature column is within [0, node hessian] — whether the histogram
+  // at hand is a local shard contribution (horizontal, pre-aggregation), a
+  // full-mass owned column (vertical), or the aggregated global column
+  // (QD1, where at the root this IS the "root-histogram mass equals the
+  // all-reduced gradient sums" identity).
+  const double tol = auditor_.tolerance();
+  const uint32_t features = HistFeatureCount();
+  for (NodeId node : frontier) {
+    const Histogram* hist = pool_.Get(node);
+    if (hist == nullptr) continue;
+    const GradStats& stats = node_stats_[node];
+    for (uint32_t f = 0; f < features; ++f) {
+      const GradStats present = hist->FeatureTotal(f);
+      for (uint32_t k = 0; k < dims_; ++k) {
+        const double h = present[k].h;
+        const double node_h = stats[k].h;
+        if (!std::isfinite(h) || !std::isfinite(node_h)) return true;
+        const double slack = tol * (std::fabs(node_h) + 1.0);
+        if (h < -slack || h > node_h + slack) return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool DistTrainerBase::GradsNonFinite() const {
+  const uint32_t n = grads_.num_instances();
+  const uint32_t dims = grads_.num_dims();
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t k = 0; k < dims; ++k) {
+      const GradPair& p = grads_.at(i, k);
+      if (!std::isfinite(p.g) || !std::isfinite(p.h)) return true;
+    }
+  }
+  return false;
+}
+
+bool DistTrainerBase::SplitsNonFinite(
+    const std::vector<SplitCandidate>& splits) {
+  for (const SplitCandidate& s : splits) {
+    if (!s.valid) continue;
+    if (!std::isfinite(s.gain) || !std::isfinite(s.split_value)) return true;
+    for (const GradPair& p : s.left_stats) {
+      if (!std::isfinite(p.g) || !std::isfinite(p.h)) return true;
+    }
+    for (const GradPair& p : s.right_stats) {
+      if (!std::isfinite(p.g) || !std::isfinite(p.h)) return true;
+    }
+  }
+  return false;
+}
+
+uint64_t DistTrainerBase::CountsDigest(
+    const std::vector<NodeId>& nodes) const {
+  std::vector<uint32_t> counts;
+  counts.reserve(nodes.size());
+  for (NodeId node : nodes) counts.push_back(node_counts_[node]);
+  return AuditDigestWords(counts);
+}
+
+// ---------------------------------------------------------------------------
+// Integrity: audit points and the recompute loops.
+// ---------------------------------------------------------------------------
+
+void DistTrainerBase::AuditGradients(GradStats* root_stats) {
+  for (uint32_t attempt = 0;; ++attempt) {
+    auditor_.PushReplicated(
+        "root-stats",
+        AuditDigestBytes(root_stats->data(),
+                         root_stats->size() * sizeof(GradPair)));
+    if (auditor_.full()) {
+      auditor_.PushFlag("gradient-nonfinite", GradsNonFinite());
+    }
+    const AuditVerdict verdict = auditor_.Exchange("gradient");
+    if (verdict.ok) return;
+    if (attempt >= options_.params.integrity_max_recomputes) {
+      auditor_.Escalate(verdict);
+    }
+    // Recompute gradients and redo the root all-reduce; the occurrence
+    // streams have advanced past the injected event, so the retry is clean
+    // (a repeat injection re-trips the audit and eventually escalates).
+    const uint64_t bytes_before = ctx_.stats().bytes_sent;
+    const double sim_before = ctx_.stats().sim_seconds;
+    *root_stats = ComputeGradients();
+    ApplyGradientPoison();
+    auditor_.RecordRecompute(ctx_.stats().bytes_sent - bytes_before,
+                             ctx_.stats().sim_seconds - sim_before);
+  }
+}
+
+void DistTrainerBase::AuditLayer(const std::vector<NodeId>& frontier,
+                                 std::vector<SplitCandidate>* best) {
+  for (uint32_t attempt = 0;; ++attempt) {
+    // Quadrant transport digests for this round were already pushed inside
+    // FindLayerSplits; layer-level evidence goes on top of them.
+    const std::vector<uint8_t> decision = SerializeSplits(*best);
+    auditor_.PushReplicated(
+        "layer-decision",
+        AuditDigestBytes(decision.data(), decision.size()));
+    auditor_.PushReplicated("layer-counts", CountsDigest(frontier));
+    if (auditor_.full()) {
+      auditor_.PushFlag("hist-built-nonfinite", layer_hist_nonfinite_);
+      auditor_.PushFlag("hist-mass", HistMassViolated(frontier));
+      auditor_.PushFlag("split-nonfinite", SplitsNonFinite(*best));
+    }
+    const AuditVerdict verdict = auditor_.Exchange("layer");
+    if (verdict.ok) return;
+    if (attempt >= options_.params.integrity_max_recomputes) {
+      auditor_.Escalate(verdict);
+    }
+    const uint64_t bytes_before = ctx_.stats().bytes_sent;
+    const double sim_before = ctx_.stats().sim_seconds;
+    RecomputeLayer(frontier);
+    *best = FindLayerSplits(frontier);
+    auditor_.RecordRecompute(ctx_.stats().bytes_sent - bytes_before,
+                             ctx_.stats().sim_seconds - sim_before);
+  }
+}
+
+void DistTrainerBase::AuditChildCounts(
+    const std::vector<uint32_t>& child_counts) {
+  auditor_.PushReplicated(
+      "child-counts",
+      AuditDigestWords({child_counts.data(), child_counts.size()}));
+  const AuditVerdict verdict = auditor_.Exchange("counts");
+  // The counts were produced by (and alongside) the instance placement that
+  // ApplyLayerSplits already committed, so there is nothing retained to
+  // recompute them from; a violation escalates straight to rollback before
+  // the divergent frontier can desynchronize the next layer's collectives.
+  if (!verdict.ok) auditor_.Escalate(verdict);
+}
+
+void DistTrainerBase::AuditRound() {
+  auditor_.PushReplicated(
+      "round-counts",
+      AuditDigestWords({node_counts_.data(), node_counts_.size()}));
+  if (auditor_.full()) {
+    auditor_.PushFlag("margin-nonfinite", HasNonFinite(margins_));
+  }
+  const AuditVerdict verdict = auditor_.Exchange("round");
+  // Instance placement (and the margins derived from it) cannot be rebuilt
+  // from retained state, so a violation here escalates straight to the
+  // rollback / membership machine.
+  if (!verdict.ok) auditor_.Escalate(verdict);
+}
+
+void DistTrainerBase::RecomputeLayer(const std::vector<NodeId>& frontier) {
+  // Discard the (possibly corrupted) layer state wholesale: every frontier
+  // histogram is rebuilt from this worker's own data without subtraction
+  // (parents were already released), after which the caller re-runs the
+  // quadrant's split exchange.
+  std::vector<BuildTask> tasks;
+  tasks.reserve(frontier.size());
+  for (NodeId node : frontier) {
+    pool_.Release(node);
+    tasks.push_back(BuildTask{node, kInvalidNode, kInvalidNode});
+  }
+  BuildLayerHistograms(tasks);
+  ApplyHistogramPoison(tasks);
+  if (auditor_.full()) {
+    layer_hist_nonfinite_ = ScanBuiltHistograms(tasks);
+  }
 }
 
 }  // namespace vero

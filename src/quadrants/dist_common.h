@@ -21,6 +21,7 @@
 #include "core/trainer.h"
 #include "core/tree.h"
 #include "data/dataset.h"
+#include "integrity/auditor.h"
 #include "obs/anatomy.h"
 #include "obs/report.h"
 #include "partition/transform.h"
@@ -179,6 +180,14 @@ struct DistResult {
   RecoveryStats recovery;
   /// Cost of planned resizes; all zero when none was scheduled.
   ElasticityStats elasticity;
+  /// Integrity auditing outcome, folded across workers and recovery
+  /// attempts; all zero at IntegrityLevel::kOff. `rollbacks` counts
+  /// recovery attempts whose triggering failure carried the auditor's
+  /// "integrity:" blame (driver-attributed).
+  IntegrityStats integrity;
+  /// Recovery attempts triggered by an integrity escalation (a subset of
+  /// recovery.recovery_attempts).
+  int integrity_rollbacks = 0;
   GbdtModel model;
   std::vector<TreeCost> tree_costs;
   /// Max across workers of the peak histogram-pool bytes.
@@ -275,6 +284,10 @@ class DistTrainerBase {
                           std::span<const double> margins);
 
   const GbdtModel& model() const { return model_; }
+  /// Integrity-audit accounting of this worker (all zero at kOff). Valid
+  /// even after Train unwinds via ClusterAbort — the driver salvages it to
+  /// attribute the failure.
+  const IntegrityStats& integrity_stats() const { return auditor_.stats(); }
   uint64_t peak_histogram_bytes() const { return pool_.PeakBytes(); }
   /// Bytes of the worker's stored training data (subclass-computed).
   virtual uint64_t DataBytes() const = 0;
@@ -372,6 +385,56 @@ class DistTrainerBase {
     ApplySubtractions(tasks);
   }
 
+  // ---- Integrity auditing (see docs/fault_tolerance.md) -------------------
+
+  /// Consults the fault injector's compute-poison stream and, when armed,
+  /// writes a NaN/Inf into this worker's gradient buffer. Always active
+  /// when an injector is installed (independent of the audit level), so a
+  /// poisoned unaudited run demonstrably produces a non-finite model.
+  void ApplyGradientPoison();
+  /// Same for a freshly built layer histogram (pre-aggregation).
+  void ApplyHistogramPoison(const std::vector<BuildTask>& tasks);
+
+  /// True if any freshly BUILT histogram cell of the layer is non-finite.
+  /// Evaluated before aggregation mixes ranks' contributions, so the flag
+  /// pins compute-born poison on the rank that produced it.
+  bool ScanBuiltHistograms(const std::vector<BuildTask>& tasks) const;
+  /// kFull mass invariant: for every frontier node and local feature, the
+  /// per-class present hessian mass must lie within [0, node hessian] up to
+  /// the relative tolerance (h >= 0 for the supported losses), and be
+  /// finite. Catches sign-flip corruption that digests on other channels
+  /// miss and any non-finite aggregated cell.
+  bool HistMassViolated(const std::vector<NodeId>& frontier) const;
+  /// True if any gradient/hessian of this worker's rows is non-finite.
+  bool GradsNonFinite() const;
+  /// True if any decided split has a non-finite gain / stat component.
+  static bool SplitsNonFinite(const std::vector<SplitCandidate>& splits);
+
+  /// Audit + recompute loop around the gradient pass. On a retryable
+  /// violation recomputes gradients (and the root all-reduce) up to
+  /// params.integrity_max_recomputes times before escalating.
+  void AuditGradients(GradStats* root_stats);
+  /// Audit + recompute loop around a layer's decided splits: pushes the
+  /// layer evidence (decision digest, frontier counts, kFull invariant
+  /// flags) on top of the quadrant's own transport digests, exchanges, and
+  /// on violation rebuilds every frontier histogram from local data (no
+  /// subtraction) and re-runs FindLayerSplits before escalating.
+  void AuditLayer(const std::vector<NodeId>& frontier,
+                  std::vector<SplitCandidate>* best);
+  /// Audits the freshly all-reduced / gathered child counts right after
+  /// ApplyLayerSplits, before the frontier derived from them can diverge
+  /// the next layer's collective shapes. Not recomputable (the placement
+  /// they came from is already committed): violations escalate directly.
+  void AuditChildCounts(const std::vector<uint32_t>& child_counts);
+  /// Round-end audit after the margin update: full node-count digest plus
+  /// (kFull) a margin non-finite flag. Placement corruption is not
+  /// recomputable, so any violation escalates directly.
+  void AuditRound();
+  /// Discards and rebuilds every frontier histogram from local data.
+  void RecomputeLayer(const std::vector<NodeId>& frontier);
+  /// Digest over the global instance counts of `nodes`.
+  uint64_t CountsDigest(const std::vector<NodeId>& nodes) const;
+
   // ---- Shared state -------------------------------------------------------
 
   WorkerContext& ctx_;
@@ -385,6 +448,15 @@ class DistTrainerBase {
   /// Straggler policy for the quadrant's aggregation collectives, derived
   /// from options_.params (strict by default — bit-identical to seed).
   MitigationOptions mitigation_;
+
+  /// Cross-rank invariant auditor (inert at params.integrity == kOff:
+  /// quadrant push sites and the audit points above all guard on
+  /// auditor_.enabled(), keeping the off path bit-identical to seed).
+  IntegrityAuditor auditor_;
+  /// kFull: non-finite flag of the layer's freshly built histograms,
+  /// captured pre-aggregation in the hist-build phase and pushed with the
+  /// layer audit.
+  bool layer_hist_nonfinite_ = false;
 
   GbdtModel model_;
   GradientBuffer grads_;

@@ -79,6 +79,12 @@ std::vector<SplitCandidate> Qd1Trainer::FindLayerSplits(
                 per_node * sizeof(double));
   }
   VERO_COMM_OK(ctx_.AllReduceBoundedSum(buffer, mitigation_));
+  if (auditor_.enabled()) {
+    // Every worker now holds a replica of the aggregated layer histograms;
+    // a digest mismatch pins silent transport corruption on the dissenting
+    // rank by majority vote.
+    auditor_.PushReplicated("qd1-hist-allreduce", AuditDigestDoubles(buffer));
+  }
   std::vector<SplitCandidate> best(frontier.size());
   for (size_t i = 0; i < frontier.size(); ++i) {
     Histogram* hist = pool_.Get(frontier[i]);

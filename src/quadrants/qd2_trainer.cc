@@ -1,5 +1,6 @@
 #include "quadrants/qd2_trainer.h"
 
+#include <bit>
 #include <cstring>
 #include <numeric>
 
@@ -86,10 +87,56 @@ std::vector<SplitCandidate> Qd2Trainer::FindLayerSplits(
       out += bytes;
     }
   }
+  // Pairwise audit evidence: what this rank handed to the transport for
+  // every destination (digest + hessian-free byte mass), captured before
+  // the buffers are moved into the exchange.
+  std::vector<uint64_t> sent_digest, sent_mass;
+  if (auditor_.enabled()) {
+    sent_digest.assign(w, kAuditSkip);
+    for (int g = 0; g < w; ++g) {
+      sent_digest[g] = AuditDigestBytes(to_dest[g].data(), to_dest[g].size());
+    }
+    if (auditor_.full()) {
+      sent_mass.assign(w, kAuditSkip);
+      for (int g = 0; g < w; ++g) {
+        const double* vals =
+            reinterpret_cast<const double*>(to_dest[g].data());
+        const size_t n = to_dest[g].size() / sizeof(double);
+        double sum = 0.0;
+        for (size_t i = 0; i < n; ++i) sum += vals[i];
+        sent_mass[g] = std::bit_cast<uint64_t>(sum);
+      }
+    }
+  }
   std::vector<std::vector<uint8_t>> from_src;
   MitigationOutcome exchange_outcome;
   VERO_COMM_OK(ctx_.AllToAllBounded(std::move(to_dest), &from_src, mitigation_,
                                     &exchange_outcome));
+  if (auditor_.enabled()) {
+    // Matching receive-side evidence; pairs whose slice was deferred by
+    // straggler mitigation carry the skip sentinel on the receive side.
+    std::vector<uint64_t> recv_digest(w, kAuditSkip);
+    std::vector<uint64_t> recv_mass(w, kAuditSkip);
+    for (int src = 0; src < w; ++src) {
+      if (!exchange_outcome.contributed[src]) continue;
+      recv_digest[src] =
+          AuditDigestBytes(from_src[src].data(), from_src[src].size());
+      if (auditor_.full()) {
+        const double* vals =
+            reinterpret_cast<const double*>(from_src[src].data());
+        const size_t n = from_src[src].size() / sizeof(double);
+        double sum = 0.0;
+        for (size_t i = 0; i < n; ++i) sum += vals[i];
+        recv_mass[src] = std::bit_cast<uint64_t>(sum);
+      }
+    }
+    auditor_.PushPairwise("qd2-hist-exchange", sent_digest, recv_digest,
+                          /*exact=*/true);
+    if (auditor_.full()) {
+      auditor_.PushPairwise("qd2-hist-mass", sent_mass, recv_mass,
+                            /*exact=*/false);
+    }
+  }
 
   const size_t my_fb = ctx_.SliceBegin(d, rank);
   const size_t my_fe = ctx_.SliceEnd(d, rank);

@@ -33,6 +33,9 @@ struct WorkerOutput {
   /// identical on every rank (InstrumentSum).
   uint64_t setup_bytes_sent = 0;
   TransformStats transform_stats;
+  /// Audit accounting, salvaged even when the attempt aborts: the driver
+  /// attributes integrity-triggered rollbacks from it.
+  IntegrityStats integrity;
 };
 
 // One training attempt's inputs. The first attempt runs fresh; recovery
@@ -207,12 +210,20 @@ std::vector<Status> RunAttempt(Cluster& cluster,
                                               bytes_start))));
 
     ctx.set_fault_phase(FaultPhase::kTrain);
-    trainer->Train(cfg.valid, &out.tree_costs, &out.curve,
-                   cfg.elapsed_base + out.setup_seconds);
+    try {
+      trainer->Train(cfg.valid, &out.tree_costs, &out.curve,
+                     cfg.elapsed_base + out.setup_seconds);
+    } catch (...) {
+      // An integrity escalation (or any abort) unwinds through here; keep
+      // the audit accounting so the driver can attribute the failure.
+      out.integrity = trainer->integrity_stats();
+      throw;
+    }
     ctx.set_fault_phase(FaultPhase::kAnyPhase);
     out.train_bytes_sent = ctx.stats().bytes_sent - bytes_after_setup;
     out.peak_histogram_bytes = trainer->peak_histogram_bytes();
     out.data_bytes = trainer->DataBytes();
+    out.integrity = trainer->integrity_stats();
     if (rank == 0) out.model = trainer->model();
   });
 }
@@ -232,6 +243,43 @@ void FoldWorkerOutputs(const std::vector<WorkerOutput>& outputs,
     result->data_bytes = std::max(result->data_bytes, out.data_bytes);
     result->train_bytes_sent += out.train_bytes_sent;
   }
+}
+
+// Folds one attempt's audit accounting into the result (called for failed
+// attempts too — unlike FoldWorkerOutputs). The check/violation counters
+// are evaluated identically on every rank, so the max is the cluster value
+// even when some ranks died mid-exchange; recompute waste is per-rank local
+// traffic and sums, and also counts as goodput waste.
+void FoldIntegrity(const std::vector<WorkerOutput>& outputs,
+                   DistResult* result) {
+  IntegrityStats fold;
+  for (const WorkerOutput& out : outputs) {
+    const IntegrityStats& s = out.integrity;
+    fold.checks = std::max(fold.checks, s.checks);
+    fold.violations = std::max(fold.violations, s.violations);
+    fold.recomputes = std::max(fold.recomputes, s.recomputes);
+    fold.escalations = std::max(fold.escalations, s.escalations);
+    if (s.last_blamed_rank >= 0) fold.last_blamed_rank = s.last_blamed_rank;
+    fold.wasted_bytes += s.wasted_bytes;
+    fold.wasted_seconds += s.wasted_seconds;
+  }
+  result->integrity.checks += fold.checks;
+  result->integrity.violations += fold.violations;
+  result->integrity.recomputes += fold.recomputes;
+  result->integrity.escalations += fold.escalations;
+  if (fold.last_blamed_rank >= 0) {
+    result->integrity.last_blamed_rank = fold.last_blamed_rank;
+  }
+  result->integrity.wasted_bytes += fold.wasted_bytes;
+  result->integrity.wasted_seconds += fold.wasted_seconds;
+  result->wasted_bytes += fold.wasted_bytes;
+  result->wasted_seconds += fold.wasted_seconds;
+}
+
+// An escalated audit verdict unwinds with an "integrity:"-prefixed status;
+// the driver keys rollback attribution on it.
+bool IsIntegrityFailure(const Status& status) {
+  return status.message().rfind("integrity:", 0) == 0;
 }
 
 // Approximate on-the-wire size of rows [begin, end) of `data`: CSR entries
@@ -344,6 +392,7 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
   cfg.writer = writer.get();
   cfg.checkpoint_final = resize_pending;
   Status error = FirstError(RunAttempt(cluster, shards, cfg, &outputs));
+  FoldIntegrity(outputs, &result);
 
   // Speculative re-execution's duplicated transfers are pure goodput waste
   // no matter how the attempt ended: the backup's copy only exists to cover
@@ -452,12 +501,22 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
     // asked for it).
     const bool recovering = !error.ok();
     if (recovering) {
+      // No rank died: the failure has no one to evict (e.g. an unattributed
+      // integrity violation where the digests disagree without a majority).
+      // Detected but unrecoverable — surface the error as-is.
+      if (dead.empty()) break;
       if (result.recovery.recovery_attempts >=
               options.max_recovery_attempts ||
           survivors < 1) {
         break;
       }
       ++result.recovery.recovery_attempts;
+      if (IsIntegrityFailure(error)) {
+        ++result.integrity_rollbacks;
+        if (driver_shard != nullptr) {
+          driver_shard->counter("integrity.rollbacks")->Increment();
+        }
+      }
     }
     obs::PhaseSpan transition_span(driver_tb,
                                    recovering ? "recovery" : "resize",
@@ -721,6 +780,7 @@ DistResult TrainDistributedImpl(Cluster& cluster, const Dataset& train,
     attempt_cfg.elapsed_base = elapsed_base;
     error = FirstError(RunAttempt(*rebuilt, shards, attempt_cfg,
                                   &attempt_outputs));
+    FoldIntegrity(attempt_outputs, &result);
     // As above: speculative duplicates from this attempt are waste whether
     // or not the attempt survived.
     result.wasted_bytes += rebuilt->TotalStats().speculative_bytes;
@@ -869,6 +929,15 @@ DistResult TrainDistributed(Cluster& cluster, const Dataset& train,
       report.elasticity.retired_workers = result.elasticity.retired_workers;
       report.elasticity.reshard_bytes = result.elasticity.reshard_bytes;
       report.elasticity.reshard_seconds = result.elasticity.reshard_seconds;
+      report.integrity.level = IntegrityLevelToString(options.params.integrity);
+      report.integrity.checks = result.integrity.checks;
+      report.integrity.violations = result.integrity.violations;
+      report.integrity.recomputes = result.integrity.recomputes;
+      report.integrity.escalations = result.integrity.escalations;
+      report.integrity.rollbacks = result.integrity_rollbacks;
+      report.integrity.last_blamed_rank = result.integrity.last_blamed_rank;
+      report.integrity.wasted_bytes = result.integrity.wasted_bytes;
+      report.integrity.wasted_seconds = result.integrity.wasted_seconds;
       report.metrics = observer->metrics().Merged();
       if (observer->trace_enabled()) {
         obs::AnatomyTotals totals;

@@ -68,8 +68,26 @@ std::vector<SplitCandidate> VerticalTrainerBase::FindLayerSplits(
   }
   if (MasterCoordinatesSplits()) {
     // Vero: master gathers local bests, resolves, broadcasts the winners.
+    const std::vector<uint8_t> mine = SerializeSplits(local);
     std::vector<std::vector<uint8_t>> gathered;
-    VERO_COMM_OK(ctx_.Gather(SerializeSplits(local), /*root=*/0, &gathered));
+    VERO_COMM_OK(ctx_.Gather(mine, /*root=*/0, &gathered));
+    if (auditor_.enabled()) {
+      // Pairwise evidence for the asymmetric gather: every rank attests
+      // what it sent to the master; only the master has receive-side
+      // evidence (all other pairs carry the skip sentinel).
+      const int w = ctx_.world_size();
+      std::vector<uint64_t> sent_digest(w, kAuditSkip);
+      std::vector<uint64_t> recv_digest(w, kAuditSkip);
+      sent_digest[0] = AuditDigestBytes(mine.data(), mine.size());
+      if (ctx_.rank() == 0) {
+        for (int r = 0; r < w; ++r) {
+          recv_digest[r] =
+              AuditDigestBytes(gathered[r].data(), gathered[r].size());
+        }
+      }
+      auditor_.PushPairwise("vertical-gather", sent_digest, recv_digest,
+                            /*exact=*/true);
+    }
     std::vector<uint8_t> decision;
     if (ctx_.rank() == 0) {
       for (const auto& buf : gathered) {
