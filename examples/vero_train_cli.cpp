@@ -8,6 +8,7 @@
 //                  [--bins 20] [--learning-rate 0.1] [--leaf-wise]
 //                  [--max-leaves N] [--row-subsample F] [--col-subsample F]
 //                  [--early-stopping R] [--workers W] [--quadrant qd1..qd4]
+//                  [--compression off|sparse|sparse_delta|quantized]
 //                  [--model out.bin] [--importance]
 //   vero_train_cli --profile RCV1 ...   (synthetic stand-in instead of file)
 
@@ -48,6 +49,7 @@ void PrintUsage() {
       "  [--lambda L2] [--gamma G] [--leaf-wise] [--max-leaves N]\n"
       "  [--row-subsample F] [--col-subsample F] [--early-stopping R]\n"
       "  [--quadrant qd1|qd2|qd3|qd4] [--workers W]\n"
+      "  [--compression off|sparse|sparse_delta|quantized]\n"
       "  [--model out.bin] [--importance]\n"
       "profiles: SUSY Higgs Criteo Epsilon RCV1 Synthesis RCV1-multi\n"
       "          Synthesis-multi Gender Age Taste\n");
@@ -91,6 +93,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       opt->params.column_subsample = std::atof(v);
     } else if (arg == "--early-stopping" && (v = need_value(i))) {
       opt->params.early_stopping_rounds = std::atoi(v);
+    } else if (arg == "--compression" && (v = need_value(i))) {
+      const std::string mode = v;
+      if (mode == "off") {
+        opt->params.compression = HistogramCompression::kOff;
+      } else if (mode == "sparse") {
+        opt->params.compression = HistogramCompression::kSparse;
+      } else if (mode == "sparse_delta") {
+        opt->params.compression = HistogramCompression::kSparseDelta;
+      } else if (mode == "quantized") {
+        opt->params.compression = HistogramCompression::kQuantized;
+      } else {
+        std::fprintf(stderr, "unknown --compression mode: %s\n", v);
+        return false;
+      }
     } else if (arg == "--quadrant" && (v = need_value(i))) {
       opt->quadrant = v;
     } else if (arg == "--workers" && (v = need_value(i))) {

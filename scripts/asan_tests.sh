@@ -4,7 +4,8 @@
 # paths tear clusters down mid-collective and re-adopt fault injectors
 # across incarnations, so lifetime bugs (use-after-free of worker state,
 # out-of-bounds shard math after a resize) show up here first; UBSan guards
-# the wire-format arithmetic in the delta-checkpoint codec.
+# the wire-format arithmetic in the delta-checkpoint and histogram-
+# compression codecs.
 #
 #   scripts/asan_tests.sh [build-dir]
 set -euo pipefail
@@ -17,13 +18,13 @@ cmake -B "$BUILD_DIR" -DVERO_SANITIZE=address,undefined \
 cmake --build "$BUILD_DIR" --target \
   fault_tolerance_test elastic_recovery_test elasticity_test \
   checkpoint_rotation_test delta_checkpoint_test integrity_test \
-  straggler_mitigation_test communicator_test
+  straggler_mitigation_test codec_test communicator_test
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 for t in fault_tolerance_test elastic_recovery_test elasticity_test \
          checkpoint_rotation_test delta_checkpoint_test integrity_test \
-         straggler_mitigation_test communicator_test; do
+         straggler_mitigation_test codec_test communicator_test; do
   echo "== ASan/UBSan: $t =="
   "$BUILD_DIR/tests/$t"
 done

@@ -10,7 +10,7 @@
 # to catch regressions; see docs/performance.md, docs/straggler_mitigation.md
 # and docs/observability.md.
 #
-#   scripts/bench_smoke.sh [build-dir] [out.json] [faults-out.json] [anatomy-out.json] [integrity-out.json]
+#   scripts/bench_smoke.sh [build-dir] [out.json] [faults-out.json] [anatomy-out.json] [integrity-out.json] [comm-out.json]
 #
 # VERO_SCALE shrinks/grows the workload (default 0.25 here: ~5k rows keeps
 # the binary-search baseline to well under a minute on one core).
@@ -22,6 +22,7 @@ OUT="${2:-BENCH_histogram.json}"
 FAULTS_OUT="${3:-BENCH_faults.json}"
 ANATOMY_OUT="${4:-BENCH_anatomy.json}"
 INTEGRITY_OUT="${5:-BENCH_integrity.json}"
+COMM_OUT="${6:-BENCH_comm.json}"
 export VERO_SCALE="${VERO_SCALE:-0.25}"
 
 "$BUILD_DIR/bench/micro_kernels" --hist-json "$OUT"
@@ -53,3 +54,10 @@ python3 scripts/check_bench_integrity.py --json "$INTEGRITY_OUT"
 
 "$BUILD_DIR/bench/anatomy_sweep" --anatomy "$ANATOMY_OUT"
 python3 scripts/check_anatomy.py "$ANATOMY_OUT"
+
+# Compressed-communication sweep: goodput vs histogram density under the
+# CollectiveCompression codec — off cells free of codec accounting, the
+# sparse modes >=2x fewer bytes on the wire at <=10% density with the model
+# digests unchanged, and bounded goodput regression at full density.
+"$BUILD_DIR/bench/comm_sweep" --json "$COMM_OUT"
+python3 scripts/check_bench_comm.py --json "$COMM_OUT"

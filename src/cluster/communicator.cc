@@ -41,6 +41,29 @@ struct WorkerContext::ObsHandles {
   obs::HistogramMetric* spec_wasted_seconds = nullptr;
   obs::HistogramMetric* spec_absorbed_seconds = nullptr;
 
+  /// comm.<Op>.raw_bytes / compressed_bytes + codec.* handles, resolved
+  /// lazily by the first codec collective so compression-off runs keep
+  /// exactly the seed's metric name set (the bit-identical-to-seed contract
+  /// covers reports too).
+  obs::Counter* codec_raw[kNumCollectiveOps] = {};
+  obs::Counter* codec_wire[kNumCollectiveOps] = {};
+  obs::Counter* codec_dense_blocks = nullptr;
+  obs::Counter* codec_sparse_blocks = nullptr;
+  obs::Counter* codec_quantized_blocks = nullptr;
+
+  void EnsureCodecHandles(obs::MetricsShard* shard) {
+    if (codec_dense_blocks != nullptr) return;
+    for (int op = 0; op < kNumCollectiveOps; ++op) {
+      std::string base = "comm.";
+      base += CollectiveOpToString(static_cast<CollectiveOp>(op));
+      codec_raw[op] = shard->counter(base + ".raw_bytes");
+      codec_wire[op] = shard->counter(base + ".compressed_bytes");
+    }
+    codec_dense_blocks = shard->counter("codec.blocks_dense");
+    codec_sparse_blocks = shard->counter("codec.blocks_sparse");
+    codec_quantized_blocks = shard->counter("codec.blocks_quantized");
+  }
+
   void EnsureMitigationHandles(obs::MetricsShard* shard) {
     if (stale_deferred != nullptr) return;
     stale_deferred = shard->counter("staleness.deferred_contributions");
@@ -240,6 +263,48 @@ void WorkerContext::Charge(CollectiveOp op, uint64_t sent, uint64_t received) {
       obs_handles_->op_bytes_received[i]->Add(received);
     }
   }
+}
+
+void WorkerContext::RecordCodec(CollectiveOp op, uint64_t raw_sent,
+                                uint64_t raw_received, uint64_t wire_sent,
+                                uint64_t wire_received,
+                                const CodecStats& cstats) {
+  stats_.codec_raw_bytes += raw_sent + raw_received;
+  stats_.codec_wire_bytes += wire_sent + wire_received;
+  if constexpr (obs::kObsEnabled) {
+    if (obs_handles_ != nullptr) {
+      obs_handles_->EnsureCodecHandles(metrics_);
+      const int i = static_cast<int>(op);
+      obs_handles_->codec_raw[i]->Add(raw_sent + raw_received);
+      obs_handles_->codec_wire[i]->Add(wire_sent + wire_received);
+      obs_handles_->codec_dense_blocks->Add(cstats.dense_blocks);
+      obs_handles_->codec_sparse_blocks->Add(cstats.sparse_blocks);
+      obs_handles_->codec_quantized_blocks->Add(cstats.quantized_blocks);
+    }
+  }
+}
+
+void WorkerContext::DebugCheckCodecSymmetry(uint64_t sent, uint64_t received) {
+#ifdef NDEBUG
+  (void)sent;
+  (void)received;
+#else
+  const int w = world_size();
+  if (w == 1) {
+    VERO_CHECK_EQ(sent, received);
+    return;
+  }
+  cluster_->instrument_slots_[rank_] =
+      static_cast<double>(sent) - static_cast<double>(received);
+  // Broken rendezvous group: the surrounding collective is about to fail
+  // anyway, so skip the check instead of reading torn slots.
+  if (!InstrumentRendezvous()) return;
+  double sum = 0.0;
+  for (int r = 0; r < w; ++r) sum += cluster_->instrument_slots_[r];
+  VERO_CHECK_EQ(sum, 0.0)
+      << "codec byte accounting asymmetric: cluster-wide sent != received";
+  InstrumentRendezvous();
+#endif
 }
 
 Status WorkerContext::Die(Status status) {
@@ -969,6 +1034,359 @@ Status WorkerContext::AllToAllBounded(
   }
   VERO_RETURN_IF_ERROR(Rendezvous(&serial));
   Charge(CollectiveOp::kAllToAll, sent, received);
+  return FinishMitigated(CollectiveOp::kAllToAll, opts, decision, call,
+                         extra_sent, 0, sent, received, deferred_mass);
+}
+
+// ---- Compressed (codec) collectives ---------------------------------------
+//
+// Same rendezvous structure and CollectiveOp stream as the uncompressed
+// collectives — only the bytes that cross the (simulated) wire change. The
+// serial reduction decodes rank frames in rank order 0..W-1, which for the
+// lossless modes reproduces the dense summation order bit-for-bit.
+
+Status WorkerContext::AllReduceSumCodec(std::span<double> data,
+                                        const CodecSpec& codec) {
+  if (!codec.enabled()) return AllReduceSum(data);
+  FaultDecision decision;
+  VERO_RETURN_IF_ERROR(Prepare(CollectiveOp::kAllReduceSum, &decision));
+  const int w = world_size();
+  if (w == 1) return ApplyFaults(CollectiveOp::kAllReduceSum, decision, 0, 0);
+
+  CodecStats cstats;
+  std::vector<uint8_t> frame;
+  CodecEncode(data, codec, &frame, &cstats);
+  cluster_->ptrs_[rank_] = &frame;
+  cluster_->sizes_[rank_] = frame.size();
+  bool serial = false;
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  if (serial) {
+    const size_t n = data.size();
+    cluster_->reduce_buffer_.assign(n, 0.0);
+    std::vector<double> decoded;
+    for (int r = 0; r < w; ++r) {
+      const auto* src =
+          static_cast<const std::vector<uint8_t>*>(cluster_->ptrs_[r]);
+      VERO_CHECK_OK(CodecDecode(*src, &decoded));
+      VERO_CHECK_EQ(decoded.size(), n);
+      for (size_t i = 0; i < n; ++i) cluster_->reduce_buffer_[i] += decoded[i];
+    }
+  }
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  std::memcpy(data.data(), cluster_->reduce_buffer_.data(),
+              data.size() * sizeof(double));
+  MaybeSilentCorrupt(decision, data);
+  // All frame sizes were published before the first rendezvous, so this
+  // read is race-free and identical on every rank.
+  uint64_t total_encoded = 0;
+  for (int r = 0; r < w; ++r) total_encoded += cluster_->sizes_[r];
+  DebugCheckCodecSymmetry(total_encoded, total_encoded);
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+
+  // Ring all-reduce over encoded frames: the dense formula with the
+  // per-rank buffer size replaced by the mean encoded frame size (the ring
+  // moves everyone's data through everyone, so the mean is what each link
+  // carries). Equal frames reduce exactly to the dense accounting.
+  const uint64_t raw_bytes = data.size() * sizeof(double);
+  const uint64_t raw_wire = 2 * raw_bytes * (w - 1) / w;
+  const uint64_t wire = 2 * (total_encoded / w) * (w - 1) / w;
+  Charge(CollectiveOp::kAllReduceSum, wire, wire);
+  RecordCodec(CollectiveOp::kAllReduceSum, raw_wire, raw_wire, wire, wire,
+              cstats);
+  return ApplyFaults(CollectiveOp::kAllReduceSum, decision, wire, wire);
+}
+
+Status WorkerContext::AllGatherCodec(const std::vector<uint8_t>& mine,
+                                     std::vector<std::vector<uint8_t>>* all,
+                                     const CodecSpec& codec) {
+  if (!codec.enabled()) return AllGather(mine, all);
+  FaultDecision decision;
+  VERO_RETURN_IF_ERROR(Prepare(CollectiveOp::kAllGather, &decision));
+  const int w = world_size();
+  all->assign(w, {});
+  if (w == 1) {
+    (*all)[0] = mine;
+    return ApplyFaults(CollectiveOp::kAllGather, decision, 0, 0);
+  }
+  CodecStats cstats;
+  std::vector<uint8_t> frame;
+  CodecEncodeBytes(mine, codec, &frame, &cstats);
+  cluster_->ptrs_[rank_] = &frame;
+  bool serial = false;
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  uint64_t sent = 0, received = 0, raw_received = 0;
+  std::vector<std::vector<uint8_t>*> remote;
+  for (int r = 0; r < w; ++r) {
+    const auto* src =
+        static_cast<const std::vector<uint8_t>*>(cluster_->ptrs_[r]);
+    // Every rank decodes every frame — its own included — so a lossy
+    // codec's reconstruction is replicated-deterministic cluster-wide.
+    VERO_CHECK_OK(CodecDecodeBytes(*src, &(*all)[r]));
+    if (r != rank_) {
+      received += src->size();
+      raw_received += (*all)[r].size();
+      remote.push_back(&(*all)[r]);
+    }
+  }
+  MaybeSilentCorrupt(decision, remote);
+  sent = frame.size() * (w - 1);
+  DebugCheckCodecSymmetry(sent, received);
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  Charge(CollectiveOp::kAllGather, sent, received);
+  RecordCodec(CollectiveOp::kAllGather, mine.size() * (w - 1), raw_received,
+              sent, received, cstats);
+  return ApplyFaults(CollectiveOp::kAllGather, decision, sent, received);
+}
+
+Status WorkerContext::AllToAllCodec(std::vector<std::vector<uint8_t>> to_each,
+                                    std::vector<std::vector<uint8_t>>* from_each,
+                                    const CodecSpec& codec) {
+  if (!codec.enabled()) return AllToAll(std::move(to_each), from_each);
+  FaultDecision decision;
+  VERO_RETURN_IF_ERROR(Prepare(CollectiveOp::kAllToAll, &decision));
+  const int w = world_size();
+  VERO_CHECK_EQ(static_cast<int>(to_each.size()), w);
+  from_each->assign(w, {});
+  if (w == 1) {
+    (*from_each)[0] = std::move(to_each[0]);
+    return ApplyFaults(CollectiveOp::kAllToAll, decision, 0, 0);
+  }
+  CodecStats cstats;
+  std::vector<std::vector<uint8_t>> frames(w);
+  for (int r = 0; r < w; ++r) {
+    CodecEncodeBytes(to_each[r], codec, &frames[r], &cstats);
+  }
+  cluster_->ptrs_[rank_] = &frames;
+  bool serial = false;
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  uint64_t sent = 0, received = 0, raw_sent = 0, raw_received = 0;
+  std::vector<std::vector<uint8_t>*> remote;
+  for (int r = 0; r < w; ++r) {
+    const auto* src = static_cast<const std::vector<std::vector<uint8_t>>*>(
+        cluster_->ptrs_[r]);
+    VERO_CHECK_OK(CodecDecodeBytes((*src)[rank_], &(*from_each)[r]));
+    if (r != rank_) {
+      received += (*src)[rank_].size();
+      raw_received += (*from_each)[r].size();
+      remote.push_back(&(*from_each)[r]);
+    }
+  }
+  for (int r = 0; r < w; ++r) {
+    if (r != rank_) {
+      sent += frames[r].size();
+      raw_sent += to_each[r].size();
+    }
+  }
+  MaybeSilentCorrupt(decision, remote);
+  DebugCheckCodecSymmetry(sent, received);
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  Charge(CollectiveOp::kAllToAll, sent, received);
+  RecordCodec(CollectiveOp::kAllToAll, raw_sent, raw_received, sent, received,
+              cstats);
+  return ApplyFaults(CollectiveOp::kAllToAll, decision, sent, received);
+}
+
+Status WorkerContext::AllReduceBoundedSumCodec(std::span<double> data,
+                                               const CodecSpec& codec,
+                                               const MitigationOptions& opts,
+                                               MitigationOutcome* outcome) {
+  if (!codec.enabled()) return AllReduceBoundedSum(data, opts, outcome);
+  const int w = world_size();
+  if (outcome != nullptr) {
+    *outcome = MitigationOutcome{};
+    outcome->contributed.assign(w, 1);
+  }
+  if (!opts.enabled() || w == 1) return AllReduceSumCodec(data, codec);
+
+  FaultDecision decision;
+  VERO_RETURN_IF_ERROR(Prepare(CollectiveOp::kAllReduceSum, &decision));
+  CodecStats cstats;
+  std::vector<uint8_t> frame;
+  CodecEncode(data, codec, &frame, &cstats);
+  cluster_->ptrs_[rank_] = &frame;
+  cluster_->sizes_[rank_] = frame.size();
+  cluster_->delay_slots_[rank_] = decision.delay_seconds;
+  bool serial = false;
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  if (serial) {
+    cluster_->PlanMitigation(opts);
+    const size_t n = data.size();
+    cluster_->reduce_buffer_.assign(n, 0.0);
+    std::vector<double> decoded;
+    for (int r = 0; r < w; ++r) {
+      if (cluster_->mit_class_[r] == RankClass::kDeferred) continue;
+      const auto* src =
+          static_cast<const std::vector<uint8_t>*>(cluster_->ptrs_[r]);
+      VERO_CHECK_OK(CodecDecode(*src, &decoded));
+      VERO_CHECK_EQ(decoded.size(), n);
+      for (size_t i = 0; i < n; ++i) cluster_->reduce_buffer_[i] += decoded[i];
+    }
+  }
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  const MitigatedCall call = ReadMitigationPlan(outcome);
+  double deferred_mass = 0.0;
+  if (call.my == RankClass::kDeferred) {
+    for (double v : data) deferred_mass += v;
+  }
+  std::memcpy(data.data(), cluster_->reduce_buffer_.data(),
+              data.size() * sizeof(double));
+  MaybeSilentCorrupt(decision, data);
+  // A deferred rank's frame still crossed the wire (it is just dropped on
+  // arrival), so every published frame counts toward the ring volume.
+  uint64_t total_encoded = 0;
+  for (int r = 0; r < w; ++r) total_encoded += cluster_->sizes_[r];
+  DebugCheckCodecSymmetry(total_encoded, total_encoded);
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+
+  const uint64_t raw_bytes = data.size() * sizeof(double);
+  const uint64_t raw_wire = 2 * raw_bytes * (w - 1) / w;
+  const uint64_t wire = 2 * (total_encoded / w) * (w - 1) / w;
+  const uint64_t extra = call.serving_for >= 0 ? wire : 0;
+  Charge(CollectiveOp::kAllReduceSum, wire, wire);
+  RecordCodec(CollectiveOp::kAllReduceSum, raw_wire, raw_wire, wire, wire,
+              cstats);
+  return FinishMitigated(CollectiveOp::kAllReduceSum, opts, decision, call,
+                         extra, extra, wire, wire, deferred_mass);
+}
+
+Status WorkerContext::AllGatherBoundedCodec(
+    const std::vector<uint8_t>& mine, std::vector<std::vector<uint8_t>>* all,
+    const CodecSpec& codec, const MitigationOptions& opts,
+    MitigationOutcome* outcome) {
+  if (!codec.enabled()) return AllGatherBounded(mine, all, opts, outcome);
+  const int w = world_size();
+  if (outcome != nullptr) {
+    *outcome = MitigationOutcome{};
+    outcome->contributed.assign(w, 1);
+  }
+  if (!opts.enabled() || w == 1) return AllGatherCodec(mine, all, codec);
+
+  FaultDecision decision;
+  VERO_RETURN_IF_ERROR(Prepare(CollectiveOp::kAllGather, &decision));
+  all->assign(w, {});
+  CodecStats cstats;
+  std::vector<uint8_t> frame;
+  CodecEncodeBytes(mine, codec, &frame, &cstats);
+  cluster_->ptrs_[rank_] = &frame;
+  cluster_->delay_slots_[rank_] = decision.delay_seconds;
+  bool serial = false;
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  if (serial) cluster_->PlanMitigation(opts);
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  const MitigatedCall call = ReadMitigationPlan(outcome);
+  uint64_t received = 0, raw_received = 0;
+  double deferred_mass = 0.0;
+  std::vector<std::vector<uint8_t>*> remote;
+  for (int r = 0; r < w; ++r) {
+    const auto* src =
+        static_cast<const std::vector<uint8_t>*>(cluster_->ptrs_[r]);
+    if (r != rank_) {
+      received += src->size();
+      // The deferred rank's frame crossed the wire too; its raw-equivalent
+      // volume comes from the frame header (the payload is never decoded).
+      uint64_t raw = 0;
+      VERO_CHECK_OK(CodecFrameRawSize(*src, &raw));
+      raw_received += raw;
+    }
+    if (cluster_->mit_class_[r] == RankClass::kDeferred) {
+      if (r == rank_) deferred_mass = static_cast<double>(mine.size());
+      continue;  // dropped on arrival, on every rank — slot stays empty
+    }
+    VERO_CHECK_OK(CodecDecodeBytes(*src, &(*all)[r]));
+    if (r != rank_) remote.push_back(&(*all)[r]);
+  }
+  MaybeSilentCorrupt(decision, remote);
+  uint64_t extra_sent = 0;
+  if (call.serving_for >= 0) {
+    const auto* src = static_cast<const std::vector<uint8_t>*>(
+        cluster_->ptrs_[call.serving_for]);
+    extra_sent = src->size() * (w - 1);
+  }
+  const uint64_t sent = frame.size() * (w - 1);
+  DebugCheckCodecSymmetry(sent, received);
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  Charge(CollectiveOp::kAllGather, sent, received);
+  RecordCodec(CollectiveOp::kAllGather, mine.size() * (w - 1), raw_received,
+              sent, received, cstats);
+  return FinishMitigated(CollectiveOp::kAllGather, opts, decision, call,
+                         extra_sent, 0, sent, received, deferred_mass);
+}
+
+Status WorkerContext::AllToAllBoundedCodec(
+    std::vector<std::vector<uint8_t>> to_each,
+    std::vector<std::vector<uint8_t>>* from_each, const CodecSpec& codec,
+    const MitigationOptions& opts, MitigationOutcome* outcome) {
+  if (!codec.enabled()) {
+    return AllToAllBounded(std::move(to_each), from_each, opts, outcome);
+  }
+  const int w = world_size();
+  if (outcome != nullptr) {
+    *outcome = MitigationOutcome{};
+    outcome->contributed.assign(w, 1);
+  }
+  if (!opts.enabled() || w == 1) {
+    return AllToAllCodec(std::move(to_each), from_each, codec);
+  }
+
+  FaultDecision decision;
+  VERO_RETURN_IF_ERROR(Prepare(CollectiveOp::kAllToAll, &decision));
+  VERO_CHECK_EQ(static_cast<int>(to_each.size()), w);
+  from_each->assign(w, {});
+  CodecStats cstats;
+  std::vector<std::vector<uint8_t>> frames(w);
+  for (int r = 0; r < w; ++r) {
+    CodecEncodeBytes(to_each[r], codec, &frames[r], &cstats);
+  }
+  cluster_->ptrs_[rank_] = &frames;
+  cluster_->delay_slots_[rank_] = decision.delay_seconds;
+  bool serial = false;
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  if (serial) cluster_->PlanMitigation(opts);
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  const MitigatedCall call = ReadMitigationPlan(outcome);
+  uint64_t sent = 0, received = 0, raw_sent = 0, raw_received = 0;
+  double deferred_mass = 0.0;
+  std::vector<std::vector<uint8_t>*> remote;
+  for (int r = 0; r < w; ++r) {
+    const auto* src = static_cast<const std::vector<std::vector<uint8_t>>*>(
+        cluster_->ptrs_[r]);
+    if (r != rank_) {
+      received += (*src)[rank_].size();
+      uint64_t raw = 0;
+      VERO_CHECK_OK(CodecFrameRawSize((*src)[rank_], &raw));
+      raw_received += raw;
+    }
+    // A deferred rank's buffers are dropped everywhere, self-slice included,
+    // so receivers that skip non-contributors stay replicated-deterministic.
+    if (cluster_->mit_class_[r] == RankClass::kDeferred) continue;
+    VERO_CHECK_OK(CodecDecodeBytes((*src)[rank_], &(*from_each)[r]));
+    if (r != rank_) remote.push_back(&(*from_each)[r]);
+  }
+  MaybeSilentCorrupt(decision, remote);
+  for (int r = 0; r < w; ++r) {
+    if (r != rank_) {
+      sent += frames[r].size();
+      raw_sent += to_each[r].size();
+    }
+  }
+  if (call.my == RankClass::kDeferred) {
+    for (const auto& buf : to_each) {
+      deferred_mass += static_cast<double>(buf.size());
+    }
+  }
+  uint64_t extra_sent = 0;
+  if (call.serving_for >= 0) {
+    const auto* src = static_cast<const std::vector<std::vector<uint8_t>>*>(
+        cluster_->ptrs_[call.serving_for]);
+    for (int r = 0; r < w; ++r) {
+      if (r != call.serving_for) extra_sent += (*src)[r].size();
+    }
+  }
+  DebugCheckCodecSymmetry(sent, received);
+  VERO_RETURN_IF_ERROR(Rendezvous(&serial));
+  Charge(CollectiveOp::kAllToAll, sent, received);
+  RecordCodec(CollectiveOp::kAllToAll, raw_sent, raw_received, sent, received,
+              cstats);
   return FinishMitigated(CollectiveOp::kAllToAll, opts, decision, call,
                          extra_sent, 0, sent, received, deferred_mass);
 }

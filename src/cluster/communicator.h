@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/codec.h"
 #include "cluster/fault_injector.h"
 #include "cluster/network_model.h"
 #include "cluster/staleness.h"
@@ -146,6 +147,57 @@ class WorkerContext {
                          const MitigationOptions& opts,
                          MitigationOutcome* outcome = nullptr);
 
+  // ---- Compressed (codec) collectives ------------------------------------
+  // Each is a 1:1 replacement for its uncompressed counterpart with a
+  // CollectiveCompression codec layered underneath: payloads are encoded
+  // (CodecEncode) before they cross the simulated wire and decoded on
+  // arrival, and the network model prices the encoded frames. Every variant
+  // reports the SAME CollectiveOp with the same rendezvous count, so one
+  // FaultPlan and one CollectiveOp stream replays identically across modes
+  // (op-id lockstep preserved). With codec.enabled() == false they delegate
+  // to the uncompressed implementation — bit-identical to seed, including
+  // the metric name set. Raw-vs-wire volume lands in CommStats
+  // codec_raw_bytes / codec_wire_bytes and the comm.<Op>.raw_bytes /
+  // comm.<Op>.compressed_bytes counters. See docs/wire_formats.md.
+
+  /// Compressed all-reduce. Lossless modes produce bit-identical sums to
+  /// AllReduceSum (frames decode to the exact bit patterns and the serial
+  /// reduction visits ranks in the same order); kQuantized yields the same
+  /// reconstructed aggregate on every rank. Accounting: ring all-reduce
+  /// over the mean encoded frame, 2 * (total_encoded/W) * (W-1)/W.
+  Status AllReduceSumCodec(std::span<double> data, const CodecSpec& codec);
+
+  /// Compressed all-gather; every rank decodes every frame (its own
+  /// included) so lossy reconstruction is replicated-deterministic.
+  Status AllGatherCodec(const std::vector<uint8_t>& mine,
+                        std::vector<std::vector<uint8_t>>* all,
+                        const CodecSpec& codec);
+
+  /// Compressed personalized all-to-all (per-destination frames; the self
+  /// frame is decoded locally and charged nothing, like the strict op).
+  Status AllToAllCodec(std::vector<std::vector<uint8_t>> to_each,
+                       std::vector<std::vector<uint8_t>>* from_each,
+                       const CodecSpec& codec);
+
+  /// Codec + straggler mitigation composed: delegates to
+  /// AllReduceBoundedSum when the codec is off and to AllReduceSumCodec
+  /// when mitigation is off, and otherwise applies both layers (deferred
+  /// frames still cross the wire and are charged at their encoded size).
+  Status AllReduceBoundedSumCodec(std::span<double> data,
+                                  const CodecSpec& codec,
+                                  const MitigationOptions& opts,
+                                  MitigationOutcome* outcome = nullptr);
+  Status AllGatherBoundedCodec(const std::vector<uint8_t>& mine,
+                               std::vector<std::vector<uint8_t>>* all,
+                               const CodecSpec& codec,
+                               const MitigationOptions& opts,
+                               MitigationOutcome* outcome = nullptr);
+  Status AllToAllBoundedCodec(std::vector<std::vector<uint8_t>> to_each,
+                              std::vector<std::vector<uint8_t>>* from_each,
+                              const CodecSpec& codec,
+                              const MitigationOptions& opts,
+                              MitigationOutcome* outcome = nullptr);
+
   /// Pure synchronization (no bytes charged).
   Status Barrier();
 
@@ -208,6 +260,21 @@ class WorkerContext {
   void AttachObs(obs::RunObserver* observer);
 
   void Charge(CollectiveOp op, uint64_t sent, uint64_t received);
+
+  /// Codec accounting: raw (uncompressed-equivalent) vs wire (encoded)
+  /// volume of one codec collective, plus the encoder's per-block tallies.
+  /// Resolves the comm.<Op>.raw_bytes / compressed_bytes handles lazily so
+  /// compression-off runs keep exactly the seed's metric name set.
+  void RecordCodec(CollectiveOp op, uint64_t raw_sent, uint64_t raw_received,
+                   uint64_t wire_sent, uint64_t wire_received,
+                   const CodecStats& cstats);
+
+  /// Debug-build cluster-wide invariant: the bytes every sender Charge()d
+  /// equal the bytes receivers were charged for, i.e. sum over ranks of
+  /// (sent - received) is exactly zero for this op. Rides the instrument
+  /// channel (no bytes, invisible to the fault injector); compiled out
+  /// under NDEBUG.
+  void DebugCheckCodecSymmetry(uint64_t sent, uint64_t received);
 
   /// Consults the fault injector (if any) at the top of a collective.
   /// Returns non-OK if this worker is already dead or crashes now.

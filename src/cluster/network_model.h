@@ -64,6 +64,15 @@ struct CommStats {
   uint64_t deferred_contributions = 0;
   uint64_t speculative_bytes = 0;
   double speculative_seconds = 0.0;
+  /// Histogram-compression accounting (all zero with compression off). For
+  /// every codec collective, codec_raw_bytes counts the uncompressed payload
+  /// volume this rank exchanged (what the strict path would have shipped)
+  /// and codec_wire_bytes the encoded frames actually priced by the network
+  /// model; the spread is the bytes the codec kept off the wire. Wire bytes
+  /// are *also* counted in bytes_sent/bytes_received (they crossed the
+  /// wire); these fields isolate the compression effect.
+  uint64_t codec_raw_bytes = 0;
+  uint64_t codec_wire_bytes = 0;
 
   CommStats& operator+=(const CommStats& other) {
     bytes_sent += other.bytes_sent;
@@ -78,6 +87,8 @@ struct CommStats {
     deferred_contributions += other.deferred_contributions;
     speculative_bytes += other.speculative_bytes;
     speculative_seconds += other.speculative_seconds;
+    codec_raw_bytes += other.codec_raw_bytes;
+    codec_wire_bytes += other.codec_wire_bytes;
     return *this;
   }
   CommStats operator-(const CommStats& other) const {
@@ -97,6 +108,8 @@ struct CommStats {
         deferred_contributions - other.deferred_contributions;
     d.speculative_bytes = speculative_bytes - other.speculative_bytes;
     d.speculative_seconds = speculative_seconds - other.speculative_seconds;
+    d.codec_raw_bytes = codec_raw_bytes - other.codec_raw_bytes;
+    d.codec_wire_bytes = codec_wire_bytes - other.codec_wire_bytes;
     return d;
   }
 };

@@ -11,6 +11,62 @@
 
 namespace vero {
 
+/// A varint64 never needs more than ceil(64 / 7) = 10 bytes.
+inline constexpr size_t kMaxVarint64Bytes = 10;
+
+/// Encodes `v` as a base-128 LEB128 varint (7 payload bits per byte, MSB set
+/// on all but the last byte) into `dst`, which must hold at least
+/// kMaxVarint64Bytes. Returns the number of bytes written (1-10). Small
+/// values dominate histogram bin-index streams, so most encodings are a
+/// single byte.
+inline size_t PutVarint64(uint8_t* dst, uint64_t v) {
+  size_t n = 0;
+  while (v >= 0x80) {
+    dst[n++] = static_cast<uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  dst[n++] = static_cast<uint8_t>(v);
+  return n;
+}
+
+/// Decodes a varint written by PutVarint64 from `src[0..size)`. On success
+/// stores the value in `*v` and the encoded length in `*consumed`. Fails on
+/// truncation and on encodings longer than 10 bytes (which cannot come from
+/// PutVarint64 and would silently drop bits).
+inline Status GetVarint64(const uint8_t* src, size_t size, uint64_t* v,
+                          size_t* consumed) {
+  uint64_t result = 0;
+  for (size_t n = 0; n < size && n < kMaxVarint64Bytes; ++n) {
+    const uint64_t byte = src[n];
+    result |= (byte & 0x7f) << (7 * n);
+    if ((byte & 0x80) == 0) {
+      // The 10th byte carries bits 63.. only; more than one payload bit
+      // there means the encoding overflows 64 bits.
+      if (n == kMaxVarint64Bytes - 1 && byte > 1) {
+        return Status::OutOfRange("varint64 overflow");
+      }
+      *v = result;
+      *consumed = n + 1;
+      return Status::OK();
+    }
+  }
+  if (size >= kMaxVarint64Bytes) {
+    return Status::OutOfRange("varint64 overflow");
+  }
+  return Status::OutOfRange("byte buffer truncated");
+}
+
+/// ZigZag maps signed integers to unsigned so that values of small magnitude
+/// (either sign) get short varint encodings: 0,-1,1,-2,... -> 0,1,2,3,...
+inline uint64_t ZigZagEncode64(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigZagDecode64(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
 /// Append-only little-endian byte buffer used to encode messages exchanged
 /// through the simulated cluster. The byte counts produced here are exactly
 /// what the network cost model charges, so encoders should be as compact as
@@ -50,6 +106,12 @@ class ByteWriter {
 
   /// Raw bytes with no length prefix (caller manages framing).
   void WriteRaw(const void* src, size_t n) { AppendRaw(src, n); }
+
+  /// LEB128 varint (1-10 bytes); see PutVarint64 below.
+  void WriteVarint64(uint64_t v) {
+    uint8_t buf[kMaxVarint64Bytes];
+    AppendRaw(buf, PutVarint64(buf, v));
+  }
 
  private:
   void AppendRaw(const void* src, size_t n) {
@@ -117,6 +179,14 @@ class ByteReader {
     if (n > remaining()) return Truncated();
     std::memcpy(dst, data_ + pos_, n);
     pos_ += n;
+    return Status::OK();
+  }
+
+  /// LEB128 varint written by ByteWriter::WriteVarint64 / PutVarint64.
+  Status ReadVarint64(uint64_t* v) {
+    size_t consumed = 0;
+    VERO_RETURN_IF_ERROR(GetVarint64(data_ + pos_, remaining(), v, &consumed));
+    pos_ += consumed;
     return Status::OK();
   }
 

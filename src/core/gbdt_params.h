@@ -59,6 +59,27 @@ enum class IntegrityLevel {
   kFull,
 };
 
+/// Histogram-payload compression of the distributed trainers' aggregation
+/// collectives. Mirrors the cluster-level CollectiveCompression codec modes
+/// without depending on src/cluster/ (core stays collective-free);
+/// dist_common's CodecFromParams maps it. See docs/wire_formats.md for the
+/// frame layout and docs/cost_model.md for the pricing.
+enum class HistogramCompression {
+  /// Dense raw doubles on the wire — bit-identical to builds that predate
+  /// the codec (the default).
+  kOff,
+  /// Lossless per-feature dense/sparse switch: blocks at or below the
+  /// density threshold ship varint bin indices + raw nonzero doubles.
+  kSparse,
+  /// kSparse with gap-coded (delta + varint) bin indices — strictly no
+  /// larger than kSparse on the wire, still lossless.
+  kSparseDelta,
+  /// 16-bit linear quantization with per-block scale/offset. Lossy (max abs
+  /// error <= range/65535/2 per block, deterministic reconstruction on
+  /// every rank); non-finite blocks fall back to lossless.
+  kQuantized,
+};
+
 /// Hyper-parameters for GBDT training, matching the paper's notation
 /// (§3: T trees of L layers, q candidate splits; §2.1.1: eta, lambda, gamma).
 struct GbdtParams {
@@ -138,6 +159,16 @@ struct GbdtParams {
   /// before escalating to the checkpoint-rollback state machine.
   uint32_t integrity_max_recomputes = 1;
 
+  // ---- Histogram compression (distributed trainers only) ----------------
+
+  /// Codec applied to histogram payloads of the aggregation collectives;
+  /// kOff leaves training bit-identical to seed behavior (no extra metric
+  /// handles, identical bytes on the wire).
+  HistogramCompression compression = HistogramCompression::kOff;
+  /// A per-feature histogram block is encoded sparse iff its nonzero
+  /// density is at or below this threshold; above it the block ships dense.
+  double compression_density_threshold = 0.5;
+
   // ---- Elasticity (distributed trainers only) ---------------------------
 
   /// Operator-requested resize: after this many completed trees the driver
@@ -191,6 +222,11 @@ struct GbdtParams {
     }
     if (!(integrity_tolerance > 0.0) || integrity_tolerance > 1.0) {
       return Status::InvalidArgument("integrity_tolerance not in (0, 1]");
+    }
+    if (!(compression_density_threshold > 0.0) ||
+        compression_density_threshold > 1.0) {
+      return Status::InvalidArgument(
+          "compression_density_threshold not in (0, 1]");
     }
     if (integrity != IntegrityLevel::kOff && integrity_max_recomputes > 16) {
       return Status::InvalidArgument("integrity_max_recomputes > 16");

@@ -79,6 +79,29 @@ MitigationOptions MitigationFromParams(const GbdtParams& params) {
   return opts;
 }
 
+CodecSpec CodecFromParams(const GbdtParams& params, uint32_t dims) {
+  CodecSpec spec;
+  switch (params.compression) {
+    case HistogramCompression::kOff:
+      spec.mode = CollectiveCompression::kOff;
+      break;
+    case HistogramCompression::kSparse:
+      spec.mode = CollectiveCompression::kSparse;
+      break;
+    case HistogramCompression::kSparseDelta:
+      spec.mode = CollectiveCompression::kSparseDelta;
+      break;
+    case HistogramCompression::kQuantized:
+      spec.mode = CollectiveCompression::kQuantized;
+      break;
+  }
+  // One feature's histogram per block: q bins x dims x (grad, hess).
+  spec.block_values =
+      static_cast<uint64_t>(params.num_candidate_splits) * dims * 2;
+  spec.density_threshold = params.compression_density_threshold;
+  return spec;
+}
+
 void MergeBestSplits(const std::vector<SplitCandidate>& candidates,
                      std::vector<SplitCandidate>* best) {
   if (best->empty()) {
@@ -105,6 +128,7 @@ DistTrainerBase::DistTrainerBase(WorkerContext& ctx,
       finder_(options.params.reg_lambda, options.params.reg_gamma,
               options.params.min_split_gain),
       mitigation_(MitigationFromParams(options.params)),
+      codec_(CodecFromParams(options.params, dims_)),
       auditor_(ctx, options.params.integrity,
                options.params.integrity_tolerance),
       model_(task, num_classes, options.params.learning_rate),

@@ -34,6 +34,13 @@ namespace vero {
 /// MitigationOptions consumed by the bounded collectives.
 MitigationOptions MitigationFromParams(const GbdtParams& params);
 
+/// Maps GbdtParams' histogram-compression knobs onto the collective-level
+/// CodecSpec consumed by the codec collectives. `dims` is the leaf-vector
+/// width: the per-block granularity is one feature's histogram
+/// (q * dims * 2 doubles), so the dense/sparse switch tracks per-feature
+/// nonzero density.
+CodecSpec CodecFromParams(const GbdtParams& params, uint32_t dims);
+
 /// Per-round checkpoint policy for TrainDistributed.
 struct CheckpointOptions {
   /// Checkpoint after every `interval` completed trees; 0 disables
@@ -448,6 +455,10 @@ class DistTrainerBase {
   /// Straggler policy for the quadrant's aggregation collectives, derived
   /// from options_.params (strict by default — bit-identical to seed).
   MitigationOptions mitigation_;
+
+  /// Histogram-compression codec for the quadrant's histogram collectives,
+  /// derived from options_.params (off by default — bit-identical to seed).
+  CodecSpec codec_;
 
   /// Cross-rank invariant auditor (inert at params.integrity == kOff:
   /// quadrant push sites and the audit points above all guard on

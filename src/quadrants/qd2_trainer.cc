@@ -93,15 +93,28 @@ std::vector<SplitCandidate> Qd2Trainer::FindLayerSplits(
   std::vector<uint64_t> sent_digest, sent_mass;
   if (auditor_.enabled()) {
     sent_digest.assign(w, kAuditSkip);
+    // With a lossy codec the receiver reconstructs decode(encode(payload)),
+    // so the sender must digest the same round-tripped bytes — otherwise a
+    // clean quantized exchange would trip the pairwise digest check.
+    const bool lossy = CodecIsLossy(codec_) && codec_.enabled();
+    std::vector<std::vector<uint8_t>> round_tripped;
+    if (lossy) {
+      round_tripped.resize(w);
+      for (int g = 0; g < w; ++g) {
+        round_tripped[g] = CodecRoundTripBytes(to_dest[g], codec_);
+      }
+    }
+    const std::vector<std::vector<uint8_t>>& seen =
+        lossy ? round_tripped : to_dest;
     for (int g = 0; g < w; ++g) {
-      sent_digest[g] = AuditDigestBytes(to_dest[g].data(), to_dest[g].size());
+      sent_digest[g] = AuditDigestBytes(seen[g].data(), seen[g].size());
     }
     if (auditor_.full()) {
       sent_mass.assign(w, kAuditSkip);
       for (int g = 0; g < w; ++g) {
         const double* vals =
-            reinterpret_cast<const double*>(to_dest[g].data());
-        const size_t n = to_dest[g].size() / sizeof(double);
+            reinterpret_cast<const double*>(seen[g].data());
+        const size_t n = seen[g].size() / sizeof(double);
         double sum = 0.0;
         for (size_t i = 0; i < n; ++i) sum += vals[i];
         sent_mass[g] = std::bit_cast<uint64_t>(sum);
@@ -110,8 +123,8 @@ std::vector<SplitCandidate> Qd2Trainer::FindLayerSplits(
   }
   std::vector<std::vector<uint8_t>> from_src;
   MitigationOutcome exchange_outcome;
-  VERO_COMM_OK(ctx_.AllToAllBounded(std::move(to_dest), &from_src, mitigation_,
-                                    &exchange_outcome));
+  VERO_COMM_OK(ctx_.AllToAllBoundedCodec(std::move(to_dest), &from_src, codec_,
+                                         mitigation_, &exchange_outcome));
   if (auditor_.enabled()) {
     // Matching receive-side evidence; pairs whose slice was deferred by
     // straggler mitigation carry the skip sentinel on the receive side.

@@ -149,5 +149,106 @@ TEST(SerializeTest, PositionAndRemaining) {
   EXPECT_FALSE(r.AtEnd());
 }
 
+TEST(SerializeTest, VarintRoundTripBoundaries) {
+  const uint64_t cases[] = {0,
+                            1,
+                            (1ull << 7) - 1,
+                            (1ull << 7),
+                            (1ull << 7) + 1,
+                            (1ull << 14) - 1,
+                            (1ull << 14),
+                            (1ull << 21),
+                            (1ull << 28),
+                            (1ull << 35),
+                            (1ull << 42),
+                            (1ull << 49),
+                            (1ull << 56),
+                            (1ull << 63) - 1,
+                            (1ull << 63),
+                            (1ull << 63) + 1,
+                            UINT64_MAX - 1,
+                            UINT64_MAX};
+  for (uint64_t v : cases) {
+    uint8_t buf[kMaxVarint64Bytes];
+    const size_t len = PutVarint64(buf, v);
+    ASSERT_GE(len, 1u);
+    ASSERT_LE(len, kMaxVarint64Bytes);
+    uint64_t out = 0;
+    size_t consumed = 0;
+    ASSERT_TRUE(GetVarint64(buf, len, &out, &consumed).ok()) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(consumed, len);
+  }
+}
+
+TEST(SerializeTest, VarintEncodedLengths) {
+  uint8_t buf[kMaxVarint64Bytes];
+  EXPECT_EQ(PutVarint64(buf, 0), 1u);
+  EXPECT_EQ(PutVarint64(buf, 127), 1u);
+  EXPECT_EQ(PutVarint64(buf, 128), 2u);
+  EXPECT_EQ(PutVarint64(buf, (1ull << 14) - 1), 2u);
+  EXPECT_EQ(PutVarint64(buf, 1ull << 14), 3u);
+  EXPECT_EQ(PutVarint64(buf, (1ull << 63)), 10u);
+  EXPECT_EQ(PutVarint64(buf, UINT64_MAX), 10u);
+}
+
+TEST(SerializeTest, VarintTruncatedAndOverflow) {
+  uint8_t buf[kMaxVarint64Bytes];
+  const size_t len = PutVarint64(buf, UINT64_MAX);
+  uint64_t out = 0;
+  size_t consumed = 0;
+  // Every strict prefix must be rejected as truncated.
+  for (size_t n = 0; n < len; ++n) {
+    EXPECT_FALSE(GetVarint64(buf, n, &out, &consumed).ok()) << n;
+  }
+  // 10 continuation bytes never terminate: reject as overflow, not truncation.
+  uint8_t runaway[kMaxVarint64Bytes];
+  std::memset(runaway, 0x80, sizeof(runaway));
+  EXPECT_FALSE(GetVarint64(runaway, sizeof(runaway), &out, &consumed).ok());
+  // A 10-byte encoding whose final byte carries more than bit 63 overflows.
+  uint8_t wide[kMaxVarint64Bytes];
+  std::memset(wide, 0x80, sizeof(wide));
+  wide[kMaxVarint64Bytes - 1] = 0x02;
+  EXPECT_FALSE(GetVarint64(wide, sizeof(wide), &out, &consumed).ok());
+}
+
+TEST(SerializeTest, VarintViaWriterReader) {
+  ByteWriter w;
+  const uint64_t values[] = {0, 1, 300, 1ull << 40, UINT64_MAX};
+  for (uint64_t v : values) w.WriteVarint64(v);
+  ByteReader r(w.data());
+  for (uint64_t v : values) {
+    uint64_t out = 0;
+    ASSERT_TRUE(r.ReadVarint64(&out).ok());
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+  uint64_t out = 0;
+  EXPECT_FALSE(r.ReadVarint64(&out).ok());
+}
+
+TEST(SerializeTest, ZigZagRoundTrip) {
+  const int64_t cases[] = {0,
+                           -1,
+                           1,
+                           -2,
+                           2,
+                           63,
+                           -64,
+                           64,
+                           INT64_MAX,
+                           INT64_MIN,
+                           INT64_MIN + 1};
+  for (int64_t v : cases) {
+    EXPECT_EQ(ZigZagDecode64(ZigZagEncode64(v)), v) << v;
+  }
+  // Small magnitudes of either sign map to small codes (short varints).
+  EXPECT_EQ(ZigZagEncode64(0), 0u);
+  EXPECT_EQ(ZigZagEncode64(-1), 1u);
+  EXPECT_EQ(ZigZagEncode64(1), 2u);
+  EXPECT_EQ(ZigZagEncode64(-2), 3u);
+  EXPECT_EQ(ZigZagEncode64(2), 4u);
+}
+
 }  // namespace
 }  // namespace vero
