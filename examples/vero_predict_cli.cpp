@@ -4,9 +4,14 @@
 // Usage:
 //   vero_predict_cli --model model.bin --data test.libsvm [--out preds.txt]
 //                    [--margins] [--task binary|multiclass|regression]
+//                    [--batch 8192] [--threads N]
 //
 // Output: one line per instance — P(y=1) for binary, C probabilities for
 // multi-class, the margin for regression (or raw margins with --margins).
+//
+// Scoring goes through the flat-forest batched predictor (src/serve/),
+// which is bit-identical to per-row traversal at any --batch / --threads
+// (see docs/serving.md).
 
 #include <cstdio>
 #include <fstream>
@@ -15,6 +20,8 @@
 #include "core/metrics.h"
 #include "core/model_io.h"
 #include "data/libsvm_io.h"
+#include "serve/batch_predictor.h"
+#include "serve/flat_forest.h"
 
 namespace {
 
@@ -26,13 +33,16 @@ struct CliOptions {
   std::string out_path;
   std::string task = "binary";
   bool margins = false;
+  uint32_t batch = 8192;
+  uint32_t threads = 1;
 };
 
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: vero_predict_cli --model <model.bin> --data "
                "<file.libsvm> [--out preds.txt] [--margins]\n"
-               "       [--task binary|multiclass|regression]\n");
+               "       [--task binary|multiclass|regression] "
+               "[--batch 8192] [--threads N]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* opt) {
@@ -52,6 +62,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       opt->task = v;
     } else if (arg == "--margins") {
       opt->margins = true;
+    } else if (arg == "--batch" && (v = value())) {
+      opt->batch = std::atoi(v);
+    } else if (arg == "--threads" && (v = value())) {
+      opt->threads = std::atoi(v);
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
       return false;
@@ -98,17 +112,38 @@ int main(int argc, char** argv) {
     }
   }
 
+  auto forest_or = serve::FlatForest::FromModel(model);
+  if (!forest_or.ok()) {
+    std::fprintf(stderr, "model rejected by serving compiler: %s\n",
+                 forest_or.status().ToString().c_str());
+    return 1;
+  }
+  serve::ServeOptions serve_options;
+  serve_options.num_threads = std::max(1u, opt.threads);
+  if (!serve_options.Validate().ok()) {
+    std::fprintf(stderr, "bad serving options (--threads in [1,256])\n");
+    return 2;
+  }
+  const serve::BatchPredictor predictor(&forest_or.value(), serve_options);
+
   const uint32_t dims = model.margin_dims();
-  std::vector<double> buffer(dims);
+  const uint32_t batch = std::max(1u, opt.batch);
+  std::vector<double> buffer(static_cast<size_t>(batch) * dims);
   const CsrMatrix& m = data.matrix();
-  for (InstanceId i = 0; i < data.num_instances(); ++i) {
-    if (opt.margins || model.task() == Task::kRegression) {
-      model.PredictMargins(m.RowFeatures(i), m.RowValues(i), buffer.data());
+  const bool raw = opt.margins || model.task() == Task::kRegression;
+  for (InstanceId b = 0; b < data.num_instances(); b += batch) {
+    const InstanceId e = std::min<InstanceId>(b + batch,
+                                              data.num_instances());
+    if (raw) {
+      predictor.PredictCsrMargins(m, b, e, buffer.data());
     } else {
-      model.PredictProba(m.RowFeatures(i), m.RowValues(i), buffer.data());
+      predictor.PredictCsrProba(m, b, e, buffer.data());
     }
-    for (uint32_t k = 0; k < dims; ++k) {
-      std::fprintf(out, k + 1 == dims ? "%.6g\n" : "%.6g ", buffer[k]);
+    for (InstanceId i = b; i < e; ++i) {
+      const double* row = buffer.data() + static_cast<size_t>(i - b) * dims;
+      for (uint32_t k = 0; k < dims; ++k) {
+        std::fprintf(out, k + 1 == dims ? "%.6g\n" : "%.6g ", row[k]);
+      }
     }
   }
   if (out != stdout) std::fclose(out);

@@ -11,18 +11,26 @@
 //                  [--compression off|sparse|sparse_delta|quantized]
 //                  [--model out.bin] [--importance]
 //   vero_train_cli --profile RCV1 ...   (synthetic stand-in instead of file)
+//
+// Serving mode (no training): score a LIBSVM file with a saved model
+// through the flat-forest batched predictor (src/serve/):
+//   vero_train_cli --predict --model model.bin --data test.libsvm
+//                  [--out preds.txt] [--margins] [--batch 8192] [--threads N]
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "cluster/communicator.h"
+#include "common/timer.h"
 #include "core/metrics.h"
 #include "core/model_io.h"
 #include "core/trainer.h"
 #include "data/libsvm_io.h"
 #include "data/synthetic.h"
 #include "quadrants/train_distributed.h"
+#include "serve/batch_predictor.h"
+#include "serve/flat_forest.h"
 
 namespace {
 
@@ -33,10 +41,15 @@ struct CliOptions {
   std::string profile;
   std::string task = "binary";
   std::string model_path;
+  std::string out_path;
   std::string quadrant;  // empty = single-process reference trainer
   double valid_fraction = 0.2;
   int workers = 4;
   bool importance = false;
+  bool predict = false;  // Serving mode: score --data with --model.
+  bool margins = false;
+  uint32_t batch = 8192;
+  uint32_t serve_threads = 1;
   GbdtParams params;
 };
 
@@ -52,7 +65,9 @@ void PrintUsage() {
       "  [--compression off|sparse|sparse_delta|quantized]\n"
       "  [--model out.bin] [--importance]\n"
       "profiles: SUSY Higgs Criteo Epsilon RCV1 Synthesis RCV1-multi\n"
-      "          Synthesis-multi Gender Age Taste\n");
+      "          Synthesis-multi Gender Age Taste\n"
+      "serving: vero_train_cli --predict --model model.bin --data f.libsvm\n"
+      "  [--out preds.txt] [--margins] [--batch 8192] [--threads N]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* opt) {
@@ -113,14 +128,31 @@ bool ParseArgs(int argc, char** argv, CliOptions* opt) {
       opt->workers = std::atoi(v);
     } else if (arg == "--model" && (v = need_value(i))) {
       opt->model_path = v;
+    } else if (arg == "--out" && (v = need_value(i))) {
+      opt->out_path = v;
     } else if (arg == "--importance") {
       opt->importance = true;
+    } else if (arg == "--predict") {
+      opt->predict = true;
+    } else if (arg == "--margins") {
+      opt->margins = true;
+    } else if (arg == "--batch" && (v = need_value(i))) {
+      opt->batch = std::atoi(v);
+    } else if (arg == "--threads" && (v = need_value(i))) {
+      opt->serve_threads = std::atoi(v);
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
       return false;
     }
+  }
+  if (opt->predict) {
+    if (opt->model_path.empty() || opt->data_path.empty()) {
+      std::fprintf(stderr, "--predict requires --model and --data\n");
+      return false;
+    }
+    return true;
   }
   if (opt->data_path.empty() == opt->profile.empty()) {
     std::fprintf(stderr,
@@ -145,6 +177,97 @@ StatusOr<Dataset> LoadData(const CliOptions& opt) {
   return ReadLibsvmFile(opt.data_path, read);
 }
 
+// --predict: compile the saved model into a FlatForest and score the file
+// in batches through the cache-tiled predictor (bit-identical to the
+// per-row path; see docs/serving.md).
+int RunPredict(const CliOptions& opt) {
+  auto model_or = LoadModel(opt.model_path);
+  if (!model_or.ok()) {
+    std::fprintf(stderr, "failed to load model: %s\n",
+                 model_or.status().ToString().c_str());
+    return 1;
+  }
+  const GbdtModel& model = model_or.value();
+
+  LibsvmReadOptions read;
+  read.task = model.task();
+  if (model.task() == Task::kMultiClass) {
+    read.num_classes = model.num_classes();
+  }
+  auto data_or = ReadLibsvmFile(opt.data_path, read);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "failed to load data: %s\n",
+                 data_or.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& data = data_or.value();
+
+  auto forest_or = serve::FlatForest::FromModel(model);
+  if (!forest_or.ok()) {
+    std::fprintf(stderr, "model rejected by serving compiler: %s\n",
+                 forest_or.status().ToString().c_str());
+    return 1;
+  }
+  const serve::FlatForest& forest = forest_or.value();
+
+  serve::ServeOptions serve_options;
+  serve_options.num_threads = std::max(1u, opt.serve_threads);
+  if (!serve_options.Validate().ok()) {
+    std::fprintf(stderr, "bad serving options (--threads in [1,256])\n");
+    return 2;
+  }
+  const serve::BatchPredictor predictor(&forest, serve_options);
+
+  FILE* out = stdout;
+  if (!opt.out_path.empty()) {
+    out = std::fopen(opt.out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", opt.out_path.c_str());
+      return 1;
+    }
+  }
+
+  const uint32_t dims = forest.num_dims();
+  const uint32_t batch = std::max(1u, opt.batch);
+  const CsrMatrix& m = data.matrix();
+  std::vector<double> buffer(static_cast<size_t>(batch) * dims);
+  const bool raw = opt.margins || model.task() == Task::kRegression;
+  WallTimer timer;
+  double score_seconds = 0.0;
+  for (InstanceId b = 0; b < data.num_instances(); b += batch) {
+    const InstanceId e = std::min<InstanceId>(b + batch,
+                                              data.num_instances());
+    WallTimer block_timer;
+    if (raw) {
+      predictor.PredictCsrMargins(m, b, e, buffer.data());
+    } else {
+      predictor.PredictCsrProba(m, b, e, buffer.data());
+    }
+    block_timer.Stop();
+    score_seconds += block_timer.Seconds();
+    for (InstanceId i = b; i < e; ++i) {
+      const double* row = buffer.data() + static_cast<size_t>(i - b) * dims;
+      for (uint32_t k = 0; k < dims; ++k) {
+        std::fprintf(out, k + 1 == dims ? "%.6g\n" : "%.6g ", row[k]);
+      }
+    }
+  }
+  timer.Stop();
+  if (out != stdout) std::fclose(out);
+
+  std::fprintf(stderr,
+               "scored %u rows with %zu trees (%u internal nodes): "
+               "%.0f rows/s scoring, %.2fs total (batch=%u threads=%u)\n",
+               data.num_instances(), model.num_trees(),
+               forest.num_internal_nodes(),
+               data.num_instances() / std::max(score_seconds, 1e-9),
+               timer.Seconds(), batch, serve_options.num_threads);
+  const MetricValue metric = EvaluateModel(model, data);
+  std::fprintf(stderr, "%s on %u instances: %.5f\n", metric.name.c_str(),
+               data.num_instances(), metric.value);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -153,6 +276,7 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
+  if (opt.predict) return RunPredict(opt);
   auto data_or = LoadData(opt);
   if (!data_or.ok()) {
     std::fprintf(stderr, "failed to load data: %s\n",

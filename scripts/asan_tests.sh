@@ -18,13 +18,14 @@ cmake -B "$BUILD_DIR" -DVERO_SANITIZE=address,undefined \
 cmake --build "$BUILD_DIR" --target \
   fault_tolerance_test elastic_recovery_test elasticity_test \
   checkpoint_rotation_test delta_checkpoint_test integrity_test \
-  straggler_mitigation_test codec_test communicator_test
+  straggler_mitigation_test codec_test communicator_test serve_test
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 for t in fault_tolerance_test elastic_recovery_test elasticity_test \
          checkpoint_rotation_test delta_checkpoint_test integrity_test \
-         straggler_mitigation_test codec_test communicator_test; do
+         straggler_mitigation_test codec_test communicator_test \
+         serve_test; do
   echo "== ASan/UBSan: $t =="
   "$BUILD_DIR/tests/$t"
 done

@@ -10,7 +10,7 @@
 # to catch regressions; see docs/performance.md, docs/straggler_mitigation.md
 # and docs/observability.md.
 #
-#   scripts/bench_smoke.sh [build-dir] [out.json] [faults-out.json] [anatomy-out.json] [integrity-out.json] [comm-out.json]
+#   scripts/bench_smoke.sh [build-dir] [out.json] [faults-out.json] [anatomy-out.json] [integrity-out.json] [comm-out.json] [serve-out.json]
 #
 # VERO_SCALE shrinks/grows the workload (default 0.25 here: ~5k rows keeps
 # the binary-search baseline to well under a minute on one core).
@@ -23,6 +23,7 @@ FAULTS_OUT="${3:-BENCH_faults.json}"
 ANATOMY_OUT="${4:-BENCH_anatomy.json}"
 INTEGRITY_OUT="${5:-BENCH_integrity.json}"
 COMM_OUT="${6:-BENCH_comm.json}"
+SERVE_OUT="${7:-BENCH_serve.json}"
 export VERO_SCALE="${VERO_SCALE:-0.25}"
 
 "$BUILD_DIR/bench/micro_kernels" --hist-json "$OUT"
@@ -61,3 +62,10 @@ python3 scripts/check_anatomy.py "$ANATOMY_OUT"
 # digests unchanged, and bounded goodput regression at full density.
 "$BUILD_DIR/bench/comm_sweep" --json "$COMM_OUT"
 python3 scripts/check_bench_comm.py --json "$COMM_OUT"
+
+# Serving sweep: flat-forest batched scoring vs the per-row path over batch
+# x threads x forest size x C, digest-checked for bit-identical margins in
+# every cell; at full scale (>= 0.25) the checker also enforces the >= 5x
+# batched-vs-per-row bar on the 8-tree forests (see docs/serving.md).
+"$BUILD_DIR/bench/serve_sweep" --json "$SERVE_OUT"
+python3 scripts/check_bench_serve.py --json "$SERVE_OUT"

@@ -16,14 +16,15 @@ cmake --build "$BUILD_DIR" --target \
   communicator_test communicator_stress_test fault_tolerance_test \
   elastic_recovery_test elasticity_test checkpoint_rotation_test \
   delta_checkpoint_test straggler_mitigation_test integrity_test \
-  codec_test threading_test hist_builder_test dist_trainer_test obs_test
+  codec_test threading_test hist_builder_test dist_trainer_test obs_test \
+  serve_test
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 for t in communicator_test communicator_stress_test fault_tolerance_test \
          elastic_recovery_test elasticity_test checkpoint_rotation_test \
          delta_checkpoint_test straggler_mitigation_test integrity_test \
          codec_test threading_test hist_builder_test dist_trainer_test \
-         obs_test; do
+         obs_test serve_test; do
   echo "== TSan: $t =="
   "$BUILD_DIR/tests/$t"
 done

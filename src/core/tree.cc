@@ -65,9 +65,15 @@ uint32_t Tree::NumNodes() const {
 
 NodeId Tree::Route(std::span<const FeatureId> features,
                    std::span<const float> values) const {
+  VERO_CHECK(!nodes_.empty()) << "Route on an empty tree";
   NodeId id = 0;
   while (nodes_[id].state == TreeNode::State::kInternal) {
     const TreeNode& n = nodes_[id];
+    // A malformed tree (e.g. deserialized from damaged bytes) can mark a
+    // last-layer node internal; descending would index past the node array.
+    VERO_CHECK_LT(static_cast<uint32_t>(RightChild(id)), max_nodes())
+        << "malformed tree: internal node " << id
+        << " walks off the node array";
     const auto it =
         std::lower_bound(features.begin(), features.end(), n.feature);
     bool go_left;
@@ -79,7 +85,8 @@ NodeId Tree::Route(std::span<const FeatureId> features,
     }
     id = go_left ? LeftChild(id) : RightChild(id);
   }
-  VERO_DCHECK(nodes_[id].state == TreeNode::State::kLeaf);
+  VERO_CHECK(nodes_[id].state == TreeNode::State::kLeaf)
+      << "malformed tree: route ended on unused node " << id;
   return id;
 }
 

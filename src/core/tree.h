@@ -39,6 +39,8 @@ class Tree {
 
   TreeNode& node(NodeId id) { return nodes_[id]; }
   const TreeNode& node(NodeId id) const { return nodes_[id]; }
+  /// Whole node array in heap order (serving compilers iterate this).
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
   bool Exists(NodeId id) const {
     return id >= 0 && static_cast<uint32_t>(id) < nodes_.size() &&
            nodes_[id].state != TreeNode::State::kUnused;
